@@ -1,0 +1,38 @@
+"""Figure 7-(b): cache hit ratio of GC / ZLC / SLC-R / SLC-S vs batch size.
+
+Paper shape: hit ratio increases with |Q| for every method; SLC-S is the
+best local-cache variant (better than SLC-R thanks to longest-first
+ordering) and beats the Global Cache.
+"""
+
+from conftest import publish
+
+from repro.analysis import experiments as exp
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+
+
+def test_fig7b_hit_ratio(benchmark, env, sizes, cache_suites):
+    result = exp.run_fig7b(env, cache_suites)
+    publish(result)
+
+    for method, series in result.series.items():
+        assert all(0.0 <= r <= 1.0 for r in series)
+        # Hit ratio grows with batch size (allowing small-size noise).
+        assert series[-1] > series[0], method
+
+    last = {m: s[-1] for m, s in result.series.items()}
+    # SLC-S beats the Global Cache at the largest size (the paper's
+    # headline local-vs-global claim).
+    assert last["slc-s"] >= last["gc"]
+    # Longest-first ordering beats random ordering.
+    assert last["slc-s"] >= last["slc-r"]
+
+    # Benchmark the SLC-S answering pass at the largest size.
+    suite = cache_suites[-1]
+    queries = env.workload.batch(sizes[-1], *env.cache_band)
+    decomposition = SearchSpaceDecomposer(env.graph).decompose(queries)
+    answerer = LocalCacheAnswerer(env.graph, suite.gc_bytes, order="longest")
+    benchmark.pedantic(
+        lambda: answerer.answer(decomposition), rounds=3, iterations=1
+    )

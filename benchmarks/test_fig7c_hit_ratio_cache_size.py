@@ -1,0 +1,46 @@
+"""Figure 7-(c): SLC-S hit ratio as the per-cluster cache budget shrinks.
+
+Paper shape: the hit ratio decreases as the cache size drops from 100 % of
+the budget.  At reproduction scale the sweep is taken against the *binding*
+budget (the largest local cache an unconstrained run builds) and reaches
+down to 10 % so the constraint actually bites — see EXPERIMENTS.md.
+"""
+
+from conftest import publish
+
+from repro.analysis import experiments as exp
+from repro.analysis.tables import check_monotone
+from repro.core.cache import PathCache
+from repro.search.astar import a_star
+
+
+def test_fig7c_hit_ratio_vs_cache_size(benchmark, env, sizes, cache_suites):
+    result = exp.run_fig7c(env, cache_suites)
+    publish(result)
+
+    # Per batch size, the hit ratio is non-decreasing in the cache budget.
+    largest = cache_suites[-1]
+    fractions = sorted(largest.sweep_hit_ratio)
+    ratios = [largest.sweep_hit_ratio[f] for f in fractions]
+    assert check_monotone(ratios, increasing=True, slack=0.02)
+
+    # The deepest cut visibly hurts at the largest size.
+    assert ratios[0] < ratios[-1]
+
+    # Benchmark raw cache insert+lookup throughput under a tight budget.
+    queries = env.workload.batch(200, *env.cache_band)
+    paths = [
+        a_star(env.graph, q.source, q.target).path for q in list(queries)[:50]
+    ]
+
+    def churn():
+        cache = PathCache(env.graph, capacity_bytes=16 * 1024)
+        for path in paths:
+            cache.insert(path)
+        hits = 0
+        for q in queries:
+            if cache.lookup(q.source, q.target) is not None:
+                hits += 1
+        return hits
+
+    benchmark.pedantic(churn, rounds=3, iterations=1)

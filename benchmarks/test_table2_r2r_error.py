@@ -1,0 +1,40 @@
+"""Table II: average/max approximation error of R2R vs k-Path.
+
+Paper shape: R2R's average error sits near 1 % and its maximum stays under
+the configured bound (eta = 5 %); k-Path's error is unbounded and its
+maximum reaches tens of percent.
+"""
+
+from conftest import publish
+
+from repro.analysis import experiments as exp
+from repro.analysis.metrics import error_report
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.core.r2r import RegionToRegionAnswerer
+
+ETA_PCT = 5.0
+
+
+def test_table2_r2r_error(benchmark, env, sizes, r2r_suites):
+    result = exp.run_table2(env, r2r_suites)
+    publish(result)
+
+    # R2R's maximum error never exceeds the eta bound, at any size.
+    for max_err in result.series["r2r_max"]:
+        assert max_err <= ETA_PCT + 1e-6
+
+    # R2R's average error is in the paper's ~1 % ballpark at scale.
+    assert result.series["r2r_avg"][-1] <= 2.0
+
+    # k-Path is clearly worse on both metrics at the largest size, and its
+    # maximum error exceeds what R2R's bound permits.
+    assert result.series["kpath_avg"][-1] > result.series["r2r_avg"][-1]
+    assert result.series["kpath_max"][-1] > ETA_PCT
+
+    # Benchmark error computation (oracle + report) at a small size.
+    queries = env.workload.batch(150, *env.r2r_band)
+    decomposition = CoClusteringDecomposer(env.graph, eta=0.05).decompose(queries)
+    answer = RegionToRegionAnswerer(env.graph, eta=0.05).answer(decomposition)
+    benchmark.pedantic(
+        lambda: error_report(env.graph, answer), rounds=3, iterations=1
+    )

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Dynamic traffic: batch answering across weight-change epochs.
+
+The paper's whole premise is that index-based methods cannot keep up with
+a dynamic road network: by the time a CH or a 2-hop labelling finishes
+building, the traffic has changed.  Index-free batch processing adapts
+instantly — and the Local Cache can even be *reused* across batches within
+one traffic epoch (Section V-A3).
+
+This example runs a stream of query batches through a
+:class:`DynamicBatchSession` while the traffic changes every few batches
+(epoch = one weight snapshot), and shows:
+
+* caches being reused between similar batches inside an epoch,
+* caches being flushed when the weights change,
+* answers staying exact w.r.t. the *current* snapshot throughout, and
+* for contrast, how long a CH build takes on the same network — longer
+  than answering every batch in the whole scenario.
+
+Run:  python examples/dynamic_traffic.py
+"""
+
+import random
+import time
+
+from repro import DynamicBatchSession, WorkloadGenerator, beijing_like
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.index.ch import ContractionHierarchy
+from repro.search.dijkstra import dijkstra
+
+
+def jam_some_roads(graph, rng: random.Random, fraction: float = 0.1) -> int:
+    """A new traffic snapshot: slow down a random subset of segments."""
+    edges = list(graph.edges())
+    jammed = rng.sample(edges, max(1, int(len(edges) * fraction)))
+    for u, v, w in jammed:
+        graph.set_weight(u, v, w * rng.uniform(1.5, 3.0))
+    return len(jammed)
+
+
+def main() -> None:
+    graph = beijing_like("small", seed=5)
+    workload = WorkloadGenerator(graph, seed=23)
+    rng = random.Random(99)
+
+    session = DynamicBatchSession(
+        graph,
+        decomposer=SearchSpaceDecomposer(graph),
+        answerer=LocalCacheAnswerer(graph, cache_bytes=512 * 1024),
+        similarity_threshold=0.3,
+    )
+
+    print(f"{'batch':>5} | {'epoch':>5} | {'time (s)':>8} | {'hit ratio':>9} | "
+          f"{'caches':>6} | {'reused':>6}")
+    print("-" * 55)
+    epoch = 1
+    total_answer_time = 0.0
+    for i in range(1, 9):
+        if i in (4, 7):  # traffic changes before these batches
+            jam_some_roads(graph, rng)
+            epoch += 1
+        batch = workload.batch(250)
+        answer = session.process_batch(batch)
+        total_answer_time += answer.total_seconds
+
+        # Spot-check exactness against the *current* snapshot.
+        q, r = answer.answers[0]
+        truth = dijkstra(graph, q.source, q.target).distance
+        assert abs(r.distance - truth) < 1e-9, "stale cache leaked a wrong answer!"
+
+        print(
+            f"{i:>5} | {epoch:>5} | {answer.total_seconds:>8.4f} | "
+            f"{answer.hit_ratio:>9.3f} | {session.live_cache_count:>6} | "
+            f"{session.caches_reused:>6}"
+        )
+
+    print("-" * 55)
+    print(f"answered 8 batches across {epoch} traffic epochs "
+          f"in {total_answer_time:.3f}s; epochs flushed: {session.epochs_flushed}")
+
+    print("\nFor contrast, building a Contraction Hierarchy on this snapshot:")
+    t0 = time.perf_counter()
+    ch = ContractionHierarchy(graph)
+    build = time.perf_counter() - t0
+    print(f"  CH construction: {build:.3f}s ({ch.num_shortcuts} shortcuts) — "
+          f"{build / max(total_answer_time, 1e-9):.1f}x the whole batch stream,")
+    print("  and it is already stale the moment the next snapshot arrives.")
+
+
+if __name__ == "__main__":
+    main()

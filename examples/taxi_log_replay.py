@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Replaying a (simulated) taxi log through the batch service.
+
+The paper's workload is a month of Beijing taxi trajectories: each trip's
+start/end locations become one shortest-path query.  This example runs
+that exact pipeline on simulated data:
+
+1. simulate taxi trips on the network (hotspot ODs, occasional detours),
+2. derive the query log from the trip endpoints (the paper's rule),
+3. replay the log through the windowed :class:`BatchQueryService`,
+4. additionally stress the caches with *sub-trip* queries (passengers
+   picked up mid-route), where coherence — and hence hit ratio — peaks.
+
+Run:  python examples/taxi_log_replay.py
+"""
+
+from repro import BatchQueryService, TrajectorySimulator, beijing_like
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.queries.arrivals import TimedQuery
+from repro.queries.trajectories import queries_from_trips, subtrip_queries
+
+
+def main() -> None:
+    graph = beijing_like("small", seed=21)
+    simulator = TrajectorySimulator(graph, waypoint_probability=0.3, seed=13)
+    trips = simulator.simulate(500, rate_per_second=80.0)
+    print(
+        f"simulated {len(trips)} taxi trips "
+        f"(mean route length {sum(len(t) for t in trips) / len(trips):.1f} vertices, "
+        f"over {trips[-1].start_time:.1f}s)"
+    )
+
+    # The paper's derivation: endpoints -> queries, stamped by trip start.
+    log = [
+        TimedQuery(trip.start_time, q)
+        for trip, q in zip(trips, queries_from_trips(trips))
+    ]
+
+    service = BatchQueryService(graph, window_seconds=1.0)
+    report = service.run(log)
+    print(
+        f"\nendpoint-query replay: {report.total_queries} queries in "
+        f"{report.busy_windows} windows, mean hit ratio "
+        f"{report.mean_hit_ratio:.2f}, worst window "
+        f"{report.worst_window_seconds * 1000:.1f} ms, "
+        f"deadline misses {report.deadline_misses}"
+    )
+
+    # Coherence ceiling: mid-route pickups all lie on cached trip routes.
+    sub = subtrip_queries(trips, per_trip=3, seed=2)
+    sub_stream = [
+        TimedQuery(i / 300.0, q) for i, q in enumerate(sub)
+    ]
+    stress = BatchQueryService(
+        graph,
+        window_seconds=1.0,
+        decomposer=SearchSpaceDecomposer(graph),
+        answerer=LocalCacheAnswerer(graph, cache_bytes=2 * 1024 * 1024),
+    )
+    stress_report = stress.run(sub_stream)
+    print(
+        f"sub-trip stress:       {stress_report.total_queries} queries, "
+        f"mean hit ratio {stress_report.mean_hit_ratio:.2f} "
+        f"(coherence ceiling — queries literally share routes)"
+    )
+    assert stress_report.mean_hit_ratio > report.mean_hit_ratio
+    print("\nHigher route coherence -> higher hit ratio, exactly the premise")
+    print("batch processing is built on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""repro — batch shortest-path processing in road networks.
+
+A complete reproduction of *Fast Query Decomposition for Batch Shortest
+Path Processing in Road Networks* (Li, Zhang, Hua, Zhou — ICDE 2020):
+three query-decomposition methods (Zigzag, Search-Space Estimation,
+Coherence-Aware Co-Clustering), two batch answering algorithms (Local
+Cache, error-bounded Region-to-Region), every baseline the paper compares
+against, and the full experiment harness for its tables and figures.
+
+Quickstart::
+
+    from repro import beijing_like, WorkloadGenerator, BatchProcessor
+
+    graph = beijing_like("small")
+    batch = WorkloadGenerator(graph).batch(200)
+    report = BatchProcessor(graph).process(batch, method="slc-s")
+    print(report.summary())
+"""
+
+from .baselines import (
+    GlobalCacheAnswerer,
+    GroupAnswerer,
+    KPathAnswerer,
+    OneByOneAnswerer,
+    ZigzagPetalAnswerer,
+)
+from .core import (
+    BatchAnswer,
+    BatchProcessor,
+    CoClusteringDecomposer,
+    Decomposition,
+    DynamicBatchSession,
+    LocalCacheAnswerer,
+    METHODS,
+    PathCache,
+    QueryCluster,
+    RegionToRegionAnswerer,
+    SearchSpaceDecomposer,
+    SearchSpaceOracle,
+    ZigzagDecomposer,
+)
+from .exceptions import (
+    CacheError,
+    ConfigurationError,
+    DecompositionError,
+    GraphError,
+    IndexConstructionError,
+    NoPathError,
+    QueryError,
+    ReproError,
+)
+from .index import (
+    ArcFlags,
+    ContractionHierarchy,
+    GeometricContainers,
+    PrunedLandmarkLabeling,
+)
+from .network import (
+    GridIndex,
+    RoadNetwork,
+    SuperVertexMap,
+    TrafficTimeline,
+    beijing_like,
+    grid_city,
+    random_geometric_city,
+    ring_radial_city,
+)
+from .queries import (
+    Hotspot,
+    PoissonArrivals,
+    Query,
+    QuerySet,
+    TrajectorySimulator,
+    WorkloadGenerator,
+    profile_workload,
+    queries_from_trips,
+    window_batches,
+)
+from .service import BatchQueryService, ServiceReport, WindowReport
+from .search import (
+    LandmarkIndex,
+    PathResult,
+    a_star,
+    bidirectional_dijkstra,
+    dijkstra,
+    generalized_a_star,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArcFlags",
+    "BatchAnswer",
+    "BatchProcessor",
+    "BatchQueryService",
+    "CacheError",
+    "CoClusteringDecomposer",
+    "ConfigurationError",
+    "ContractionHierarchy",
+    "Decomposition",
+    "DecompositionError",
+    "DynamicBatchSession",
+    "GeometricContainers",
+    "GlobalCacheAnswerer",
+    "GraphError",
+    "GridIndex",
+    "GroupAnswerer",
+    "Hotspot",
+    "IndexConstructionError",
+    "KPathAnswerer",
+    "LandmarkIndex",
+    "LocalCacheAnswerer",
+    "METHODS",
+    "NoPathError",
+    "OneByOneAnswerer",
+    "PathCache",
+    "PoissonArrivals",
+    "PathResult",
+    "PrunedLandmarkLabeling",
+    "Query",
+    "QueryCluster",
+    "QueryError",
+    "QuerySet",
+    "RegionToRegionAnswerer",
+    "ReproError",
+    "RoadNetwork",
+    "SearchSpaceDecomposer",
+    "SearchSpaceOracle",
+    "ServiceReport",
+    "SuperVertexMap",
+    "TrafficTimeline",
+    "TrajectorySimulator",
+    "WindowReport",
+    "WorkloadGenerator",
+    "ZigzagDecomposer",
+    "ZigzagPetalAnswerer",
+    "a_star",
+    "beijing_like",
+    "bidirectional_dijkstra",
+    "dijkstra",
+    "generalized_a_star",
+    "profile_workload",
+    "queries_from_trips",
+    "grid_city",
+    "random_geometric_city",
+    "ring_radial_city",
+    "window_batches",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Metrics, tables, parallel-dispatch simulation and experiment harness."""
+
+from .experiments import (
+    CacheSuite,
+    ExperimentEnv,
+    ExperimentResult,
+    R2RSuite,
+    build_env,
+    run_cache_suite,
+    run_fig7a,
+    run_fig7b,
+    run_fig7c,
+    run_fig7d,
+    run_fig7e,
+    run_fig7f,
+    run_fig8,
+    run_r2r_suite,
+    run_table1,
+    run_table2,
+)
+from .capacity import CapacityPlan, compare_methods, scale_costs, servers_needed
+from .export import answers_to_csv, batch_to_json, load_answers_csv, series_to_csv
+from .metrics import ErrorReport, bytes_to_mb, error_report, exact_distances
+from .parallel import ScheduleResult, lpt_makespan
+from .report import generate_report
+from .tables import check_monotone, render_bars, render_series, render_table
+from .validation import (
+    CoverageReport,
+    summarize_coverage,
+    validate_search_space,
+)
+
+__all__ = [
+    "CacheSuite",
+    "CapacityPlan",
+    "CoverageReport",
+    "ErrorReport",
+    "ExperimentEnv",
+    "ExperimentResult",
+    "R2RSuite",
+    "ScheduleResult",
+    "build_env",
+    "answers_to_csv",
+    "batch_to_json",
+    "bytes_to_mb",
+    "check_monotone",
+    "error_report",
+    "generate_report",
+    "exact_distances",
+    "load_answers_csv",
+    "lpt_makespan",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "run_cache_suite",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig7c",
+    "run_fig7d",
+    "run_fig7e",
+    "run_fig7f",
+    "run_fig8",
+    "run_r2r_suite",
+    "run_table1",
+    "run_table2",
+    "scale_costs",
+    "series_to_csv",
+    "summarize_coverage",
+    "validate_search_space",
+    "servers_needed",
+    "compare_methods",
+]

@@ -1,0 +1,115 @@
+"""Server-capacity planning from measured batch costs.
+
+The paper's motivation is operational: a ride-hailing platform facing
+100k+ queries per minute wants fewer servers, not more.  This module turns
+measured batch results into that decision: given the per-window work a
+method needs and a latency objective ("every one-second batch must finish
+within its second"), how many servers does each method require?
+
+The model is the same one the Figure 8 experiment uses: indivisible work
+units (a query for per-query methods, a cluster for batch methods)
+scheduled with LPT.  :func:`servers_needed` binary-searches the smallest
+server count whose LPT makespan meets the deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .parallel import lpt_makespan
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The sizing answer for one method at one load."""
+
+    method: str
+    servers: int
+    makespan_seconds: float
+    deadline_seconds: float
+    total_work_seconds: float
+
+    @property
+    def headroom(self) -> float:
+        """Fraction of the deadline left unused (0 = exactly at deadline)."""
+        if self.deadline_seconds <= 0:
+            return 0.0
+        return 1.0 - self.makespan_seconds / self.deadline_seconds
+
+
+def servers_needed(
+    unit_costs: Sequence[float],
+    deadline_seconds: float,
+    max_servers: int = 4096,
+    method: str = "",
+) -> CapacityPlan:
+    """Smallest server count whose LPT makespan fits the deadline.
+
+    ``unit_costs`` are measured single-thread seconds of the batch's
+    indivisible work units.  Raises
+    :class:`~repro.exceptions.ConfigurationError` when even ``max_servers``
+    cannot meet the deadline (some single unit exceeds it).
+    """
+    if deadline_seconds <= 0:
+        raise ConfigurationError("deadline must be positive")
+    costs = [c for c in unit_costs if c > 0]
+    if not costs:
+        return CapacityPlan(method, 1, 0.0, deadline_seconds, 0.0)
+    largest = max(costs)
+    if largest > deadline_seconds:
+        raise ConfigurationError(
+            f"an indivisible work unit takes {largest:.4f}s, beyond the "
+            f"{deadline_seconds:.4f}s deadline — no server count can help"
+        )
+    total = sum(costs)
+    lo = max(1, int(total // deadline_seconds))
+    hi = lo
+    while hi <= max_servers:
+        if lpt_makespan(costs, hi).makespan_seconds <= deadline_seconds:
+            break
+        hi *= 2
+    else:
+        raise ConfigurationError(f"deadline unreachable within {max_servers} servers")
+    hi = min(hi, max_servers)
+    # Binary search the minimal feasible count in [lo, hi].
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if lpt_makespan(costs, mid).makespan_seconds <= deadline_seconds:
+            hi = mid
+        else:
+            lo = mid + 1
+    schedule = lpt_makespan(costs, lo)
+    return CapacityPlan(
+        method=method,
+        servers=lo,
+        makespan_seconds=schedule.makespan_seconds,
+        deadline_seconds=deadline_seconds,
+        total_work_seconds=total,
+    )
+
+
+def scale_costs(unit_costs: Sequence[float], factor: float) -> List[float]:
+    """Project measured costs to a higher load by replication.
+
+    ``factor`` > 1 replicates the unit population (fractional parts sample
+    a prefix), modelling "the same workload shape at k times the rate".
+    """
+    if factor <= 0:
+        raise ConfigurationError("factor must be positive")
+    costs = list(unit_costs)
+    if not costs:
+        return []
+    whole = int(factor)
+    out = costs * whole
+    remainder = factor - whole
+    out.extend(costs[: int(len(costs) * remainder)])
+    return out
+
+
+def compare_methods(
+    plans: Sequence[CapacityPlan],
+) -> List[CapacityPlan]:
+    """Plans sorted by server count (the purchasing decision order)."""
+    return sorted(plans, key=lambda p: (p.servers, p.makespan_seconds))

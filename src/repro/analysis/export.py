@@ -1,0 +1,99 @@
+"""Exporting batch results and experiment series to CSV / JSON.
+
+A deployment wants the per-query answers on disk (billing, auditing) and
+the experiment series in a machine-readable form (plotting outside this
+repo).  Both are plain-stdlib writers with stable column orders.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..core.results import BatchAnswer
+
+PathLike = Union[str, Path]
+
+ANSWER_COLUMNS = ("source", "target", "distance", "exact", "visited", "path_length")
+
+
+def answers_to_csv(batch: BatchAnswer, path: PathLike) -> int:
+    """Write one row per answered query; returns the row count."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(ANSWER_COLUMNS)
+        count = 0
+        for q, r in batch.answers:
+            writer.writerow(
+                [
+                    q.source,
+                    q.target,
+                    "" if math.isinf(r.distance) else repr(r.distance),
+                    int(r.exact),
+                    r.visited,
+                    len(r.path),
+                ]
+            )
+            count += 1
+    return count
+
+
+def batch_to_json(batch: BatchAnswer, path: Optional[PathLike] = None) -> dict:
+    """Serialise a batch answer (summary + per-query rows) to JSON.
+
+    Returns the payload; writes it to ``path`` when given.
+    """
+    payload = {
+        "method": batch.method,
+        "summary": batch.summary(),
+        "answers": [
+            {
+                "source": q.source,
+                "target": q.target,
+                "distance": None if math.isinf(r.distance) else r.distance,
+                "exact": r.exact,
+                "visited": r.visited,
+            }
+            for q, r in batch.answers
+        ],
+    }
+    if path is not None:
+        Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return payload
+
+
+def series_to_csv(result, path: PathLike) -> int:
+    """Write an :class:`ExperimentResult`'s series as tidy CSV rows.
+
+    Columns: ``x, series, value`` — one row per (x, series) point.
+    """
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "series", "value"])
+        count = 0
+        for name, values in result.series.items():
+            for x, value in zip(result.xs, values):
+                writer.writerow([x, name, repr(float(value))])
+                count += 1
+    return count
+
+
+def load_answers_csv(path: PathLike) -> List[dict]:
+    """Read back a CSV written by :func:`answers_to_csv` as dict rows."""
+    rows: List[dict] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        for record in csv.DictReader(handle):
+            rows.append(
+                {
+                    "source": int(record["source"]),
+                    "target": int(record["target"]),
+                    "distance": float(record["distance"]) if record["distance"] else math.inf,
+                    "exact": bool(int(record["exact"])),
+                    "visited": int(record["visited"]),
+                    "path_length": int(record["path_length"]),
+                }
+            )
+    return rows

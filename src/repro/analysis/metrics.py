@@ -1,0 +1,104 @@
+"""Evaluation metrics matching Section VI's definitions.
+
+* hit ratio ``R_h = sum(h_i) / |Q_i|`` — from :class:`BatchAnswer` counters;
+* approximation error ``eps = (d* - d) / d`` computed per approximate
+  answer against an exact oracle, averaged *excluding the accurate ones*
+  (the paper's convention for Table II), plus the maximum;
+* cache sizes in MB (Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.results import BatchAnswer
+from ..core.wspd import relative_error
+from ..queries.query import Query
+from ..search.astar import a_star
+
+
+@dataclass
+class ErrorReport:
+    """Approximation quality of one batch answer."""
+
+    average_error: float
+    max_error: float
+    approximate_count: int
+    exact_count: int
+
+    @property
+    def average_error_pct(self) -> float:
+        return self.average_error * 100.0
+
+    @property
+    def max_error_pct(self) -> float:
+        return self.max_error * 100.0
+
+
+def exact_distances(graph, queries) -> Dict[Query, float]:
+    """Ground-truth distances per distinct query (A* oracle)."""
+    out: Dict[Query, float] = {}
+    for q in queries:
+        if q not in out:
+            out[q] = a_star(graph, q.source, q.target).distance
+    return out
+
+
+def error_report(
+    graph,
+    batch: BatchAnswer,
+    oracle: Optional[Dict[Query, float]] = None,
+) -> ErrorReport:
+    """Compute the paper's average/max error for ``batch``.
+
+    The average is over approximate answers only ("excluding the accurate
+    ones", Section VI-A2); exact answers still participate in the max (as
+    zero).  ``oracle`` may carry precomputed ground truth.
+    """
+    if oracle is None:
+        oracle = exact_distances(graph, (q for q, _ in batch.answers))
+    errors: List[float] = []
+    exact_count = 0
+    for q, result in batch.answers:
+        if result.exact:
+            exact_count += 1
+            continue
+        truth = oracle.get(q)
+        if truth is None or math.isinf(truth) or math.isinf(result.distance):
+            continue
+        errors.append(max(0.0, relative_error(truth, result.distance)))
+    if errors:
+        return ErrorReport(
+            average_error=sum(errors) / len(errors),
+            max_error=max(errors),
+            approximate_count=len(errors),
+            exact_count=exact_count,
+        )
+    return ErrorReport(0.0, 0.0, 0, exact_count)
+
+
+def bytes_to_mb(size_bytes: float) -> float:
+    return size_bytes / (1024.0 * 1024.0)
+
+
+def mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolation percentile of a non-empty value list (q in [0, 100])."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty data")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac

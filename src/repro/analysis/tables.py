@@ -1,0 +1,110 @@
+"""Paper-style plain-text tables and series for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_cell(value, precision: int = 3) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table (monospace, pipe-separated)."""
+    cells = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[Number]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render figure-style data: one row per x value, one column per line."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: Optional[str] = None,
+    width: int = 40,
+    log_scale: bool = False,
+) -> str:
+    """A horizontal ASCII bar chart (the terminal stand-in for a figure).
+
+    ``log_scale`` reproduces the paper's Figure 8 presentation where index
+    construction dwarfs the batch times by orders of magnitude.
+    """
+    import math
+
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+
+    def transform(v: float) -> float:
+        if not log_scale:
+            return v
+        # Map the value range onto log space, guarding zeros.
+        floor = min((x for x in values if x > 0), default=1.0) / 10.0
+        return math.log10(max(v, floor) / floor)
+
+    scaled = [transform(v) for v in values]
+    peak = max(scaled) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value, s in zip(labels, values, scaled):
+        bar = "#" * max(1 if value > 0 else 0, round(width * s / peak))
+        lines.append(f"{label.ljust(label_w)} | {bar} {format_cell(value)}")
+    return "\n".join(lines)
+
+
+def check_monotone(values: Sequence[Number], increasing: bool = True, slack: float = 0.0) -> bool:
+    """Whether a series is (approximately) monotone; used by shape asserts.
+
+    ``slack`` tolerates bounded noise: each step may violate monotonicity by
+    at most ``slack`` (absolute).
+    """
+    for a, b in zip(values, values[1:]):
+        if increasing and b < a - slack:
+            return False
+        if not increasing and b > a + slack:
+            return False
+    return True

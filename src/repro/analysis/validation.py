@@ -1,0 +1,115 @@
+"""Validating the search-space oracle against real searches.
+
+Section IV-B's whole premise is that an ellipse over grid cells predicts
+where the generalized A* will actually search.  The paper asserts the
+model (Figure 2) without measuring it; this module closes that gap:
+
+* run a real (generalized) A* search and collect the cells its settled
+  vertices fall into — the *actual* search space;
+* compare them to the oracle's covered cells — the *predicted* space —
+  as recall (how much of the real search the prediction covers) and
+  precision (how much of the prediction the search actually uses).
+
+High recall is what the SSE decomposition needs: a query whose endpoints
+lie inside a cluster's covered cells should really share the cluster's
+search area.  Precision measures how loose the ellipse is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.search_space import SearchSpaceOracle
+from ..network.grid import GridIndex
+from ..queries.query import Query
+
+Cell = Tuple[int, int]
+
+
+def astar_settled_vertices(graph, source: int, target: int) -> Set[int]:
+    """The set of vertices a (Euclidean) A* settles for this query."""
+    xs, ys = graph.xs, graph.ys
+    scale = graph.heuristic_scale
+    tx, ty = xs[target], ys[target]
+    dist: Dict[int, float] = {source: 0.0}
+    done: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    adj = graph._adj  # noqa: SLF001
+    while heap:
+        _, u = heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if u == target:
+            break
+        du = dist[u]
+        for v, w in adj[u]:
+            v = int(v)
+            if v in done:
+                continue
+            nd = du + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                h = math.hypot(xs[v] - tx, ys[v] - ty) * scale
+                heappush(heap, (nd + h, v))
+    return done
+
+
+@dataclass
+class CoverageReport:
+    """Predicted-vs-actual search-space agreement for one query."""
+
+    query: Query
+    predicted_cells: int
+    actual_cells: int
+    recall: float  # |actual ∩ predicted| / |actual|
+    precision: float  # |actual ∩ predicted| / |predicted|
+
+
+def validate_search_space(
+    graph,
+    queries: Sequence[Query],
+    oracle: Optional[SearchSpaceOracle] = None,
+) -> List[CoverageReport]:
+    """Measure the oracle's recall/precision over real A* runs."""
+    if oracle is None:
+        oracle = SearchSpaceOracle(graph)
+    grid = oracle.grid
+    reports: List[CoverageReport] = []
+    for q in queries:
+        predicted = oracle.estimate(q).covered_cells
+        settled = astar_settled_vertices(graph, q.source, q.target)
+        actual = {grid.cell_of_vertex(v) for v in settled}
+        if not actual:
+            continue
+        overlap = len(actual & predicted)
+        reports.append(
+            CoverageReport(
+                query=q,
+                predicted_cells=len(predicted),
+                actual_cells=len(actual),
+                recall=overlap / len(actual),
+                precision=overlap / len(predicted) if predicted else 0.0,
+            )
+        )
+    return reports
+
+
+def summarize_coverage(reports: Sequence[CoverageReport]) -> Dict[str, float]:
+    """Mean recall/precision plus size statistics across queries."""
+    if not reports:
+        return {"queries": 0.0, "recall": 0.0, "precision": 0.0, "inflation": 0.0}
+    recall = sum(r.recall for r in reports) / len(reports)
+    precision = sum(r.precision for r in reports) / len(reports)
+    inflation = sum(
+        r.predicted_cells / r.actual_cells for r in reports if r.actual_cells
+    ) / len(reports)
+    return {
+        "queries": float(len(reports)),
+        "recall": recall,
+        "precision": precision,
+        "inflation": inflation,  # predicted/actual cell-count ratio
+    }

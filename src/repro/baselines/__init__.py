@@ -1,0 +1,16 @@
+"""Comparison methods from the literature, reimplemented as in Section VI."""
+
+from .global_cache import GlobalCacheAnswerer, split_log_and_stream
+from .group import GroupAnswerer
+from .kpath import KPathAnswerer
+from .one_by_one import OneByOneAnswerer
+from .zigzag_petal import ZigzagPetalAnswerer
+
+__all__ = [
+    "GlobalCacheAnswerer",
+    "GroupAnswerer",
+    "KPathAnswerer",
+    "OneByOneAnswerer",
+    "ZigzagPetalAnswerer",
+    "split_log_and_stream",
+]

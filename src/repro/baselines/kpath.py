@@ -1,0 +1,115 @@
+"""k-Path baseline (Mahmud et al. [21]) with k = 1.
+
+For each dumbbell cluster the algorithm computes one long-range shortest
+path between a source-region *exit* border and a target-region *entry*
+border, then answers every member query by concatenating three legs:
+``s -> b_s``, ``b_s -> b_t`` and ``b_t -> t``.  The per-endpoint legs come
+from two one-to-many Dijkstras (backward from the exit border over the
+sources, forward from the entry border over the targets), matching the
+paper's observation that k-Path "has to run a Dijkstra to the borders" for
+each source and target — which is why it degrades as regions grow.
+
+Borders are chosen geometrically: the exit border is the source vertex
+closest to the target centroid, the entry border the target vertex closest
+to the source centroid.  The approximation error is *unbounded* (Table II
+shows up to ~30 %), since nothing ties region diameters to path length.
+
+As in the paper, the original slow decomposition of [21] is replaced by our
+Co-Clustering decomposition.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from ..core.clusters import Decomposition, QueryCluster
+from ..core.results import BatchAnswer
+from ..network.spatial import centroid
+from ..queries.query import Query
+from ..search.astar import a_star
+from ..search.common import PathResult
+from ..search.dijkstra import one_to_many
+
+
+class KPathAnswerer:
+    """Region-border concatenation answering (k = 1)."""
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+
+    def answer(self, decomposition: Decomposition, method: str = "k-path") -> BatchAnswer:
+        batch = BatchAnswer(
+            method=method,
+            decompose_seconds=decomposition.elapsed_seconds,
+            num_clusters=len(decomposition.clusters),
+        )
+        start = time.perf_counter()
+        for cluster in decomposition:
+            batch.answers.extend(self._answer_cluster(cluster, batch))
+        batch.answer_seconds = time.perf_counter() - start
+        return batch
+
+    # ------------------------------------------------------------------
+    def _pick_borders(self, cluster: QueryCluster) -> Tuple[int, int]:
+        graph = self.graph
+        sources = sorted(cluster.sources)
+        targets = sorted(cluster.targets)
+        t_cx, t_cy = centroid([graph.coord(t) for t in targets])
+        s_cx, s_cy = centroid([graph.coord(s) for s in sources])
+        exit_border = min(
+            sources,
+            key=lambda v: (graph.xs[v] - t_cx) ** 2 + (graph.ys[v] - t_cy) ** 2,
+        )
+        entry_border = min(
+            targets,
+            key=lambda v: (graph.xs[v] - s_cx) ** 2 + (graph.ys[v] - s_cy) ** 2,
+        )
+        return exit_border, entry_border
+
+    def _answer_cluster(
+        self, cluster: QueryCluster, batch: BatchAnswer
+    ) -> List[Tuple[Query, PathResult]]:
+        graph = self.graph
+        if len(cluster) == 1:
+            q = cluster.queries[0]
+            result = a_star(graph, q.source, q.target)
+            batch.visited += result.visited
+            return [(q, result)]
+
+        b_s, b_t = self._pick_borders(cluster)
+        spine = a_star(graph, b_s, b_t)
+        batch.visited += spine.visited
+        if not spine.found:
+            # Disconnected spine: fall back to exact per-query answering.
+            out = []
+            for q in cluster.queries:
+                result = a_star(graph, q.source, q.target)
+                batch.visited += result.visited
+                out.append((q, result))
+            return out
+
+        # d(s, b_s) for every source: one backward one-to-many Dijkstra.
+        to_exit, _, vis1 = one_to_many(graph, b_s, cluster.sources, backward=True)
+        # d(b_t, t) for every target: one forward one-to-many Dijkstra.
+        from_entry, _, vis2 = one_to_many(graph, b_t, cluster.targets)
+        batch.visited += vis1 + vis2
+
+        out: List[Tuple[Query, PathResult]] = []
+        for q in cluster.queries:
+            d = to_exit[q.source] + spine.distance + from_entry[q.target]
+            exact = q.source == b_s and q.target == b_t
+            out.append(
+                (
+                    q,
+                    PathResult(
+                        q.source,
+                        q.target,
+                        d,
+                        list(spine.path) if exact else [],
+                        visited=0,
+                        exact=exact,
+                    ),
+                )
+            )
+        return out

@@ -1,0 +1,299 @@
+"""Command-line interface: reproduce any table/figure, or run one batch.
+
+Examples
+--------
+Reproduce one experiment at benchmark scale::
+
+    python -m repro.cli reproduce --experiment fig7a --scale small
+
+Reproduce everything (writes plain-text artefacts to ``--out``)::
+
+    python -m repro.cli reproduce --experiment all --out results/
+
+Answer one generated batch with a chosen method::
+
+    python -m repro.cli run --method slc-s --size 500 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .analysis import experiments as exp
+from .core.batch_runner import METHODS, BatchProcessor
+
+EXPERIMENTS = (
+    "fig7a",
+    "table1",
+    "fig7b",
+    "fig7c",
+    "fig7d",
+    "fig7e",
+    "fig7f",
+    "table2",
+    "fig8",
+)
+
+
+def _parse_sizes(text: Optional[str]) -> Sequence[int]:
+    if not text:
+        return exp.DEFAULT_SIZES
+    try:
+        sizes = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"invalid --sizes value {text!r}; expected e.g. 100,300,900")
+    if not sizes:
+        raise SystemExit("--sizes must name at least one size")
+    return sizes
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    if args.report:
+        from .analysis.report import generate_report
+
+        text = generate_report(
+            scale=args.scale,
+            sizes=_parse_sizes(args.sizes),
+            seed=args.seed,
+            fig8_size=args.fig8_size,
+            num_servers=args.servers,
+            path=args.report,
+        )
+        print(f"report written to {args.report} ({len(text.splitlines())} lines)")
+        return 0
+
+    env = exp.build_env(scale=args.scale, seed=args.seed)
+    sizes = _parse_sizes(args.sizes)
+    wanted = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    results: List[exp.ExperimentResult] = []
+    cache_suites = None
+    r2r_suites = None
+    for name in wanted:
+        if name == "fig7a":
+            results.append(exp.run_fig7a(env, sizes))
+        elif name in ("table1", "fig7b", "fig7c", "fig7d", "fig7e"):
+            if cache_suites is None:
+                cache_suites = exp.run_cache_suite(env, sizes)
+            runner = {
+                "table1": exp.run_table1,
+                "fig7b": exp.run_fig7b,
+                "fig7c": exp.run_fig7c,
+                "fig7d": exp.run_fig7d,
+                "fig7e": exp.run_fig7e,
+            }[name]
+            results.append(runner(env, cache_suites))
+        elif name in ("fig7f", "table2"):
+            if r2r_suites is None:
+                r2r_suites = exp.run_r2r_suite(env, sizes)
+            runner = {"fig7f": exp.run_fig7f, "table2": exp.run_table2}[name]
+            results.append(runner(env, r2r_suites))
+        elif name == "fig8":
+            results.append(
+                exp.run_fig8(env, size=args.fig8_size, num_servers=args.servers)
+            )
+        else:
+            raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for result in results:
+        print(result.rendered)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{result.experiment}.txt").write_text(
+                result.rendered + "\n", encoding="utf-8"
+            )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    env = exp.build_env(scale=args.scale, seed=args.seed)
+    band = env.r2r_band if args.method.startswith("r2r") else env.cache_band
+    queries = env.workload.batch(args.size, min_dist=band[0], max_dist=band[1])
+    processor = BatchProcessor(
+        env.graph,
+        eta=args.eta,
+        seed=args.seed,
+        super_snap_radius=args.snap_radius,
+        eviction=args.eviction,
+    )
+    answer = processor.process(queries, args.method)
+    for key, value in answer.summary().items():
+        print(f"{key:>20}: {value:.6g}")
+    return 0
+
+
+def cmd_dynamic(args: argparse.Namespace) -> int:
+    """Run the dynamic-traffic scenario: epochs, cache reuse, flushes."""
+    import random
+
+    from .core.dynamic import DynamicBatchSession
+    from .core.local_cache import LocalCacheAnswerer
+    from .core.search_space import SearchSpaceDecomposer
+
+    env = exp.build_env(scale=args.scale, seed=args.seed)
+    graph = env.graph.copy()  # weights will be mutated
+    session = DynamicBatchSession(
+        graph,
+        decomposer=SearchSpaceDecomposer(graph),
+        answerer=LocalCacheAnswerer(graph, cache_bytes=args.cache_kb * 1024),
+        similarity_threshold=args.similarity,
+    )
+    rng = random.Random(args.seed)
+    workload = env.fresh_workload(707)
+    print(f"{'batch':>5} {'epoch':>5} {'time(s)':>8} {'hit':>6} {'caches':>6} {'reused':>6}")
+    epoch = 1
+    for i in range(1, args.batches + 1):
+        if args.epoch_every and i > 1 and (i - 1) % args.epoch_every == 0:
+            edges = list(graph.edges())
+            for u, v, w in rng.sample(edges, max(1, len(edges) // 10)):
+                graph.set_weight(u, v, w * rng.uniform(1.2, 2.5))
+            epoch += 1
+        batch = workload.batch(args.size)
+        answer = session.process_batch(batch)
+        print(
+            f"{i:>5} {epoch:>5} {answer.total_seconds:>8.4f} "
+            f"{answer.hit_ratio:>6.3f} {session.live_cache_count:>6} "
+            f"{session.caches_reused:>6}"
+        )
+    print(
+        f"created={session.caches_created} reused={session.caches_reused} "
+        f"flushed_epochs={session.epochs_flushed}"
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Cross-validate the stack on this machine: exactness + error bounds."""
+    import math
+
+    from .core.batch_runner import BatchProcessor
+    from .search.dijkstra import dijkstra
+
+    env = exp.build_env(scale=args.scale, seed=args.seed)
+    processor = BatchProcessor(env.graph, eta=args.eta, seed=args.seed)
+    failures = 0
+
+    batch = env.fresh_workload(606).batch(args.size, *env.cache_band)
+    oracle = {
+        q: dijkstra(env.graph, q.source, q.target).distance
+        for q in batch.deduplicated()
+    }
+    for method in ("astar", "gc", "zlc", "slc-s", "slc-r", "zigzag-petal"):
+        answer = processor.process(batch, method)
+        bad = sum(
+            1
+            for q, r in answer.answers
+            if not math.isclose(r.distance, oracle[q], rel_tol=1e-9)
+        )
+        failures += bad
+        print(f"  exact    {method:<13} {len(answer.answers):>5} answers, "
+              f"{bad} mismatches")
+
+    long_batch = env.fresh_workload(607).batch(args.size, *env.r2r_band)
+    long_oracle = {
+        q: dijkstra(env.graph, q.source, q.target).distance
+        for q in long_batch.deduplicated()
+    }
+    for method in ("r2r-s", "r2r-r"):
+        answer = processor.process(long_batch, method)
+        bad = sum(
+            1
+            for q, r in answer.answers
+            if r.distance > long_oracle[q] * (1 + args.eta) + 1e-9
+            or r.distance < long_oracle[q] - 1e-9
+        )
+        failures += bad
+        print(f"  bounded  {method:<13} {len(answer.answers):>5} answers, "
+              f"{bad} bound violations (eta={args.eta})")
+
+    if failures:
+        print(f"VERIFY FAILED: {failures} violations")
+        return 1
+    print("VERIFY OK: every method exact or within its bound")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    env = exp.build_env(scale=args.scale, seed=args.seed)
+    graph = env.graph
+    min_x, min_y, max_x, max_y = graph.extent()
+    print(f"scale         : {args.scale}")
+    print(f"vertices      : {graph.num_vertices}")
+    print(f"edges         : {graph.num_edges}")
+    print(f"extent (km)   : {max_x - min_x:.1f} x {max_y - min_y:.1f}")
+    print(f"cache band    : {env.cache_band[0]:.1f} - {env.cache_band[1]:.1f} km")
+    print(f"r2r band      : {env.r2r_band[0]:.1f} - {env.r2r_band[1]:.1f} km")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch shortest-path query decomposition (ICDE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", default="small", help="network scale preset")
+    common.add_argument("--seed", type=int, default=7, help="deterministic seed")
+
+    p_rep = sub.add_parser("reproduce", parents=[common], help="regenerate a table/figure")
+    p_rep.add_argument(
+        "--experiment", default="all", help=f"one of {EXPERIMENTS} or 'all'"
+    )
+    p_rep.add_argument("--sizes", default=None, help="comma-separated batch sizes")
+    p_rep.add_argument("--out", default=None, help="directory for text artefacts")
+    p_rep.add_argument("--servers", type=int, default=40, help="fig8 server count")
+    p_rep.add_argument("--fig8-size", type=int, default=600, help="fig8 batch size")
+    p_rep.add_argument(
+        "--report", default=None, help="write a one-shot markdown report to this path"
+    )
+    p_rep.set_defaults(func=cmd_reproduce)
+
+    p_run = sub.add_parser("run", parents=[common], help="answer one generated batch")
+    p_run.add_argument("--method", required=True, choices=METHODS)
+    p_run.add_argument("--size", type=int, default=500)
+    p_run.add_argument("--eta", type=float, default=0.05)
+    p_run.add_argument("--snap-radius", type=float, default=0.0,
+                       help="super-vertex snap radius (km); 0 = exact")
+    p_run.add_argument("--eviction", default="none",
+                       choices=["none", "lru", "benefit"],
+                       help="local-cache eviction policy")
+    p_run.set_defaults(func=cmd_run)
+
+    p_dyn = sub.add_parser(
+        "dynamic", parents=[common], help="dynamic-traffic cache reuse scenario"
+    )
+    p_dyn.add_argument("--batches", type=int, default=6)
+    p_dyn.add_argument("--size", type=int, default=200)
+    p_dyn.add_argument("--epoch-every", type=int, default=3, help="weight change period")
+    p_dyn.add_argument("--cache-kb", type=int, default=512)
+    p_dyn.add_argument("--similarity", type=float, default=0.3)
+    p_dyn.set_defaults(func=cmd_dynamic)
+
+    p_ver = sub.add_parser(
+        "verify", parents=[common], help="cross-validate exactness and bounds"
+    )
+    p_ver.add_argument("--size", type=int, default=120)
+    p_ver.add_argument("--eta", type=float, default=0.05)
+    p_ver.set_defaults(func=cmd_verify)
+
+    p_info = sub.add_parser("info", parents=[common], help="describe the environment")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

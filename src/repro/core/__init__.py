@@ -1,0 +1,61 @@
+"""The paper's contribution: query decomposition + batch answering."""
+
+from .batch_runner import METHODS, BatchProcessor
+from .cache import CacheHit, PathCache, path_size_bytes
+from .clusters import Decomposition, QueryCluster
+from .coclustering import CoClusteringDecomposer
+from .dbscan import DBSCANDecomposer, angular_spread, dbscan
+from .dynamic import DynamicBatchSession
+from .local_cache import LocalCacheAnswerer
+from .r2r import RegionToRegionAnswerer
+from .results import BatchAnswer
+from .search_space import (
+    SearchSpaceDecomposer,
+    SearchSpaceEstimate,
+    SearchSpaceOracle,
+    overlap_coefficient,
+)
+from .wspd import (
+    DEFAULT_DETOUR_RATIO,
+    EtaBound,
+    cocluster_radius,
+    error_from_separation,
+    guaranteed_radius,
+    region_radius,
+    relative_error,
+    separation_factor,
+)
+from .zigzag import DEFAULT_DELTA, ZigzagDecomposer, ad_decompose
+
+__all__ = [
+    "BatchAnswer",
+    "BatchProcessor",
+    "CacheHit",
+    "CoClusteringDecomposer",
+    "DBSCANDecomposer",
+    "DEFAULT_DELTA",
+    "DEFAULT_DETOUR_RATIO",
+    "Decomposition",
+    "DynamicBatchSession",
+    "EtaBound",
+    "LocalCacheAnswerer",
+    "METHODS",
+    "PathCache",
+    "QueryCluster",
+    "RegionToRegionAnswerer",
+    "SearchSpaceDecomposer",
+    "SearchSpaceEstimate",
+    "SearchSpaceOracle",
+    "ZigzagDecomposer",
+    "ad_decompose",
+    "angular_spread",
+    "dbscan",
+    "cocluster_radius",
+    "error_from_separation",
+    "guaranteed_radius",
+    "overlap_coefficient",
+    "path_size_bytes",
+    "region_radius",
+    "relative_error",
+    "separation_factor",
+]

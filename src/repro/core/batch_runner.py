@@ -1,0 +1,183 @@
+"""High-level facade tying decomposition and answering together.
+
+:class:`BatchProcessor` exposes every pipeline the paper evaluates under
+the names used in Section VI:
+
+===========  =================================  ==============================
+name         decomposition                      answering
+===========  =================================  ==============================
+``astar``    none                               per-query A*
+``dijkstra`` none                               per-query Dijkstra
+``gc``       none (20 % log builds the cache)   Global Cache [29]
+``zlc``      Zigzag                             Local Cache, longest-first
+``slc-s``    Search-Space Estimation            Local Cache, longest-first
+``slc-r``    Search-Space Estimation            Local Cache, random order
+``r2r-s``    Co-Clustering                      R2R, longest representative
+``r2r-r``    Co-Clustering                      R2R, random representative
+``k-path``   Co-Clustering                      k-Path [21] (k = 1)
+``zigzag-petal``  per-source petals             generalized A* [34]
+``group``    Co-Clustering                      Group [25]
+===========  =================================  ==============================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..exceptions import ConfigurationError
+from ..queries.query import QuerySet
+from .coclustering import CoClusteringDecomposer
+from .local_cache import LocalCacheAnswerer
+from .r2r import RegionToRegionAnswerer
+from .results import BatchAnswer
+from .search_space import SearchSpaceDecomposer
+from .zigzag import ZigzagDecomposer
+
+METHODS = (
+    "astar",
+    "dijkstra",
+    "gc",
+    "zlc",
+    "slc-s",
+    "slc-r",
+    "r2r-s",
+    "r2r-r",
+    "k-path",
+    "zigzag-petal",
+    "group",
+)
+
+
+class BatchProcessor:
+    """One-stop runner for every batch method in the paper.
+
+    Parameters
+    ----------
+    graph:
+        The road network.
+    cache_bytes:
+        Per-cache byte budget for the local-cache methods; when ``None``
+        it is taken from a Global Cache built on the same batch (the
+        paper's |GC| protocol).
+    eta:
+        Error bound for co-clustering and R2R.
+    delta:
+        Angle threshold for Zigzag / SSE.
+    seed:
+        Seed for randomised variants.
+    super_snap_radius:
+        Super-vertex snap radius for the local caches (0 = exact).
+    """
+
+    def __init__(
+        self,
+        graph,
+        cache_bytes: Optional[int] = None,
+        eta: float = 0.05,
+        delta: float = 30.0,
+        seed: int = 0,
+        super_snap_radius: float = 0.0,
+        log_fraction: float = 0.2,
+        eviction: str = "none",
+    ) -> None:
+        self.graph = graph
+        self.cache_bytes = cache_bytes
+        self.eta = eta
+        self.delta = delta
+        self.seed = seed
+        self.super_snap_radius = super_snap_radius
+        self.log_fraction = log_fraction
+        self.eviction = eviction
+
+    # ------------------------------------------------------------------
+    def process(self, queries: QuerySet, method: str) -> BatchAnswer:
+        """Run one named pipeline over ``queries`` and return its answer."""
+        runner = self._runners().get(method)
+        if runner is None:
+            raise ConfigurationError(f"unknown method {method!r}; choose from {METHODS}")
+        return runner(queries)
+
+    def _runners(self) -> Dict[str, Callable[[QuerySet], BatchAnswer]]:
+        # Imported here rather than at module scope: the baselines package
+        # itself imports repro.core, so a top-level import would be circular.
+        from ..baselines.one_by_one import OneByOneAnswerer
+        from ..baselines.zigzag_petal import ZigzagPetalAnswerer
+
+        return {
+            "astar": lambda q: OneByOneAnswerer(self.graph, "astar").answer(q, "astar"),
+            "dijkstra": lambda q: OneByOneAnswerer(self.graph, "dijkstra").answer(
+                q, "dijkstra"
+            ),
+            "gc": self._run_gc,
+            "zlc": lambda q: self._run_local_cache(q, "zigzag", "longest", "zlc"),
+            "slc-s": lambda q: self._run_local_cache(q, "sse", "longest", "slc-s"),
+            "slc-r": lambda q: self._run_local_cache(q, "sse", "random", "slc-r"),
+            "r2r-s": lambda q: self._run_r2r(q, "longest", "r2r-s"),
+            "r2r-r": lambda q: self._run_r2r(q, "random", "r2r-r"),
+            "k-path": self._run_kpath,
+            "zigzag-petal": lambda q: ZigzagPetalAnswerer(self.graph, self.delta).answer(q),
+            "group": self._run_group,
+        }
+
+    # ------------------------------------------------------------------
+    def _resolve_cache_bytes(self, queries: QuerySet) -> int:
+        """The paper's |GC| protocol: size the local caches like a GC build."""
+        from ..baselines.global_cache import GlobalCacheAnswerer, split_log_and_stream
+
+        if self.cache_bytes is not None:
+            return self.cache_bytes
+        log, _ = split_log_and_stream(queries, self.log_fraction)
+        gc = GlobalCacheAnswerer(self.graph)
+        gc.build(log)
+        return max(gc.cache_bytes, 1)
+
+    def _decomposer(self, kind: str):
+        if kind == "zigzag":
+            return ZigzagDecomposer(self.graph, delta=self.delta)
+        if kind == "sse":
+            return SearchSpaceDecomposer(self.graph, delta=self.delta)
+        if kind == "cocluster":
+            return CoClusteringDecomposer(self.graph, eta=self.eta)
+        raise ConfigurationError(f"unknown decomposer kind {kind!r}")
+
+    def _run_local_cache(self, queries: QuerySet, kind: str, order: str, label: str) -> BatchAnswer:
+        cache_bytes = self._resolve_cache_bytes(queries)
+        decomposition = self._decomposer(kind).decompose(queries)
+        answerer = LocalCacheAnswerer(
+            self.graph,
+            cache_bytes=cache_bytes,
+            order=order,
+            super_snap_radius=self.super_snap_radius,
+            seed=self.seed,
+            eviction=self.eviction,
+        )
+        return answerer.answer(decomposition, method=label)
+
+    def _run_r2r(self, queries: QuerySet, selection: str, label: str) -> BatchAnswer:
+        decomposition = self._decomposer("cocluster").decompose(queries)
+        answerer = RegionToRegionAnswerer(
+            self.graph, eta=self.eta, selection=selection, seed=self.seed
+        )
+        return answerer.answer(decomposition, method=label)
+
+    def _run_kpath(self, queries: QuerySet) -> BatchAnswer:
+        from ..baselines.kpath import KPathAnswerer
+
+        decomposition = self._decomposer("cocluster").decompose(queries)
+        return KPathAnswerer(self.graph).answer(decomposition)
+
+    def _run_group(self, queries: QuerySet) -> BatchAnswer:
+        from ..baselines.group import GroupAnswerer
+
+        decomposition = self._decomposer("cocluster").decompose(queries)
+        return GroupAnswerer(self.graph).answer(decomposition)
+
+    def _run_gc(self, queries: QuerySet) -> BatchAnswer:
+        from ..baselines.global_cache import GlobalCacheAnswerer, split_log_and_stream
+
+        log, stream = split_log_and_stream(queries, self.log_fraction)
+        gc = GlobalCacheAnswerer(self.graph)
+        gc.build(log)
+        answer = gc.answer(stream, method="gc")
+        answer.decompose_seconds = gc.build_seconds
+        return answer

@@ -1,0 +1,284 @@
+"""The path-cache structure of Section V-A1 (Figure 5).
+
+A cache holds shortest paths.  Answering a query ``(s, t)`` from the cache
+requires (1) deciding whether some cached path contains both endpoints with
+``s`` before ``t`` — done with an inverted list from vertex to the ids of
+the paths through it — and (2) extracting the sub-path, done here with
+per-path position maps and weight prefix sums (equivalent to the paper's
+subgraph walk along the cached path, but O(1) for the distance and O(k) for
+the k-vertex sub-path, never re-searching).
+
+The sub-path of a shortest path is itself a shortest path, so every cache
+hit is exact — unless super-vertex matching (Section V-A2) is enabled, in
+which case an endpoint may be represented by a co-located twin on the
+cached path and the answer is exact only up to the snap radius; such
+results are flagged ``exact=False``.
+
+Capacity is accounted in bytes (8 per path vertex plus a fixed per-path
+overhead) so cache-size sweeps can be expressed in the paper's MB units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import CacheError
+from ..network.supervertex import SuperVertexMap
+from ..search.common import PathResult
+
+#: Bytes charged per path vertex (one 64-bit id) and per path record.
+BYTES_PER_VERTEX = 8
+BYTES_PER_PATH = 64
+
+
+def path_size_bytes(path: Sequence[int]) -> int:
+    """Accounting size of one cached path."""
+    return BYTES_PER_PATH + BYTES_PER_VERTEX * len(path)
+
+
+@dataclass
+class CacheHit:
+    """A successful cache lookup."""
+
+    distance: float
+    path: List[int]
+    path_id: int
+    exact: bool
+
+
+@dataclass
+class _Entry:
+    path: List[int]
+    prefix: List[float]  # prefix[i] = distance from path[0] to path[i]
+    pos: Dict[int, int]  # vertex -> index on path (first occurrence)
+
+
+class PathCache:
+    """Bounded path cache with inverted vertex lists (Figure 5).
+
+    Parameters
+    ----------
+    graph:
+        The road network (supplies edge weights for prefix sums).
+    capacity_bytes:
+        Maximum total accounting size; inserts that would exceed it are
+        rejected (the Local Cache never evicts inside one cluster).
+        ``None`` means unbounded (used by Global Cache construction).
+    super_map:
+        Optional :class:`SuperVertexMap`; when given, hit testing matches
+        endpoints up to co-located super vertices.
+    """
+
+    #: Supported eviction policies when an insert does not fit:
+    #: ``"none"`` rejects the insert (the paper's Local Cache behaviour),
+    #: ``"lru"`` evicts the least-recently-hit path, and ``"benefit"``
+    #: evicts the path with the lowest hits-per-byte score — the
+    #: cache-refreshing direction of Thomsen et al. [30], provided as the
+    #: extension feature DESIGN.md lists.
+    EVICTION_POLICIES = ("none", "lru", "benefit")
+
+    def __init__(
+        self,
+        graph,
+        capacity_bytes: Optional[int] = None,
+        super_map: Optional[SuperVertexMap] = None,
+        eviction: str = "none",
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise CacheError("capacity_bytes must be non-negative")
+        if eviction not in self.EVICTION_POLICIES:
+            raise CacheError(
+                f"eviction must be one of {self.EVICTION_POLICIES}, got {eviction!r}"
+            )
+        self.graph = graph
+        self.capacity_bytes = capacity_bytes
+        self.super_map = super_map
+        self.eviction = eviction
+        self._entries: Dict[int, _Entry] = {}
+        self._inverted: Dict[int, List[int]] = {}  # key -> path ids
+        self._next_id = 0
+        self._clock = 0  # logical time for LRU
+        self._last_used: Dict[int, int] = {}
+        self._hit_count: Dict[int, int] = {}
+        self.size_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.rejected_inserts = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _key(self, vertex: int) -> int:
+        if self.super_map is not None:
+            return self.super_map.super_of(vertex)
+        return vertex
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self._entries)
+
+    def would_fit(self, path: Sequence[int]) -> bool:
+        if self.capacity_bytes is None:
+            return True
+        return self.size_bytes + path_size_bytes(path) <= self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    def insert(self, path: Sequence[int]) -> Optional[int]:
+        """Cache a path; returns its id, or ``None`` if it did not fit.
+
+        The path must be a walk on the graph (consecutive edges must exist);
+        a :class:`CacheError` is raised otherwise because caching a
+        non-path would poison every sub-path answer derived from it.
+        """
+        if len(path) < 2:
+            return None
+        if not self.would_fit(path):
+            if self.eviction == "none" or not self._make_room(path_size_bytes(path)):
+                self.rejected_inserts += 1
+                return None
+        edge_pos = self.graph._edge_pos  # noqa: SLF001 - hot path
+        adj = self.graph._adj  # noqa: SLF001
+        prefix = [0.0]
+        total = 0.0
+        try:
+            for u, v in zip(path, path[1:]):
+                total += adj[u][edge_pos[(u, v)]][1]
+                prefix.append(total)
+        except KeyError:
+            raise CacheError(f"not a walk on the graph: missing edge ({u}, {v})") from None
+        pos: Dict[int, int] = {}
+        for i, v in enumerate(path):
+            pos.setdefault(v, i)
+        pid = self._next_id
+        self._next_id += 1
+        self._entries[pid] = _Entry(list(path), prefix, pos)
+        self.size_bytes += path_size_bytes(path)
+        self._clock += 1
+        self._last_used[pid] = self._clock
+        self._hit_count[pid] = 0
+        for v in pos:  # one inverted-list entry per distinct vertex
+            self._inverted.setdefault(self._key(v), []).append(pid)
+        return pid
+
+    # ------------------------------------------------------------------
+    def _make_room(self, needed_bytes: int) -> bool:
+        """Evict per the configured policy until ``needed_bytes`` fits.
+
+        Returns ``False`` when the cache cannot possibly hold the path
+        (capacity smaller than the path itself).
+        """
+        assert self.capacity_bytes is not None
+        if needed_bytes > self.capacity_bytes:
+            return False
+        while self.size_bytes + needed_bytes > self.capacity_bytes and self._entries:
+            if self.eviction == "lru":
+                victim = min(self._entries, key=lambda pid: self._last_used[pid])
+            else:  # benefit: fewest hits per byte, oldest breaks ties
+                victim = min(
+                    self._entries,
+                    key=lambda pid: (
+                        self._hit_count[pid] / path_size_bytes(self._entries[pid].path),
+                        self._last_used[pid],
+                    ),
+                )
+            self._remove(victim)
+            self.evictions += 1
+        return self.size_bytes + needed_bytes <= self.capacity_bytes
+
+    def _remove(self, pid: int) -> None:
+        entry = self._entries.pop(pid)
+        self.size_bytes -= path_size_bytes(entry.path)
+        self._last_used.pop(pid, None)
+        self._hit_count.pop(pid, None)
+        for v in entry.pos:
+            key = self._key(v)
+            ids = self._inverted.get(key)
+            if ids is not None:
+                try:
+                    ids.remove(pid)
+                except ValueError:
+                    pass
+                if not ids:
+                    del self._inverted[key]
+
+    # ------------------------------------------------------------------
+    def lookup(self, source: int, target: int) -> Optional[CacheHit]:
+        """Answer ``(source, target)`` from the cache, or ``None`` on miss.
+
+        Finds a common path id in the endpoints' inverted lists with the
+        source positioned before the target; among the qualifying paths the
+        one with the smallest sub-path distance is returned (several cached
+        paths may cover the pair).
+        """
+        lists_s = self._inverted.get(self._key(source))
+        lists_t = self._inverted.get(self._key(target))
+        if not lists_s or not lists_t:
+            self.misses += 1
+            return None
+        common = set(lists_s) & set(lists_t)
+        best: Optional[CacheHit] = None
+        for pid in common:
+            entry = self._entries[pid]
+            pos_s, exact_s = self._position(entry, source)
+            pos_t, exact_t = self._position(entry, target)
+            if pos_s is None or pos_t is None or pos_s >= pos_t:
+                continue
+            distance = entry.prefix[pos_t] - entry.prefix[pos_s]
+            if best is None or distance < best.distance:
+                best = CacheHit(
+                    distance=distance,
+                    path=entry.path[pos_s : pos_t + 1],
+                    path_id=pid,
+                    exact=exact_s and exact_t,
+                )
+        if best is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._clock += 1
+            self._last_used[best.path_id] = self._clock
+            self._hit_count[best.path_id] = self._hit_count.get(best.path_id, 0) + 1
+        return best
+
+    def _position(self, entry: _Entry, vertex: int) -> Tuple[Optional[int], bool]:
+        """Index of ``vertex`` on a path, exactly or via its super vertex."""
+        idx = entry.pos.get(vertex)
+        if idx is not None:
+            return idx, True
+        if self.super_map is None:
+            return None, True
+        wanted = self.super_map.super_of(vertex)
+        for member in self.super_map.members(wanted):
+            idx = entry.pos.get(member)
+            if idx is not None:
+                return idx, False
+        return None, False
+
+    # ------------------------------------------------------------------
+    def contains_pair(self, source: int, target: int) -> bool:
+        """Hit test without touching the hit/miss counters."""
+        hits, misses = self.hits, self.misses
+        try:
+            return self.lookup(source, target) is not None
+        finally:
+            self.hits, self.misses = hits, misses
+
+    def clear(self) -> None:
+        """Drop every cached path (weights changed / cluster finished)."""
+        self._entries.clear()
+        self._inverted.clear()
+        self._last_used.clear()
+        self._hit_count.clear()
+        self.size_bytes = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def paths(self) -> List[List[int]]:
+        """Snapshot of all cached paths (tests and diagnostics)."""
+        return [list(e.path) for e in self._entries.values()]

@@ -1,0 +1,147 @@
+"""Cluster and decomposition result types shared by all three methods.
+
+Definition 2 requires a decomposition to be a *partition* of the query set:
+subsets are disjoint and their union is ``Q``.  :class:`Decomposition`
+enforces exactly that via :meth:`Decomposition.validate`, which every
+decomposer runs before returning (catching bookkeeping bugs early is worth
+one O(|Q|) pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import DecompositionError
+from ..queries.query import Query, QuerySet
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class QueryCluster:
+    """One query subset ``Q_i`` produced by a decomposition.
+
+    Attributes
+    ----------
+    queries:
+        The member queries, in the order the answering algorithm should
+        process them (the paper stresses intra-subset order matters).
+    kind:
+        ``"cloud"`` for cache-suited clusters (Zigzag / SSE) or
+        ``"dumbbell"`` for R2R-suited clusters (Co-Clustering).
+    direction:
+        Representative direction in the paper's [0, 45] reference scale
+        (SSE clusters) — ``None`` when not applicable.
+    covered_cells:
+        Grid cells of the estimated search space (SSE clusters).
+    center:
+        The representative query ``C_i`` (Co-Clustering) or the seed query.
+    radius:
+        Cluster radius ``r*`` on both endpoints (Co-Clustering).
+    """
+
+    queries: List[Query] = field(default_factory=list)
+    kind: str = "cloud"
+    direction: Optional[float] = None
+    covered_cells: Set[Cell] = field(default_factory=set)
+    center: Optional[Query] = None
+    radius: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    @property
+    def sources(self) -> Set[int]:
+        return {q.source for q in self.queries}
+
+    @property
+    def targets(self) -> Set[int]:
+        return {q.target for q in self.queries}
+
+    def add(self, query: Query) -> None:
+        self.queries.append(query)
+
+    def as_query_set(self) -> QuerySet:
+        return QuerySet(self.queries)
+
+    def sorted_longest_first(self, graph) -> "QueryCluster":
+        """Copy with queries ordered by descending Euclidean length.
+
+        The Local Cache answers longest queries first (Section V-A2,
+        observation 2) so long paths enter the cache before the short
+        queries that can hit them.
+        """
+        ordered = sorted(
+            self.queries,
+            key=lambda q: graph.euclidean(q.source, q.target),
+            reverse=True,
+        )
+        return QueryCluster(
+            queries=ordered,
+            kind=self.kind,
+            direction=self.direction,
+            covered_cells=set(self.covered_cells),
+            center=self.center,
+            radius=self.radius,
+        )
+
+
+@dataclass
+class Decomposition:
+    """The output ``{Q_i}`` of a decomposition method, plus provenance."""
+
+    clusters: List[QueryCluster]
+    method: str
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    @property
+    def num_queries(self) -> int:
+        return sum(len(c) for c in self.clusters)
+
+    @property
+    def cluster_sizes(self) -> List[int]:
+        return [len(c) for c in self.clusters]
+
+    def validate(self, original: QuerySet) -> "Decomposition":
+        """Assert the partition property of Definition 2 against ``original``.
+
+        Multiplicity-aware: duplicated queries in the input must appear the
+        same number of times across all clusters.
+        """
+        expected: Dict[Query, int] = {}
+        for q in original:
+            expected[q] = expected.get(q, 0) + 1
+        seen: Dict[Query, int] = {}
+        for cluster in self.clusters:
+            for q in cluster:
+                seen[q] = seen.get(q, 0) + 1
+        if seen != expected:
+            missing = {q: c for q, c in expected.items() if seen.get(q, 0) < c}
+            extra = {q: c for q, c in seen.items() if expected.get(q, 0) < c}
+            raise DecompositionError(
+                f"{self.method}: not a partition "
+                f"(missing={len(missing)}, duplicated/foreign={len(extra)})"
+            )
+        return self
+
+    def summary(self) -> Dict[str, float]:
+        """Small stats dict used by reports and the CLI."""
+        sizes = self.cluster_sizes
+        return {
+            "clusters": float(len(sizes)),
+            "queries": float(sum(sizes)),
+            "max_cluster": float(max(sizes)) if sizes else 0.0,
+            "mean_cluster": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            "singletons": float(sum(1 for s in sizes if s == 1)),
+            "elapsed_seconds": self.elapsed_seconds,
+        }

@@ -1,0 +1,84 @@
+"""Result containers shared by all batch answering algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..queries.query import Query
+from ..search.common import PathResult
+
+
+@dataclass
+class BatchAnswer:
+    """The outcome of answering one decomposed query set.
+
+    Attributes
+    ----------
+    method:
+        Name of the answering algorithm (``"slc-s"``, ``"r2r-r"``...).
+    answers:
+        ``(query, result)`` pairs in processed order; duplicated queries
+        appear once per occurrence.
+    decompose_seconds / answer_seconds:
+        The paper reports decomposition and query answering separately.
+    visited:
+        Total VNN across all searches run while answering.
+    cache_hits / cache_misses:
+        Cache accounting (zero for non-cache algorithms).
+    cache_bytes:
+        Total bytes of cache built (|GC| for the global cache, the sum over
+        local caches otherwise).
+    num_clusters:
+        Cluster count of the decomposition that was answered.
+    """
+
+    method: str
+    answers: List[Tuple[Query, PathResult]] = field(default_factory=list)
+    decompose_seconds: float = 0.0
+    answer_seconds: float = 0.0
+    visited: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes: int = 0
+    #: Largest single local cache built (defines the binding budget for the
+    #: cache-size sweep of Fig 7-(c)/(e) at reproduction scale).
+    max_cluster_cache_bytes: int = 0
+    num_clusters: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.decompose_seconds + self.answer_seconds
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.answers)
+
+    @property
+    def hit_ratio(self) -> float:
+        """The paper's R_h: answered-from-cache fraction of all queries."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def distances(self) -> Dict[Query, float]:
+        """Best distance per distinct query (min across duplicates)."""
+        out: Dict[Query, float] = {}
+        for q, r in self.answers:
+            if q not in out or r.distance < out[q]:
+                out[q] = r.distance
+        return out
+
+    def approximate_answers(self) -> List[Tuple[Query, PathResult]]:
+        return [(q, r) for q, r in self.answers if not r.exact]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "queries": float(self.num_queries),
+            "clusters": float(self.num_clusters),
+            "decompose_seconds": self.decompose_seconds,
+            "answer_seconds": self.answer_seconds,
+            "total_seconds": self.total_seconds,
+            "visited": float(self.visited),
+            "hit_ratio": self.hit_ratio,
+            "cache_mb": self.cache_bytes / (1024.0 * 1024.0),
+        }

@@ -1,0 +1,261 @@
+"""1-N Zigzag decomposition (Section IV-A).
+
+Phase 1 — *AD decomposition*: every source's target set (and symmetrically
+every target's source set) is split into angle/distance petals.  The
+farthest unassigned endpoint seeds a petal whose axis is its direction; all
+endpoints within +/- delta/2 of the axis join, and the process repeats.
+
+Phase 2 — *zigzag merge*: the 1-N and N-1 petals are visited in descending
+size order (max-heap).  A popped petal seeds a new query subset; for each of
+its queries the counterpart petal on the other side (the N-1 petal of the
+target for a 1-N seed, and vice versa) is pulled in — the "zigzag" between
+the source side and the target side.  Merged queries are removed from every
+remaining petal through an inverted query->petal index, and petal sizes are
+maintained lazily in the heap.
+
+Afterwards, leftover 1-1 subsets whose source falls in the convex hull of a
+bigger subset's sources *and* whose target falls in the hull of its targets
+are absorbed into that subset; a grid prefilter keeps this cheap
+(Section IV-A2, last paragraph).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ConfigurationError
+from ..network.convexhull import convex_hull, hull_bounding_box, point_in_hull
+from ..network.spatial import angular_difference, bearing_angle
+from ..queries.query import Query, QuerySet
+from .clusters import Decomposition, QueryCluster
+
+#: Default petal angle threshold; the paper reports 30 degrees is already
+#: large enough to deteriorate batch performance, so petals stay below it.
+DEFAULT_DELTA = 30.0
+
+
+def ad_decompose(
+    graph,
+    anchor: int,
+    queries: Sequence[Query],
+    delta: float,
+    anchor_is_source: bool,
+) -> List[List[Query]]:
+    """Angle/Distance petal decomposition of one 1-N (or N-1) query set.
+
+    ``anchor`` is the shared endpoint; the free endpoints are clustered.
+    Returns the petals as query lists; every input query lands in exactly
+    one petal.
+    """
+    if delta <= 0 or delta > 360:
+        raise ConfigurationError(f"delta must be in (0, 360], got {delta}")
+    ax, ay = graph.coord(anchor)
+
+    def free_endpoint(q: Query) -> int:
+        return q.target if anchor_is_source else q.source
+
+    # Sort by distance descending once: the farthest unassigned endpoint is
+    # always the next seed, giving the O(n log n) bound of Section IV-A1.
+    order = sorted(
+        queries,
+        key=lambda q: graph.euclidean(anchor, free_endpoint(q)),
+        reverse=True,
+    )
+    bearings: Dict[Query, float] = {}
+    for q in order:
+        v = free_endpoint(q)
+        bearings[q] = bearing_angle(graph.xs[v] - ax, graph.ys[v] - ay)
+
+    assigned: Set[Query] = set()
+    petals: List[List[Query]] = []
+    half = delta / 2.0
+    for seed in order:
+        if seed in assigned:
+            continue
+        axis = bearings[seed]
+        petal = []
+        for q in order:
+            if q in assigned:
+                continue
+            if angular_difference(bearings[q], axis) <= half:
+                petal.append(q)
+                assigned.add(q)
+        petals.append(petal)
+    return petals
+
+
+class ZigzagDecomposer:
+    """The full two-phase Zigzag decomposition.
+
+    Parameters
+    ----------
+    graph:
+        Road network supplying coordinates.
+    delta:
+        Petal angle threshold in degrees (default 30).
+    absorb_singletons:
+        Whether to run the convex-hull absorption of 1-1 subsets.
+    grid:
+        Optional prebuilt :class:`~repro.network.grid.GridIndex` reused for
+        the absorption prefilter.
+    """
+
+    method = "zigzag"
+
+    def __init__(
+        self,
+        graph,
+        delta: float = DEFAULT_DELTA,
+        absorb_singletons: bool = True,
+        grid=None,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        self.graph = graph
+        self.delta = delta
+        self.absorb_singletons = absorb_singletons
+        self._grid = grid
+
+    # ------------------------------------------------------------------
+    def decompose(self, queries: QuerySet) -> Decomposition:
+        """Run both phases and return a validated partition of ``queries``."""
+        start = time.perf_counter()
+        distinct = queries.deduplicated()
+        petals = self._build_petals(distinct)
+        clusters = self._zigzag_merge(distinct, petals)
+        if self.absorb_singletons:
+            clusters = self._absorb_singletons(clusters)
+        clusters = self._restore_multiplicity(queries, clusters)
+        elapsed = time.perf_counter() - start
+        return Decomposition(clusters, self.method, elapsed).validate(queries)
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def _build_petals(self, queries: QuerySet) -> List[List[Query]]:
+        petals: List[List[Query]] = []
+        for source, group in queries.by_source().items():
+            petals.extend(
+                ad_decompose(self.graph, source, group, self.delta, anchor_is_source=True)
+            )
+        for target, group in queries.by_target().items():
+            petals.extend(
+                ad_decompose(self.graph, target, group, self.delta, anchor_is_source=False)
+            )
+        return petals
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+    def _zigzag_merge(
+        self, queries: QuerySet, petals: List[List[Query]]
+    ) -> List[QueryCluster]:
+        # Inverted index: query -> ids of the petals containing it (one on
+        # the source side, one on the target side).
+        membership: Dict[Query, List[int]] = {q: [] for q in queries}
+        for pid, petal in enumerate(petals):
+            for q in petal:
+                membership[q].append(pid)
+
+        assigned: Set[Query] = set()
+        live_size = [len(p) for p in petals]
+        heap: List[Tuple[int, int]] = [
+            (-size, pid) for pid, size in enumerate(live_size) if size
+        ]
+        heapq.heapify(heap)
+        clusters: List[QueryCluster] = []
+
+        def current_size(pid: int) -> int:
+            return sum(1 for q in petals[pid] if q not in assigned)
+
+        while heap:
+            neg_size, pid = heapq.heappop(heap)
+            actual = current_size(pid)
+            if actual == 0:
+                continue
+            if actual != -neg_size:
+                # Stale entry: re-queue with the true size (lazy max-heap).
+                heapq.heappush(heap, (-actual, pid))
+                continue
+            cluster = QueryCluster(kind="cloud")
+            frontier = [q for q in petals[pid] if q not in assigned]
+            for q in frontier:
+                assigned.add(q)
+                cluster.add(q)
+            # Zigzag step: pull in each member's counterpart petal.
+            for q in frontier:
+                for other_pid in membership[q]:
+                    if other_pid == pid:
+                        continue
+                    for other in petals[other_pid]:
+                        if other not in assigned:
+                            assigned.add(other)
+                            cluster.add(other)
+            cluster.center = cluster.queries[0]
+            clusters.append(cluster)
+        return clusters
+
+    # ------------------------------------------------------------------
+    # 1-1 absorption
+    # ------------------------------------------------------------------
+    def _absorb_singletons(self, clusters: List[QueryCluster]) -> List[QueryCluster]:
+        graph = self.graph
+        multi = [c for c in clusters if len(c) > 1]
+        singles = [c for c in clusters if len(c) == 1]
+        if not multi or not singles:
+            return clusters
+        hulls = []
+        for cluster in multi:
+            src_pts = [graph.coord(v) for v in cluster.sources]
+            tgt_pts = [graph.coord(v) for v in cluster.targets]
+            src_hull = convex_hull(src_pts)
+            tgt_hull = convex_hull(tgt_pts)
+            hulls.append(
+                (
+                    cluster,
+                    src_hull,
+                    tgt_hull,
+                    hull_bounding_box(src_hull),
+                    hull_bounding_box(tgt_hull),
+                )
+            )
+        remaining: List[QueryCluster] = []
+        for single in singles:
+            q = single.queries[0]
+            sp = graph.coord(q.source)
+            tp = graph.coord(q.target)
+            host = None
+            for cluster, src_hull, tgt_hull, src_box, tgt_box in hulls:
+                if not _in_box(sp, src_box) or not _in_box(tp, tgt_box):
+                    continue  # grid-style prefilter: cheap reject first
+                if point_in_hull(sp, src_hull) and point_in_hull(tp, tgt_hull):
+                    host = cluster
+                    break
+            if host is not None:
+                host.add(q)
+            else:
+                remaining.append(single)
+        return multi + remaining
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _restore_multiplicity(
+        original: QuerySet, clusters: List[QueryCluster]
+    ) -> List[QueryCluster]:
+        """Re-inject duplicate queries into the cluster holding their key."""
+        counts: Dict[Query, int] = {}
+        for q in original:
+            counts[q] = counts.get(q, 0) + 1
+        for cluster in clusters:
+            extras: List[Query] = []
+            for q in cluster.queries:
+                for _ in range(counts.get(q, 1) - 1):
+                    extras.append(q)
+            cluster.queries.extend(extras)
+        return clusters
+
+
+def _in_box(point: Tuple[float, float], box: Tuple[float, float, float, float]) -> bool:
+    return box[0] <= point[0] <= box[2] and box[1] <= point[1] <= box[3]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+everything raised by this package with a single ``except`` clause while still
+being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a road network (bad vertex, bad edge...)."""
+
+
+class NoPathError(GraphError):
+    """Raised when no path exists between the requested endpoints."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"no path from vertex {source} to vertex {target}")
+        self.source = source
+        self.target = target
+
+
+class QueryError(ReproError):
+    """Malformed query or query set."""
+
+
+class DecompositionError(ReproError):
+    """A decomposition produced an invalid result (not a partition...)."""
+
+
+class CacheError(ReproError):
+    """Cache structure misuse (e.g. retrieving a path after a miss)."""
+
+
+class IndexConstructionError(ReproError):
+    """An auxiliary index (CH, PLL, landmarks) could not be built."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameter combination passed to a public API."""

@@ -1,0 +1,20 @@
+"""Index-based comparators: CH, PLL, Arc-Flags, Geometric Containers.
+
+Built to make Figure 8's argument measurable: every one of these answers
+queries fast but takes orders of magnitude longer to (re)construct than
+answering a whole batch index-free — and all go stale on the first weight
+change.
+"""
+
+from .arcflags import ArcFlags, grid_regions
+from .ch import ContractionHierarchy
+from .containers import GeometricContainers
+from .pll import PrunedLandmarkLabeling
+
+__all__ = [
+    "ArcFlags",
+    "ContractionHierarchy",
+    "GeometricContainers",
+    "PrunedLandmarkLabeling",
+    "grid_regions",
+]

@@ -1,0 +1,150 @@
+"""Arc-Flags (Moehring et al. [22]) — the third index comparator.
+
+Section II-A lists Arc-Flags among the index-based accelerators whose
+maintenance cost shuts them out of dynamic networks.  Like CH and PLL it
+is provided to make that argument measurable: construction runs one full
+backward Dijkstra per boundary vertex, which dwarfs batch answering.
+
+The network is partitioned into rectangular grid regions (the same
+uniform-partition philosophy Section IV-B1 adopts for the search-space
+oracle).  Every edge carries one flag per region: flag ``r`` is set when
+the edge lies on *some* shortest path into region ``r``.  A query prunes
+every edge whose flag for the target's region is unset — Dijkstra over a
+thinned graph, exact by construction.
+
+Flags are computed with the classic boundary method: for each region, run
+a backward Dijkstra from every boundary vertex (a vertex with a neighbour
+outside the region); an edge (u, v) is flagged for the region when it is
+tight for one of those trees (``d(u) == w + d(v)`` in backward distances)
+— plus every intra-region edge is flagged for its own region.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from heapq import heappop, heappush
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..exceptions import IndexConstructionError
+from ..search.common import PathResult, reconstruct_path
+
+
+def grid_regions(graph, cells_per_side: int = 4) -> List[int]:
+    """Partition vertices into ``cells_per_side^2`` rectangular regions."""
+    if cells_per_side < 1:
+        raise IndexConstructionError("cells_per_side must be at least 1")
+    if graph.num_vertices == 0:
+        raise IndexConstructionError("cannot partition an empty network")
+    min_x, min_y, max_x, max_y = graph.extent()
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    regions = []
+    last = cells_per_side - 1
+    for v in range(graph.num_vertices):
+        i = min(last, int((graph.xs[v] - min_x) / span_x * cells_per_side))
+        j = min(last, int((graph.ys[v] - min_y) / span_y * cells_per_side))
+        regions.append(i * cells_per_side + j)
+    return regions
+
+
+class ArcFlags:
+    """An arc-flag index over a road-network snapshot."""
+
+    def __init__(self, graph, cells_per_side: int = 4) -> None:
+        if graph.num_vertices == 0:
+            raise IndexConstructionError("cannot build arc-flags on an empty graph")
+        self.graph = graph
+        self.graph_version = graph.version
+        self.region_of: List[int] = grid_regions(graph, cells_per_side)
+        self.num_regions = cells_per_side * cells_per_side
+        #: flags[(u, v)] = set of region ids the edge is useful for.
+        self._flags: Dict[Tuple[int, int], Set[int]] = {
+            (u, v): set() for u, v, _ in graph.edges()
+        }
+        start = time.perf_counter()
+        self._build()
+        self.construction_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def _boundary_vertices(self, region: int) -> List[int]:
+        graph = self.graph
+        out = []
+        for v in range(graph.num_vertices):
+            if self.region_of[v] != region:
+                continue
+            touches_outside = any(
+                self.region_of[int(u)] != region for u, _ in graph.in_neighbors(v)
+            ) or any(
+                self.region_of[int(w)] != region for w, _ in graph.neighbors(v)
+            )
+            if touches_outside:
+                out.append(v)
+        return out
+
+    def _build(self) -> None:
+        graph = self.graph
+        # Intra-region edges are always usable toward their own region.
+        for u, v, _ in graph.edges():
+            if self.region_of[u] == self.region_of[v]:
+                self._flags[(u, v)].add(self.region_of[v])
+        for region in range(self.num_regions):
+            for boundary in self._boundary_vertices(region):
+                self._flag_tight_edges(boundary, region)
+
+    def _flag_tight_edges(self, root: int, region: int) -> None:
+        """Backward Dijkstra from ``root``; flag tight edges for ``region``."""
+        from ..search.dijkstra import sssp_distances
+
+        dist = sssp_distances(self.graph, root, backward=True)
+        for u, v, w in self.graph.edges():
+            du = dist[u]
+            dv = dist[v]
+            if math.isinf(du) or math.isinf(dv):
+                continue
+            if math.isclose(du, w + dv, rel_tol=1e-12, abs_tol=1e-12):
+                self._flags[(u, v)].add(region)
+
+    # ------------------------------------------------------------------
+    def query(self, source: int, target: int) -> PathResult:
+        """Exact shortest path via flag-pruned Dijkstra."""
+        target_region = self.region_of[target]
+        flags = self._flags
+        adj = self.graph._adj  # noqa: SLF001 - hot path
+        dist: Dict[int, float] = {source: 0.0}
+        parents: Dict[int, int] = {}
+        done: Set[int] = set()
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        visited = 0
+        while heap:
+            d, u = heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            visited += 1
+            if u == target:
+                return PathResult(
+                    source, target, d, reconstruct_path(parents, source, target), visited
+                )
+            for v, w in adj[u]:
+                v = int(v)
+                if target_region not in flags[(u, v)]:
+                    continue  # the index prunes this arc
+                nd = d + w
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    parents[v] = u
+                    heappush(heap, (nd, v))
+        return PathResult(source, target, math.inf, [], visited)
+
+    def distance(self, source: int, target: int) -> float:
+        return self.query(source, target).distance
+
+    @property
+    def flag_bits_set(self) -> int:
+        """Total set flags (index size proxy)."""
+        return sum(len(f) for f in self._flags.values())
+
+    @property
+    def stale(self) -> bool:
+        return self.graph.version != self.graph_version

@@ -1,0 +1,267 @@
+"""Contraction Hierarchies (Geisberger et al. [12]).
+
+Built only to reproduce Figure 8's argument: index construction takes
+orders of magnitude longer than answering a whole batch index-free, so
+index-based methods cannot track a dynamic network.  The implementation is
+the textbook one — edge-difference node ordering with lazy priority
+updates, witness searches bounding shortcut insertion, and a bidirectional
+upward query with shortcut unpacking.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import IndexConstructionError
+from ..search.common import PathResult
+
+
+class ContractionHierarchy:
+    """A CH index over a road network snapshot.
+
+    Parameters
+    ----------
+    graph:
+        The road network to index (a snapshot: later weight changes are not
+        reflected, which is exactly the paper's point).
+    witness_settle_limit:
+        Cap on settled vertices per witness search; smaller is faster but
+        inserts more (harmless) shortcuts.
+    """
+
+    def __init__(self, graph, witness_settle_limit: int = 60) -> None:
+        if graph.num_vertices == 0:
+            raise IndexConstructionError("cannot build a CH over an empty graph")
+        self.graph = graph
+        self.graph_version = graph.version
+        self.witness_settle_limit = witness_settle_limit
+        n = graph.num_vertices
+        # Working adjacency (mutated during contraction).
+        self._out: List[Dict[int, float]] = [{} for _ in range(n)]
+        self._in: List[Dict[int, float]] = [{} for _ in range(n)]
+        for u, v, w in graph.edges():
+            old = self._out[u].get(v)
+            if old is None or w < old:
+                self._out[u][v] = w
+                self._in[v][u] = w
+        #: shortcut (u, v) -> contracted middle vertex, for path unpacking.
+        self._shortcut_mid: Dict[Tuple[int, int], int] = {}
+        self.rank: List[int] = [0] * n
+        self.num_shortcuts = 0
+        start = time.perf_counter()
+        self._contract_all()
+        self.construction_seconds = time.perf_counter() - start
+        self._build_upward()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _witness_exists(
+        self, source: int, excluded: int, targets: Dict[int, float], limit: float,
+        contracted: List[bool],
+    ) -> Dict[int, bool]:
+        """Local Dijkstra from ``source`` avoiding ``excluded``.
+
+        Returns, per target, whether a path no longer than its threshold
+        exists without the excluded vertex.
+        """
+        found = {t: False for t in targets}
+        dist: Dict[int, float] = {source: 0.0}
+        done = set()
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        settles = 0
+        pending = len(targets)
+        while heap and settles < self.witness_settle_limit and pending:
+            d, u = heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            settles += 1
+            if u in targets and not found[u] and d <= targets[u]:
+                found[u] = True
+                pending -= 1
+            if d > limit:
+                break
+            for v, w in self._out[u].items():
+                if v == excluded or contracted[v]:
+                    continue
+                nd = d + w
+                if nd <= limit and nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        return found
+
+    def _simulate_contract(self, v: int, contracted: List[bool], apply: bool) -> int:
+        """Count (or insert) the shortcuts contraction of ``v`` requires."""
+        ins = [(u, w) for u, w in self._in[v].items() if not contracted[u]]
+        outs = [(x, w) for x, w in self._out[v].items() if not contracted[x]]
+        shortcuts = 0
+        for u, w_uv in ins:
+            if not outs:
+                break
+            thresholds = {
+                x: w_uv + w_vx for x, w_vx in outs if x != u
+            }
+            if not thresholds:
+                continue
+            limit = max(thresholds.values())
+            witnessed = self._witness_exists(u, v, thresholds, limit, contracted)
+            for x, w_vx in outs:
+                if x == u:
+                    continue
+                through = w_uv + w_vx
+                if witnessed.get(x, False):
+                    continue
+                existing = self._out[u].get(x)
+                if existing is not None and existing <= through:
+                    continue
+                shortcuts += 1
+                if apply:
+                    self._out[u][x] = through
+                    self._in[x][u] = through
+                    self._shortcut_mid[(u, x)] = v
+        return shortcuts
+
+    def _priority(self, v: int, contracted: List[bool], depth: List[int]) -> float:
+        ins = sum(1 for u in self._in[v] if not contracted[u])
+        outs = sum(1 for x in self._out[v] if not contracted[x])
+        shortcuts = self._simulate_contract(v, contracted, apply=False)
+        edge_difference = shortcuts - (ins + outs)
+        return edge_difference + 2 * depth[v]
+
+    def _contract_all(self) -> None:
+        n = self.graph.num_vertices
+        contracted = [False] * n
+        depth = [0] * n
+        heap: List[Tuple[float, int]] = []
+        for v in range(n):
+            heappush(heap, (self._priority(v, contracted, depth), v))
+        order = 0
+        while heap:
+            prio, v = heappop(heap)
+            if contracted[v]:
+                continue
+            current = self._priority(v, contracted, depth)
+            if heap and current > heap[0][0]:
+                heappush(heap, (current, v))
+                continue
+            self.num_shortcuts += self._simulate_contract(v, contracted, apply=True)
+            contracted[v] = True
+            self.rank[v] = order
+            order += 1
+            for u in self._in[v]:
+                if not contracted[u]:
+                    depth[u] = max(depth[u], depth[v] + 1)
+            for x in self._out[v]:
+                if not contracted[x]:
+                    depth[x] = max(depth[x], depth[v] + 1)
+
+    def _build_upward(self) -> None:
+        n = self.graph.num_vertices
+        rank = self.rank
+        #: forward search relaxes edges to higher-ranked heads.
+        self._up_out: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        #: backward search walks edges arriving from higher-ranked tails.
+        self._up_in: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for u in range(n):
+            for v, w in self._out[u].items():
+                if rank[v] > rank[u]:
+                    self._up_out[u].append((v, w))
+                else:
+                    self._up_in[v].append((u, w))
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Shortest distance via bidirectional upward search."""
+        return self._query(source, target)[0]
+
+    def query(self, source: int, target: int) -> PathResult:
+        """Full :class:`PathResult` with the unpacked shortest path."""
+        dist, meet, par_f, par_b, visited = self._query_full(source, target)
+        if meet < 0:
+            return PathResult(source, target, math.inf, [], visited)
+        fwd = [meet]
+        v = meet
+        while v != source:
+            v = par_f[v]
+            fwd.append(v)
+        fwd.reverse()
+        v = meet
+        bwd = []
+        while v != target:
+            v = par_b[v]
+            bwd.append(v)
+        packed = fwd + bwd
+        return PathResult(source, target, dist, self._unpack(packed), visited)
+
+    def _query(self, source: int, target: int) -> Tuple[float, int]:
+        dist, meet, _, _, visited = self._query_full(source, target)
+        return dist, visited
+
+    def _query_full(self, source: int, target: int):
+        dist_f: Dict[int, float] = {source: 0.0}
+        dist_b: Dict[int, float] = {target: 0.0}
+        par_f: Dict[int, int] = {}
+        par_b: Dict[int, int] = {}
+        heap_f: List[Tuple[float, int]] = [(0.0, source)]
+        heap_b: List[Tuple[float, int]] = [(0.0, target)]
+        done_f = set()
+        done_b = set()
+        best = math.inf
+        meet = -1
+        visited = 0
+        while heap_f or heap_b:
+            if heap_f and (not heap_b or heap_f[0][0] <= heap_b[0][0]):
+                d, u = heappop(heap_f)
+                if u in done_f or d > best:
+                    continue
+                done_f.add(u)
+                visited += 1
+                if u in dist_b and d + dist_b[u] < best:
+                    best = d + dist_b[u]
+                    meet = u
+                for v, w in self._up_out[u]:
+                    nd = d + w
+                    if nd < dist_f.get(v, math.inf):
+                        dist_f[v] = nd
+                        par_f[v] = u
+                        heappush(heap_f, (nd, v))
+            elif heap_b:
+                d, u = heappop(heap_b)
+                if u in done_b or d > best:
+                    continue
+                done_b.add(u)
+                visited += 1
+                if u in dist_f and d + dist_f[u] < best:
+                    best = d + dist_f[u]
+                    meet = u
+                for v, w in self._up_in[u]:
+                    nd = d + w
+                    if nd < dist_b.get(v, math.inf):
+                        dist_b[v] = nd
+                        par_b[v] = u
+                        heappush(heap_b, (nd, v))
+        return best, meet, par_f, par_b, visited
+
+    def _unpack(self, packed: List[int]) -> List[int]:
+        """Expand shortcuts recursively into original-edge paths."""
+        path = [packed[0]]
+        for u, v in zip(packed, packed[1:]):
+            path.extend(self._expand_edge(u, v))
+        return path
+
+    def _expand_edge(self, u: int, v: int) -> List[int]:
+        mid = self._shortcut_mid.get((u, v))
+        if mid is None:
+            return [v]
+        return self._expand_edge(u, mid) + self._expand_edge(mid, v)
+
+    @property
+    def stale(self) -> bool:
+        """Whether the underlying network changed after construction."""
+        return self.graph.version != self.graph_version

@@ -1,0 +1,138 @@
+"""Geometric Containers (Wagner et al. [31]) — fourth index comparator.
+
+Section II-A's list of index-based accelerators includes geometric
+containers: each edge stores the bounding box of every target whose
+shortest path (from the edge's tail) starts with that edge; a query prunes
+any edge whose container excludes the target.
+
+Correctness under pruning: at any settled vertex ``u`` on a shortest
+``s -> t`` path, the continuation is a shortest ``u -> t`` path, and the
+first edge of ``u``'s shortest-path tree branch toward ``t`` has ``t`` in
+its container by construction — so at least one optimal continuation
+always survives, and distances stay exact even when ties prune siblings.
+
+Construction runs one full Dijkstra per vertex (O(V (V+E) log V)), the
+most expensive index here — which is the point: Section II-A's argument
+that such indexes cannot chase a dynamic network.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..exceptions import IndexConstructionError
+from ..search.common import PathResult, reconstruct_path
+
+Box = Tuple[float, float, float, float]  # min_x, min_y, max_x, max_y
+
+
+class GeometricContainers:
+    """Per-edge target bounding boxes over a road-network snapshot."""
+
+    def __init__(self, graph) -> None:
+        if graph.num_vertices == 0:
+            raise IndexConstructionError("cannot build containers on an empty graph")
+        self.graph = graph
+        self.graph_version = graph.version
+        #: container[(u, v)] = bounding box of targets reached via (u, v),
+        #: or None when the edge starts no shortest path.
+        self._box: Dict[Tuple[int, int], Optional[Box]] = {
+            (u, v): None for u, v, _ in graph.edges()
+        }
+        start = time.perf_counter()
+        self._build()
+        self.construction_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        graph = self.graph
+        for u in range(graph.num_vertices):
+            self._grow_from(u)
+
+    def _grow_from(self, root: int) -> None:
+        """One SSSP from ``root``; extend each first edge's box."""
+        graph = self.graph
+        adj = graph._adj  # noqa: SLF001 - hot path
+        dist: Dict[int, float] = {root: 0.0}
+        first_edge: Dict[int, Tuple[int, int]] = {}
+        done: Set[int] = set()
+        heap: List[Tuple[float, int]] = [(0.0, root)]
+        while heap:
+            d, x = heappop(heap)
+            if x in done:
+                continue
+            done.add(x)
+            for y, w in adj[x]:
+                y = int(y)
+                nd = d + w
+                if nd < dist.get(y, math.inf):
+                    dist[y] = nd
+                    # The first edge of the tree branch: taken directly when
+                    # relaxing out of the root, inherited otherwise.
+                    first_edge[y] = (root, y) if x == root else first_edge[x]
+                    heappush(heap, (nd, y))
+        for t in done:
+            if t == root:
+                continue
+            self._extend(first_edge[t], graph.xs[t], graph.ys[t])
+
+    def _extend(self, edge: Tuple[int, int], x: float, y: float) -> None:
+        box = self._box.get(edge)
+        if box is None:
+            self._box[edge] = (x, y, x, y)
+        else:
+            self._box[edge] = (
+                min(box[0], x),
+                min(box[1], y),
+                max(box[2], x),
+                max(box[3], y),
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _contains(box: Optional[Box], x: float, y: float) -> bool:
+        if box is None:
+            return False
+        return box[0] <= x <= box[2] and box[1] <= y <= box[3]
+
+    def query(self, source: int, target: int) -> PathResult:
+        """Exact shortest path via container-pruned Dijkstra."""
+        graph = self.graph
+        tx, ty = graph.xs[target], graph.ys[target]
+        adj = graph._adj  # noqa: SLF001
+        boxes = self._box
+        dist: Dict[int, float] = {source: 0.0}
+        parents: Dict[int, int] = {}
+        done: Set[int] = set()
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        visited = 0
+        while heap:
+            d, u = heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            visited += 1
+            if u == target:
+                return PathResult(
+                    source, target, d, reconstruct_path(parents, source, target), visited
+                )
+            for v, w in adj[u]:
+                v = int(v)
+                if not self._contains(boxes[(u, v)], tx, ty):
+                    continue
+                nd = d + w
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    parents[v] = u
+                    heappush(heap, (nd, v))
+        return PathResult(source, target, math.inf, [], visited)
+
+    def distance(self, source: int, target: int) -> float:
+        return self.query(source, target).distance
+
+    @property
+    def stale(self) -> bool:
+        return self.graph.version != self.graph_version

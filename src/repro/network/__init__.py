@@ -1,0 +1,58 @@
+"""Road-network substrate: graphs, generators, spatial indexes, geometry."""
+
+from .convexhull import convex_hull, hull_bounding_box, point_in_hull
+from .generators import (
+    beijing_like,
+    grid_city,
+    random_geometric_city,
+    ring_radial_city,
+)
+from .graph import RoadNetwork
+from .grid import CellSummary, GridIndex, auto_levels
+from .io import load_json, load_text, save_json, save_text
+from .spatial import (
+    Ellipse,
+    angular_difference,
+    bearing_angle,
+    euclidean,
+    fold_theta,
+    reference_angle,
+    search_space_ellipse,
+)
+from .supervertex import SuperVertexMap
+from .timeline import (
+    TrafficTimeline,
+    congestion_snapshot,
+    incident_snapshot,
+    recovery_snapshot,
+)
+
+__all__ = [
+    "CellSummary",
+    "Ellipse",
+    "GridIndex",
+    "RoadNetwork",
+    "SuperVertexMap",
+    "TrafficTimeline",
+    "angular_difference",
+    "auto_levels",
+    "bearing_angle",
+    "beijing_like",
+    "congestion_snapshot",
+    "convex_hull",
+    "euclidean",
+    "fold_theta",
+    "grid_city",
+    "hull_bounding_box",
+    "incident_snapshot",
+    "load_json",
+    "load_text",
+    "point_in_hull",
+    "random_geometric_city",
+    "recovery_snapshot",
+    "reference_angle",
+    "ring_radial_city",
+    "save_json",
+    "save_text",
+    "search_space_ellipse",
+]

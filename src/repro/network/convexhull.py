@@ -1,0 +1,79 @@
+"""Convex hulls and point-in-convex-polygon tests.
+
+Used by the Zigzag merge phase (Section IV-A2): leftover 1-1 clusters are
+absorbed into a query subset when their source falls inside the hull of the
+subset's sources and their target inside the hull of its targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    """Z component of (a - o) x (b - o); >0 means a left turn."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Andrew's monotone-chain hull, counter-clockwise, no duplicate closing point.
+
+    Degenerate inputs are handled: fewer than three distinct points return
+    the distinct points themselves (a point or a segment).
+    """
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return list(pts)
+    lower: List[Point] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: List[Point] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:  # all points collinear
+        return [pts[0], pts[-1]]
+    return hull
+
+
+def point_in_hull(point: Point, hull: Sequence[Point], eps: float = 1e-9) -> bool:
+    """Whether ``point`` lies inside or on a convex hull from :func:`convex_hull`.
+
+    Handles the degenerate hulls that function can return: a single point
+    (containment = coincidence) and a segment (containment = on-segment).
+    """
+    n = len(hull)
+    if n == 0:
+        return False
+    if n == 1:
+        return (
+            abs(point[0] - hull[0][0]) <= eps and abs(point[1] - hull[0][1]) <= eps
+        )
+    if n == 2:
+        a, b = hull
+        if abs(_cross(a, b, point)) > eps:
+            return False
+        lo_x, hi_x = min(a[0], b[0]) - eps, max(a[0], b[0]) + eps
+        lo_y, hi_y = min(a[1], b[1]) - eps, max(a[1], b[1]) + eps
+        return lo_x <= point[0] <= hi_x and lo_y <= point[1] <= hi_y
+    for i in range(n):
+        a = hull[i]
+        b = hull[(i + 1) % n]
+        if _cross(a, b, point) < -eps:
+            return False
+    return True
+
+
+def hull_bounding_box(hull: Sequence[Point]) -> Tuple[float, float, float, float]:
+    """Bounding box ``(min_x, min_y, max_x, max_y)`` of a non-empty hull."""
+    if not hull:
+        raise ValueError("bounding box of an empty hull")
+    xs = [p[0] for p in hull]
+    ys = [p[1] for p in hull]
+    return (min(xs), min(ys), max(xs), max(ys))

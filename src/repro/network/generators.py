@@ -1,0 +1,224 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on a proprietary NavInfo Beijing network (312,350
+intersections over 184 km x 185 km).  These generators build networks with
+the structural properties the paper's algorithms actually exploit:
+
+* a planar spatial embedding with mostly axis-aligned / locally parallel
+  roads (the Search-Space Estimation method summarises road directions per
+  grid cell and assumes they cluster, Section IV-B1);
+* edge weights that dominate the Euclidean distance (A* admissibility);
+* ring + arterial structure that concentrates traffic and creates the path
+  coherence batch processing feeds on.
+
+``grid_city`` is the deterministic benchmark workhorse; ``ring_radial_city``
+adds the Beijing-style ring-road topology; ``random_geometric_city`` gives
+an irregular network for robustness testing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from .graph import RoadNetwork
+
+
+def _two_way(
+    graph: RoadNetwork,
+    u: int,
+    v: int,
+    rng: random.Random,
+    min_detour: float,
+    max_detour: float,
+) -> None:
+    """Add both directions of a road with independent detour factors >= 1."""
+    d = graph.euclidean(u, v)
+    graph.add_edge(u, v, d * rng.uniform(min_detour, max_detour))
+    graph.add_edge(v, u, d * rng.uniform(min_detour, max_detour))
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    spacing: float = 1.0,
+    jitter: float = 0.15,
+    min_detour: float = 1.0,
+    max_detour: float = 1.4,
+    diagonal_avenues: int = 0,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A jittered Manhattan grid: ``rows x cols`` intersections.
+
+    Every lattice neighbour pair is connected by a two-way road whose weight
+    is the Euclidean length times a detour factor in
+    ``[min_detour, max_detour]``.  ``jitter`` displaces intersections by up
+    to that fraction of ``spacing`` so the network is not degenerate.
+    ``diagonal_avenues`` adds that many random diagonal shortcut chains,
+    emulating arterial avenues.
+    """
+    if rows < 2 or cols < 2:
+        raise ConfigurationError("grid_city needs at least a 2x2 grid")
+    if jitter < 0 or jitter >= 0.5:
+        raise ConfigurationError("jitter must be in [0, 0.5) to keep the grid planar")
+    if min_detour < 1.0 or max_detour < min_detour:
+        raise ConfigurationError("detour factors must satisfy 1 <= min <= max")
+    rng = random.Random(seed)
+    xs: List[float] = []
+    ys: List[float] = []
+    for r in range(rows):
+        for c in range(cols):
+            xs.append(c * spacing + rng.uniform(-jitter, jitter) * spacing)
+            ys.append(r * spacing + rng.uniform(-jitter, jitter) * spacing)
+    graph = RoadNetwork(xs, ys)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                _two_way(graph, vid(r, c), vid(r, c + 1), rng, min_detour, max_detour)
+            if r + 1 < rows:
+                _two_way(graph, vid(r, c), vid(r + 1, c), rng, min_detour, max_detour)
+
+    for _ in range(diagonal_avenues):
+        r = rng.randrange(rows - 1)
+        c = rng.randrange(cols - 1)
+        length = rng.randrange(2, max(3, min(rows, cols) // 2))
+        for _step in range(length):
+            if r + 1 >= rows or c + 1 >= cols:
+                break
+            u, v = vid(r, c), vid(r + 1, c + 1)
+            if not graph.has_edge(u, v):
+                # Avenues are faster: detour close to 1.
+                _two_way(graph, u, v, rng, 1.0, 1.05)
+            r += 1
+            c += 1
+    return graph
+
+
+def ring_radial_city(
+    rings: int = 6,
+    spokes: int = 16,
+    ring_spacing: float = 4.0,
+    points_between_spokes: int = 3,
+    jitter: float = 0.05,
+    min_detour: float = 1.0,
+    max_detour: float = 1.3,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A Beijing-like ring-road network.
+
+    ``rings`` concentric rings at radii ``ring_spacing * (1..rings)`` are
+    subdivided at every spoke angle plus ``points_between_spokes`` extra
+    points per arc; consecutive ring points are connected along the ring and
+    spoke points are connected radially (including a central hub vertex).
+    The result is strongly connected by construction.
+    """
+    if rings < 1 or spokes < 3:
+        raise ConfigurationError("need at least 1 ring and 3 spokes")
+    rng = random.Random(seed)
+    xs: List[float] = [0.0]
+    ys: List[float] = [0.0]
+    # ring_ids[r][k] = vertex at ring r (0-based), angular slot k.
+    slots = spokes * (points_between_spokes + 1)
+    ring_ids: List[List[int]] = []
+    for r in range(rings):
+        radius = ring_spacing * (r + 1)
+        row: List[int] = []
+        for k in range(slots):
+            angle = 2.0 * math.pi * k / slots
+            jr = radius * (1.0 + rng.uniform(-jitter, jitter))
+            xs.append(jr * math.cos(angle))
+            ys.append(jr * math.sin(angle))
+            row.append(len(xs) - 1)
+        ring_ids.append(row)
+    graph = RoadNetwork(xs, ys)
+
+    for r in range(rings):
+        row = ring_ids[r]
+        for k in range(slots):
+            _two_way(graph, row[k], row[(k + 1) % slots], rng, min_detour, max_detour)
+
+    step = points_between_spokes + 1
+    for s in range(spokes):
+        k = s * step
+        # Hub to innermost ring: fast arterial.
+        _two_way(graph, 0, ring_ids[0][k], rng, 1.0, 1.05)
+        for r in range(rings - 1):
+            _two_way(graph, ring_ids[r][k], ring_ids[r + 1][k], rng, 1.0, 1.1)
+    return graph
+
+
+def random_geometric_city(
+    num_vertices: int,
+    side: float = 50.0,
+    min_detour: float = 1.0,
+    max_detour: float = 1.5,
+    seed: int = 0,
+) -> RoadNetwork:
+    """An irregular network: Delaunay triangulation of random points.
+
+    Delaunay edges guarantee connectivity and planarity, approximating an
+    organically grown road network.  Requires :mod:`scipy`; used mainly by
+    robustness tests, not by the headline benchmarks.
+    """
+    if num_vertices < 4:
+        raise ConfigurationError("random_geometric_city needs >= 4 vertices")
+    try:
+        import numpy as np
+        from scipy.spatial import Delaunay
+    except ImportError as exc:  # pragma: no cover - scipy is a test extra
+        raise ConfigurationError("random_geometric_city requires scipy") from exc
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, side, size=(num_vertices, 2))
+    tri = Delaunay(pts)
+    graph = RoadNetwork(pts[:, 0].tolist(), pts[:, 1].tolist())
+    py_rng = random.Random(seed)
+    seen = set()
+    for simplex in tri.simplices:
+        for i in range(3):
+            a = int(simplex[i])
+            b = int(simplex[(i + 1) % 3])
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            _two_way(graph, a, b, py_rng, min_detour, max_detour)
+    return graph
+
+
+def beijing_like(scale: str = "small", seed: int = 0) -> RoadNetwork:
+    """Pre-tuned ring-radial networks standing in for the Beijing dataset.
+
+    ============ ============ ============== =================
+    scale        ~vertices    extent (diam)  intended use
+    ============ ============ ============== =================
+    ``tiny``     ~145         32 km          unit tests
+    ``small``    ~960         80 km          fast benchmarks
+    ``medium``   ~2.9k        128 km         headline benchmarks
+    ``large``    ~6.9k        192 km         stress runs
+    ============ ============ ============== =================
+    """
+    presets: Dict[str, Tuple[int, int, float, int]] = {
+        "tiny": (4, 12, 4.0, 2),
+        "small": (10, 24, 4.0, 3),
+        "medium": (16, 36, 4.0, 4),
+        "large": (24, 48, 4.0, 5),
+    }
+    try:
+        rings, spokes, spacing, between = presets[scale]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; choose from {sorted(presets)}"
+        ) from None
+    return ring_radial_city(
+        rings=rings,
+        spokes=spokes,
+        ring_spacing=spacing,
+        points_between_spokes=between,
+        seed=seed,
+    )

@@ -1,0 +1,92 @@
+"""Serialisation of road networks.
+
+Two formats are supported:
+
+* a human-readable text format close to the DIMACS challenge files
+  (``p`` header, ``v id x y`` vertex lines, ``a u v w`` arc lines), and
+* JSON, convenient for small fixtures checked into test suites.
+
+Both round-trip exactly (weights are written with ``repr`` precision).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..exceptions import GraphError
+from .graph import RoadNetwork
+
+PathLike = Union[str, Path]
+
+
+def save_text(graph: RoadNetwork, path: PathLike) -> None:
+    """Write ``graph`` in the DIMACS-like text format."""
+    lines: List[str] = [f"p sp {graph.num_vertices} {graph.num_edges}"]
+    for v in range(graph.num_vertices):
+        lines.append(f"v {v} {graph.xs[v]!r} {graph.ys[v]!r}")
+    for u, v, w in graph.edges():
+        lines.append(f"a {u} {v} {w!r}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_text(path: PathLike) -> RoadNetwork:
+    """Read a network written by :func:`save_text`."""
+    xs: List[float] = []
+    ys: List[float] = []
+    edges: List[Tuple[int, int, float]] = []
+    declared_vertices = declared_edges = None
+    with open(path, encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            kind = parts[0]
+            try:
+                if kind == "p":
+                    declared_vertices = int(parts[2])
+                    declared_edges = int(parts[3])
+                    xs = [0.0] * declared_vertices
+                    ys = [0.0] * declared_vertices
+                elif kind == "v":
+                    vid = int(parts[1])
+                    xs[vid] = float(parts[2])
+                    ys[vid] = float(parts[3])
+                elif kind == "a":
+                    edges.append((int(parts[1]), int(parts[2]), float(parts[3])))
+                else:
+                    raise GraphError(f"unknown record {kind!r}")
+            except (IndexError, ValueError) as exc:
+                raise GraphError(f"{path}:{line_no}: malformed line {line!r}") from exc
+    if declared_vertices is None:
+        raise GraphError(f"{path}: missing 'p' header")
+    if declared_edges is not None and declared_edges != len(edges):
+        raise GraphError(
+            f"{path}: header declares {declared_edges} edges, found {len(edges)}"
+        )
+    return RoadNetwork(xs, ys, edges)
+
+
+def save_json(graph: RoadNetwork, path: PathLike) -> None:
+    """Write ``graph`` as a JSON object with ``xs``, ``ys`` and ``edges``."""
+    payload = {
+        "xs": graph.xs,
+        "ys": graph.ys,
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_json(path: PathLike) -> RoadNetwork:
+    """Read a network written by :func:`save_json`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return RoadNetwork(
+            payload["xs"],
+            payload["ys"],
+            [(int(u), int(v), float(w)) for u, v, w in payload["edges"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"{path}: malformed network JSON") from exc

@@ -1,0 +1,30 @@
+"""Query model, workloads, arrival processes, and trajectory simulation."""
+
+from .arrivals import PoissonArrivals, TimedQuery, stream_statistics, window_batches
+from .profile import WorkloadProfile, profile_workload
+from .query import Query, QuerySet
+from .trajectories import (
+    TrajectorySimulator,
+    Trip,
+    queries_from_trips,
+    subtrip_queries,
+)
+from .workload import Hotspot, WorkloadGenerator, band_for_network
+
+__all__ = [
+    "Hotspot",
+    "PoissonArrivals",
+    "Query",
+    "QuerySet",
+    "TimedQuery",
+    "TrajectorySimulator",
+    "Trip",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "band_for_network",
+    "profile_workload",
+    "queries_from_trips",
+    "stream_statistics",
+    "subtrip_queries",
+    "window_batches",
+]

@@ -1,0 +1,127 @@
+"""Query arrival processes and batching windows.
+
+Definition 1 defines a batch as "a collection of shortest path queries
+issued within a short time period (e.g., 1 second)".  This module supplies
+the missing piece between a raw query stream and the batch algorithms: a
+Poisson (or fixed-rate) arrival process stamping queries with arrival
+times, and a windowing scheduler that groups them into the per-second
+batches the rest of the library consumes.
+
+Used by the streaming example and the dynamic experiments; also handy for
+downstream users replaying their own logs (any iterable of
+``TimedQuery`` works).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .query import Query, QuerySet
+
+
+@dataclass(frozen=True, order=True)
+class TimedQuery:
+    """A query stamped with its arrival time (seconds from stream start)."""
+
+    arrival: float
+    query: Query
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate`` queries/second from a workload.
+
+    The inter-arrival gaps are exponential, matching how independent users
+    issue requests; ``rate`` is the lambda of the process.
+    """
+
+    def __init__(self, workload, rate: float, seed: int = 0,
+                 min_dist: float = 0.0, max_dist: float = math.inf) -> None:
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.workload = workload
+        self.rate = rate
+        self.min_dist = min_dist
+        self.max_dist = max_dist
+        self._rng = random.Random(seed)
+
+    def take(self, count: int) -> List[TimedQuery]:
+        """The next ``count`` timed queries of the process."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        out: List[TimedQuery] = []
+        clock = 0.0
+        queries = self.workload.batch(
+            count, min_dist=self.min_dist, max_dist=self.max_dist
+        )
+        for q in queries:
+            clock += self._rng.expovariate(self.rate)
+            out.append(TimedQuery(clock, q))
+        return out
+
+    def duration(self, seconds: float) -> List[TimedQuery]:
+        """All arrivals within the first ``seconds`` of the process.
+
+        Draws in chunks until the clock passes the horizon; the expected
+        count is ``rate * seconds``.
+        """
+        if seconds < 0:
+            raise ConfigurationError("seconds must be non-negative")
+        expected = max(1, int(self.rate * seconds * 1.5) + 10)
+        arrivals = self.take(expected)
+        while arrivals and arrivals[-1].arrival < seconds:
+            more = self.take(expected // 2 + 1)
+            offset = arrivals[-1].arrival
+            arrivals.extend(
+                TimedQuery(offset + tq.arrival, tq.query) for tq in more
+            )
+        return [tq for tq in arrivals if tq.arrival <= seconds]
+
+
+def window_batches(
+    arrivals: Iterable[TimedQuery],
+    window_seconds: float = 1.0,
+) -> List[QuerySet]:
+    """Group timed queries into consecutive fixed windows (Definition 1).
+
+    Window ``k`` holds queries with ``k * w <= arrival < (k + 1) * w``.
+    Empty leading/interior windows are preserved as empty QuerySets so a
+    scheduler sees the true cadence; trailing emptiness is trimmed.
+    """
+    if window_seconds <= 0:
+        raise ConfigurationError("window_seconds must be positive")
+    ordered = sorted(arrivals)
+    if not ordered:
+        return []
+    last_window = int(ordered[-1].arrival / window_seconds)
+    batches: List[QuerySet] = [QuerySet() for _ in range(last_window + 1)]
+    for tq in ordered:
+        batches[int(tq.arrival / window_seconds)].append(tq.query)
+    return batches
+
+
+def stream_statistics(arrivals: Sequence[TimedQuery]) -> dict:
+    """Quick summary of an arrival stream (count, rate, burstiness)."""
+    if not arrivals:
+        return {"count": 0, "duration": 0.0, "rate": 0.0, "cv": 0.0}
+    ordered = sorted(arrivals)
+    gaps = [
+        b.arrival - a.arrival for a, b in zip(ordered, ordered[1:])
+    ]
+    duration = ordered[-1].arrival
+    rate = len(ordered) / duration if duration > 0 else 0.0
+    if gaps:
+        mean_gap = sum(gaps) / len(gaps)
+        var = sum((g - mean_gap) ** 2 for g in gaps) / len(gaps)
+        cv = math.sqrt(var) / mean_gap if mean_gap > 0 else 0.0
+    else:
+        cv = 0.0
+    return {
+        "count": len(ordered),
+        "duration": duration,
+        "rate": rate,
+        "cv": cv,  # ~1 for Poisson
+    }

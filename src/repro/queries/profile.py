@@ -1,0 +1,122 @@
+"""Workload profiling: the statistics that predict batch-method benefit.
+
+Which batch method pays off depends on measurable workload properties:
+
+* the *distance distribution* decides the cache band vs the R2R band,
+* *endpoint concentration* (how few vertices carry most endpoints)
+  predicts cache hit ratios and co-cluster sizes, and
+* the *direction distribution* predicts how much the angle-bounded
+  decompositions (delta) fragment the batch.
+
+:func:`profile_workload` computes them for any query set so a downstream
+user can compare their production workload to the synthetic ones here and
+pick parameters accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..exceptions import QueryError
+from ..network.spatial import bearing_angle
+from .query import Query, QuerySet
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of one query workload."""
+
+    num_queries: int
+    distinct_queries: int
+    distinct_sources: int
+    distinct_targets: int
+    mean_distance: float
+    median_distance: float
+    p90_distance: float
+    endpoint_gini: float
+    direction_histogram: Dict[str, int]  # 8 compass sectors
+    repeat_fraction: float  # share of queries that repeat an earlier pair
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_queries": self.num_queries,
+            "distinct_queries": self.distinct_queries,
+            "distinct_sources": self.distinct_sources,
+            "distinct_targets": self.distinct_targets,
+            "mean_distance": self.mean_distance,
+            "median_distance": self.median_distance,
+            "p90_distance": self.p90_distance,
+            "endpoint_gini": self.endpoint_gini,
+            "direction_histogram": dict(self.direction_histogram),
+            "repeat_fraction": self.repeat_fraction,
+        }
+
+
+_SECTORS = ("E", "NE", "N", "NW", "W", "SW", "S", "SE")
+
+
+def _gini(counts: Sequence[int]) -> float:
+    """Gini coefficient of a count distribution (0 uniform, ->1 skewed)."""
+    values = sorted(c for c in counts if c > 0)
+    n = len(values)
+    if n == 0:
+        return 0.0
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    cum = 0.0
+    weighted = 0.0
+    for i, v in enumerate(values, start=1):
+        cum += v
+        weighted += cum
+    # Standard formula: G = (n + 1 - 2 * sum(cum_i)/total) / n
+    return max(0.0, (n + 1 - 2 * weighted / total) / n)
+
+
+def profile_workload(graph, queries: QuerySet) -> WorkloadProfile:
+    """Compute the :class:`WorkloadProfile` of ``queries`` on ``graph``."""
+    if len(queries) == 0:
+        raise QueryError("cannot profile an empty workload")
+    distances: List[float] = []
+    endpoint_counts: Dict[int, int] = {}
+    histogram = {sector: 0 for sector in _SECTORS}
+    seen = set()
+    repeats = 0
+    for q in queries:
+        d = graph.euclidean(q.source, q.target)
+        distances.append(d)
+        endpoint_counts[q.source] = endpoint_counts.get(q.source, 0) + 1
+        endpoint_counts[q.target] = endpoint_counts.get(q.target, 0) + 1
+        bearing = bearing_angle(
+            graph.xs[q.target] - graph.xs[q.source],
+            graph.ys[q.target] - graph.ys[q.source],
+        )
+        histogram[_SECTORS[int(((bearing + 22.5) % 360) / 45.0)]] += 1
+        if q in seen:
+            repeats += 1
+        seen.add(q)
+
+    ordered = sorted(distances)
+    n = len(ordered)
+
+    def percentile(p: float) -> float:
+        rank = p * (n - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    return WorkloadProfile(
+        num_queries=n,
+        distinct_queries=len(seen),
+        distinct_sources=len(queries.sources),
+        distinct_targets=len(queries.targets),
+        mean_distance=sum(ordered) / n,
+        median_distance=percentile(0.5),
+        p90_distance=percentile(0.9),
+        endpoint_gini=_gini(list(endpoint_counts.values())),
+        direction_histogram=histogram,
+        repeat_fraction=repeats / n,
+    )

@@ -1,0 +1,168 @@
+"""Shortest-path queries and query sets (paper Definition 1).
+
+A :class:`Query` is an ``(s, t)`` vertex pair; a :class:`QuerySet` is the
+batch ``Q`` issued within one scheduling window.  The query set knows its
+source set ``S`` and target set ``T`` and offers the groupings the Zigzag
+decomposition starts from: the 1-N set ``Q_s`` per source and the N-1 set
+``Q_t`` per target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class Query:
+    """A single shortest-path request from vertex ``source`` to ``target``."""
+
+    source: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.source < 0 or self.target < 0:
+            raise QueryError(f"negative vertex id in query ({self.source}, {self.target})")
+
+    @property
+    def s(self) -> int:
+        return self.source
+
+    @property
+    def t(self) -> int:
+        return self.target
+
+    def euclidean(self, graph) -> float:
+        """Straight-line length of the query on ``graph``."""
+        return graph.euclidean(self.source, self.target)
+
+
+class QuerySet:
+    """An ordered batch of queries with set-level views.
+
+    Duplicates are allowed (two customers may request the same trip) but
+    :meth:`deduplicated` collapses them when an algorithm answers per
+    distinct pair.  Definition 1's size bound
+    ``max(|S|, |T|) <= |Q| <= |S| x |T|`` holds for deduplicated sets and is
+    checked by :meth:`validate`.
+    """
+
+    def __init__(self, queries: Iterable[Query] = ()) -> None:
+        self._queries: List[Query] = list(queries)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "QuerySet":
+        return cls(Query(s, t) for s, t in pairs)
+
+    def copy(self) -> "QuerySet":
+        return QuerySet(self._queries)
+
+    # -- container protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def __getitem__(self, index):
+        result = self._queries[index]
+        if isinstance(index, slice):
+            return QuerySet(result)
+        return result
+
+    def __contains__(self, query: Query) -> bool:
+        return query in set(self._queries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuerySet):
+            return NotImplemented
+        return self._queries == other._queries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuerySet({len(self._queries)} queries)"
+
+    def append(self, query: Query) -> None:
+        self._queries.append(query)
+
+    def extend(self, queries: Iterable[Query]) -> None:
+        self._queries.extend(queries)
+
+    @property
+    def queries(self) -> List[Query]:
+        """The underlying list (treat as read-only)."""
+        return self._queries
+
+    # -- set-level views --------------------------------------------------
+    @property
+    def sources(self) -> Set[int]:
+        """The source set ``S``."""
+        return {q.source for q in self._queries}
+
+    @property
+    def targets(self) -> Set[int]:
+        """The target set ``T``."""
+        return {q.target for q in self._queries}
+
+    def by_source(self) -> Dict[int, List[Query]]:
+        """The 1-N query sets ``Q_{s_i}`` keyed by source."""
+        groups: Dict[int, List[Query]] = {}
+        for q in self._queries:
+            groups.setdefault(q.source, []).append(q)
+        return groups
+
+    def by_target(self) -> Dict[int, List[Query]]:
+        """The N-1 query sets ``Q_{t_j}`` keyed by target."""
+        groups: Dict[int, List[Query]] = {}
+        for q in self._queries:
+            groups.setdefault(q.target, []).append(q)
+        return groups
+
+    def deduplicated(self) -> "QuerySet":
+        """Distinct queries in first-seen order."""
+        return QuerySet(dict.fromkeys(self._queries))
+
+    def validate(self) -> None:
+        """Check Definition 1's size bounds on the deduplicated set."""
+        distinct = dict.fromkeys(self._queries)
+        n = len(distinct)
+        s = len({q.source for q in distinct})
+        t = len({q.target for q in distinct})
+        if n and not max(s, t) <= n <= s * t:
+            raise QueryError(
+                f"query set violates Definition 1: |Q|={n}, |S|={s}, |T|={t}"
+            )
+
+    # -- geometry helpers -------------------------------------------------
+    def sorted_by_euclidean(self, graph, descending: bool = True) -> "QuerySet":
+        """Queries ordered by straight-line length (longest first by default)."""
+        return QuerySet(
+            sorted(
+                self._queries,
+                key=lambda q: graph.euclidean(q.source, q.target),
+                reverse=descending,
+            )
+        )
+
+    def within_band(self, graph, min_dist: float, max_dist: float) -> "QuerySet":
+        """Queries whose Euclidean length lies in ``[min_dist, max_dist]``.
+
+        The paper filters by network distance; Euclidean is the index-free
+        stand-in used at scheduling time (Section IV-A1 uses the same
+        substitution).
+        """
+        return QuerySet(
+            q
+            for q in self._queries
+            if min_dist <= graph.euclidean(q.source, q.target) <= max_dist
+        )
+
+    def shuffled(self, seed: int = 0) -> "QuerySet":
+        """A deterministic random permutation of the batch."""
+        import random
+
+        queries = list(self._queries)
+        random.Random(seed).shuffle(queries)
+        return QuerySet(queries)

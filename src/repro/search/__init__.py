@@ -1,0 +1,33 @@
+"""Index-free shortest-path search substrate.
+
+Everything the batch layer builds on: Dijkstra and its bounded/one-to-many
+variants, A*, bidirectional Dijkstra, the generalized 1-N A* of [33], and
+ALT landmarks.  All searches report VNN (visited node number), the paper's
+cost measure.
+"""
+
+from .astar import a_star
+from .bidirectional import bidirectional_dijkstra
+from .bidirectional_astar import bidirectional_a_star
+from .common import PathResult, SearchStats, path_length, reconstruct_path
+from .dijkstra import bounded_ball, dijkstra, one_to_many, sssp_distances, sssp_tree
+from .generalized_astar import generalized_a_star, pick_representative
+from .landmarks import LandmarkIndex
+
+__all__ = [
+    "PathResult",
+    "SearchStats",
+    "a_star",
+    "bidirectional_a_star",
+    "bidirectional_dijkstra",
+    "bounded_ball",
+    "dijkstra",
+    "generalized_a_star",
+    "LandmarkIndex",
+    "one_to_many",
+    "path_length",
+    "pick_representative",
+    "reconstruct_path",
+    "sssp_distances",
+    "sssp_tree",
+]

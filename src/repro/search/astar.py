@@ -1,0 +1,65 @@
+"""A* search with an admissible Euclidean heuristic.
+
+The heuristic is ``graph.heuristic(u, t)``, i.e. the Euclidean distance
+scaled by the graph-wide minimum weight/Euclidean ratio, which keeps the
+search exact for travel-time weights as well as distance weights.  A custom
+heuristic callable (e.g. an ALT landmark bound) can be supplied instead.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from .common import PathResult, reconstruct_path
+
+Heuristic = Callable[[int], float]
+
+
+def a_star(
+    graph,
+    source: int,
+    target: int,
+    heuristic: Optional[Heuristic] = None,
+) -> PathResult:
+    """Exact point-to-point A* from ``source`` to ``target``.
+
+    ``heuristic`` maps a vertex to an admissible lower bound on its distance
+    to ``target``; when omitted the graph's scaled Euclidean bound is used.
+    """
+    if heuristic is None:
+        tx, ty = graph.coord(target)
+        scale = graph.heuristic_scale
+        xs, ys = graph.xs, graph.ys
+
+        def heuristic(u: int, _tx=tx, _ty=ty, _s=scale, _xs=xs, _ys=ys) -> float:
+            return math.hypot(_xs[u] - _tx, _ys[u] - _ty) * _s
+
+    dist: Dict[int, float] = {source: 0.0}
+    parents: Dict[int, int] = {}
+    done: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(heuristic(source), source)]
+    adj = graph._adj  # noqa: SLF001 - hot path
+    visited = 0
+    while heap:
+        f, u = heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        visited += 1
+        if u == target:
+            return PathResult(
+                source, target, dist[u], reconstruct_path(parents, source, target), visited
+            )
+        du = dist[u]
+        for v, w in adj[u]:
+            v = int(v)
+            if v in done:
+                continue
+            nd = du + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                parents[v] = u
+                heappush(heap, (nd + heuristic(v), v))
+    return PathResult(source, target, math.inf, [], visited)

@@ -1,0 +1,105 @@
+"""Bidirectional Dijkstra (Nicholson's technique, paper Section II-A).
+
+Searches forward from the source and backward from the target, alternating
+by frontier priority; terminates when the sum of both frontier minima
+exceeds the best meeting distance found so far.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Dict, List, Set, Tuple
+
+from .common import PathResult
+
+
+def bidirectional_dijkstra(graph, source: int, target: int) -> PathResult:
+    """Exact point-to-point shortest path via bidirectional Dijkstra."""
+    if source == target:
+        return PathResult(source, target, 0.0, [source], 1)
+
+    fwd_adj = graph._adj  # noqa: SLF001 - hot path
+    bwd_adj = graph._radj  # noqa: SLF001
+
+    dist_f: Dict[int, float] = {source: 0.0}
+    dist_b: Dict[int, float] = {target: 0.0}
+    par_f: Dict[int, int] = {}
+    par_b: Dict[int, int] = {}
+    done_f: Set[int] = set()
+    done_b: Set[int] = set()
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+
+    best = math.inf
+    meet = -1
+    visited = 0
+
+    def top(heap: List[Tuple[float, int]], done: Set[int]) -> float:
+        while heap and heap[0][1] in done:
+            heappop(heap)
+        return heap[0][0] if heap else math.inf
+
+    while True:
+        tf = top(heap_f, done_f)
+        tb = top(heap_b, done_b)
+        if tf + tb >= best or (not heap_f and not heap_b):
+            break
+        if tf <= tb and heap_f:
+            d, u = heappop(heap_f)
+            if u in done_f:
+                continue
+            done_f.add(u)
+            visited += 1
+            for v, w in fwd_adj[u]:
+                v = int(v)
+                nd = d + w
+                if nd < dist_f.get(v, math.inf):
+                    dist_f[v] = nd
+                    par_f[v] = u
+                    heappush(heap_f, (nd, v))
+                if v in dist_b and nd + dist_b[v] < best:
+                    best = nd + dist_b[v]
+                    meet = v
+            if u in dist_b and d + dist_b[u] < best:
+                best = d + dist_b[u]
+                meet = u
+        elif heap_b:
+            d, u = heappop(heap_b)
+            if u in done_b:
+                continue
+            done_b.add(u)
+            visited += 1
+            for v, w in bwd_adj[u]:
+                v = int(v)
+                nd = d + w
+                if nd < dist_b.get(v, math.inf):
+                    dist_b[v] = nd
+                    par_b[v] = u
+                    heappush(heap_b, (nd, v))
+                if v in dist_f and nd + dist_f[v] < best:
+                    best = nd + dist_f[v]
+                    meet = v
+            if u in dist_f and d + dist_f[u] < best:
+                best = d + dist_f[u]
+                meet = u
+        else:
+            break
+
+    if meet < 0:
+        return PathResult(source, target, math.inf, [], visited)
+
+    # Forward half: meet .. source walked via par_f.
+    fwd_half = [meet]
+    v = meet
+    while v != source:
+        v = par_f[v]
+        fwd_half.append(v)
+    fwd_half.reverse()
+    # Backward half: meet .. target walked via par_b (parents point toward target).
+    bwd_half = []
+    v = meet
+    while v != target:
+        v = par_b[v]
+        bwd_half.append(v)
+    return PathResult(source, target, best, fwd_half + bwd_half, visited)

@@ -1,0 +1,133 @@
+"""Bidirectional A* with consistent average potentials.
+
+Section II-A cites the bidirectional technique [23] as a search-space
+reducer orthogonal to the A* heuristic; combining them needs care because
+forward and backward heuristics must be *consistent with each other* for
+the standard termination rule to stay exact.  This implementation uses the
+classic average-potential construction:
+
+    pf(u) = (h(u, t) - h(s, u)) / 2        (forward potential)
+    pb(u) = -pf(u)                          (backward potential)
+
+where ``h`` is the graph's scaled Euclidean bound.  ``pf`` is feasible for
+the forward search, ``pb`` for the backward one, and ``pf + pb = 0``
+everywhere, so the plain bidirectional stopping condition
+``top_f + top_b >= best`` stays exact on the reduced costs.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Dict, List, Set, Tuple
+
+from .common import PathResult
+
+
+def bidirectional_a_star(graph, source: int, target: int) -> PathResult:
+    """Exact point-to-point search: bidirectional Dijkstra on reduced costs."""
+    if source == target:
+        return PathResult(source, target, 0.0, [source], 1)
+
+    xs, ys = graph.xs, graph.ys
+    scale = graph.heuristic_scale
+    sx, sy = xs[source], ys[source]
+    tx, ty = xs[target], ys[target]
+
+    def pf(u: int) -> float:
+        # Average potential: feasible for both directions simultaneously.
+        h_ut = math.hypot(xs[u] - tx, ys[u] - ty)
+        h_su = math.hypot(xs[u] - sx, ys[u] - sy)
+        return (h_ut - h_su) * scale / 2.0
+
+    fwd_adj = graph._adj  # noqa: SLF001 - hot path
+    bwd_adj = graph._radj  # noqa: SLF001
+
+    dist_f: Dict[int, float] = {source: 0.0}
+    dist_b: Dict[int, float] = {target: 0.0}
+    par_f: Dict[int, int] = {}
+    par_b: Dict[int, int] = {}
+    done_f: Set[int] = set()
+    done_b: Set[int] = set()
+    pf_source = pf(source)
+    pf_target = pf(target)
+    heap_f: List[Tuple[float, int]] = [(pf_source, source)]
+    heap_b: List[Tuple[float, int]] = [(-pf_target, target)]
+
+    best = math.inf
+    meet = -1
+    visited = 0
+
+    def top(heap: List[Tuple[float, int]], done: Set[int]) -> float:
+        while heap and heap[0][1] in done:
+            heappop(heap)
+        return heap[0][0] if heap else math.inf
+
+    # Reduced-cost termination.  Forward keys are dist_f + pf (offset
+    # -pf(s) dropped), backward keys dist_b - pf (offset +pf(t) dropped);
+    # in reduced costs the classic rule is top_f' + top_b' >= best', and
+    # the dropped offsets cancel against best's reduction exactly, leaving
+    # the unshifted comparison below.
+    while True:
+        tf = top(heap_f, done_f)
+        tb = top(heap_b, done_b)
+        if tf + tb >= best or (not heap_f and not heap_b):
+            break
+        if tf <= tb and heap_f:
+            _, u = heappop(heap_f)
+            if u in done_f:
+                continue
+            done_f.add(u)
+            visited += 1
+            du = dist_f[u]
+            for v, w in fwd_adj[u]:
+                v = int(v)
+                nd = du + w
+                if nd < dist_f.get(v, math.inf):
+                    dist_f[v] = nd
+                    par_f[v] = u
+                    heappush(heap_f, (nd + pf(v), v))
+                if v in dist_b and nd + dist_b[v] < best:
+                    best = nd + dist_b[v]
+                    meet = v
+            if u in dist_b and du + dist_b[u] < best:
+                best = du + dist_b[u]
+                meet = u
+        elif heap_b:
+            _, u = heappop(heap_b)
+            if u in done_b:
+                continue
+            done_b.add(u)
+            visited += 1
+            du = dist_b[u]
+            for v, w in bwd_adj[u]:
+                v = int(v)
+                nd = du + w
+                if nd < dist_b.get(v, math.inf):
+                    dist_b[v] = nd
+                    par_b[v] = u
+                    heappush(heap_b, (nd - pf(v), v))
+                if v in dist_f and nd + dist_f[v] < best:
+                    best = nd + dist_f[v]
+                    meet = v
+            if u in dist_f and du + dist_f[u] < best:
+                best = du + dist_f[u]
+                meet = u
+        else:
+            break
+
+    if meet < 0:
+        return PathResult(source, target, math.inf, [], visited)
+
+    fwd_half = [meet]
+    v = meet
+    while v != source:
+        v = par_f[v]
+        fwd_half.append(v)
+    fwd_half.reverse()
+    bwd_half = []
+    v = meet
+    while v != target:
+        v = par_b[v]
+        bwd_half.append(v)
+    return PathResult(source, target, best, fwd_half + bwd_half, visited)

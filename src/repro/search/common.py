@@ -1,0 +1,103 @@
+"""Shared result types and helpers for the search algorithms.
+
+Every search in this package reports its *visited node number* (VNN), the
+cost measure ``C(q)`` the paper uses to reason about shared computation
+(Section III-A), alongside the distance and the reconstructed path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import NoPathError
+
+
+@dataclass
+class PathResult:
+    """Outcome of a single point-to-point search.
+
+    Attributes
+    ----------
+    source, target:
+        Query endpoints.
+    distance:
+        Shortest (or approximate) travel cost; ``math.inf`` if unreachable.
+    path:
+        Vertex sequence from source to target inclusive; empty when no path
+        was found or when the caller asked for distances only.
+    visited:
+        Number of vertices settled by the search (VNN).
+    exact:
+        ``False`` for approximate answers (R2R, k-Path).
+    """
+
+    source: int
+    target: int
+    distance: float
+    path: List[int] = field(default_factory=list)
+    visited: int = 0
+    exact: bool = True
+
+    @property
+    def found(self) -> bool:
+        return self.distance != float("inf")
+
+    def require_found(self) -> "PathResult":
+        """Return self, raising :class:`NoPathError` if the search failed."""
+        if not self.found:
+            raise NoPathError(self.source, self.target)
+        return self
+
+
+def reconstruct_path(parents: Dict[int, int], source: int, target: int) -> List[int]:
+    """Walk a parent map back from ``target`` to ``source``.
+
+    ``parents`` maps a vertex to its predecessor on the shortest-path tree;
+    the source maps to itself or is absent.  Returns ``[]`` when ``target``
+    was never reached.
+    """
+    if target == source:
+        return [source]
+    if target not in parents:
+        return []
+    path = [target]
+    v = target
+    while v != source:
+        v = parents[v]
+        path.append(v)
+    path.reverse()
+    return path
+
+
+def path_length(graph, path: List[int]) -> float:
+    """Total weight of a vertex path on ``graph`` (0.0 for len <= 1)."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += graph.weight(u, v)
+    return total
+
+
+@dataclass
+class SearchStats:
+    """Aggregated accounting across many searches (VNN totals, counts)."""
+
+    searches: int = 0
+    visited: int = 0
+
+    def record(self, result: PathResult) -> PathResult:
+        self.searches += 1
+        self.visited += result.visited
+        return result
+
+    def record_visited(self, visited: int) -> None:
+        self.searches += 1
+        self.visited += visited
+
+    def merge(self, other: "SearchStats") -> None:
+        self.searches += other.searches
+        self.visited += other.visited
+
+    @property
+    def mean_visited(self) -> float:
+        return self.visited / self.searches if self.searches else 0.0

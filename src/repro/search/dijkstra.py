@@ -1,0 +1,218 @@
+"""Dijkstra's algorithm and the bounded/one-to-many variants the paper needs.
+
+Beyond the textbook point-to-point search, the batch algorithms rely on:
+
+* *backward* searches on the reverse graph (R2R's ``rDij`` in Algorithm 2),
+* *radius-bounded* ball collection (R2R stops at ``2 r*``),
+* *one-to-many* searches that stop once a target set is exhausted
+  (k-Path's per-region legs), and
+* full single-source distance arrays (used by PLL, landmarks and tests).
+
+All variants use a lazy-deletion binary heap, the standard pure-Python
+approach, and count settled vertices as the VNN cost measure.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .common import PathResult, reconstruct_path
+
+Infinity = math.inf
+
+
+def _rows(graph, backward: bool):
+    return graph._radj if backward else graph._adj  # noqa: SLF001 - hot path
+
+
+def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathResult:
+    """Point-to-point Dijkstra from ``source`` to ``target``.
+
+    With ``backward=True`` the search runs on the reverse graph, i.e. it
+    returns the shortest path *into* ``source``... more precisely the result
+    still reads "from source to target" on the reverse graph, which equals
+    the forward path from ``target`` to ``source`` reversed.
+    """
+    adj = _rows(graph, backward)
+    dist: Dict[int, float] = {source: 0.0}
+    parents: Dict[int, int] = {}
+    done: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    visited = 0
+    while heap:
+        d, u = heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        visited += 1
+        if u == target:
+            return PathResult(source, target, d, reconstruct_path(parents, source, target), visited)
+        for v, w in adj[u]:
+            v = int(v)
+            nd = d + w
+            if nd < dist.get(v, Infinity):
+                dist[v] = nd
+                parents[v] = u
+                heappush(heap, (nd, v))
+    return PathResult(source, target, Infinity, [], visited)
+
+
+def bounded_ball(
+    graph,
+    source: int,
+    radius: float,
+    backward: bool = False,
+) -> Tuple[Dict[int, float], int]:
+    """All vertices within ``radius`` of ``source`` and their distances.
+
+    Returns ``(distances, visited)`` where ``distances[v] <= radius`` for all
+    reported vertices.  This is the ``Dij(u*) < 2r*`` primitive in the R2R
+    pseudo-code (Algorithm 2, lines 3-4).
+    """
+    adj = _rows(graph, backward)
+    dist: Dict[int, float] = {source: 0.0}
+    done: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    visited = 0
+    while heap:
+        d, u = heappop(heap)
+        if u in done:
+            continue
+        if d > radius:
+            break
+        done[u] = d
+        visited += 1
+        for v, w in adj[u]:
+            v = int(v)
+            nd = d + w
+            if nd <= radius and nd < dist.get(v, Infinity):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return done, visited
+
+
+def bounded_ball_tree(
+    graph,
+    source: int,
+    radius: float,
+    backward: bool = False,
+) -> Tuple[Dict[int, float], Dict[int, int], int]:
+    """:func:`bounded_ball` plus the shortest-path-tree parent map.
+
+    R2R needs the actual leg paths (``q.s -> u*`` and ``v* -> q.t``), not
+    just their lengths; the parent map reconstructs them.
+    """
+    adj = _rows(graph, backward)
+    dist: Dict[int, float] = {source: 0.0}
+    parents: Dict[int, int] = {}
+    done: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    visited = 0
+    while heap:
+        d, u = heappop(heap)
+        if u in done:
+            continue
+        if d > radius:
+            break
+        done[u] = d
+        visited += 1
+        for v, w in adj[u]:
+            v = int(v)
+            nd = d + w
+            if nd <= radius and nd < dist.get(v, Infinity):
+                dist[v] = nd
+                parents[v] = u
+                heappush(heap, (nd, v))
+    return done, parents, visited
+
+
+def one_to_many(
+    graph,
+    source: int,
+    targets: Iterable[int],
+    backward: bool = False,
+) -> Tuple[Dict[int, float], Dict[int, int], int]:
+    """Dijkstra from ``source`` until every vertex in ``targets`` is settled.
+
+    Returns ``(distances, parents, visited)``; unreachable targets keep
+    ``math.inf`` in ``distances``.
+    """
+    remaining = set(targets)
+    adj = _rows(graph, backward)
+    dist: Dict[int, float] = {source: 0.0}
+    parents: Dict[int, int] = {}
+    done: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    visited = 0
+    found: Dict[int, float] = {}
+    while heap and remaining:
+        d, u = heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        visited += 1
+        if u in remaining:
+            remaining.discard(u)
+            found[u] = d
+        for v, w in adj[u]:
+            v = int(v)
+            nd = d + w
+            if nd < dist.get(v, Infinity):
+                dist[v] = nd
+                parents[v] = u
+                heappush(heap, (nd, v))
+    for t in remaining:
+        found[t] = Infinity
+    return found, parents, visited
+
+
+def sssp_distances(graph, source: int, backward: bool = False) -> List[float]:
+    """Full single-source shortest distances as a dense list.
+
+    Used by landmark selection, PLL construction and as the ground truth in
+    tests.  ``math.inf`` marks unreachable vertices.
+    """
+    n = graph.num_vertices
+    adj = _rows(graph, backward)
+    dist = [Infinity] * n
+    dist[source] = 0.0
+    done = [False] * n
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for v, w in adj[u]:
+            v = int(v)
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return dist
+
+
+def sssp_tree(graph, source: int, backward: bool = False) -> Tuple[List[float], Dict[int, int]]:
+    """Full SSSP distances plus the parent map (for path extraction)."""
+    n = graph.num_vertices
+    adj = _rows(graph, backward)
+    dist = [Infinity] * n
+    dist[source] = 0.0
+    parents: Dict[int, int] = {}
+    done = [False] * n
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for v, w in adj[u]:
+            v = int(v)
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parents[v] = u
+                heappush(heap, (nd, v))
+    return dist, parents

@@ -1,0 +1,170 @@
+"""Generalized 1-N A* — the batch search primitive of Zhang et al. [33].
+
+Finds shortest paths from one source to a whole target set in a single run.
+The search is guided toward a *representative* target (the farthest one, as
+in the paper) but must stay exact for every target, so the representative
+heuristic is offset by the target-set radius:
+
+    h(u) = scale * max(0, euclid(u, t*) - R),   R = max_t euclid(t, t*)
+
+For any target t, ``euclid(u, t) >= euclid(u, t*) - euclid(t, t*) >=
+euclid(u, t*) - R``, so ``h`` is an admissible and consistent lower bound on
+the distance from ``u`` to the *nearest* target, and every target is settled
+with its exact distance.  A tighter but slower ``min-target`` mode computes
+``min_t euclid(u, t)`` directly; both modes are exposed because the choice
+is one of the design points the repo ablates.
+
+The search-space of this algorithm is what Section IV-B's ellipse model
+estimates; keeping the target cloud narrow (small R) is exactly why the
+paper's decomposition bounds the cluster angle delta.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..exceptions import ConfigurationError
+from .common import PathResult, reconstruct_path
+
+HEURISTIC_MODES = ("representative", "min-target", "zero")
+
+
+def pick_representative(graph, source: int, targets: Sequence[int]) -> int:
+    """The farthest target from ``source`` by Euclidean distance ([33])."""
+    if not targets:
+        raise ConfigurationError("cannot pick a representative from no targets")
+    return max(targets, key=lambda t: graph.euclidean(source, t))
+
+
+def generalized_a_star(
+    graph,
+    source: int,
+    targets: Iterable[int],
+    mode: str = "representative",
+    landmarks=None,
+) -> Tuple[Dict[int, PathResult], int]:
+    """Exact shortest paths from ``source`` to every vertex in ``targets``.
+
+    Returns ``(results, visited)`` where ``results[t]`` is the
+    :class:`PathResult` for target ``t`` and ``visited`` is the VNN of the
+    single shared run.  Unreachable targets get ``distance == inf``.
+
+    ``landmarks`` may carry a
+    :class:`~repro.search.landmarks.LandmarkIndex`; the paper's Section
+    IV-B allows the heuristic distance to come from "Euclidean distance or
+    Landmark estimation".  With landmarks, ``min-target`` mode uses the ALT
+    bound to the nearest target directly, and ``representative`` mode takes
+    the max of the geometric offset bound and the ALT-offset bound — both
+    stay admissible because each ingredient is a lower bound on the
+    distance to the nearest target.
+    """
+    if mode not in HEURISTIC_MODES:
+        raise ConfigurationError(f"unknown heuristic mode {mode!r}; use one of {HEURISTIC_MODES}")
+    if landmarks is not None and landmarks.stale:
+        raise ConfigurationError(
+            "landmark index is stale (graph changed after construction)"
+        )
+    target_list = list(dict.fromkeys(targets))
+    if not target_list:
+        return {}, 0
+
+    xs, ys = graph.xs, graph.ys
+    scale = graph.heuristic_scale
+    extra_visited = 0
+
+    if mode == "zero" or (scale == 0.0 and landmarks is None):
+        def heuristic(u: int) -> float:
+            return 0.0
+    elif mode == "representative":
+        rep = pick_representative(graph, source, target_list)
+        rx, ry = xs[rep], ys[rep]
+        radius = max(
+            math.hypot(xs[t] - rx, ys[t] - ry) for t in target_list
+        )
+        if landmarks is None:
+            def heuristic(u: int, _rx=rx, _ry=ry, _r=radius, _s=scale) -> float:
+                return max(0.0, (math.hypot(xs[u] - _rx, ys[u] - _ry) - _r)) * _s
+        else:
+            # ALT variant: d(u, t) >= lb(u, rep) - d(t, rep), so the ALT
+            # bound toward the representative, offset by the exact network
+            # radius D = max_t d(t, rep), lower-bounds the distance to the
+            # nearest target.  D comes from one backward one-to-many run,
+            # whose VNN is charged to this batch search.
+            from .dijkstra import one_to_many
+
+            to_rep, _, extra_visited = one_to_many(
+                graph, rep, target_list, backward=True
+            )
+            finite = [d for d in to_rep.values() if not math.isinf(d)]
+            network_radius = max(finite) if len(finite) == len(target_list) else math.inf
+            lm = landmarks
+
+            def heuristic(
+                u: int, _rep=rep, _rx=rx, _ry=ry, _r=radius, _s=scale,
+                _lm=lm, _d=network_radius
+            ) -> float:
+                geo = (math.hypot(xs[u] - _rx, ys[u] - _ry) - _r) * _s
+                alt = _lm.lower_bound(u, _rep) - _d if not math.isinf(_d) else 0.0
+                return max(0.0, geo, alt)
+    else:  # min-target
+        coords = [(xs[t], ys[t]) for t in target_list]
+        if landmarks is None:
+            def heuristic(u: int, _coords=coords, _s=scale) -> float:
+                ux, uy = xs[u], ys[u]
+                return min(math.hypot(ux - tx, uy - ty) for tx, ty in _coords) * _s
+        else:
+            lm = landmarks
+
+            def heuristic(u: int, _targets=tuple(target_list), _lm=lm) -> float:
+                return min(_lm.lower_bound(u, t) for t in _targets)
+
+    remaining: Set[int] = set(target_list)
+    visited_offset = extra_visited
+    dist: Dict[int, float] = {source: 0.0}
+    parents: Dict[int, int] = {}
+    done: Set[int] = set()
+    settled: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(heuristic(source), source)]
+    adj = graph._adj  # noqa: SLF001 - hot path
+    visited = visited_offset
+    h_cache: Dict[int, float] = {}
+
+    while heap and remaining:
+        f, u = heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        visited += 1
+        if u in remaining:
+            remaining.discard(u)
+            settled[u] = dist[u]
+        du = dist[u]
+        for v, w in adj[u]:
+            v = int(v)
+            if v in done:
+                continue
+            nd = du + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                parents[v] = u
+                hv = h_cache.get(v)
+                if hv is None:
+                    hv = heuristic(v)
+                    h_cache[v] = hv
+                heappush(heap, (nd + hv, v))
+
+    results: Dict[int, PathResult] = {}
+    for t in target_list:
+        if t in settled:
+            results[t] = PathResult(
+                source, t, settled[t], reconstruct_path(parents, source, t), 0
+            )
+        else:
+            results[t] = PathResult(source, t, math.inf, [], 0)
+    # Attribute the shared VNN to the batch, not to any single query: the
+    # first result carries it so SearchStats totals remain correct.
+    if results:
+        results[target_list[0]].visited = visited
+    return results, visited

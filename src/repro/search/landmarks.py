@@ -1,0 +1,85 @@
+"""ALT landmarks (Goldberg & Harrelson) — the paper's alternative heuristic.
+
+Section IV-B notes the generalized A* heuristic can use "Euclidean distance
+or Landmark estimation".  :class:`LandmarkIndex` implements the classic ALT
+scheme: pick a few well-spread landmarks, precompute distances to and from
+each, and use the triangle inequality
+
+    d(u, t) >= max_L max(d(L, t) - d(L, u), d(u, L) - d(t, L))
+
+as an admissible, consistent heuristic.  Construction is a handful of full
+Dijkstras, so unlike CH/PLL it is cheap enough to refresh per snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional, Sequence
+
+from ..exceptions import IndexConstructionError
+from .dijkstra import sssp_distances
+
+
+class LandmarkIndex:
+    """Distances to/from a set of landmarks, with an ALT heuristic factory."""
+
+    def __init__(self, graph, num_landmarks: int = 8, seed: int = 0) -> None:
+        if num_landmarks < 1:
+            raise IndexConstructionError("need at least one landmark")
+        if graph.num_vertices == 0:
+            raise IndexConstructionError("cannot build landmarks on an empty graph")
+        self.graph = graph
+        self.graph_version = graph.version
+        self.landmarks: List[int] = self._select(graph, num_landmarks, seed)
+        #: dist_from[i][v] = d(L_i, v);  dist_to[i][v] = d(v, L_i)
+        self.dist_from: List[List[float]] = [
+            sssp_distances(graph, lm) for lm in self.landmarks
+        ]
+        self.dist_to: List[List[float]] = [
+            sssp_distances(graph, lm, backward=True) for lm in self.landmarks
+        ]
+
+    @staticmethod
+    def _select(graph, k: int, seed: int) -> List[int]:
+        """Farthest-point selection: spread landmarks across the network."""
+        rng = random.Random(seed)
+        first = rng.randrange(graph.num_vertices)
+        chosen = [first]
+        while len(chosen) < min(k, graph.num_vertices):
+            best_v = -1
+            best_d = -1.0
+            for v in range(graph.num_vertices):
+                d = min(graph.euclidean(v, c) for c in chosen)
+                if d > best_d:
+                    best_d = d
+                    best_v = v
+            chosen.append(best_v)
+        return chosen
+
+    @property
+    def stale(self) -> bool:
+        """Whether the graph changed since construction (bounds may be invalid)."""
+        return self.graph.version != self.graph_version
+
+    def lower_bound(self, u: int, t: int) -> float:
+        """ALT lower bound on d(u, t); exact heuristic for A*."""
+        best = 0.0
+        for i in range(len(self.landmarks)):
+            df = self.dist_from[i]
+            dt = self.dist_to[i]
+            a = df[t] - df[u]
+            if not math.isinf(df[t]) and not math.isinf(df[u]) and a > best:
+                best = a
+            b = dt[u] - dt[t]
+            if not math.isinf(dt[u]) and not math.isinf(dt[t]) and b > best:
+                best = b
+        return best
+
+    def heuristic_to(self, target: int) -> Callable[[int], float]:
+        """A heuristic callable ``h(u) -> lower bound on d(u, target)``."""
+
+        def h(u: int, _t=target) -> float:
+            return self.lower_bound(u, _t)
+
+        return h

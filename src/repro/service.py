@@ -1,0 +1,182 @@
+"""A batch query-answering service: the deployment-shaped entry point.
+
+Everything the paper proposes, assembled the way a routing backend would
+run it:
+
+* queries arrive continuously (any iterable of
+  :class:`~repro.queries.arrivals.TimedQuery`), are grouped into fixed
+  scheduling windows (Definition 1),
+* each window is decomposed and answered through a
+  :class:`~repro.core.dynamic.DynamicBatchSession` (cache reuse within a
+  traffic epoch, flush on weight changes),
+* an optional :class:`~repro.network.timeline.TrafficTimeline` drives the
+  snapshots as simulated time advances, and
+* per-window latency is tracked against an SLO so operators see at a
+  glance whether the current server would keep up.
+
+The service is synchronous and single-threaded by design — the paper's
+scaling story is *algorithmic* (shared computation) plus horizontal
+dispatch, which :mod:`repro.analysis.capacity` sizes from the per-window
+costs this service records.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from .core.dynamic import DynamicBatchSession
+from .core.local_cache import LocalCacheAnswerer
+from .core.results import BatchAnswer
+from .core.search_space import SearchSpaceDecomposer
+from .exceptions import ConfigurationError
+from .queries.arrivals import TimedQuery, window_batches
+from .queries.query import QuerySet
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class WindowReport:
+    """Outcome of one scheduling window."""
+
+    window_index: int
+    queries: int
+    answer: Optional[BatchAnswer]
+    wall_seconds: float
+    deadline_seconds: float
+    timeline_events: int = 0
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.wall_seconds <= self.deadline_seconds
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.answer.hit_ratio if self.answer is not None else 0.0
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate over a whole run of the service."""
+
+    windows: List[WindowReport] = field(default_factory=list)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(w.queries for w in self.windows)
+
+    @property
+    def busy_windows(self) -> int:
+        return sum(1 for w in self.windows if w.queries)
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(1 for w in self.windows if w.queries and not w.met_deadline)
+
+    @property
+    def worst_window_seconds(self) -> float:
+        busy = [w.wall_seconds for w in self.windows if w.queries]
+        return max(busy) if busy else 0.0
+
+    @property
+    def mean_hit_ratio(self) -> float:
+        busy = [w.hit_ratio for w in self.windows if w.queries]
+        return sum(busy) / len(busy) if busy else 0.0
+
+    def window_costs(self) -> List[float]:
+        """Per-window wall costs — input for the capacity planner."""
+        return [w.wall_seconds for w in self.windows if w.queries]
+
+
+class BatchQueryService:
+    """Windowed batch answering over a live road network.
+
+    Parameters
+    ----------
+    graph:
+        The (mutable) road network.
+    window_seconds:
+        Scheduling window length; also the default latency SLO (a window's
+        answers should be ready before the next window closes).
+    decomposer / answerer:
+        Injected pipeline pieces; defaults to SSE + longest-first Local
+        Cache with an LRU-refreshed 512 KiB budget per cache.
+    timeline:
+        Optional traffic timeline advanced to each window's start time.
+    deadline_seconds:
+        Latency SLO per window; defaults to ``window_seconds``.
+    """
+
+    def __init__(
+        self,
+        graph,
+        window_seconds: float = 1.0,
+        decomposer=None,
+        answerer: Optional[LocalCacheAnswerer] = None,
+        timeline=None,
+        deadline_seconds: Optional[float] = None,
+        similarity_threshold: float = 0.3,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+        self.graph = graph
+        self.window_seconds = window_seconds
+        self.deadline_seconds = (
+            window_seconds if deadline_seconds is None else deadline_seconds
+        )
+        if self.deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be positive")
+        if decomposer is None:
+            decomposer = SearchSpaceDecomposer(graph)
+        if answerer is None:
+            answerer = LocalCacheAnswerer(
+                graph, cache_bytes=512 * 1024, order="longest", eviction="lru"
+            )
+        self.session = DynamicBatchSession(
+            graph,
+            decomposer=decomposer,
+            answerer=answerer,
+            similarity_threshold=similarity_threshold,
+        )
+        self.timeline = timeline
+
+    # ------------------------------------------------------------------
+    def run(self, arrivals: Iterable[TimedQuery]) -> ServiceReport:
+        """Consume a whole arrival stream and answer it window by window."""
+        report = ServiceReport()
+        for index, batch in enumerate(window_batches(arrivals, self.window_seconds)):
+            report.windows.append(self._process_window(index, batch))
+        return report
+
+    def _process_window(self, index: int, batch: QuerySet) -> WindowReport:
+        fired = 0
+        if self.timeline is not None:
+            target = index * self.window_seconds
+            # process_window() may have advanced the clock past the window
+            # start already; the timeline is monotone, so only move forward.
+            if target > self.timeline.clock:
+                fired = self.timeline.advance_to(target)
+        if len(batch) == 0:
+            return WindowReport(index, 0, None, 0.0, self.deadline_seconds, fired)
+        start = time.perf_counter()
+        answer = self.session.process_batch(batch)
+        wall = time.perf_counter() - start
+        if wall > self.deadline_seconds:
+            logger.warning(
+                "window %d missed its %.2fs deadline (%.3fs, %d queries)",
+                index,
+                self.deadline_seconds,
+                wall,
+                len(batch),
+            )
+        return WindowReport(index, len(batch), answer, wall, self.deadline_seconds, fired)
+
+    def process_window(self, batch: QuerySet, at_seconds: Optional[float] = None) -> WindowReport:
+        """Answer one externally-formed window (e.g. replayed from a log)."""
+        if at_seconds is not None and self.timeline is not None:
+            self.timeline.advance_to(at_seconds)
+        index = int((at_seconds or 0.0) / self.window_seconds)
+        return self._process_window(index, batch)

@@ -1,0 +1,116 @@
+"""Unit tests for the capacity planner."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    CapacityPlan,
+    compare_methods,
+    scale_costs,
+    servers_needed,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestServersNeeded:
+    def test_fits_on_one_server(self):
+        plan = servers_needed([0.1, 0.2, 0.3], deadline_seconds=1.0)
+        assert plan.servers == 1
+        assert plan.makespan_seconds == pytest.approx(0.6)
+        assert plan.headroom == pytest.approx(0.4)
+
+    def test_needs_multiple_servers(self):
+        # 10 units of 0.3s against a 1s deadline: 3s of work, but 3 servers
+        # force one to take 4 units (1.2s) -> the true minimum is 4.
+        plan = servers_needed([0.3] * 10, deadline_seconds=1.0)
+        assert plan.servers == 4
+        assert plan.makespan_seconds <= 1.0
+
+    def test_minimality(self):
+        plan = servers_needed([0.3] * 10, deadline_seconds=1.0)
+        from repro.analysis.parallel import lpt_makespan
+
+        assert lpt_makespan([0.3] * 10, plan.servers - 1).makespan_seconds > 1.0
+
+    def test_indivisible_unit_beyond_deadline(self):
+        with pytest.raises(ConfigurationError):
+            servers_needed([2.0], deadline_seconds=1.0)
+
+    def test_empty_costs(self):
+        plan = servers_needed([], deadline_seconds=1.0)
+        assert plan.servers == 1
+        assert plan.total_work_seconds == 0.0
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ConfigurationError):
+            servers_needed([0.1], deadline_seconds=0.0)
+
+    def test_method_label_carried(self):
+        plan = servers_needed([0.1], 1.0, method="slc-s")
+        assert plan.method == "slc-s"
+
+
+class TestScaleCosts:
+    def test_integer_factor(self):
+        assert scale_costs([1.0, 2.0], 3.0) == [1.0, 2.0] * 3
+
+    def test_fractional_factor(self):
+        out = scale_costs([1.0, 2.0, 3.0, 4.0], 1.5)
+        assert len(out) == 6
+        assert out[:4] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_scaling_raises_server_count(self):
+        base = [0.05] * 20  # 1s of work
+        small = servers_needed(base, 1.0)
+        big = servers_needed(scale_costs(base, 10.0), 1.0)
+        assert big.servers > small.servers
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            scale_costs([1.0], 0.0)
+
+    def test_empty(self):
+        assert scale_costs([], 2.0) == []
+
+
+class TestCompareMethods:
+    def test_sorted_by_servers(self):
+        plans = [
+            CapacityPlan("a", 5, 0.9, 1.0, 4.0),
+            CapacityPlan("b", 2, 0.8, 1.0, 1.5),
+            CapacityPlan("c", 2, 0.5, 1.0, 1.0),
+        ]
+        ordered = compare_methods(plans)
+        assert [p.method for p in ordered] == ["c", "b", "a"]
+
+
+class TestEndToEnd:
+    def test_batching_reduces_server_count(self, ring, ring_workload):
+        """The paper's pitch, measured: SLC needs no more servers than A*."""
+        import time
+
+        from repro.baselines.one_by_one import OneByOneAnswerer
+        from repro.core.local_cache import LocalCacheAnswerer
+        from repro.core.search_space import SearchSpaceDecomposer
+        from repro.core.clusters import Decomposition
+        from repro.queries.query import QuerySet
+
+        batch = ring_workload.batch(120)
+        answerer = OneByOneAnswerer(ring)
+        astar_costs = []
+        for q in batch:
+            t0 = time.perf_counter()
+            answerer.answer(QuerySet([q]))
+            astar_costs.append(time.perf_counter() - t0)
+
+        decomposition = SearchSpaceDecomposer(ring).decompose(batch)
+        lc = LocalCacheAnswerer(ring, 10**6)
+        cluster_costs = []
+        for cluster in decomposition:
+            t0 = time.perf_counter()
+            lc.answer(Decomposition([cluster], "sse", 0.0))
+            cluster_costs.append(time.perf_counter() - t0)
+
+        deadline = max(sum(astar_costs), sum(cluster_costs))  # generous
+        astar_plan = servers_needed(astar_costs, deadline, method="astar")
+        slc_plan = servers_needed(cluster_costs, deadline, method="slc-s")
+        assert slc_plan.servers <= astar_plan.servers + 1

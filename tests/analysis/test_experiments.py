@@ -1,0 +1,126 @@
+"""Smoke tests for the experiment harness on the tiny network.
+
+These verify the harness produces complete, well-formed artefacts; the
+paper-shape assertions live in benchmarks/ where sizes are realistic.
+"""
+
+import pytest
+
+from repro.analysis import experiments as exp
+
+SIZES = (20, 40)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return exp.build_env(scale="tiny", seed=7)
+
+
+@pytest.fixture(scope="module")
+def cache_suites(env):
+    return exp.run_cache_suite(env, SIZES, cache_fractions=(0.7, 1.0))
+
+
+@pytest.fixture(scope="module")
+def r2r_suites(env):
+    return exp.run_r2r_suite(env, SIZES)
+
+
+class TestEnv:
+    def test_env_bands_ordered(self, env):
+        assert env.cache_band[0] < env.cache_band[1]
+        assert env.r2r_band[0] < env.r2r_band[1]
+
+
+class TestFig7a:
+    def test_series_complete(self, env):
+        result = exp.run_fig7a(env, SIZES)
+        assert result.experiment == "fig7a"
+        assert set(result.series) == {"zigzag", "search-space", "co-clustering"}
+        assert all(len(v) == len(SIZES) for v in result.series.values())
+        assert all(t >= 0 for v in result.series.values() for t in v)
+        assert "Fig 7-(a)" in result.rendered
+
+
+class TestCacheSuite:
+    def test_suites_complete(self, cache_suites):
+        assert len(cache_suites) == len(SIZES)
+        for suite in cache_suites:
+            assert set(suite.hit_ratio) == set(exp.CACHE_METHODS)
+            assert set(suite.answer_seconds) == set(exp.CACHE_METHODS)
+            assert suite.gc_bytes > 0
+
+    def test_hit_ratios_in_range(self, cache_suites):
+        for suite in cache_suites:
+            for method, ratio in suite.hit_ratio.items():
+                assert 0.0 <= ratio <= 1.0, method
+
+    def test_table1(self, env, cache_suites):
+        result = exp.run_table1(env, cache_suites)
+        assert len(result.series["cache_mb"]) == len(SIZES)
+        assert all(mb > 0 for mb in result.series["cache_mb"])
+
+    def test_fig7b(self, env, cache_suites):
+        result = exp.run_fig7b(env, cache_suites)
+        assert set(result.series) == {"gc", "zlc", "slc-r", "slc-s"}
+
+    def test_fig7c_and_e_fractions(self, env, cache_suites):
+        c = exp.run_fig7c(env, cache_suites)
+        e = exp.run_fig7e(env, cache_suites)
+        assert set(c.series) == {"70%|GC|", "100%|GC|"}
+        assert set(e.series) == {"70%|GC|", "100%|GC|"}
+
+    def test_fig7d(self, env, cache_suites):
+        result = exp.run_fig7d(env, cache_suites)
+        assert set(result.series) == set(exp.CACHE_METHODS)
+        assert all(t > 0 for v in result.series.values() for t in v)
+
+    def test_fig7d_vnn_supplement(self, env, cache_suites):
+        result = exp.run_fig7d_vnn(env, cache_suites)
+        assert set(result.series) == set(exp.CACHE_METHODS)
+        assert all(v > 0 for series in result.series.values() for v in series)
+        assert "VNN" in result.rendered
+
+    def test_sweep_visited_recorded(self, cache_suites):
+        for suite in cache_suites:
+            assert set(suite.sweep_visited) == set(suite.sweep_hit_ratio)
+            assert all(v > 0 for v in suite.sweep_visited.values())
+
+
+class TestR2RSuite:
+    def test_suites_complete(self, r2r_suites):
+        for suite in r2r_suites:
+            assert set(suite.answer_seconds) == set(exp.R2R_METHODS)
+            assert set(suite.errors) == {"k-path", "r2r-s", "r2r-r"}
+
+    def test_fig7f(self, env, r2r_suites):
+        result = exp.run_fig7f(env, r2r_suites)
+        assert set(result.series) == set(exp.R2R_METHODS)
+
+    def test_fig7f_vnn_supplement(self, env, r2r_suites):
+        result = exp.run_fig7f_vnn(env, r2r_suites)
+        assert set(result.series) == set(exp.R2R_METHODS)
+        assert all(v > 0 for series in result.series.values() for v in series)
+
+    def test_table2_r2r_bounded(self, env, r2r_suites):
+        result = exp.run_table2(env, r2r_suites)
+        for max_err in result.series["r2r_max"]:
+            assert max_err <= 5.0 + 1e-6  # eta = 5 %
+
+    def test_r2r_errors_nonnegative(self, r2r_suites):
+        for suite in r2r_suites:
+            for report in suite.errors.values():
+                assert report.average_error >= 0.0
+                assert report.max_error >= report.average_error
+
+
+class TestFig8:
+    def test_fig8_without_indexes(self, env):
+        result = exp.run_fig8(env, size=30, num_servers=4, include_indexes=False)
+        assert set(result.xs) == {"astar", "slc-s", "astar-long", "r2r-s"}
+        assert all(t >= 0 for t in result.series["seconds"])
+
+    def test_fig8_with_indexes(self, env):
+        result = exp.run_fig8(env, size=20, num_servers=4, include_indexes=True)
+        assert "ch-construction" in result.xs
+        assert "pll-construction" in result.xs

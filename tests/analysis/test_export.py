@@ -1,0 +1,101 @@
+"""Unit tests for result export and the ASCII bar renderer."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.export import (
+    answers_to_csv,
+    batch_to_json,
+    load_answers_csv,
+    series_to_csv,
+)
+from repro.analysis.tables import render_bars
+from repro.core.results import BatchAnswer
+from repro.queries.query import Query
+from repro.search.common import PathResult
+
+
+@pytest.fixture()
+def batch():
+    b = BatchAnswer(method="m", answer_seconds=1.0)
+    b.answers = [
+        (Query(0, 1), PathResult(0, 1, 5.5, [0, 1], 3, True)),
+        (Query(2, 3), PathResult(2, 3, math.inf, [], 7, True)),
+        (Query(4, 5), PathResult(4, 5, 9.25, [4, 9, 5], 0, False)),
+    ]
+    return b
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip(self, batch, tmp_path):
+        path = tmp_path / "answers.csv"
+        assert answers_to_csv(batch, path) == 3
+        rows = load_answers_csv(path)
+        assert len(rows) == 3
+        assert rows[0]["distance"] == 5.5
+        assert math.isinf(rows[1]["distance"])
+        assert rows[2]["exact"] is False
+        assert rows[2]["path_length"] == 3
+
+    def test_empty_batch(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert answers_to_csv(BatchAnswer(method="m"), path) == 0
+        assert load_answers_csv(path) == []
+
+
+class TestJson:
+    def test_payload_shape(self, batch, tmp_path):
+        path = tmp_path / "batch.json"
+        payload = batch_to_json(batch, path)
+        assert payload["method"] == "m"
+        assert payload["answers"][1]["distance"] is None  # inf -> null
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+
+    def test_no_path_returns_payload_only(self, batch):
+        payload = batch_to_json(batch)
+        assert "summary" in payload
+
+
+class TestSeriesCsv:
+    def test_tidy_rows(self, tmp_path):
+        result = ExperimentResult(
+            "figX", xs=[10, 20], series={"a": [1.0, 2.0], "b": [3.0, 4.0]}
+        )
+        path = tmp_path / "series.csv"
+        assert series_to_csv(result, path) == 4
+        text = path.read_text()
+        assert "x,series,value" in text
+        assert "10,a,1.0" in text
+
+
+class TestRenderBars:
+    def test_linear_bars(self):
+        text = render_bars(["a", "bb"], [1.0, 2.0], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_log_scale_compresses(self):
+        lin = render_bars(["x", "y"], [0.001, 1000.0])
+        log = render_bars(["x", "y"], [0.001, 1000.0], log_scale=True)
+        lin_small = lin.splitlines()[0].count("#")
+        log_small = log.splitlines()[0].count("#")
+        assert log_small >= lin_small
+
+    def test_zero_value_has_no_bar(self):
+        text = render_bars(["z"], [0.0])
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_bars(["a"], [-1.0])
+
+    def test_empty(self):
+        assert render_bars([], [], title="t") == "t"

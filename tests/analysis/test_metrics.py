@@ -1,0 +1,90 @@
+"""Unit tests for the evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    ErrorReport,
+    bytes_to_mb,
+    error_report,
+    exact_distances,
+    mean,
+    percentile,
+)
+from repro.core.results import BatchAnswer
+from repro.queries.query import Query
+from repro.search.common import PathResult
+
+
+def make_batch(entries):
+    """entries: list of (query, distance, exact)."""
+    batch = BatchAnswer(method="test")
+    for q, d, exact in entries:
+        batch.answers.append((q, PathResult(q.source, q.target, d, [], 0, exact)))
+    return batch
+
+
+class TestErrorReport:
+    def test_exact_only_batch_is_zero_error(self, ring):
+        q = Query(0, 100)
+        from repro.search.dijkstra import dijkstra
+
+        truth = dijkstra(ring, 0, 100).distance
+        batch = make_batch([(q, truth, True)])
+        report = error_report(ring, batch)
+        assert report.average_error == 0.0
+        assert report.max_error == 0.0
+        assert report.exact_count == 1
+        assert report.approximate_count == 0
+
+    def test_average_excludes_exact_answers(self, ring):
+        from repro.search.dijkstra import dijkstra
+
+        q1, q2 = Query(0, 100), Query(1, 99)
+        d1 = dijkstra(ring, 0, 100).distance
+        d2 = dijkstra(ring, 1, 99).distance
+        batch = make_batch([(q1, d1, True), (q2, d2 * 1.10, False)])
+        report = error_report(ring, batch)
+        # Average over the single approximate answer only: 10 %.
+        assert report.average_error == pytest.approx(0.10, abs=1e-9)
+        assert report.max_error == pytest.approx(0.10, abs=1e-9)
+        assert report.average_error_pct == pytest.approx(10.0, abs=1e-6)
+
+    def test_oracle_reused(self, ring):
+        q = Query(0, 100)
+        oracle = exact_distances(ring, [q])
+        batch = make_batch([(q, oracle[q] * 1.02, False)])
+        report = error_report(ring, batch, oracle)
+        assert report.average_error == pytest.approx(0.02, abs=1e-9)
+
+    def test_exact_distances_dedup(self, ring):
+        q = Query(0, 100)
+        oracle = exact_distances(ring, [q, q, q])
+        assert len(oracle) == 1
+
+
+class TestHelpers:
+    def test_bytes_to_mb(self):
+        assert bytes_to_mb(1024 * 1024) == 1.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percentile(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+        assert percentile(data, 50) == 3
+        assert percentile(data, 25) == 2.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile_single(self):
+        assert percentile([42], 99) == 42

@@ -1,0 +1,82 @@
+"""Tests for the multiprocess batch runner (exactness across processes)."""
+
+import math
+
+import pytest
+
+from repro.analysis.mp_runner import parallel_answer
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.exceptions import ConfigurationError
+from repro.search.dijkstra import dijkstra
+
+
+@pytest.fixture(scope="module")
+def decomposition(ring, ring_batch):
+    return SearchSpaceDecomposer(ring).decompose(ring_batch)
+
+
+class TestParallelLocalCache:
+    def test_exact_answers_across_processes(self, ring, ring_batch, decomposition):
+        result = parallel_answer(
+            ring,
+            decomposition,
+            answerer_kind="local-cache",
+            answerer_kwargs={"cache_bytes": 10**6},
+            workers=2,
+            min_queries_per_worker=10,
+        )
+        assert result.answer.num_queries == len(ring_batch)
+        for q, r in result.answer.answers:
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_falls_back_to_one_worker_for_small_batches(self, ring, decomposition):
+        result = parallel_answer(
+            ring, decomposition, workers=8, min_queries_per_worker=10**6
+        )
+        assert result.workers == 1
+
+    def test_accounting_aggregated(self, ring, decomposition, ring_batch):
+        result = parallel_answer(
+            ring,
+            decomposition,
+            answerer_kwargs={"cache_bytes": 10**6},
+            workers=2,
+            min_queries_per_worker=10,
+        )
+        answer = result.answer
+        assert answer.cache_hits + answer.cache_misses == len(ring_batch)
+        assert answer.visited > 0
+        assert answer.num_clusters == len(decomposition.clusters)
+
+
+class TestParallelR2R:
+    def test_error_bound_survives_processes(self, ring, ring_workload):
+        from repro.queries.workload import band_for_network
+
+        lo, hi = band_for_network(ring, "r2r")
+        batch = ring_workload.batch(40, min_dist=lo, max_dist=hi)
+        cc = CoClusteringDecomposer(ring, eta=0.05).decompose(batch)
+        result = parallel_answer(
+            ring,
+            cc,
+            answerer_kind="r2r",
+            answerer_kwargs={"eta": 0.05, "build_paths": False},
+            workers=2,
+            min_queries_per_worker=5,
+        )
+        assert result.answer.num_queries == len(batch)
+        for q, r in result.answer.answers:
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert r.distance <= truth * 1.05 + 1e-9
+
+
+class TestValidation:
+    def test_bad_workers(self, ring, decomposition):
+        with pytest.raises(ConfigurationError):
+            parallel_answer(ring, decomposition, workers=0)
+
+    def test_bad_kind(self, ring, decomposition):
+        with pytest.raises(ConfigurationError):
+            parallel_answer(ring, decomposition, answerer_kind="quantum")

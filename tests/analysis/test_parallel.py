@@ -1,0 +1,65 @@
+"""Unit tests for the LPT multi-server dispatch simulator."""
+
+import pytest
+
+from repro.analysis.parallel import (
+    ScheduleResult,
+    cluster_costs_from_answers,
+    lpt_makespan,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestLPT:
+    def test_single_server_is_total_work(self):
+        r = lpt_makespan([1.0, 2.0, 3.0], 1)
+        assert r.makespan_seconds == pytest.approx(6.0)
+        assert r.speedup == pytest.approx(1.0)
+
+    def test_perfect_split(self):
+        r = lpt_makespan([3.0, 3.0], 2)
+        assert r.makespan_seconds == pytest.approx(3.0)
+        assert r.speedup == pytest.approx(2.0)
+        assert r.utilisation == pytest.approx(1.0)
+
+    def test_indivisible_unit_bounds_makespan(self):
+        # One huge cluster dominates no matter how many servers.
+        r = lpt_makespan([10.0, 1.0, 1.0], 40)
+        assert r.makespan_seconds == pytest.approx(10.0)
+
+    def test_lpt_within_four_thirds_of_optimal(self):
+        # Classic LPT example: optimal makespan is 12 here.
+        costs = [7, 7, 6, 6, 5, 5]
+        r = lpt_makespan(costs, 3)
+        assert r.makespan_seconds <= 12 * 4 / 3 + 1e-9
+
+    def test_more_servers_never_slower(self):
+        costs = [5, 4, 3, 2, 1, 1, 1]
+        m = [lpt_makespan(costs, k).makespan_seconds for k in (1, 2, 4, 8)]
+        assert m == sorted(m, reverse=True)
+
+    def test_zero_and_negative_costs_ignored(self):
+        r = lpt_makespan([0.0, -1.0, 2.0], 2)
+        assert r.makespan_seconds == pytest.approx(2.0)
+        assert r.total_work_seconds == pytest.approx(2.0)
+
+    def test_empty_costs(self):
+        r = lpt_makespan([], 4)
+        assert r.makespan_seconds == 0.0
+        assert r.speedup == 4.0  # degenerate: defined as num_servers
+
+    def test_zero_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lpt_makespan([1.0], 0)
+
+    def test_per_server_loads_sum_to_total(self):
+        costs = [3.0, 2.5, 2.0, 1.0, 0.5]
+        r = lpt_makespan(costs, 3)
+        assert sum(r.per_server_seconds) == pytest.approx(sum(costs))
+
+
+class TestClusterCosts:
+    def test_aggregation(self):
+        answers = [(0, 1.0), (1, 2.0), (2, 3.0), (3, 1.0)]
+        costs = cluster_costs_from_answers(answers, cluster_of=lambda i: i % 2)
+        assert sorted(costs) == [3.0, 4.0]

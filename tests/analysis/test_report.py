@@ -1,0 +1,61 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.report import _HEADERS, generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text(tmp_path_factory):
+    path = tmp_path_factory.mktemp("report") / "run.md"
+    text = generate_report(
+        scale="tiny", sizes=(15, 30), seed=7, fig8_size=20, num_servers=4, path=path
+    )
+    return text, path
+
+
+class TestReport:
+    def test_written_to_disk(self, report_text):
+        text, path = report_text
+        assert path.exists()
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_all_sections_present(self, report_text):
+        text, _ = report_text
+        for header in _HEADERS.values():
+            assert header in text, header
+
+    def test_metadata_present(self, report_text):
+        text, _ = report_text
+        assert "network scale: `tiny`" in text
+        assert "[15, 30]" in text
+        assert "seed: 7" in text
+
+    def test_artefacts_embedded(self, report_text):
+        text, _ = report_text
+        assert "Fig 7-(a)" in text
+        assert "Table II" in text
+        assert "log-scale seconds" in text
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cli_run.md"
+        code = main(
+            [
+                "reproduce",
+                "--scale",
+                "tiny",
+                "--sizes",
+                "15,30",
+                "--fig8-size",
+                "20",
+                "--servers",
+                "4",
+                "--report",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "report written" in capsys.readouterr().out

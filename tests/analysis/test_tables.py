@@ -1,0 +1,68 @@
+"""Unit tests for the table/series renderers."""
+
+from repro.analysis.tables import check_monotone, format_cell, render_series, render_table
+
+
+class TestFormatCell:
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+    def test_float(self):
+        assert format_cell(1.23456) == "1.235"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_cell(123456.0)
+        assert "e" in format_cell(0.0000012)
+
+    def test_bool_not_treated_as_number(self):
+        assert format_cell(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        # Header separator present.
+        assert set(lines[2]) <= {"-", "+"}
+        # All rows same width.
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+
+class TestRenderSeries:
+    def test_series_layout(self):
+        text = render_series("size", [10, 20], {"m1": [1.0, 2.0], "m2": [3.0, 4.0]})
+        lines = text.splitlines()
+        assert "size" in lines[0]
+        assert "m1" in lines[0] and "m2" in lines[0]
+        assert len(lines) == 4  # header + sep + 2 rows
+
+
+class TestCheckMonotone:
+    def test_increasing(self):
+        assert check_monotone([1, 2, 3])
+        assert not check_monotone([1, 3, 2])
+
+    def test_decreasing(self):
+        assert check_monotone([3, 2, 1], increasing=False)
+        assert not check_monotone([1, 2], increasing=False)
+
+    def test_slack_tolerates_noise(self):
+        assert check_monotone([1.0, 0.95, 2.0], slack=0.1)
+        assert not check_monotone([1.0, 0.5, 2.0], slack=0.1)
+
+    def test_single_and_empty(self):
+        assert check_monotone([1])
+        assert check_monotone([])

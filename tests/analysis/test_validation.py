@@ -1,0 +1,66 @@
+"""Unit tests for the search-space validation study."""
+
+import pytest
+
+from repro.analysis.validation import (
+    CoverageReport,
+    astar_settled_vertices,
+    summarize_coverage,
+    validate_search_space,
+)
+from repro.queries.query import Query
+from repro.search.astar import a_star
+
+
+class TestSettledVertices:
+    def test_contains_path_vertices(self, ring):
+        settled = astar_settled_vertices(ring, 0, 100)
+        path = a_star(ring, 0, 100).path
+        assert set(path) <= settled
+
+    def test_same_vertex(self, ring):
+        assert astar_settled_vertices(ring, 5, 5) == {5}
+
+    def test_unreachable_settles_component(self, line_graph):
+        settled = astar_settled_vertices(line_graph, 2, 0)
+        assert settled == {2, 3, 4}
+
+
+class TestValidation:
+    def test_reports_shape(self, ring, ring_batch):
+        reports = validate_search_space(ring, list(ring_batch)[:20])
+        assert len(reports) == 20
+        for r in reports:
+            assert 0.0 <= r.recall <= 1.0
+            assert 0.0 <= r.precision <= 1.0
+            assert r.actual_cells > 0
+
+    def test_prediction_covers_much_of_the_search(self, ring, ring_batch):
+        """The SSE model's usefulness claim: recall is substantial."""
+        reports = validate_search_space(ring, list(ring_batch)[:40])
+        summary = summarize_coverage(reports)
+        assert summary["recall"] > 0.4
+        assert summary["precision"] > 0.2
+
+    def test_endpoint_cells_always_predicted(self, ring, ring_batch):
+        from repro.core.search_space import SearchSpaceOracle
+
+        oracle = SearchSpaceOracle(ring)
+        for q in list(ring_batch)[:10]:
+            predicted = oracle.estimate(q).covered_cells
+            assert oracle.grid.cell_of_vertex(q.source) in predicted
+            assert oracle.grid.cell_of_vertex(q.target) in predicted
+
+    def test_empty_summary(self):
+        summary = summarize_coverage([])
+        assert summary["queries"] == 0.0
+
+    def test_summary_math(self):
+        reports = [
+            CoverageReport(Query(0, 1), 10, 5, recall=1.0, precision=0.5),
+            CoverageReport(Query(1, 2), 4, 4, recall=0.5, precision=0.5),
+        ]
+        summary = summarize_coverage(reports)
+        assert summary["recall"] == pytest.approx(0.75)
+        assert summary["precision"] == pytest.approx(0.5)
+        assert summary["inflation"] == pytest.approx((10 / 5 + 4 / 4) / 2)

@@ -1,0 +1,47 @@
+"""Unit tests for the Group baseline reconstruction."""
+
+import math
+
+import pytest
+
+from repro.baselines.group import GroupAnswerer
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.queries.query import Query, QuerySet
+from repro.search.dijkstra import dijkstra
+
+
+@pytest.fixture(scope="module")
+def decomposition(ring, ring_batch):
+    return CoClusteringDecomposer(ring, eta=0.05).decompose(ring_batch)
+
+
+class TestGroup:
+    def test_all_queries_answered(self, ring, decomposition, ring_batch):
+        answer = GroupAnswerer(ring).answer(decomposition)
+        assert answer.num_queries == len(ring_batch)
+
+    def test_representative_queries_exact(self, ring, decomposition):
+        answer = GroupAnswerer(ring).answer(decomposition)
+        for q, r in answer.answers:
+            if r.exact:
+                truth = dijkstra(ring, q.source, q.target).distance
+                assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_non_representative_flagged_approximate(self, ring):
+        qs = QuerySet.from_pairs([(1, 100), (2, 100)])
+        # Force both into one cluster with a generous eta.
+        d = CoClusteringDecomposer(ring, eta=0.9).decompose(qs)
+        if len(d) != 1:
+            pytest.skip("geometry did not co-cluster the pair")
+        answer = GroupAnswerer(ring).answer(d)
+        exactness = {q: r.exact for q, r in answer.answers}
+        assert exactness[Query(1, 100)]  # the centre's source
+        assert not exactness[Query(2, 100)]
+
+    def test_no_error_bound_but_finite(self, ring, decomposition):
+        answer = GroupAnswerer(ring).answer(decomposition)
+        for q, r in answer.answers:
+            assert not math.isinf(r.distance)
+
+    def test_visited_positive(self, ring, decomposition):
+        assert GroupAnswerer(ring).answer(decomposition).visited > 0

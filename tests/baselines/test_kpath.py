@@ -1,0 +1,63 @@
+"""Unit tests for the k-Path (k=1) baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.kpath import KPathAnswerer
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.queries.query import Query, QuerySet
+from repro.queries.workload import band_for_network
+from repro.search.dijkstra import dijkstra
+
+
+@pytest.fixture(scope="module")
+def long_batch(ring, ring_workload):
+    lo, hi = band_for_network(ring, "r2r")
+    return ring_workload.batch(50, min_dist=lo, max_dist=hi)
+
+
+@pytest.fixture(scope="module")
+def decomposition(ring, long_batch):
+    return CoClusteringDecomposer(ring, eta=0.05).decompose(long_batch)
+
+
+class TestKPath:
+    def test_all_queries_answered(self, ring, decomposition, long_batch):
+        answer = KPathAnswerer(ring).answer(decomposition)
+        assert answer.num_queries == len(long_batch)
+
+    def test_answers_never_below_truth(self, ring, decomposition):
+        answer = KPathAnswerer(ring).answer(decomposition)
+        for q, r in answer.answers:
+            if math.isinf(r.distance):
+                continue
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert r.distance >= truth - 1e-9
+
+    def test_singleton_cluster_exact(self, ring):
+        qs = QuerySet([Query(0, 100)])
+        d = CoClusteringDecomposer(ring, eta=0.05).decompose(qs)
+        answer = KPathAnswerer(ring).answer(d)
+        q, r = answer.answers[0]
+        assert r.exact
+        assert math.isclose(r.distance, dijkstra(ring, 0, 100).distance)
+
+    def test_border_query_is_exact(self, ring, decomposition):
+        answer = KPathAnswerer(ring).answer(decomposition)
+        exact = [r for _, r in answer.answers if r.exact]
+        assert exact  # at least the spine endpoints per multi cluster
+
+    def test_error_can_exceed_r2r_bound(self, ring, decomposition):
+        """k-Path has no error guarantee; we only check it stays finite."""
+        answer = KPathAnswerer(ring).answer(decomposition)
+        for q, r in answer.answers:
+            assert not math.isinf(r.distance)
+
+    def test_visited_accounted(self, ring, decomposition):
+        answer = KPathAnswerer(ring).answer(decomposition)
+        assert answer.visited > 0
+
+    def test_method_label(self, ring, decomposition):
+        answer = KPathAnswerer(ring).answer(decomposition, method="kp")
+        assert answer.method == "kp"

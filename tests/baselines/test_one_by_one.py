@@ -1,0 +1,40 @@
+"""Unit tests for the per-query baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.one_by_one import OneByOneAnswerer
+from repro.exceptions import ConfigurationError
+from repro.search.dijkstra import dijkstra
+
+
+class TestOneByOne:
+    def test_astar_exact(self, ring, ring_batch):
+        answer = OneByOneAnswerer(ring, "astar").answer(ring_batch)
+        for q, r in answer.answers:
+            assert math.isclose(
+                r.distance, dijkstra(ring, q.source, q.target).distance, rel_tol=1e-12
+            )
+
+    def test_dijkstra_variant(self, ring, ring_batch):
+        answer = OneByOneAnswerer(ring, "dijkstra").answer(ring_batch[:10])
+        assert answer.num_queries == 10
+
+    def test_astar_visits_fewer(self, ring, ring_batch):
+        astar = OneByOneAnswerer(ring, "astar").answer(ring_batch)
+        dij = OneByOneAnswerer(ring, "dijkstra").answer(ring_batch)
+        assert astar.visited <= dij.visited
+
+    def test_method_label(self, ring, ring_batch):
+        answer = OneByOneAnswerer(ring).answer(ring_batch[:5], method="custom")
+        assert answer.method == "custom"
+
+    def test_unknown_algorithm_rejected(self, ring):
+        with pytest.raises(ConfigurationError):
+            OneByOneAnswerer(ring, "bfs")
+
+    def test_visited_accumulates(self, ring, ring_batch):
+        answer = OneByOneAnswerer(ring).answer(ring_batch[:10])
+        assert answer.visited == sum(r.visited for _, r in answer.answers)
+        assert answer.visited > 0

@@ -1,0 +1,50 @@
+"""Unit tests for the Zigzag-Petal baseline."""
+
+import math
+
+import pytest
+
+from repro.baselines.zigzag_petal import ZigzagPetalAnswerer
+from repro.queries.query import QuerySet
+from repro.search.dijkstra import dijkstra
+
+
+class TestZigzagPetal:
+    def test_all_queries_answered_exactly(self, ring, ring_batch):
+        answer = ZigzagPetalAnswerer(ring).answer(ring_batch)
+        assert answer.num_queries == len(ring_batch)
+        for q, r in answer.answers:
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_duplicates_preserved(self, ring):
+        qs = QuerySet.from_pairs([(0, 100), (0, 100), (0, 50)])
+        answer = ZigzagPetalAnswerer(ring).answer(qs)
+        assert answer.num_queries == 3
+
+    def test_shared_runs_reduce_vnn(self, ring):
+        # Eight queries from one source to a tight target cloud.
+        anchor = 100
+        targets = sorted(
+            range(ring.num_vertices), key=lambda v: ring.euclidean(anchor, v)
+        )[:8]
+        qs = QuerySet.from_pairs([(0, t) for t in targets])
+        petal = ZigzagPetalAnswerer(ring).answer(qs)
+        separate = sum(dijkstra(ring, 0, t).visited for t in targets)
+        assert petal.visited < separate
+
+    def test_petal_count_recorded(self, ring, ring_batch):
+        answer = ZigzagPetalAnswerer(ring).answer(ring_batch)
+        assert 0 < answer.num_clusters <= len(ring_batch.deduplicated())
+
+    def test_min_target_mode(self, ring, ring_batch):
+        answer = ZigzagPetalAnswerer(ring, heuristic_mode="min-target").answer(
+            ring_batch[:20]
+        )
+        for q, r in answer.answers:
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_decompose_time_recorded(self, ring, ring_batch):
+        answer = ZigzagPetalAnswerer(ring).answer(ring_batch)
+        assert answer.decompose_seconds >= 0.0

@@ -1,0 +1,77 @@
+"""Shared fixtures: small deterministic networks and query batches."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.generators import beijing_like, grid_city
+from repro.network.graph import RoadNetwork
+from repro.queries.query import Query, QuerySet
+from repro.queries.workload import WorkloadGenerator
+from repro.search.dijkstra import dijkstra
+
+
+@pytest.fixture(scope="session")
+def grid6() -> RoadNetwork:
+    """A 6x6 jittered grid city (72 directed edge pairs), fully connected."""
+    return grid_city(6, 6, spacing=1.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ring() -> RoadNetwork:
+    """The tiny Beijing-like ring-radial network (145 vertices)."""
+    return beijing_like("tiny", seed=5)
+
+
+@pytest.fixture()
+def line_graph() -> RoadNetwork:
+    """A 5-vertex directed path 0 -> 1 -> 2 -> 3 -> 4, unit-ish weights."""
+    xs = [0.0, 1.0, 2.0, 3.0, 4.0]
+    ys = [0.0, 0.0, 0.0, 0.0, 0.0]
+    g = RoadNetwork(xs, ys)
+    for i in range(4):
+        g.add_edge(i, i + 1, 1.0 + 0.1 * i)
+    return g
+
+
+@pytest.fixture(scope="session")
+def ring_workload(ring) -> WorkloadGenerator:
+    return WorkloadGenerator(ring, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ring_batch(ring) -> QuerySet:
+    """A deterministic 80-query batch on the ring network.
+
+    Drawn from a private generator so the batch does not depend on how
+    many draws other tests made from the shared ``ring_workload``.
+    """
+    return WorkloadGenerator(ring, seed=101).batch(80)
+
+
+@pytest.fixture(scope="session")
+def grid_workload(grid6) -> WorkloadGenerator:
+    return WorkloadGenerator(grid6, seed=13)
+
+
+@pytest.fixture(scope="session")
+def grid_batch(grid6) -> QuerySet:
+    return WorkloadGenerator(grid6, seed=103).batch(40)
+
+
+def exact_distance(graph, source: int, target: int) -> float:
+    """Ground truth used across tests."""
+    return dijkstra(graph, source, target).distance
+
+
+def assert_valid_path(graph, path, source, target, distance, tol=1e-9):
+    """A path must be a real edge walk from source to target of given length."""
+    assert path[0] == source
+    assert path[-1] == target
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        assert graph.has_edge(u, v), f"missing edge ({u}, {v})"
+        total += graph.weight(u, v)
+    assert math.isclose(total, distance, rel_tol=0, abs_tol=tol)

@@ -1,0 +1,161 @@
+"""Unit tests for the PathCache structure (Figure 5)."""
+
+import math
+
+import pytest
+
+from repro.core.cache import BYTES_PER_PATH, BYTES_PER_VERTEX, PathCache, path_size_bytes
+from repro.exceptions import CacheError
+from repro.network.supervertex import SuperVertexMap
+from repro.search.astar import a_star
+from repro.search.dijkstra import dijkstra
+
+
+@pytest.fixture()
+def cache(ring):
+    return PathCache(ring)
+
+
+def shortest_path(ring, s, t):
+    return a_star(ring, s, t).path
+
+
+class TestInsertLookup:
+    def test_exact_endpoints_hit(self, ring, cache):
+        path = shortest_path(ring, 0, 100)
+        pid = cache.insert(path)
+        assert pid is not None
+        hit = cache.lookup(0, 100)
+        assert hit is not None
+        assert hit.exact
+        assert hit.path == path
+        assert math.isclose(hit.distance, dijkstra(ring, 0, 100).distance)
+
+    def test_subpath_hit_is_exact_shortest(self, ring, cache):
+        path = shortest_path(ring, 0, 100)
+        cache.insert(path)
+        # Every ordered sub-pair of the cached path must hit with the true
+        # shortest distance (sub-path optimality).
+        for i in range(0, len(path) - 1, 3):
+            for j in range(i + 1, len(path), 4):
+                hit = cache.lookup(path[i], path[j])
+                assert hit is not None
+                truth = dijkstra(ring, path[i], path[j]).distance
+                assert math.isclose(hit.distance, truth, rel_tol=1e-12)
+
+    def test_reverse_order_is_miss(self, ring, cache):
+        path = shortest_path(ring, 0, 100)
+        cache.insert(path)
+        # Cached paths are directed: t -> s is not answerable.
+        assert cache.lookup(path[-1], path[0]) is None or path[-1] == path[0]
+
+    def test_miss_for_uncached_pair(self, ring, cache):
+        cache.insert(shortest_path(ring, 0, 100))
+        assert cache.lookup(1, 2) is None
+
+    def test_best_of_multiple_paths(self, ring, cache):
+        p1 = shortest_path(ring, 0, 100)
+        p2 = shortest_path(ring, 0, 60)
+        cache.insert(p1)
+        cache.insert(p2)
+        hit = cache.lookup(0, p1[-1])
+        assert hit is not None
+        assert math.isclose(hit.distance, dijkstra(ring, 0, p1[-1]).distance)
+
+    def test_short_path_not_inserted(self, ring, cache):
+        assert cache.insert([5]) is None
+        assert cache.insert([]) is None
+
+    def test_hit_miss_counters(self, ring, cache):
+        cache.insert(shortest_path(ring, 0, 100))
+        cache.lookup(0, 100)
+        cache.lookup(1, 2)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_contains_pair_does_not_touch_counters(self, ring, cache):
+        cache.insert(shortest_path(ring, 0, 100))
+        assert cache.contains_pair(0, 100)
+        assert not cache.contains_pair(1, 2)
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestCapacity:
+    def test_size_accounting(self, ring):
+        c = PathCache(ring)
+        path = shortest_path(ring, 0, 100)
+        c.insert(path)
+        assert c.size_bytes == path_size_bytes(path)
+        assert path_size_bytes(path) == BYTES_PER_PATH + BYTES_PER_VERTEX * len(path)
+
+    def test_capacity_rejects_overflow(self, ring):
+        path = shortest_path(ring, 0, 100)
+        c = PathCache(ring, capacity_bytes=path_size_bytes(path))
+        assert c.insert(path) is not None
+        other = shortest_path(ring, 5, 80)
+        assert c.insert(other) is None
+        assert c.rejected_inserts == 1
+        assert c.num_paths == 1
+
+    def test_zero_capacity_rejects_everything(self, ring):
+        c = PathCache(ring, capacity_bytes=0)
+        assert c.insert(shortest_path(ring, 0, 100)) is None
+
+    def test_negative_capacity_rejected(self, ring):
+        with pytest.raises(CacheError):
+            PathCache(ring, capacity_bytes=-1)
+
+    def test_would_fit(self, ring):
+        path = shortest_path(ring, 0, 100)
+        c = PathCache(ring, capacity_bytes=path_size_bytes(path))
+        assert c.would_fit(path)
+        c.insert(path)
+        assert not c.would_fit(path)
+
+    def test_clear_resets(self, ring):
+        c = PathCache(ring)
+        c.insert(shortest_path(ring, 0, 100))
+        c.clear()
+        assert c.size_bytes == 0
+        assert len(c) == 0
+        assert c.lookup(0, 100) is None
+
+
+class TestSuperVertices:
+    def test_super_vertex_hit_flagged_inexact(self, ring):
+        sm = SuperVertexMap(ring, snap_radius=1.5)
+        c = PathCache(ring, super_map=sm)
+        path = shortest_path(ring, 0, 100)
+        c.insert(path)
+        # Find a vertex co-located with a path vertex but not on the path.
+        on_path = set(path)
+        twin = None
+        for v in range(ring.num_vertices):
+            if v in on_path:
+                continue
+            if sm.super_of(v) in {sm.super_of(p) for p in path[1:-1]}:
+                twin = v
+                break
+        if twin is None:
+            pytest.skip("no co-located twin on this network")
+        hit = c.lookup(path[0], twin)
+        assert hit is not None
+        assert not hit.exact
+
+    def test_exact_match_stays_exact_with_super_map(self, ring):
+        sm = SuperVertexMap(ring, snap_radius=1.5)
+        c = PathCache(ring, super_map=sm)
+        path = shortest_path(ring, 0, 100)
+        c.insert(path)
+        hit = c.lookup(0, 100)
+        assert hit is not None and hit.exact
+
+
+class TestPathsSnapshot:
+    def test_paths_returns_copies(self, ring, cache):
+        p = shortest_path(ring, 0, 100)
+        cache.insert(p)
+        snapshot = cache.paths()
+        snapshot[0].append(-1)
+        assert cache.lookup(0, 100).path == p

@@ -1,0 +1,101 @@
+"""Unit tests for the cache eviction policies (the [30] extension)."""
+
+import math
+
+import pytest
+
+from repro.core.cache import PathCache, path_size_bytes
+from repro.exceptions import CacheError
+from repro.search.astar import a_star
+from repro.search.dijkstra import dijkstra
+
+
+def sp(ring, s, t):
+    return a_star(ring, s, t).path
+
+
+@pytest.fixture()
+def three_paths(ring):
+    return [sp(ring, 0, 100), sp(ring, 5, 80), sp(ring, 20, 130)]
+
+
+def capacity_for(paths, count):
+    """A capacity that holds exactly the `count` largest of `paths`."""
+    sizes = sorted((path_size_bytes(p) for p in paths), reverse=True)
+    return sum(sizes[:count])
+
+
+class TestLRU:
+    def test_lru_evicts_oldest_unused(self, ring, three_paths):
+        cap = max(path_size_bytes(p) for p in three_paths) * 2
+        cache = PathCache(ring, capacity_bytes=cap, eviction="lru")
+        p1, p2, p3 = three_paths
+        cache.insert(p1)
+        cache.insert(p2)
+        # Touch p1 so p2 becomes the LRU victim.
+        cache.lookup(p1[0], p1[-1])
+        cache.insert(p3)  # must evict to fit
+        assert cache.evictions >= 1
+        assert cache.lookup(p3[0], p3[-1]) is not None
+        assert cache.size_bytes <= cap
+
+    def test_eviction_keeps_answers_correct(self, ring, three_paths):
+        cap = capacity_for(three_paths, 2)
+        cache = PathCache(ring, capacity_bytes=cap, eviction="lru")
+        for p in three_paths:
+            cache.insert(p)
+        for p in three_paths:
+            hit = cache.lookup(p[0], p[-1])
+            if hit is None:
+                continue
+            truth = dijkstra(ring, p[0], p[-1]).distance
+            assert math.isclose(hit.distance, truth, rel_tol=1e-12)
+
+    def test_path_larger_than_capacity_rejected(self, ring, three_paths):
+        tiny = PathCache(ring, capacity_bytes=8, eviction="lru")
+        assert tiny.insert(three_paths[0]) is None
+        assert tiny.rejected_inserts == 1
+
+
+class TestBenefit:
+    def test_benefit_evicts_unhit_path(self, ring, three_paths):
+        cap = capacity_for(three_paths, 2) + path_size_bytes(three_paths[2]) // 2
+        cache = PathCache(ring, capacity_bytes=cap, eviction="benefit")
+        p1, p2, p3 = three_paths
+        cache.insert(p1)
+        cache.insert(p2)
+        # p1 earns hits; p2 earns none -> p2 is the benefit victim.
+        for _ in range(3):
+            cache.lookup(p1[0], p1[-1])
+        cache.insert(p3)
+        assert cache.lookup(p1[0], p1[-1]) is not None  # survivor
+        assert cache.lookup(p3[0], p3[-1]) is not None  # newcomer
+
+    def test_size_never_exceeds_capacity_under_churn(self, ring):
+        cap = 600
+        cache = PathCache(ring, capacity_bytes=cap, eviction="benefit")
+        for t in range(20, 140, 7):
+            r = a_star(ring, 0, t)
+            if r.found:
+                cache.insert(r.path)
+            assert cache.size_bytes <= cap
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self, ring):
+        with pytest.raises(CacheError):
+            PathCache(ring, eviction="fifo")
+
+    def test_none_policy_never_evicts(self, ring, three_paths):
+        cap = capacity_for(three_paths, 1)
+        cache = PathCache(ring, capacity_bytes=cap, eviction="none")
+        inserted = [cache.insert(p) for p in three_paths]
+        assert cache.evictions == 0
+        assert sum(1 for pid in inserted if pid is not None) <= 2
+
+    def test_clear_resets_eviction_state(self, ring, three_paths):
+        cache = PathCache(ring, capacity_bytes=10**6, eviction="lru")
+        cache.insert(three_paths[0])
+        cache.clear()
+        assert cache._last_used == {}
+        assert cache._hit_count == {}

@@ -1,0 +1,92 @@
+"""Unit tests for cluster/decomposition result types."""
+
+import pytest
+
+from repro.core.clusters import Decomposition, QueryCluster
+from repro.exceptions import DecompositionError
+from repro.queries.query import Query, QuerySet
+
+
+def make_cluster(pairs, **kw):
+    return QueryCluster(queries=[Query(s, t) for s, t in pairs], **kw)
+
+
+class TestQueryCluster:
+    def test_len_iter_add(self):
+        c = make_cluster([(0, 1)])
+        c.add(Query(2, 3))
+        assert len(c) == 2
+        assert list(c) == [Query(0, 1), Query(2, 3)]
+
+    def test_sources_targets(self):
+        c = make_cluster([(0, 1), (0, 2)])
+        assert c.sources == {0}
+        assert c.targets == {1, 2}
+
+    def test_as_query_set(self):
+        c = make_cluster([(0, 1)])
+        assert isinstance(c.as_query_set(), QuerySet)
+
+    def test_sorted_longest_first(self, grid6):
+        c = make_cluster([(0, 1), (0, 35), (0, 7)])
+        ordered = c.sorted_longest_first(grid6)
+        dists = [grid6.euclidean(q.source, q.target) for q in ordered.queries]
+        assert dists == sorted(dists, reverse=True)
+        # Original untouched, metadata carried over.
+        assert c.queries[0] == Query(0, 1)
+        assert ordered.kind == c.kind
+
+
+class TestDecomposition:
+    def test_validate_accepts_partition(self):
+        original = QuerySet.from_pairs([(0, 1), (2, 3), (4, 5)])
+        d = Decomposition(
+            [make_cluster([(0, 1), (2, 3)]), make_cluster([(4, 5)])], "test"
+        )
+        assert d.validate(original) is d
+
+    def test_validate_rejects_missing_query(self):
+        original = QuerySet.from_pairs([(0, 1), (2, 3)])
+        d = Decomposition([make_cluster([(0, 1)])], "test")
+        with pytest.raises(DecompositionError):
+            d.validate(original)
+
+    def test_validate_rejects_duplicated_query(self):
+        original = QuerySet.from_pairs([(0, 1)])
+        d = Decomposition([make_cluster([(0, 1)]), make_cluster([(0, 1)])], "test")
+        with pytest.raises(DecompositionError):
+            d.validate(original)
+
+    def test_validate_rejects_foreign_query(self):
+        original = QuerySet.from_pairs([(0, 1)])
+        d = Decomposition([make_cluster([(0, 1), (9, 9)])], "test")
+        with pytest.raises(DecompositionError):
+            d.validate(original)
+
+    def test_validate_multiplicity_aware(self):
+        original = QuerySet.from_pairs([(0, 1), (0, 1)])
+        ok = Decomposition([make_cluster([(0, 1), (0, 1)])], "test")
+        ok.validate(original)
+        bad = Decomposition([make_cluster([(0, 1)])], "test")
+        with pytest.raises(DecompositionError):
+            bad.validate(original)
+
+    def test_counts_and_summary(self):
+        d = Decomposition(
+            [make_cluster([(0, 1), (2, 3)]), make_cluster([(4, 5)])],
+            "test",
+            elapsed_seconds=0.5,
+        )
+        assert len(d) == 2
+        assert d.num_queries == 3
+        assert d.cluster_sizes == [2, 1]
+        s = d.summary()
+        assert s["clusters"] == 2.0
+        assert s["singletons"] == 1.0
+        assert s["max_cluster"] == 2.0
+        assert s["elapsed_seconds"] == 0.5
+
+    def test_empty_decomposition_summary(self):
+        s = Decomposition([], "test").summary()
+        assert s["clusters"] == 0.0
+        assert s["mean_cluster"] == 0.0

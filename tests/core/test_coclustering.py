@@ -1,0 +1,90 @@
+"""Unit tests for the Coherence-Aware Co-Clustering decomposition."""
+
+import pytest
+
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.core.wspd import cocluster_radius
+from repro.exceptions import ConfigurationError
+from repro.queries.query import Query, QuerySet
+
+
+class TestAlgorithm1:
+    def test_partition(self, ring, ring_batch):
+        d = CoClusteringDecomposer(ring).decompose(ring_batch)
+        assert d.num_queries == len(ring_batch)
+
+    def test_members_within_radius_of_center(self, ring, ring_batch):
+        d = CoClusteringDecomposer(ring).decompose(ring_batch)
+        for cluster in d:
+            center = cluster.center
+            assert center is not None and cluster.radius is not None
+            for q in cluster.queries:
+                assert ring.euclidean(q.source, center.source) <= cluster.radius + 1e-9
+                assert ring.euclidean(q.target, center.target) <= cluster.radius + 1e-9
+
+    def test_first_member_is_center(self, ring, ring_batch):
+        d = CoClusteringDecomposer(ring).decompose(ring_batch)
+        for cluster in d:
+            assert cluster.queries[0] == cluster.center
+
+    def test_radius_formula(self, ring):
+        eta = 0.05
+        d = CoClusteringDecomposer(ring, eta=eta).decompose(
+            QuerySet([Query(0, 100)])
+        )
+        cluster = d.clusters[0]
+        expected = cocluster_radius(eta, ring.euclidean(0, 100))
+        assert cluster.radius == pytest.approx(expected)
+
+    def test_larger_eta_fewer_clusters(self, ring, ring_batch):
+        tight = CoClusteringDecomposer(ring, eta=0.01).decompose(ring_batch)
+        loose = CoClusteringDecomposer(ring, eta=0.5).decompose(ring_batch)
+        assert len(loose) <= len(tight)
+
+    def test_clusters_are_dumbbells(self, ring, ring_batch):
+        d = CoClusteringDecomposer(ring).decompose(ring_batch)
+        assert all(c.kind == "dumbbell" for c in d)
+
+    def test_empty(self, ring):
+        assert len(CoClusteringDecomposer(ring).decompose(QuerySet())) == 0
+
+    def test_duplicates_join_same_cluster(self, ring):
+        qs = QuerySet.from_pairs([(0, 100), (0, 100)])
+        d = CoClusteringDecomposer(ring).decompose(qs)
+        assert len(d) == 1
+        assert len(d.clusters[0]) == 2
+
+    def test_invalid_eta(self, ring):
+        for eta in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigurationError):
+                CoClusteringDecomposer(ring, eta=eta)
+
+
+class TestAcceleration:
+    def test_accelerated_equals_linear(self, ring, ring_batch):
+        linear = CoClusteringDecomposer(ring, accelerate=False).decompose(ring_batch)
+        fast = CoClusteringDecomposer(ring, accelerate=True).decompose(ring_batch)
+        assert [c.queries for c in linear] == [c.queries for c in fast]
+        assert [c.center for c in linear] == [c.center for c in fast]
+
+    def test_accelerated_equals_linear_large_eta(self, ring, ring_batch):
+        # Large radii exercise the grid rebuild path.
+        linear = CoClusteringDecomposer(ring, eta=0.6, accelerate=False).decompose(
+            ring_batch
+        )
+        fast = CoClusteringDecomposer(ring, eta=0.6, accelerate=True).decompose(
+            ring_batch
+        )
+        assert [c.queries for c in linear] == [c.queries for c in fast]
+
+    def test_accelerated_equals_linear_on_grid(self, grid6, grid_batch):
+        linear = CoClusteringDecomposer(grid6, accelerate=False).decompose(grid_batch)
+        fast = CoClusteringDecomposer(grid6, accelerate=True).decompose(grid_batch)
+        assert [c.queries for c in linear] == [c.queries for c in fast]
+
+    def test_radius_for_helper(self, ring):
+        d = CoClusteringDecomposer(ring, eta=0.05)
+        q = Query(0, 100)
+        assert d.radius_for(q) == pytest.approx(
+            cocluster_radius(0.05, ring.euclidean(0, 100))
+        )

@@ -1,0 +1,94 @@
+"""Unit tests for the DBSCAN strawman decomposition."""
+
+import pytest
+
+from repro.core.dbscan import NOISE, DBSCANDecomposer, angular_spread, dbscan
+from repro.core.zigzag import ZigzagDecomposer
+from repro.exceptions import ConfigurationError
+from repro.queries.query import Query, QuerySet
+
+
+class TestDBSCAN:
+    def test_two_blobs(self):
+        pts = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1), (5.0, 5.0), (5.1, 5.0), (5.0, 5.1)]
+        labels = dbscan(pts, eps=0.5, min_points=3)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_noise_points(self):
+        pts = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1), (50.0, 50.0)]
+        labels = dbscan(pts, eps=0.5, min_points=3)
+        assert labels[3] == NOISE
+
+    def test_border_point_joins_cluster(self):
+        # A point within eps of a core point but itself not core.
+        pts = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1), (0.55, 0.0)]
+        labels = dbscan(pts, eps=0.5, min_points=3)
+        assert labels[3] == labels[0]
+
+    def test_min_points_one_everything_clusters(self):
+        pts = [(0.0, 0.0), (10.0, 10.0)]
+        labels = dbscan(pts, eps=0.5, min_points=1)
+        assert NOISE not in labels
+        assert labels[0] != labels[1]
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            dbscan([], eps=0.0)
+        with pytest.raises(ConfigurationError):
+            dbscan([], eps=1.0, min_points=0)
+
+    def test_empty_input(self):
+        assert dbscan([], eps=1.0) == []
+
+    def test_labels_deterministic(self):
+        pts = [(float(i % 7), float(i % 5)) for i in range(40)]
+        assert dbscan(pts, 1.5) == dbscan(pts, 1.5)
+
+
+class TestDBSCANDecomposer:
+    def test_partition(self, ring, ring_batch):
+        d = DBSCANDecomposer(ring, eps=5.0).decompose(ring_batch)
+        assert d.num_queries == len(ring_batch)
+
+    def test_duplicates_kept(self, ring):
+        qs = QuerySet.from_pairs([(0, 100), (0, 100)])
+        d = DBSCANDecomposer(ring, eps=5.0).decompose(qs)
+        assert d.num_queries == 2
+
+    def test_noise_endpoints_stay_separate(self, ring):
+        # Two queries with far-apart everything: min_points high forces noise.
+        qs = QuerySet.from_pairs([(0, 100), (50, 10)])
+        d = DBSCANDecomposer(ring, eps=0.001, min_points=5).decompose(qs)
+        assert len(d) == 2
+
+    def test_invalid_eps(self, ring):
+        with pytest.raises(ConfigurationError):
+            DBSCANDecomposer(ring, eps=0.0)
+
+    def test_angular_spread_wider_than_ad_petals(self, ring, ring_workload):
+        """The paper's argument: density clusters ignore direction, so
+        their angular spread blows past the AD petals' delta bound."""
+        batch = ring_workload.batch(120)
+        ad = ZigzagDecomposer(ring, absorb_singletons=False).decompose(batch)
+        db = DBSCANDecomposer(ring, eps=8.0, min_points=3).decompose(batch)
+
+        def worst_multi(decomposition):
+            spreads = [
+                angular_spread(ring, c) for c in decomposition if len(c) > 1
+            ]
+            return max(spreads) if spreads else 0.0
+
+        # DBSCAN clusters can be arbitrarily wide; petals are delta-bounded
+        # per side (the zigzag union can widen them, hence the slack).
+        assert worst_multi(db) >= worst_multi(ad) * 0.5
+
+    def test_angular_spread_helper(self, ring):
+        cluster_queries = [Query(0, 100), Query(0, 101)]
+        from repro.core.clusters import QueryCluster
+
+        c = QueryCluster(queries=cluster_queries)
+        assert 0.0 <= angular_spread(ring, c) <= 180.0
+        single = QueryCluster(queries=[Query(0, 100)])
+        assert angular_spread(ring, single) == 0.0

@@ -1,0 +1,88 @@
+"""Decomposition methods across network topologies.
+
+The headline tests run on the ring-radial city; these re-verify the
+invariants on a Manhattan grid and an irregular Delaunay network, where
+road directions, vertex densities and detour factors all differ.
+"""
+
+import math
+
+import pytest
+
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.r2r import RegionToRegionAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.core.zigzag import ZigzagDecomposer
+from repro.network.generators import grid_city, random_geometric_city
+from repro.queries.workload import WorkloadGenerator
+from repro.search.dijkstra import dijkstra
+
+TOPOLOGIES = {
+    "manhattan": lambda: grid_city(8, 8, spacing=2.0, seed=33),
+    "delaunay": lambda: random_geometric_city(120, side=30.0, seed=33),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(TOPOLOGIES), ids=str)
+def topo(request):
+    graph = TOPOLOGIES[request.param]()
+    workload = WorkloadGenerator(graph, seed=2)
+    return graph, workload.batch(100)
+
+
+class TestDecompositionInvariants:
+    def test_zigzag_partition(self, topo):
+        graph, batch = topo
+        d = ZigzagDecomposer(graph).decompose(batch)
+        assert d.num_queries == len(batch)
+
+    def test_sse_partition_and_membership(self, topo):
+        graph, batch = topo
+        d = SearchSpaceDecomposer(graph).decompose(batch)
+        assert d.num_queries == len(batch)
+        grid = SearchSpaceDecomposer(graph).oracle.grid
+        for cluster in d:
+            for q in cluster.queries:
+                assert grid.cell_of_vertex(q.source) in cluster.covered_cells
+                assert grid.cell_of_vertex(q.target) in cluster.covered_cells
+
+    def test_cocluster_radius_invariant(self, topo):
+        graph, batch = topo
+        d = CoClusteringDecomposer(graph, eta=0.05).decompose(batch)
+        for cluster in d:
+            for q in cluster.queries:
+                assert (
+                    graph.euclidean(q.source, cluster.center.source)
+                    <= cluster.radius + 1e-9
+                )
+
+
+class TestAnsweringInvariants:
+    def test_local_cache_exact(self, topo):
+        graph, batch = topo
+        d = SearchSpaceDecomposer(graph).decompose(batch)
+        answer = LocalCacheAnswerer(graph, 10**6).answer(d)
+        for q, r in answer.answers:
+            truth = dijkstra(graph, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_r2r_bounded(self, topo):
+        graph, batch = topo
+        d = CoClusteringDecomposer(graph, eta=0.05).decompose(batch)
+        answer = RegionToRegionAnswerer(graph, eta=0.05).answer(d)
+        for q, r in answer.answers:
+            truth = dijkstra(graph, q.source, q.target).distance
+            assert r.distance <= truth * 1.05 + 1e-9
+
+    def test_indexes_exact(self, topo):
+        graph, batch = topo
+        from repro.index.arcflags import ArcFlags
+        from repro.index.pll import PrunedLandmarkLabeling
+
+        af = ArcFlags(graph, cells_per_side=3)
+        pll = PrunedLandmarkLabeling(graph)
+        for q in list(batch)[:15]:
+            truth = dijkstra(graph, q.source, q.target).distance
+            assert math.isclose(af.distance(q.source, q.target), truth, rel_tol=1e-9)
+            assert math.isclose(pll.distance(q.source, q.target), truth, rel_tol=1e-9)

@@ -1,0 +1,97 @@
+"""Unit tests for the dynamic batch session (Section V-A3)."""
+
+import math
+
+import pytest
+
+from repro.core.dynamic import DynamicBatchSession
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.exceptions import ConfigurationError
+from repro.search.dijkstra import dijkstra
+
+
+def make_session(graph, similarity_threshold=0.3):
+    return DynamicBatchSession(
+        graph,
+        decomposer=SearchSpaceDecomposer(graph),
+        answerer=LocalCacheAnswerer(graph, cache_bytes=10**6),
+        similarity_threshold=similarity_threshold,
+    )
+
+
+@pytest.fixture()
+def mutable_ring(ring):
+    return ring.copy()
+
+
+class TestCorrectness:
+    def test_all_batches_answered_exactly(self, mutable_ring, ring_workload):
+        session = make_session(mutable_ring)
+        for batch in ring_workload.batch_stream(2, 30):
+            answer = session.process_batch(batch)
+            assert answer.num_queries == len(batch)
+            for q, r in answer.answers:
+                truth = dijkstra(mutable_ring, q.source, q.target).distance
+                assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_correct_after_weight_change(self, mutable_ring, ring_workload):
+        session = make_session(mutable_ring)
+        batch1 = ring_workload.batch(30)
+        session.process_batch(batch1)
+        # Traffic jam: double every weight (a new snapshot).
+        mutable_ring.scale_weights(2.0)
+        batch2 = ring_workload.batch(30)
+        answer = session.process_batch(batch2)
+        for q, r in answer.answers:
+            truth = dijkstra(mutable_ring, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+
+class TestCacheLifecycle:
+    def test_caches_created_on_first_batch(self, mutable_ring, ring_workload):
+        session = make_session(mutable_ring)
+        session.process_batch(ring_workload.batch(30))
+        assert session.caches_created > 0
+        assert session.live_cache_count == session.caches_created
+
+    def test_similar_batches_reuse_caches(self, mutable_ring, ring_workload):
+        session = make_session(mutable_ring, similarity_threshold=0.2)
+        batch = ring_workload.batch(40)
+        session.process_batch(batch)
+        # The same batch again: footprints are identical, reuse must happen.
+        session.process_batch(batch)
+        assert session.caches_reused > 0
+
+    def test_reuse_improves_hit_ratio(self, mutable_ring, ring_workload):
+        session = make_session(mutable_ring, similarity_threshold=0.2)
+        batch = ring_workload.batch(40)
+        first = session.process_batch(batch)
+        second = session.process_batch(batch)
+        assert second.hit_ratio >= first.hit_ratio
+
+    def test_weight_change_flushes_caches(self, mutable_ring, ring_workload):
+        session = make_session(mutable_ring)
+        session.process_batch(ring_workload.batch(30))
+        created_before = session.caches_created
+        mutable_ring.scale_weights(1.5)
+        session.process_batch(ring_workload.batch(30))
+        assert session.epochs_flushed == 1
+        assert session.caches_created > created_before
+
+    def test_no_flush_within_epoch(self, mutable_ring, ring_workload):
+        session = make_session(mutable_ring)
+        session.process_batch(ring_workload.batch(20))
+        session.process_batch(ring_workload.batch(20))
+        assert session.epochs_flushed == 0
+
+
+class TestValidation:
+    def test_bad_threshold(self, mutable_ring):
+        with pytest.raises(ConfigurationError):
+            DynamicBatchSession(
+                mutable_ring,
+                decomposer=SearchSpaceDecomposer(mutable_ring),
+                answerer=LocalCacheAnswerer(mutable_ring),
+                similarity_threshold=0.0,
+            )

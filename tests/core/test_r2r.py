@@ -1,0 +1,132 @@
+"""Unit tests for the error-bounded Region-to-Region algorithm."""
+
+import math
+
+import pytest
+
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.core.r2r import RegionToRegionAnswerer
+from repro.exceptions import ConfigurationError
+from repro.queries.workload import band_for_network
+from repro.search.dijkstra import dijkstra
+from tests.conftest import assert_valid_path
+
+ETA = 0.05
+
+
+@pytest.fixture(scope="module")
+def long_batch(ring, ring_workload):
+    lo, hi = band_for_network(ring, "r2r")
+    return ring_workload.batch(60, min_dist=lo, max_dist=hi)
+
+
+@pytest.fixture(scope="module")
+def decomposition(ring, long_batch):
+    return CoClusteringDecomposer(ring, eta=ETA).decompose(long_batch)
+
+
+@pytest.fixture(scope="module")
+def answer(ring, decomposition):
+    return RegionToRegionAnswerer(ring, eta=ETA, selection="longest").answer(
+        decomposition
+    )
+
+
+class TestErrorBound:
+    def test_every_answer_within_eta(self, ring, answer):
+        for q, r in answer.answers:
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert r.distance >= truth - 1e-9  # never below the true optimum
+            assert r.distance <= truth * (1 + ETA) + 1e-9
+
+    def test_random_selection_also_bounded(self, ring, decomposition):
+        ans = RegionToRegionAnswerer(ring, eta=ETA, selection="random", seed=5).answer(
+            decomposition
+        )
+        for q, r in ans.answers:
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert r.distance <= truth * (1 + ETA) + 1e-9
+
+    def test_tighter_eta_tighter_answers(self, ring, decomposition, long_batch):
+        tight_d = CoClusteringDecomposer(ring, eta=0.01).decompose(long_batch)
+        tight = RegionToRegionAnswerer(ring, eta=0.01).answer(tight_d)
+        for q, r in tight.answers:
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert r.distance <= truth * 1.01 + 1e-9
+
+
+class TestPaths:
+    def test_approximate_paths_are_realisable(self, ring, answer):
+        """Every reported path must be a genuine walk of the right length."""
+        for q, r in answer.answers:
+            if not r.found or not r.path:
+                continue
+            assert_valid_path(ring, r.path, q.source, q.target, r.distance, tol=1e-6)
+
+    def test_representatives_answered_exactly(self, ring, answer):
+        exact = [(q, r) for q, r in answer.answers if r.exact]
+        assert exact  # at least one representative per cluster
+        for q, r in exact:
+            truth = dijkstra(ring, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_approximate_answers_flagged(self, answer):
+        flags = {r.exact for _, r in answer.answers}
+        assert True in flags  # representatives
+
+    def test_paths_optional(self, ring, decomposition):
+        ans = RegionToRegionAnswerer(ring, eta=ETA, build_paths=False).answer(
+            decomposition
+        )
+        approx = [r for _, r in ans.answers if not r.exact]
+        assert all(r.path == [] for r in approx)
+
+
+class TestAccounting:
+    def test_all_queries_answered(self, answer, long_batch):
+        assert answer.num_queries == len(long_batch)
+
+    def test_longest_representative_picked_first(self, ring, decomposition):
+        cluster = max(decomposition.clusters, key=len)
+        answerer = RegionToRegionAnswerer(ring, eta=ETA, selection="longest")
+        import random
+
+        rep = answerer._pick_representative(list(cluster.queries), random.Random(0))
+        longest = max(
+            cluster.queries, key=lambda q: ring.euclidean(q.source, q.target)
+        )
+        assert ring.euclidean(rep.source, rep.target) == pytest.approx(
+            ring.euclidean(longest.source, longest.target)
+        )
+
+    def test_visited_positive(self, answer):
+        assert answer.visited > 0
+
+    def test_fewer_searches_than_astar_baseline(self, ring, decomposition, long_batch):
+        """R2R's raison d'etre: less work than answering each query alone."""
+        multi = [c for c in decomposition.clusters if len(c) > 1]
+        if not multi:
+            pytest.skip("decomposition produced only singletons at this scale")
+        ans = RegionToRegionAnswerer(ring, eta=ETA).answer(decomposition)
+        astar_visited = sum(
+            dijkstra(ring, q.source, q.target).visited for q in long_batch
+        )
+        assert ans.visited < astar_visited * 2  # bounded even with ball overhead
+
+
+class TestValidation:
+    def test_bad_selection(self, ring):
+        with pytest.raises(ConfigurationError):
+            RegionToRegionAnswerer(ring, selection="best")
+
+    def test_bad_eta(self, ring):
+        with pytest.raises(ConfigurationError):
+            RegionToRegionAnswerer(ring, eta=0.0)
+
+    def test_duplicates_answered_per_occurrence(self, ring):
+        from repro.queries.query import QuerySet
+
+        qs = QuerySet.from_pairs([(0, 100), (0, 100)])
+        d = CoClusteringDecomposer(ring, eta=ETA).decompose(qs)
+        ans = RegionToRegionAnswerer(ring, eta=ETA).answer(d)
+        assert ans.num_queries == 2

@@ -1,0 +1,63 @@
+"""Unit tests for the BatchAnswer result container."""
+
+import pytest
+
+from repro.core.results import BatchAnswer
+from repro.queries.query import Query
+from repro.search.common import PathResult
+
+
+def make_answer():
+    batch = BatchAnswer(method="m", decompose_seconds=0.5, answer_seconds=1.5)
+    batch.answers = [
+        (Query(0, 1), PathResult(0, 1, 10.0, [0, 1], 5, True)),
+        (Query(0, 1), PathResult(0, 1, 12.0, [0, 1], 0, False)),
+        (Query(2, 3), PathResult(2, 3, 7.0, [2, 3], 3, True)),
+    ]
+    batch.visited = 8
+    batch.cache_hits = 1
+    batch.cache_misses = 2
+    batch.cache_bytes = 2 * 1024 * 1024
+    batch.num_clusters = 2
+    return batch
+
+
+class TestBatchAnswer:
+    def test_totals(self):
+        b = make_answer()
+        assert b.total_seconds == pytest.approx(2.0)
+        assert b.num_queries == 3
+
+    def test_hit_ratio(self):
+        b = make_answer()
+        assert b.hit_ratio == pytest.approx(1 / 3)
+
+    def test_hit_ratio_no_cache(self):
+        assert BatchAnswer(method="m").hit_ratio == 0.0
+
+    def test_distances_takes_min_over_duplicates(self):
+        b = make_answer()
+        d = b.distances()
+        assert d[Query(0, 1)] == 10.0
+        assert d[Query(2, 3)] == 7.0
+
+    def test_approximate_answers(self):
+        b = make_answer()
+        approx = b.approximate_answers()
+        assert len(approx) == 1
+        assert approx[0][1].distance == 12.0
+
+    def test_summary_keys_and_values(self):
+        s = make_answer().summary()
+        assert s["queries"] == 3.0
+        assert s["clusters"] == 2.0
+        assert s["total_seconds"] == pytest.approx(2.0)
+        assert s["visited"] == 8.0
+        assert s["cache_mb"] == pytest.approx(2.0)
+        assert 0.0 <= s["hit_ratio"] <= 1.0
+
+    def test_empty_answer(self):
+        b = BatchAnswer(method="empty")
+        assert b.num_queries == 0
+        assert b.distances() == {}
+        assert b.summary()["queries"] == 0.0

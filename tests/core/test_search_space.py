@@ -1,0 +1,128 @@
+"""Unit tests for the Search-Space Estimation decomposition."""
+
+import pytest
+
+from repro.core.search_space import (
+    SearchSpaceDecomposer,
+    SearchSpaceOracle,
+    overlap_coefficient,
+)
+from repro.exceptions import ConfigurationError
+from repro.queries.query import Query, QuerySet
+
+
+@pytest.fixture(scope="module")
+def oracle(ring):
+    return SearchSpaceOracle(ring)
+
+
+class TestOracle:
+    def test_covered_cells_contain_endpoints(self, ring, oracle):
+        q = Query(0, 100)
+        est = oracle.estimate(q)
+        assert oracle.grid.cell_of_vertex(q.source) in est.covered_cells
+        assert oracle.grid.cell_of_vertex(q.target) in est.covered_cells
+
+    def test_theta_in_range(self, ring, oracle, ring_batch):
+        for q in list(ring_batch)[:20]:
+            est = oracle.estimate(q)
+            assert 0.0 <= est.theta <= 45.0
+
+    def test_bearing_in_range(self, oracle, ring_batch):
+        for q in list(ring_batch)[:20]:
+            assert 0.0 <= oracle.estimate(q).bearing < 360.0
+
+    def test_ellipse_focus_is_source(self, ring, oracle):
+        q = Query(3, 90)
+        est = oracle.estimate(q)
+        assert est.ellipse.f1 == ring.coord(3)
+
+    def test_longer_query_covers_more_cells(self, ring, oracle):
+        short = min(
+            (Query(0, t) for t in range(1, 40)),
+            key=lambda q: ring.euclidean(q.source, q.target),
+        )
+        long = max(
+            (Query(0, t) for t in range(40, 140)),
+            key=lambda q: ring.euclidean(q.source, q.target),
+        )
+        assert len(oracle.estimate(long).covered_cells) >= len(
+            oracle.estimate(short).covered_cells
+        )
+
+
+class TestOverlapCoefficient:
+    def test_identical_sets(self):
+        assert overlap_coefficient({(0, 0), (1, 1)}, {(0, 0), (1, 1)}) == 1.0
+
+    def test_subset_is_one(self):
+        assert overlap_coefficient({(0, 0)}, {(0, 0), (1, 1)}) == 1.0
+
+    def test_disjoint_zero(self):
+        assert overlap_coefficient({(0, 0)}, {(1, 1)}) == 0.0
+
+    def test_empty_zero(self):
+        assert overlap_coefficient(set(), {(0, 0)}) == 0.0
+
+    def test_partial(self):
+        a = {(0, 0), (1, 1)}
+        b = {(1, 1), (2, 2), (3, 3)}
+        assert overlap_coefficient(a, b) == pytest.approx(0.5)
+
+
+class TestDecomposer:
+    def test_partition(self, ring, ring_batch):
+        d = SearchSpaceDecomposer(ring).decompose(ring_batch)
+        assert d.num_queries == len(ring_batch)
+
+    def test_handles_duplicates(self, ring):
+        qs = QuerySet.from_pairs([(0, 100), (0, 100), (1, 99)])
+        d = SearchSpaceDecomposer(ring).decompose(qs)
+        assert d.num_queries == 3
+
+    def test_empty(self, ring):
+        assert len(SearchSpaceDecomposer(ring).decompose(QuerySet())) == 0
+
+    def test_members_share_seed_space(self, ring, ring_batch):
+        """Members' endpoints must lie in the cluster's covered cells.
+
+        Holds before and after merging: merging unions the cell sets.
+        """
+        d = SearchSpaceDecomposer(ring).decompose(ring_batch.deduplicated())
+        grid = SearchSpaceOracle(ring).grid
+        for cluster in d:
+            for q in cluster.queries:
+                assert grid.cell_of_vertex(q.source) in cluster.covered_cells
+                assert grid.cell_of_vertex(q.target) in cluster.covered_cells
+
+    def test_merge_reduces_or_keeps_cluster_count(self, ring, ring_batch):
+        strict = SearchSpaceDecomposer(ring, merge_threshold=1.0).decompose(ring_batch)
+        loose = SearchSpaceDecomposer(ring, merge_threshold=0.2).decompose(ring_batch)
+        assert len(loose) <= len(strict)
+
+    def test_clusters_have_direction_and_cells(self, ring, ring_batch):
+        d = SearchSpaceDecomposer(ring).decompose(ring_batch)
+        for cluster in d:
+            assert cluster.direction is not None
+            assert cluster.covered_cells
+
+    def test_deterministic(self, ring, ring_batch):
+        a = SearchSpaceDecomposer(ring).decompose(ring_batch)
+        b = SearchSpaceDecomposer(ring).decompose(ring_batch)
+        assert [c.queries for c in a] == [c.queries for c in b]
+
+    def test_invalid_parameters(self, ring):
+        with pytest.raises(ConfigurationError):
+            SearchSpaceDecomposer(ring, delta=0.0)
+        with pytest.raises(ConfigurationError):
+            SearchSpaceDecomposer(ring, merge_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            SearchSpaceDecomposer(ring, merge_threshold=1.5)
+
+    def test_shared_grid_reused(self, ring, ring_batch):
+        from repro.network.grid import GridIndex
+
+        grid = GridIndex(ring, levels=5)
+        d = SearchSpaceDecomposer(ring, grid=grid)
+        assert d.oracle.grid is grid
+        d.decompose(ring_batch)

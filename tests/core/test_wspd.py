@@ -1,0 +1,113 @@
+"""Unit tests for the eta-approximation maths (Section IV-C2)."""
+
+import math
+
+import pytest
+
+from repro.core.wspd import (
+    EtaBound,
+    approximation_upper_bound,
+    cocluster_radius,
+    error_from_separation,
+    guaranteed_radius,
+    region_radius,
+    relative_error,
+    separation_factor,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSeparation:
+    def test_paper_value(self):
+        # eta = 0.05 -> s = 4/0.05 + 2 = 82.
+        assert separation_factor(0.05) == pytest.approx(82.0)
+
+    def test_roundtrip(self):
+        for eta in (0.01, 0.05, 0.2, 0.5):
+            assert error_from_separation(separation_factor(eta)) == pytest.approx(eta)
+
+    def test_invalid_eta(self):
+        for eta in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ConfigurationError):
+                separation_factor(eta)
+
+    def test_invalid_separation(self):
+        with pytest.raises(ConfigurationError):
+            error_from_separation(2.0)
+
+
+class TestRadii:
+    def test_guaranteed_radius_formula(self):
+        eta, d = 0.05, 100.0
+        assert guaranteed_radius(eta, d) == pytest.approx(eta * d / (8 + 4 * eta))
+
+    def test_region_radius_is_double(self):
+        assert region_radius(0.05, 100.0) == pytest.approx(
+            2 * guaranteed_radius(0.05, 100.0)
+        )
+
+    def test_radius_grows_with_distance(self):
+        assert guaranteed_radius(0.05, 200.0) > guaranteed_radius(0.05, 100.0)
+
+    def test_radius_grows_with_eta(self):
+        assert guaranteed_radius(0.1, 100.0) > guaranteed_radius(0.05, 100.0)
+
+    def test_zero_distance(self):
+        assert guaranteed_radius(0.05, 0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            guaranteed_radius(0.05, -1.0)
+
+    def test_cocluster_radius_applies_detour(self):
+        base = guaranteed_radius(0.05, 100.0)
+        assert cocluster_radius(0.05, 100.0) == pytest.approx(1.2 * base)
+        assert cocluster_radius(0.05, 100.0, detour_ratio=1.0) == pytest.approx(base)
+
+    def test_detour_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cocluster_radius(0.05, 100.0, detour_ratio=0.9)
+
+
+class TestErrorBoundSoundness:
+    def test_worst_case_three_leg_error_within_eta(self):
+        """The algebra of Eqs. 9-13: detouring via representatives u*, v*
+        at distance <= r from the endpoints costs at most eta relative."""
+        eta = 0.05
+        d_rep = 100.0
+        r = guaranteed_radius(eta, d_rep)
+        # Worst case: both legs at the full radius 2r (Theorem 1's region),
+        # true distance at its smallest compatible value d_rep - 4r.
+        approx = 2 * r + d_rep + 2 * r
+        true_lower = d_rep - 4 * r
+        assert (approx - true_lower) / true_lower <= eta + 1e-9
+
+    def test_upper_bound_helper(self):
+        assert approximation_upper_bound(0.05, 100.0) == pytest.approx(105.0)
+
+
+class TestRelativeError:
+    def test_zero_for_exact(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_positive_error(self):
+        assert relative_error(100.0, 105.0) == pytest.approx(0.05)
+
+    def test_zero_exact_zero_approx(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_exact_positive_approx(self):
+        assert math.isinf(relative_error(0.0, 1.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(-1.0, 1.0)
+
+
+class TestEtaBound:
+    def test_bundle(self):
+        b = EtaBound(0.05)
+        assert b.separation == pytest.approx(82.0)
+        assert b.r_star(100.0) == pytest.approx(guaranteed_radius(0.05, 100.0))
+        assert b.region(100.0) == pytest.approx(region_radius(0.05, 100.0))
+        assert b.cluster_radius(100.0) == pytest.approx(cocluster_radius(0.05, 100.0))

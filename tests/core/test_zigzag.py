@@ -1,0 +1,115 @@
+"""Unit tests for the Zigzag decomposition."""
+
+import pytest
+
+from repro.core.zigzag import ZigzagDecomposer, ad_decompose
+from repro.exceptions import ConfigurationError
+from repro.network.spatial import angular_difference, bearing_angle
+from repro.queries.query import Query, QuerySet
+
+
+class TestADDecompose:
+    def test_every_query_in_exactly_one_petal(self, ring, ring_batch):
+        groups = ring_batch.deduplicated().by_source()
+        source, queries = max(groups.items(), key=lambda kv: len(kv[1]))
+        petals = ad_decompose(ring, source, queries, delta=30.0, anchor_is_source=True)
+        flat = [q for petal in petals for q in petal]
+        assert sorted(flat) == sorted(queries)
+
+    def test_petal_angle_within_delta(self, ring, ring_batch):
+        delta = 30.0
+        groups = ring_batch.deduplicated().by_source()
+        source, queries = max(groups.items(), key=lambda kv: len(kv[1]))
+        ax, ay = ring.coord(source)
+        for petal in ad_decompose(ring, source, queries, delta, anchor_is_source=True):
+            bearings = [
+                bearing_angle(ring.xs[q.target] - ax, ring.ys[q.target] - ay)
+                for q in petal
+            ]
+            # Every pair within a petal differs by at most delta (each is
+            # within delta/2 of the seed axis).
+            for a in bearings:
+                for b in bearings:
+                    assert angular_difference(a, b) <= delta + 1e-9
+
+    def test_seed_is_farthest(self, ring):
+        source = 0
+        queries = [Query(source, t) for t in (10, 50, 100)]
+        petals = ad_decompose(ring, source, queries, 30.0, anchor_is_source=True)
+        first_seed = petals[0][0]
+        assert ring.euclidean(source, first_seed.target) == max(
+            ring.euclidean(source, t) for t in (10, 50, 100)
+        )
+
+    def test_anchor_is_target_mode(self, ring):
+        target = 5
+        queries = [Query(s, target) for s in (10, 50, 100)]
+        petals = ad_decompose(ring, target, queries, 30.0, anchor_is_source=False)
+        assert sorted(q for petal in petals for q in petal) == sorted(queries)
+
+    def test_wide_delta_single_petal(self, ring):
+        queries = [Query(0, t) for t in (10, 50, 100, 130)]
+        petals = ad_decompose(ring, 0, queries, 360.0, anchor_is_source=True)
+        assert len(petals) == 1
+
+    def test_invalid_delta(self, ring):
+        with pytest.raises(ConfigurationError):
+            ad_decompose(ring, 0, [], 0.0, True)
+
+
+class TestZigzagDecomposer:
+    def test_partition(self, ring, ring_batch):
+        d = ZigzagDecomposer(ring).decompose(ring_batch)
+        d.validate(ring_batch)  # idempotent re-check
+        assert d.num_queries == len(ring_batch)
+
+    def test_handles_duplicates(self, ring):
+        qs = QuerySet.from_pairs([(0, 10), (0, 10), (5, 50)])
+        d = ZigzagDecomposer(ring).decompose(qs)
+        assert d.num_queries == 3
+
+    def test_merges_shared_endpoint_queries(self, ring):
+        # A clean M-N block: sources 1 and 2 are adjacent ring slots, so
+        # seen from the far targets they fall in the same backward petal.
+        qs = QuerySet.from_pairs([(1, 100), (1, 101), (2, 100), (2, 101)])
+        d = ZigzagDecomposer(ring, absorb_singletons=False).decompose(qs)
+        # The zigzag merge should unite the block into one cluster.
+        assert len(d) == 1
+
+    def test_absorbs_singleton_inside_hulls(self, ring):
+        qs = QuerySet.from_pairs(
+            [(0, 100), (0, 101), (1, 100), (2, 101), (1, 99)]
+        )
+        with_abs = ZigzagDecomposer(ring, absorb_singletons=True).decompose(qs)
+        without = ZigzagDecomposer(ring, absorb_singletons=False).decompose(qs)
+        assert len(with_abs) <= len(without)
+        with_abs.validate(qs)
+
+    def test_empty_query_set(self, ring):
+        d = ZigzagDecomposer(ring).decompose(QuerySet())
+        assert len(d) == 0
+        assert d.num_queries == 0
+
+    def test_single_query(self, ring):
+        d = ZigzagDecomposer(ring).decompose(QuerySet([Query(0, 10)]))
+        assert len(d) == 1
+        assert d.clusters[0].queries == [Query(0, 10)]
+
+    def test_method_and_elapsed_recorded(self, ring, ring_batch):
+        d = ZigzagDecomposer(ring).decompose(ring_batch)
+        assert d.method == "zigzag"
+        assert d.elapsed_seconds >= 0.0
+
+    def test_bad_delta_rejected(self, ring):
+        with pytest.raises(ConfigurationError):
+            ZigzagDecomposer(ring, delta=-5.0)
+
+    def test_deterministic(self, ring, ring_batch):
+        a = ZigzagDecomposer(ring).decompose(ring_batch)
+        b = ZigzagDecomposer(ring).decompose(ring_batch)
+        assert [c.queries for c in a] == [c.queries for c in b]
+
+    def test_smaller_delta_no_fewer_clusters(self, ring, ring_batch):
+        wide = ZigzagDecomposer(ring, delta=120.0).decompose(ring_batch)
+        narrow = ZigzagDecomposer(ring, delta=10.0).decompose(ring_batch)
+        assert len(narrow) >= len(wide) * 0.8  # clusters shrink as delta does

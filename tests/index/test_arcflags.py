@@ -1,0 +1,97 @@
+"""Unit tests for the Arc-Flags index."""
+
+import math
+
+import pytest
+
+from repro.exceptions import IndexConstructionError
+from repro.index.arcflags import ArcFlags, grid_regions
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork
+from repro.search.dijkstra import dijkstra, sssp_distances
+from tests.conftest import assert_valid_path
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return grid_city(5, 5, seed=8)
+
+
+@pytest.fixture(scope="module")
+def af(small_grid):
+    return ArcFlags(small_grid, cells_per_side=3)
+
+
+class TestRegions:
+    def test_every_vertex_assigned(self, small_grid):
+        regions = grid_regions(small_grid, 3)
+        assert len(regions) == small_grid.num_vertices
+        assert all(0 <= r < 9 for r in regions)
+
+    def test_multiple_regions_used(self, small_grid):
+        assert len(set(grid_regions(small_grid, 3))) > 1
+
+    def test_single_cell_is_one_region(self, small_grid):
+        assert set(grid_regions(small_grid, 1)) == {0}
+
+    def test_validation(self, small_grid):
+        with pytest.raises(IndexConstructionError):
+            grid_regions(small_grid, 0)
+        with pytest.raises(IndexConstructionError):
+            grid_regions(RoadNetwork([], []), 2)
+
+
+class TestExactness:
+    def test_all_pairs_match_dijkstra(self, small_grid, af):
+        n = small_grid.num_vertices
+        for s in range(0, n, 3):
+            truth = sssp_distances(small_grid, s)
+            for t in range(0, n, 4):
+                assert math.isclose(
+                    af.distance(s, t), truth[t], rel_tol=1e-9
+                ), (s, t)
+
+    def test_paths_are_valid(self, small_grid, af):
+        for s, t in [(0, 24), (3, 20), (12, 7)]:
+            r = af.query(s, t)
+            assert_valid_path(small_grid, r.path, s, t, r.distance, tol=1e-9)
+
+    def test_ring_sample(self, ring):
+        af = ArcFlags(ring, cells_per_side=3)
+        for s, t in [(0, 70), (12, 140), (99, 3)]:
+            truth = dijkstra(ring, s, t).distance
+            assert math.isclose(af.distance(s, t), truth, rel_tol=1e-9)
+
+    def test_directed_graph(self, line_graph):
+        af = ArcFlags(line_graph, cells_per_side=2)
+        assert math.isclose(af.distance(0, 4), 1.0 + 1.1 + 1.2 + 1.3)
+        assert math.isinf(af.distance(4, 0))
+
+
+class TestPruning:
+    def test_prunes_versus_plain_dijkstra(self, small_grid, af):
+        """Cross-region queries must settle fewer vertices than Dijkstra."""
+        total_af = total_dij = 0
+        for s, t in [(0, 24), (4, 20), (2, 22)]:
+            total_af += af.query(s, t).visited
+            total_dij += dijkstra(small_grid, s, t).visited
+        assert total_af <= total_dij
+
+    def test_flag_bits_bounded(self, small_grid, af):
+        assert 0 < af.flag_bits_set <= small_grid.num_edges * af.num_regions
+
+
+class TestLifecycle:
+    def test_construction_time_recorded(self, af):
+        assert af.construction_seconds > 0.0
+
+    def test_stale_flag(self, small_grid):
+        g = small_grid.copy()
+        af = ArcFlags(g, cells_per_side=2)
+        u, v, w = next(iter(g.edges()))
+        g.set_weight(u, v, w * 2)
+        assert af.stale
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            ArcFlags(RoadNetwork([], []))

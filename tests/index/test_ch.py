@@ -1,0 +1,81 @@
+"""Unit tests for Contraction Hierarchies."""
+
+import math
+
+import pytest
+
+from repro.exceptions import IndexConstructionError
+from repro.index.ch import ContractionHierarchy
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork
+from repro.search.dijkstra import dijkstra, sssp_distances
+from tests.conftest import assert_valid_path
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return grid_city(5, 5, seed=8)
+
+
+@pytest.fixture(scope="module")
+def ch(small_grid):
+    return ContractionHierarchy(small_grid)
+
+
+class TestDistances:
+    def test_all_pairs_match_dijkstra(self, small_grid, ch):
+        n = small_grid.num_vertices
+        for s in range(0, n, 3):
+            truth = sssp_distances(small_grid, s)
+            for t in range(0, n, 4):
+                got = ch.distance(s, t)
+                assert math.isclose(got, truth[t], rel_tol=1e-9), (s, t)
+
+    def test_same_vertex(self, ch):
+        assert ch.distance(3, 3) == 0.0
+
+    def test_directed_graph(self, line_graph):
+        ch = ContractionHierarchy(line_graph)
+        assert math.isclose(ch.distance(0, 4), 1.0 + 1.1 + 1.2 + 1.3)
+        assert math.isinf(ch.distance(4, 0))
+
+    def test_ring_sample(self, ring):
+        ch = ContractionHierarchy(ring)
+        for s, t in [(0, 70), (12, 140), (99, 3)]:
+            truth = dijkstra(ring, s, t).distance
+            assert math.isclose(ch.distance(s, t), truth, rel_tol=1e-9)
+
+
+class TestPaths:
+    def test_unpacked_path_valid(self, small_grid, ch):
+        for s, t in [(0, 24), (3, 20), (10, 14)]:
+            r = ch.query(s, t)
+            assert_valid_path(small_grid, r.path, s, t, r.distance, tol=1e-6)
+
+    def test_path_has_no_shortcuts(self, small_grid, ch):
+        r = ch.query(0, 24)
+        for u, v in zip(r.path, r.path[1:]):
+            assert small_grid.has_edge(u, v)
+
+
+class TestConstruction:
+    def test_ranks_are_a_permutation(self, small_grid, ch):
+        assert sorted(ch.rank) == list(range(small_grid.num_vertices))
+
+    def test_construction_time_recorded(self, ch):
+        assert ch.construction_seconds > 0.0
+
+    def test_shortcuts_counted(self, ch):
+        assert ch.num_shortcuts >= 0
+
+    def test_stale_flag(self, small_grid):
+        g = small_grid.copy()
+        ch = ContractionHierarchy(g)
+        assert not ch.stale
+        u, v, w = next(iter(g.edges()))
+        g.set_weight(u, v, w * 2)
+        assert ch.stale
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            ContractionHierarchy(RoadNetwork([], []))

@@ -1,0 +1,68 @@
+"""Unit tests for Pruned Landmark Labeling."""
+
+import math
+
+import pytest
+
+from repro.exceptions import IndexConstructionError
+from repro.index.pll import PrunedLandmarkLabeling
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork
+from repro.search.dijkstra import dijkstra, sssp_distances
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return grid_city(5, 5, seed=8)
+
+
+@pytest.fixture(scope="module")
+def pll(small_grid):
+    return PrunedLandmarkLabeling(small_grid)
+
+
+class TestDistances:
+    def test_all_pairs_match_dijkstra(self, small_grid, pll):
+        n = small_grid.num_vertices
+        for s in range(0, n, 3):
+            truth = sssp_distances(small_grid, s)
+            for t in range(0, n, 4):
+                assert math.isclose(
+                    pll.distance(s, t), truth[t], rel_tol=1e-9
+                ), (s, t)
+
+    def test_same_vertex(self, pll):
+        assert pll.distance(7, 7) == 0.0
+
+    def test_directed_graph(self, line_graph):
+        pll = PrunedLandmarkLabeling(line_graph)
+        assert math.isclose(pll.distance(0, 4), 1.0 + 1.1 + 1.2 + 1.3)
+        assert math.isinf(pll.distance(4, 0))
+
+    def test_ring_sample(self, ring):
+        pll = PrunedLandmarkLabeling(ring)
+        for s, t in [(0, 70), (12, 140), (99, 3)]:
+            truth = dijkstra(ring, s, t).distance
+            assert math.isclose(pll.distance(s, t), truth, rel_tol=1e-9)
+
+
+class TestIndexProperties:
+    def test_pruning_keeps_labels_small(self, small_grid, pll):
+        n = small_grid.num_vertices
+        # Pruned labels must be far below the quadratic worst case.
+        assert pll.label_entries < n * n
+
+    def test_construction_time_recorded(self, pll):
+        assert pll.construction_seconds > 0.0
+
+    def test_stale_flag(self, small_grid):
+        g = small_grid.copy()
+        pll = PrunedLandmarkLabeling(g)
+        assert not pll.stale
+        u, v, w = next(iter(g.edges()))
+        g.set_weight(u, v, w * 2)
+        assert pll.stale
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            PrunedLandmarkLabeling(RoadNetwork([], []))

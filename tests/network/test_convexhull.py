@@ -1,0 +1,87 @@
+"""Unit tests for convex hulls and containment."""
+
+import pytest
+
+from repro.network.convexhull import convex_hull, hull_bounding_box, point_in_hull
+
+
+class TestConvexHull:
+    def test_square(self):
+        pts = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert set(hull) == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_counter_clockwise(self):
+        hull = convex_hull([(0, 0), (2, 0), (1, 2)])
+        # Cross products of consecutive hull edges must be positive (CCW).
+        n = len(hull)
+        for i in range(n):
+            o, a, b = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+            cross = (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+            assert cross > 0
+
+    def test_single_point(self):
+        assert convex_hull([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_two_points(self):
+        assert len(convex_hull([(0, 0), (1, 1)])) == 2
+
+    def test_collinear(self):
+        hull = convex_hull([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert len(hull) == 2
+        assert set(hull) == {(0, 0), (3, 3)}
+
+    def test_duplicates_ignored(self):
+        hull = convex_hull([(0, 0), (0, 0), (1, 0), (0, 1)])
+        assert len(hull) == 3
+
+    def test_interior_points_excluded(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4)] + [(i, j) for i in (1, 2, 3) for j in (1, 2, 3)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+
+
+class TestPointInHull:
+    def test_inside(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert point_in_hull((2, 2), hull)
+
+    def test_on_boundary(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert point_in_hull((2, 0), hull)
+        assert point_in_hull((0, 0), hull)
+
+    def test_outside(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert not point_in_hull((5, 2), hull)
+        assert not point_in_hull((-0.1, 2), hull)
+
+    def test_degenerate_point_hull(self):
+        hull = convex_hull([(1, 1)])
+        assert point_in_hull((1, 1), hull)
+        assert not point_in_hull((1.1, 1), hull)
+
+    def test_degenerate_segment_hull(self):
+        hull = convex_hull([(0, 0), (2, 2)])
+        assert point_in_hull((1, 1), hull)
+        assert not point_in_hull((1, 1.2), hull)
+        assert not point_in_hull((3, 3), hull)
+
+    def test_empty_hull(self):
+        assert not point_in_hull((0, 0), [])
+
+    def test_all_input_points_contained(self):
+        pts = [(0.3, 1.7), (2.5, 0.1), (4.0, 3.3), (1.1, 4.2), (2.0, 2.0)]
+        hull = convex_hull(pts)
+        for p in pts:
+            assert point_in_hull(p, hull)
+
+
+class TestBoundingBox:
+    def test_box(self):
+        hull = convex_hull([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert hull_bounding_box(hull) == (0, 0, 4, 4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hull_bounding_box([])

@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic network generators."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.generators import (
+    beijing_like,
+    grid_city,
+    random_geometric_city,
+    ring_radial_city,
+)
+from repro.search.dijkstra import sssp_distances
+
+
+def assert_weights_dominate_euclid(graph):
+    for u, v, w in graph.edges():
+        assert w >= graph.euclidean(u, v) - 1e-12
+
+
+def assert_strongly_connected(graph):
+    fwd = sssp_distances(graph, 0)
+    bwd = sssp_distances(graph, 0, backward=True)
+    assert all(not math.isinf(d) for d in fwd)
+    assert all(not math.isinf(d) for d in bwd)
+
+
+class TestGridCity:
+    def test_size(self):
+        g = grid_city(4, 5)
+        assert g.num_vertices == 20
+        # 2-way roads on every lattice adjacency: (3*5 + 4*4) * 2.
+        assert g.num_edges == 2 * (3 * 5 + 4 * 4)
+
+    def test_connected(self):
+        assert_strongly_connected(grid_city(5, 5, seed=1))
+
+    def test_admissible_weights(self):
+        assert_weights_dominate_euclid(grid_city(5, 5, seed=2))
+
+    def test_deterministic(self):
+        a = grid_city(4, 4, seed=9)
+        b = grid_city(4, 4, seed=9)
+        assert list(a.edges()) == list(b.edges())
+        assert a.xs == b.xs
+
+    def test_different_seeds_differ(self):
+        a = grid_city(4, 4, seed=1)
+        b = grid_city(4, 4, seed=2)
+        assert a.xs != b.xs
+
+    def test_diagonal_avenues_add_edges(self):
+        base = grid_city(8, 8, seed=4)
+        with_av = grid_city(8, 8, seed=4, diagonal_avenues=6)
+        assert with_av.num_edges > base.num_edges
+        assert_weights_dominate_euclid(with_av)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_city(1, 5)
+
+    def test_bad_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_city(4, 4, jitter=0.6)
+
+    def test_bad_detour_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_city(4, 4, min_detour=0.5)
+        with pytest.raises(ConfigurationError):
+            grid_city(4, 4, min_detour=1.2, max_detour=1.1)
+
+
+class TestRingRadialCity:
+    def test_size_formula(self):
+        g = ring_radial_city(rings=3, spokes=8, points_between_spokes=2)
+        assert g.num_vertices == 1 + 3 * 8 * 3
+
+    def test_connected(self):
+        assert_strongly_connected(ring_radial_city(rings=3, spokes=6, seed=2))
+
+    def test_admissible_weights(self):
+        assert_weights_dominate_euclid(ring_radial_city(rings=2, spokes=5, seed=3))
+
+    def test_deterministic(self):
+        a = ring_radial_city(rings=2, spokes=5, seed=7)
+        b = ring_radial_city(rings=2, spokes=5, seed=7)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            ring_radial_city(rings=0, spokes=8)
+        with pytest.raises(ConfigurationError):
+            ring_radial_city(rings=2, spokes=2)
+
+
+class TestRandomGeometricCity:
+    def test_connected_and_admissible(self):
+        g = random_geometric_city(60, side=20.0, seed=4)
+        assert g.num_vertices == 60
+        assert_strongly_connected(g)
+        assert_weights_dominate_euclid(g)
+
+    def test_deterministic(self):
+        a = random_geometric_city(30, seed=5)
+        b = random_geometric_city(30, seed=5)
+        assert list(a.edges()) == list(b.edges())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_geometric_city(3)
+
+
+class TestBeijingLike:
+    @pytest.mark.parametrize("scale", ["tiny", "small"])
+    def test_presets_connected(self, scale):
+        g = beijing_like(scale)
+        assert_strongly_connected(g)
+        assert_weights_dominate_euclid(g)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            beijing_like("galactic")
+
+    def test_scales_grow(self):
+        assert beijing_like("tiny").num_vertices < beijing_like("small").num_vertices

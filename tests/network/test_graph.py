@@ -1,0 +1,190 @@
+"""Unit tests for the RoadNetwork substrate."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.graph import RoadNetwork
+
+
+def make_triangle():
+    g = RoadNetwork([0.0, 1.0, 0.0], [0.0, 0.0, 1.0])
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 2.0)
+    g.add_edge(2, 0, 1.5)
+    return g
+
+
+class TestConstruction:
+    def test_vertex_count(self):
+        g = RoadNetwork([0.0, 1.0], [0.0, 1.0])
+        assert g.num_vertices == 2
+        assert len(g) == 2
+        assert g.num_edges == 0
+
+    def test_mismatched_coordinates_rejected(self):
+        with pytest.raises(GraphError):
+            RoadNetwork([0.0, 1.0], [0.0])
+
+    def test_edges_at_construction(self):
+        g = RoadNetwork([0.0, 1.0], [0.0, 0.0], edges=[(0, 1, 2.5)])
+        assert g.weight(0, 1) == 2.5
+
+    def test_coord(self):
+        g = make_triangle()
+        assert g.coord(1) == (1.0, 0.0)
+
+
+class TestEdges:
+    def test_add_and_weight(self):
+        g = make_triangle()
+        assert g.weight(0, 1) == 1.0
+        assert g.num_edges == 3
+
+    def test_missing_edge_raises(self):
+        g = make_triangle()
+        with pytest.raises(GraphError):
+            g.weight(1, 0)
+
+    def test_duplicate_edge_rejected(self):
+        g = make_triangle()
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 3.0)
+
+    def test_self_loop_rejected(self):
+        g = make_triangle()
+        with pytest.raises(GraphError):
+            g.add_edge(0, 0, 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = make_triangle()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 0, -1.0)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = make_triangle()
+        with pytest.raises(GraphError):
+            g.add_edge(0, 9, 1.0)
+
+    def test_edges_iteration(self):
+        g = make_triangle()
+        assert sorted(g.edges()) == [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 1.5)]
+
+    def test_neighbors_and_in_neighbors(self):
+        g = make_triangle()
+        assert [int(v) for v, _ in g.neighbors(0)] == [1]
+        assert [int(u) for u, _ in g.in_neighbors(0)] == [2]
+
+    def test_degrees(self):
+        g = make_triangle()
+        assert g.out_degree(0) == 1
+        assert g.in_degree(0) == 1
+        assert g.degree(0) == 2
+
+
+class TestDynamicWeights:
+    def test_set_weight_updates_both_directions_of_storage(self):
+        g = make_triangle()
+        g.set_weight(0, 1, 5.0)
+        assert g.weight(0, 1) == 5.0
+        # Reverse adjacency sees the new weight too.
+        assert [w for u, w in g.in_neighbors(1) if int(u) == 0] == [5.0]
+
+    def test_set_weight_missing_edge(self):
+        g = make_triangle()
+        with pytest.raises(GraphError):
+            g.set_weight(1, 0, 1.0)
+
+    def test_set_weight_negative_rejected(self):
+        g = make_triangle()
+        with pytest.raises(GraphError):
+            g.set_weight(0, 1, -0.5)
+
+    def test_version_bumps_on_every_mutation(self):
+        g = make_triangle()
+        v0 = g.version
+        g.set_weight(0, 1, 2.0)
+        assert g.version == v0 + 1
+
+    def test_total_weight_tracks_updates(self):
+        g = make_triangle()
+        assert math.isclose(g.total_weight(), 4.5)
+        g.set_weight(0, 1, 2.0)
+        assert math.isclose(g.total_weight(), 5.5)
+
+    def test_scale_weights_all(self):
+        g = make_triangle()
+        g.scale_weights(2.0)
+        assert g.weight(0, 1) == 2.0
+        assert g.weight(1, 2) == 4.0
+
+    def test_scale_weights_subset(self):
+        g = make_triangle()
+        g.scale_weights(3.0, edges=[(0, 1)])
+        assert g.weight(0, 1) == 3.0
+        assert g.weight(1, 2) == 2.0
+
+    def test_scale_negative_rejected(self):
+        g = make_triangle()
+        with pytest.raises(GraphError):
+            g.scale_weights(-1.0)
+
+
+class TestHeuristicScale:
+    def test_scale_bounded_by_min_ratio(self):
+        g = make_triangle()
+        # Edge (0,1): w=1.0, euclid=1.0 -> ratio 1.0 is the minimum here.
+        ratios = [g.weight(u, v) / g.euclidean(u, v) for u, v, _ in g.edges()]
+        assert math.isclose(g.heuristic_scale, min(ratios))
+
+    def test_heuristic_is_admissible_per_edge(self):
+        g = make_triangle()
+        for u, v, w in g.edges():
+            assert g.heuristic(u, v) <= w + 1e-12
+
+    def test_scale_recomputed_after_weight_decrease(self):
+        g = make_triangle()
+        g.set_weight(1, 2, 0.5)  # euclid(1,2) = sqrt(2) -> ratio ~0.35
+        expected = 0.5 / g.euclidean(1, 2)
+        assert math.isclose(g.heuristic_scale, expected)
+
+    def test_empty_graph_scale_zero(self):
+        g = RoadNetwork([0.0], [0.0])
+        assert g.heuristic_scale == 0.0
+
+
+class TestDerived:
+    def test_extent(self):
+        g = make_triangle()
+        assert g.extent() == (0.0, 0.0, 1.0, 1.0)
+
+    def test_extent_empty_raises(self):
+        with pytest.raises(GraphError):
+            RoadNetwork([], []).extent()
+
+    def test_edge_direction_in_range(self):
+        g = make_triangle()
+        for u, v, _ in g.edges():
+            assert 0.0 <= g.edge_direction(u, v) <= 45.0
+
+    def test_reversed_copy(self):
+        g = make_triangle()
+        r = g.reversed_copy()
+        assert r.has_edge(1, 0)
+        assert not r.has_edge(0, 1)
+        assert r.weight(1, 0) == g.weight(0, 1)
+
+    def test_copy_is_independent(self):
+        g = make_triangle()
+        c = g.copy()
+        c.set_weight(0, 1, 9.0)
+        assert g.weight(0, 1) == 1.0
+
+    def test_euclidean(self):
+        g = make_triangle()
+        assert math.isclose(g.euclidean(0, 1), 1.0)
+        assert math.isclose(g.euclidean(1, 2), math.sqrt(2.0))
+
+    def test_connectivity_probe(self, ring):
+        assert ring.is_strongly_connected_sample()

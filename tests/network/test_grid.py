@@ -1,0 +1,134 @@
+"""Unit tests for the multi-level grid index."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.grid import GridIndex
+from repro.network.spatial import Ellipse, search_space_ellipse
+
+
+@pytest.fixture(scope="module")
+def index(ring):
+    return GridIndex(ring, levels=4)
+
+
+class TestConstruction:
+    def test_levels_validated(self, ring):
+        with pytest.raises(ConfigurationError):
+            GridIndex(ring, levels=0)
+        with pytest.raises(ConfigurationError):
+            GridIndex(ring, levels=13)
+
+    def test_all_vertices_indexed(self, ring, index):
+        total = sum(
+            len(index.vertices_in_cell((i, j)))
+            for i in range(index.cells_per_side)
+            for j in range(index.cells_per_side)
+        )
+        assert total == ring.num_vertices
+
+    def test_vertex_cell_roundtrip(self, ring, index):
+        for v in range(0, ring.num_vertices, 7):
+            cell = index.cell_of_vertex(v)
+            assert v in index.vertices_in_cell(cell)
+
+    def test_root_summary_aggregates_everything(self, ring, index):
+        root = index.summary((0, 0), level=0)
+        assert root.n == ring.num_vertices
+        assert math.isclose(root.weight, ring.total_weight(), rel_tol=1e-9)
+
+    def test_level_counts_consistent(self, ring, index):
+        for level in range(index.levels + 1):
+            count = sum(s.n for s in index._level_cells[level].values())
+            assert count == ring.num_vertices
+
+
+class TestDirections:
+    def test_cell_theta_in_range(self, index):
+        for summary in index._cells.values():
+            assert 0.0 <= summary.theta <= 45.0
+
+    def test_direction_of_cells_weighted_average(self, index):
+        cells = list(index._cells.keys())[:4]
+        theta = index.direction_of_cells(cells)
+        assert 0.0 <= theta <= 45.0
+
+    def test_direction_of_empty_cells_is_zero(self, index):
+        assert index.direction_of_cells([(-1, -1)]) == 0.0
+
+    def test_axis_aligned_grid_has_small_theta(self, grid6):
+        # A jittered Manhattan grid's roads hug the axes.
+        gi = GridIndex(grid6, levels=3)
+        root = gi.summary((0, 0), level=0)
+        assert root.theta < 20.0
+
+
+class TestGeometry:
+    def test_cell_of_point_clamps(self, index):
+        last = index.cells_per_side - 1
+        assert index.cell_of_point(-1e9, -1e9) == (0, 0)
+        assert index.cell_of_point(1e9, 1e9) == (last, last)
+
+    def test_cell_corners_form_square(self, index):
+        corners = index.cell_corners((2, 3))
+        xs = {c[0] for c in corners}
+        ys = {c[1] for c in corners}
+        assert len(xs) == 2 and len(ys) == 2
+        assert math.isclose(max(xs) - min(xs), index.cell_size)
+
+    def test_cell_center_inside_cell(self, index):
+        cx, cy = index.cell_center((1, 1))
+        assert index.cell_of_point(cx, cy) == (1, 1)
+
+    def test_traversed_cells_cover_endpoints(self, ring, index):
+        sx, sy = ring.coord(3)
+        tx, ty = ring.coord(80)
+        cells = index.traversed_cells(sx, sy, tx, ty)
+        assert index.cell_of_point(sx, sy) == cells[0]
+        assert index.cell_of_point(tx, ty) == cells[-1]
+
+    def test_cells_in_box(self, index):
+        cells = index.cells_in_box(*index.cell_corners((1, 1))[0], *index.cell_corners((2, 2))[2])
+        assert (1, 1) in cells and (2, 2) in cells
+
+    def test_summary_bad_level(self, index):
+        with pytest.raises(ConfigurationError):
+            index.summary((0, 0), level=99)
+
+
+class TestCoveredCells:
+    def brute_force(self, index, ellipse):
+        out = set()
+        for i in range(index.cells_per_side):
+            for j in range(index.cells_per_side):
+                inside = sum(
+                    1 for cx, cy in index.cell_corners((i, j)) if ellipse.contains(cx, cy)
+                )
+                if inside >= 2:
+                    out.add((i, j))
+        return out
+
+    def test_matches_brute_force(self, ring, index):
+        sx, sy = ring.coord(0)
+        tx, ty = ring.coord(100)
+        for theta in (0.0, 20.0, 45.0):
+            ellipse = search_space_ellipse(sx, sy, tx, ty, theta)
+            fast = index.covered_cells(ellipse)
+            assert fast == self.brute_force(index, ellipse)
+
+    def test_extra_cells_always_included(self, index):
+        ellipse = Ellipse((0.0, 0.0), (0.0, 0.0), 0.0)
+        covered = index.covered_cells(ellipse, extra=[(5, 5)])
+        assert (5, 5) in covered
+
+    def test_wider_theta_covers_more(self, ring, index):
+        sx, sy = ring.coord(0)
+        tx, ty = ring.coord(100)
+        narrow = index.covered_cells(search_space_ellipse(sx, sy, tx, ty, 5.0))
+        wide = index.covered_cells(search_space_ellipse(sx, sy, tx, ty, 45.0))
+        assert len(wide) >= len(narrow)
+
+    def test_nonempty_cells_positive(self, index):
+        assert index.nonempty_cells > 0

@@ -1,0 +1,77 @@
+"""Unit tests for network serialisation round-trips."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.io import load_json, load_text, save_json, save_text
+
+
+def assert_same_network(a, b):
+    assert a.xs == b.xs
+    assert a.ys == b.ys
+    assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestTextFormat:
+    def test_roundtrip(self, grid6, tmp_path):
+        path = tmp_path / "net.gr"
+        save_text(grid6, path)
+        assert_same_network(grid6, load_text(path))
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "net.gr"
+        path.write_text("c comment\n\np sp 2 1\nv 0 0.0 0.0\nv 1 1.0 0.0\na 0 1 1.5\n")
+        g = load_text(path)
+        assert g.num_vertices == 2
+        assert g.weight(0, 1) == 1.5
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "net.gr"
+        path.write_text("v 0 0.0 0.0\n")
+        with pytest.raises(GraphError):
+            load_text(path)
+
+    def test_edge_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "net.gr"
+        path.write_text("p sp 2 5\nv 0 0.0 0.0\nv 1 1.0 0.0\na 0 1 1.0\n")
+        with pytest.raises(GraphError):
+            load_text(path)
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "net.gr"
+        path.write_text("p sp 1 0\nv zero nope\n")
+        with pytest.raises(GraphError) as err:
+            load_text(path)
+        assert ":2:" in str(err.value)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "net.gr"
+        path.write_text("p sp 1 0\nx what\n")
+        with pytest.raises(GraphError):
+            load_text(path)
+
+    def test_weights_roundtrip_exactly(self, tmp_path, line_graph):
+        path = tmp_path / "net.gr"
+        save_text(line_graph, path)
+        loaded = load_text(path)
+        for u, v, w in line_graph.edges():
+            assert loaded.weight(u, v) == w
+
+
+class TestJsonFormat:
+    def test_roundtrip(self, grid6, tmp_path):
+        path = tmp_path / "net.json"
+        save_json(grid6, path)
+        assert_same_network(grid6, load_json(path))
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text("{\"xs\": [0.0]}")
+        with pytest.raises(GraphError):
+            load_json(path)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text("not json at all")
+        with pytest.raises(GraphError):
+            load_json(path)

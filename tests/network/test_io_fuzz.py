@@ -1,0 +1,52 @@
+"""Fuzzing the text loader: arbitrary bytes must never crash unstructured.
+
+Whatever garbage lands in a network file, ``load_text`` either parses it
+or raises :class:`~repro.exceptions.GraphError` — never IndexError,
+ValueError, or a silent half-loaded network.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.network.io import load_text, save_text
+from repro.network.generators import grid_city
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=120, deadline=None)
+def test_load_text_never_crashes_unstructured(tmp_path_factory, content):
+    path = tmp_path_factory.mktemp("fuzz") / "net.gr"
+    path.write_text(content, encoding="utf-8")
+    try:
+        graph = load_text(path)
+    except GraphError:
+        return
+    # If it parsed, it must be internally consistent.
+    assert graph.num_vertices >= 0
+    for u, v, w in graph.edges():
+        assert 0 <= u < graph.num_vertices
+        assert w >= 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(lambda p: p[0] != p[1]),
+        min_size=0,
+        max_size=10,
+        unique=True,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_of_generated_edge_subsets(tmp_path_factory, pairs):
+    base = grid_city(3, 3, seed=5)
+    from repro.network.graph import RoadNetwork
+
+    graph = RoadNetwork(base.xs[:6], base.ys[:6])
+    for u, v in pairs:
+        graph.add_edge(u, v, base.euclidean(u, v) + 0.5)
+    path = tmp_path_factory.mktemp("rt") / "sub.gr"
+    save_text(graph, path)
+    loaded = load_text(path)
+    assert sorted(loaded.edges()) == sorted(graph.edges())
+    assert loaded.xs == graph.xs

@@ -1,0 +1,183 @@
+"""Unit tests for the planar geometry helpers."""
+
+import math
+
+import pytest
+
+from repro.network.spatial import (
+    Ellipse,
+    angular_difference,
+    bearing_angle,
+    bounding_box,
+    centroid,
+    euclidean,
+    fold_theta,
+    reference_angle,
+    search_space_ellipse,
+    segment_cells,
+)
+
+
+class TestAngles:
+    def test_reference_angle_axis_aligned(self):
+        assert reference_angle(1.0, 0.0) == 0.0
+        assert reference_angle(0.0, 1.0) == 0.0  # parallel to longitude
+
+    def test_reference_angle_diagonal_is_45(self):
+        assert math.isclose(reference_angle(1.0, 1.0), 45.0)
+
+    def test_reference_angle_folds_to_at_most_45(self):
+        for deg in range(0, 360, 7):
+            rad = math.radians(deg)
+            angle = reference_angle(math.cos(rad), math.sin(rad))
+            assert 0.0 <= angle <= 45.0
+
+    def test_reference_angle_zero_vector(self):
+        assert reference_angle(0.0, 0.0) == 0.0
+
+    def test_bearing_quadrants(self):
+        assert bearing_angle(1.0, 0.0) == 0.0
+        assert math.isclose(bearing_angle(0.0, 1.0), 90.0)
+        assert math.isclose(bearing_angle(-1.0, 0.0), 180.0)
+        assert math.isclose(bearing_angle(0.0, -1.0), 270.0)
+
+    def test_angular_difference_wraps(self):
+        assert math.isclose(angular_difference(350.0, 10.0), 20.0)
+        assert math.isclose(angular_difference(10.0, 350.0), 20.0)
+        assert angular_difference(90.0, 90.0) == 0.0
+        assert math.isclose(angular_difference(0.0, 180.0), 180.0)
+
+    def test_fold_theta(self):
+        assert fold_theta(30.0) == 30.0
+        assert fold_theta(60.0) == 30.0  # folds past 45
+        assert fold_theta(-30.0) == 30.0
+        assert fold_theta(90.0) == 0.0
+
+
+class TestEllipse:
+    def test_contains_focus(self):
+        e = Ellipse((0.0, 0.0), (2.0, 0.0), 4.0)
+        assert e.contains(0.0, 0.0)
+        assert e.contains(2.0, 0.0)
+
+    def test_boundary_point(self):
+        # Constant sum 4 with foci distance 2: vertex at x = 3.
+        e = Ellipse((0.0, 0.0), (2.0, 0.0), 4.0)
+        assert e.contains(3.0, 0.0)
+        assert not e.contains(3.1, 0.0)
+
+    def test_axes(self):
+        e = Ellipse((0.0, 0.0), (2.0, 0.0), 4.0)
+        assert math.isclose(e.semi_major, 2.0)
+        assert math.isclose(e.semi_minor, math.sqrt(3.0))
+        assert e.center == (1.0, 0.0)
+
+    def test_bounding_box_contains_extremes(self):
+        e = Ellipse((0.0, 0.0), (2.0, 2.0), 5.0)
+        min_x, min_y, max_x, max_y = e.bounding_box()
+        # Sample the boundary: every boundary point is inside the box.
+        for deg in range(0, 360, 5):
+            # Parametrise via the ellipse definition: walk along directions
+            # from the centre until exiting; the last inside point must be
+            # boxed.
+            rad = math.radians(deg)
+            cx, cy = e.center
+            step = 0.05
+            r = 0.0
+            while e.contains(cx + math.cos(rad) * (r + step), cy + math.sin(rad) * (r + step)):
+                r += step
+            px = cx + math.cos(rad) * r
+            py = cy + math.sin(rad) * r
+            assert min_x - 1e-9 <= px <= max_x + 1e-9
+            assert min_y - 1e-9 <= py <= max_y + 1e-9
+
+    def test_degenerate_zero_ellipse(self):
+        e = Ellipse((1.0, 1.0), (1.0, 1.0), 0.0)
+        assert e.contains(1.0, 1.0)
+        assert not e.contains(1.1, 1.0)
+
+
+class TestSearchSpaceEllipse:
+    def test_theta_zero_gives_segment_like_ellipse(self):
+        e = search_space_ellipse(0.0, 0.0, 4.0, 0.0, 0.0)
+        # cos 0 = 1: focus distance = h, constant sum = h -> degenerate.
+        assert math.isclose(e.distance_sum, 4.0)
+        assert math.isclose(e.f2[0], 4.0)
+        assert e.contains(2.0, 0.0)
+        assert not e.contains(2.0, 1.0)
+
+    def test_theta_45_widens_the_ellipse(self):
+        narrow = search_space_ellipse(0.0, 0.0, 4.0, 0.0, 10.0)
+        wide = search_space_ellipse(0.0, 0.0, 4.0, 0.0, 45.0)
+        assert wide.distance_sum > narrow.distance_sum
+        assert wide.semi_minor > narrow.semi_minor
+
+    def test_source_is_focus_and_target_inside(self):
+        e = search_space_ellipse(1.0, 2.0, 5.0, 6.0, 30.0)
+        assert e.f1 == (1.0, 2.0)
+        assert e.contains(5.0, 6.0)
+
+    def test_formulas_match_paper(self):
+        sx, sy, tx, ty, theta = 0.0, 0.0, 3.0, 4.0, 30.0
+        h = 5.0
+        cos_t = math.cos(math.radians(theta))
+        e = search_space_ellipse(sx, sy, tx, ty, theta)
+        assert math.isclose(e.distance_sum, 2 * h / (1 + cos_t))
+        d_fs = 2 * h * cos_t / (1 + cos_t)
+        assert math.isclose(euclidean(*e.f1, *e.f2), d_fs)
+
+    def test_identical_endpoints(self):
+        e = search_space_ellipse(1.0, 1.0, 1.0, 1.0, 20.0)
+        assert e.distance_sum == 0.0
+
+    def test_theta_above_45_is_folded(self):
+        a = search_space_ellipse(0.0, 0.0, 4.0, 0.0, 50.0)
+        b = search_space_ellipse(0.0, 0.0, 4.0, 0.0, 40.0)
+        assert math.isclose(a.distance_sum, b.distance_sum)
+
+
+class TestSegmentCells:
+    def test_horizontal_segment(self):
+        cells = segment_cells(0.5, 0.5, 3.5, 0.5, (0.0, 0.0), 1.0, 8)
+        assert cells == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_vertical_segment(self):
+        cells = segment_cells(0.5, 0.2, 0.5, 2.8, (0.0, 0.0), 1.0, 8)
+        assert cells == [(0, 0), (0, 1), (0, 2)]
+
+    def test_diagonal_connected(self):
+        cells = segment_cells(0.1, 0.1, 3.9, 3.9, (0.0, 0.0), 1.0, 8)
+        assert cells[0] == (0, 0)
+        assert cells[-1] == (3, 3)
+        for (a, b), (c, d) in zip(cells, cells[1:]):
+            assert abs(a - c) + abs(b - d) == 1  # 4-connected walk
+
+    def test_single_cell(self):
+        assert segment_cells(0.2, 0.2, 0.7, 0.9, (0.0, 0.0), 1.0, 4) == [(0, 0)]
+
+    def test_clamped_to_grid(self):
+        cells = segment_cells(-5.0, 0.5, 20.0, 0.5, (0.0, 0.0), 1.0, 4)
+        assert all(0 <= i < 4 and 0 <= j < 4 for i, j in cells)
+
+    def test_zero_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            segment_cells(0, 0, 1, 1, (0.0, 0.0), 0.0, 4)
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        assert bounding_box([(0, 1), (2, -1), (1, 5)]) == (0, -1, 2, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_centroid(self):
+        assert centroid([(0.0, 0.0), (2.0, 4.0)]) == (1.0, 2.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_euclidean(self):
+        assert euclidean(0, 0, 3, 4) == 5.0

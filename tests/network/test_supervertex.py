@@ -1,0 +1,69 @@
+"""Unit tests for the super-vertex mapping."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.graph import RoadNetwork
+from repro.network.supervertex import SuperVertexMap
+
+
+def cluster_graph():
+    """Two tight pairs far apart: (0,1) together, (2,3) together."""
+    xs = [0.0, 0.05, 10.0, 10.05, 20.0]
+    ys = [0.0, 0.0, 0.0, 0.05, 0.0]
+    return RoadNetwork(xs, ys)
+
+
+class TestSnapping:
+    def test_nearby_vertices_share_super(self):
+        m = SuperVertexMap(cluster_graph(), snap_radius=0.2)
+        assert m.same_super(0, 1)
+        assert m.same_super(2, 3)
+        assert not m.same_super(1, 2)
+
+    def test_far_vertex_is_own_super(self):
+        m = SuperVertexMap(cluster_graph(), snap_radius=0.2)
+        assert m.super_of(4) == 4
+        assert m.members(4) == [4]
+
+    def test_zero_radius_identity(self):
+        g = cluster_graph()
+        m = SuperVertexMap(g, snap_radius=0.0)
+        for v in range(g.num_vertices):
+            assert m.super_of(v) == v
+        assert m.num_super_vertices == g.num_vertices
+        assert m.compression_ratio == 1.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SuperVertexMap(cluster_graph(), snap_radius=-1.0)
+
+    def test_members_partition_vertices(self):
+        g = cluster_graph()
+        m = SuperVertexMap(g, snap_radius=0.2)
+        seen = []
+        for s in set(m.super_of(v) for v in range(g.num_vertices)):
+            seen.extend(m.members(s))
+        assert sorted(seen) == list(range(g.num_vertices))
+
+    def test_compression_ratio(self):
+        m = SuperVertexMap(cluster_graph(), snap_radius=0.2)
+        assert m.num_super_vertices == 3
+        assert m.compression_ratio == pytest.approx(5 / 3)
+
+    def test_members_within_radius_of_leader(self):
+        g = cluster_graph()
+        r = 0.2
+        m = SuperVertexMap(g, snap_radius=r)
+        for v in range(g.num_vertices):
+            leader = m.super_of(v)
+            assert g.euclidean(v, leader) <= r + 1e-12
+
+    def test_huge_radius_single_super(self):
+        g = cluster_graph()
+        m = SuperVertexMap(g, snap_radius=100.0)
+        assert m.num_super_vertices == 1
+
+    def test_real_network_compresses(self, ring):
+        m = SuperVertexMap(ring, snap_radius=1.0)
+        assert m.num_super_vertices < ring.num_vertices

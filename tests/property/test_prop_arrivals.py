@@ -1,0 +1,55 @@
+"""Property-based tests for arrival windowing and timeline ordering."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.generators import grid_city
+from repro.network.timeline import TrafficTimeline, congestion_snapshot
+from repro.queries.arrivals import TimedQuery, window_batches
+from repro.queries.query import Query
+
+times = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+timed = st.builds(
+    TimedQuery,
+    arrival=times,
+    query=st.builds(
+        Query,
+        source=st.integers(min_value=0, max_value=20),
+        target=st.integers(min_value=21, max_value=40),
+    ),
+)
+
+
+@given(st.lists(timed, min_size=1, max_size=60), st.floats(min_value=0.1, max_value=5.0))
+@settings(max_examples=80, deadline=None)
+def test_windows_partition_the_stream(arrivals, window):
+    batches = window_batches(arrivals, window)
+    assert sum(len(b) for b in batches) == len(arrivals)
+    # Every query lands in the window its arrival time dictates.
+    for k, batch in enumerate(batches):
+        for q in batch:
+            matching = [
+                tq for tq in arrivals
+                if tq.query == q and k * window <= tq.arrival < (k + 1) * window
+            ]
+            assert matching
+
+
+@given(st.lists(timed, min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_no_trailing_empty_windows(arrivals):
+    batches = window_batches(arrivals, 1.0)
+    assert len(batches[-1]) > 0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_timeline_fires_every_event_once_in_order(event_times):
+    graph = grid_city(3, 3, seed=1)
+    timeline = TrafficTimeline(graph, seed=2)
+    for t in event_times:
+        timeline.schedule(t, congestion_snapshot(0.2))
+    timeline.advance_to(200.0)
+    fired_times = [t for t, _, _ in timeline.applied]
+    assert fired_times == sorted(event_times)
+    assert timeline.pending_events == 0

@@ -1,0 +1,66 @@
+"""Property-based tests: the cache never lies.
+
+Any sequence of shortest-path inserts followed by lookups must return
+exactly the true shortest distance on a hit, and hits must slice out valid
+walks.  This is the invariant both Global and Local Cache rest on.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import PathCache
+from repro.network.generators import grid_city
+from repro.search.dijkstra import dijkstra
+
+GRAPH = grid_city(5, 5, seed=31)
+N = GRAPH.num_vertices
+
+pairs = st.tuples(
+    st.integers(min_value=0, max_value=N - 1),
+    st.integers(min_value=0, max_value=N - 1),
+).filter(lambda p: p[0] != p[1])
+
+
+@given(st.lists(pairs, min_size=1, max_size=10), st.lists(pairs, min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_cache_hits_return_exact_shortest_distances(inserts, probes):
+    cache = PathCache(GRAPH)
+    for s, t in inserts:
+        r = dijkstra(GRAPH, s, t)
+        if r.found:
+            cache.insert(r.path)
+    for s, t in probes:
+        hit = cache.lookup(s, t)
+        if hit is None:
+            continue
+        truth = dijkstra(GRAPH, s, t).distance
+        assert math.isclose(hit.distance, truth, rel_tol=1e-9, abs_tol=1e-12)
+        # The sliced path is a valid walk of the reported length.
+        assert hit.path[0] == s and hit.path[-1] == t
+        total = sum(GRAPH.weight(u, v) for u, v in zip(hit.path, hit.path[1:]))
+        assert math.isclose(total, hit.distance, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(st.lists(pairs, min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_inserted_queries_always_hit(inserts):
+    cache = PathCache(GRAPH)
+    inserted = []
+    for s, t in inserts:
+        r = dijkstra(GRAPH, s, t)
+        if r.found and cache.insert(r.path) is not None:
+            inserted.append((s, t))
+    for s, t in inserted:
+        assert cache.lookup(s, t) is not None
+
+
+@given(st.lists(pairs, min_size=1, max_size=8), st.integers(min_value=0, max_value=2000))
+@settings(max_examples=30, deadline=None)
+def test_capacity_is_never_exceeded(inserts, capacity):
+    cache = PathCache(GRAPH, capacity_bytes=capacity)
+    for s, t in inserts:
+        r = dijkstra(GRAPH, s, t)
+        if r.found:
+            cache.insert(r.path)
+    assert cache.size_bytes <= capacity

@@ -1,0 +1,75 @@
+"""Model-based stateful testing of PathCache.
+
+A hypothesis rule machine drives arbitrary insert/lookup/clear sequences
+against a shadow model and checks, after every step, that the cache's
+answers and accounting match the model's expectations.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core.cache import PathCache, path_size_bytes
+from repro.network.generators import grid_city
+from repro.search.dijkstra import dijkstra
+
+GRAPH = grid_city(4, 4, seed=71)
+N = GRAPH.num_vertices
+
+pair = st.tuples(
+    st.integers(min_value=0, max_value=N - 1),
+    st.integers(min_value=0, max_value=N - 1),
+).filter(lambda p: p[0] != p[1])
+
+
+class CacheMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.cache = PathCache(GRAPH)
+        self.inserted_paths = []  # shadow model: list of vertex tuples
+
+    @rule(endpoints=pair)
+    def insert_shortest_path(self, endpoints):
+        s, t = endpoints
+        r = dijkstra(GRAPH, s, t)
+        if not r.found:
+            return
+        pid = self.cache.insert(r.path)
+        if pid is not None:
+            self.inserted_paths.append(tuple(r.path))
+
+    @rule(endpoints=pair)
+    def lookup(self, endpoints):
+        s, t = endpoints
+        hit = self.cache.lookup(s, t)
+        model_hit = any(
+            s in p and t in p and p.index(s) < p.index(t)
+            for p in self.inserted_paths
+        )
+        # The cache answers exactly when the model says a path covers it.
+        assert (hit is not None) == model_hit
+        if hit is not None:
+            truth = dijkstra(GRAPH, s, t).distance
+            assert math.isclose(hit.distance, truth, rel_tol=1e-9)
+
+    @rule()
+    def clear(self):
+        self.cache.clear()
+        self.inserted_paths = []
+
+    @invariant()
+    def size_matches_model(self):
+        expected = sum(path_size_bytes(p) for p in self.inserted_paths)
+        assert self.cache.size_bytes == expected
+
+    @invariant()
+    def path_count_matches_model(self):
+        assert self.cache.num_paths == len(self.inserted_paths)
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestCacheMachine = CacheMachine.TestCase

@@ -1,0 +1,63 @@
+"""Property-based tests: every decomposition method yields a valid
+partition with its structural invariants, for arbitrary query multisets."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.core.zigzag import ZigzagDecomposer
+from repro.network.generators import grid_city
+from repro.queries.query import Query, QuerySet
+
+GRAPH = grid_city(6, 6, seed=21)
+N = GRAPH.num_vertices
+
+
+def query_sets():
+    pair = st.tuples(
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=N - 1),
+    ).filter(lambda p: p[0] != p[1])
+    return st.lists(pair, min_size=0, max_size=40).map(QuerySet.from_pairs)
+
+
+@given(query_sets())
+@settings(max_examples=40, deadline=None)
+def test_zigzag_is_partition(queries):
+    d = ZigzagDecomposer(GRAPH).decompose(queries)
+    # decompose() validates internally; double-check the counts anyway.
+    assert d.num_queries == len(queries)
+
+
+@given(query_sets())
+@settings(max_examples=40, deadline=None)
+def test_search_space_is_partition(queries):
+    d = SearchSpaceDecomposer(GRAPH).decompose(queries)
+    assert d.num_queries == len(queries)
+
+
+@given(query_sets(), st.floats(min_value=0.01, max_value=0.9))
+@settings(max_examples=40, deadline=None)
+def test_cocluster_is_partition_with_radius_invariant(queries, eta):
+    d = CoClusteringDecomposer(GRAPH, eta=eta).decompose(queries)
+    assert d.num_queries == len(queries)
+    for cluster in d:
+        center = cluster.center
+        for q in cluster:
+            assert GRAPH.euclidean(q.source, center.source) <= cluster.radius + 1e-9
+            assert GRAPH.euclidean(q.target, center.target) <= cluster.radius + 1e-9
+
+
+@given(query_sets())
+@settings(max_examples=25, deadline=None)
+def test_cocluster_acceleration_is_transparent(queries):
+    linear = CoClusteringDecomposer(GRAPH, accelerate=False).decompose(queries)
+    fast = CoClusteringDecomposer(GRAPH, accelerate=True).decompose(queries)
+    assert [c.queries for c in linear] == [c.queries for c in fast]
+
+
+@given(query_sets(), st.sampled_from([15.0, 30.0, 60.0, 120.0]))
+@settings(max_examples=25, deadline=None)
+def test_zigzag_partition_for_any_delta(queries, delta):
+    d = ZigzagDecomposer(GRAPH, delta=delta).decompose(queries)
+    assert d.num_queries == len(queries)

@@ -1,0 +1,65 @@
+"""Property-based tests: eviction never corrupts cache answers.
+
+Whatever insert/lookup/evict interleaving happens under any capacity and
+policy, a cache hit must still be the true shortest distance and a valid
+walk — eviction may only turn hits into misses, never into wrong answers.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import PathCache
+from repro.network.generators import grid_city
+from repro.search.dijkstra import dijkstra
+
+GRAPH = grid_city(5, 5, seed=61)
+N = GRAPH.num_vertices
+
+pairs = st.tuples(
+    st.integers(min_value=0, max_value=N - 1),
+    st.integers(min_value=0, max_value=N - 1),
+).filter(lambda p: p[0] != p[1])
+
+
+@given(
+    st.lists(pairs, min_size=2, max_size=15),
+    st.integers(min_value=100, max_value=1500),
+    st.sampled_from(["lru", "benefit"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_eviction_preserves_correctness(operations, capacity, policy):
+    cache = PathCache(GRAPH, capacity_bytes=capacity, eviction=policy)
+    for s, t in operations:
+        # Interleave: probe first (exercises hit accounting), then insert.
+        hit = cache.lookup(s, t)
+        if hit is not None:
+            truth = dijkstra(GRAPH, s, t).distance
+            assert math.isclose(hit.distance, truth, rel_tol=1e-9)
+            assert hit.path[0] == s and hit.path[-1] == t
+        r = dijkstra(GRAPH, s, t)
+        if r.found:
+            cache.insert(r.path)
+        assert cache.size_bytes <= capacity
+
+
+@given(
+    st.lists(pairs, min_size=2, max_size=12),
+    st.sampled_from(["lru", "benefit"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_eviction_inverted_lists_stay_consistent(operations, policy):
+    """After arbitrary churn, every surviving path is still answerable."""
+    cache = PathCache(GRAPH, capacity_bytes=700, eviction=policy)
+    survivors = {}
+    for s, t in operations:
+        r = dijkstra(GRAPH, s, t)
+        if not r.found:
+            continue
+        pid = cache.insert(r.path)
+        if pid is not None:
+            survivors[pid] = (s, t)
+    alive = set(cache._entries)
+    for pid, (s, t) in survivors.items():
+        if pid in alive:
+            assert cache.lookup(s, t) is not None

@@ -1,0 +1,58 @@
+"""Property-based tests: CH and PLL agree with Dijkstra on random graphs."""
+
+from hypothesis import given, settings, strategies as st
+
+import math
+
+from repro.index.ch import ContractionHierarchy
+from repro.index.pll import PrunedLandmarkLabeling
+from repro.network.generators import grid_city
+from repro.search.dijkstra import dijkstra
+
+# Indexes are built once per graph (construction inside a hypothesis body
+# would dominate); hypothesis drives the query pairs.
+GRAPHS = [grid_city(4, 4, seed=s, max_detour=1.0 + 0.3 * s) for s in range(3)]
+CHS = [ContractionHierarchy(g) for g in GRAPHS]
+PLLS = [PrunedLandmarkLabeling(g) for g in GRAPHS]
+
+
+@st.composite
+def indexed_pair(draw):
+    idx = draw(st.integers(min_value=0, max_value=len(GRAPHS) - 1))
+    n = GRAPHS[idx].num_vertices
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1))
+    return idx, s, t
+
+
+@given(indexed_pair())
+@settings(max_examples=120, deadline=None)
+def test_ch_matches_dijkstra(case):
+    idx, s, t = case
+    truth = dijkstra(GRAPHS[idx], s, t).distance
+    got = CHS[idx].distance(s, t)
+    assert math.isclose(got, truth, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(indexed_pair())
+@settings(max_examples=120, deadline=None)
+def test_pll_matches_dijkstra(case):
+    idx, s, t = case
+    truth = dijkstra(GRAPHS[idx], s, t).distance
+    got = PLLS[idx].distance(s, t)
+    assert math.isclose(got, truth, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(indexed_pair())
+@settings(max_examples=40, deadline=None)
+def test_ch_paths_are_walks(case):
+    idx, s, t = case
+    graph = GRAPHS[idx]
+    r = CHS[idx].query(s, t)
+    if not r.found or len(r.path) < 2:
+        return
+    total = 0.0
+    for u, v in zip(r.path, r.path[1:]):
+        assert graph.has_edge(u, v)
+        total += graph.weight(u, v)
+    assert math.isclose(total, r.distance, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,43 @@
+"""Property-based tests for the workload profiler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.generators import grid_city
+from repro.queries.profile import profile_workload
+from repro.queries.query import QuerySet
+
+GRAPH = grid_city(5, 5, seed=81)
+N = GRAPH.num_vertices
+
+pairs = st.tuples(
+    st.integers(min_value=0, max_value=N - 1),
+    st.integers(min_value=0, max_value=N - 1),
+).filter(lambda p: p[0] != p[1])
+
+
+@given(st.lists(pairs, min_size=1, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_profile_invariants(query_pairs):
+    queries = QuerySet.from_pairs(query_pairs)
+    profile = profile_workload(GRAPH, queries)
+
+    assert profile.num_queries == len(queries)
+    assert 1 <= profile.distinct_queries <= profile.num_queries
+    assert profile.distinct_sources <= profile.num_queries
+    assert profile.distinct_targets <= profile.num_queries
+
+    assert 0.0 <= profile.endpoint_gini <= 1.0
+    assert 0.0 <= profile.repeat_fraction < 1.0
+    assert profile.repeat_fraction == (
+        (profile.num_queries - profile.distinct_queries) / profile.num_queries
+    )
+
+    assert 0 < profile.median_distance <= profile.p90_distance
+    assert sum(profile.direction_histogram.values()) == profile.num_queries
+
+
+@given(st.lists(pairs, min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_profile_deterministic(query_pairs):
+    queries = QuerySet.from_pairs(query_pairs)
+    assert profile_workload(GRAPH, queries) == profile_workload(GRAPH, queries)

@@ -1,0 +1,60 @@
+"""Property-based test: R2R's eta guarantee survives arbitrary workloads.
+
+This is the paper's central correctness claim (Theorem 1): whatever the
+query multiset and whatever eta, every answer R2R produces is within
+(1 + eta) of the true shortest distance.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.core.r2r import RegionToRegionAnswerer
+from repro.network.generators import grid_city
+from repro.queries.query import QuerySet
+from repro.search.dijkstra import dijkstra
+
+GRAPH = grid_city(6, 6, seed=41)
+N = GRAPH.num_vertices
+
+pairs = st.tuples(
+    st.integers(min_value=0, max_value=N - 1),
+    st.integers(min_value=0, max_value=N - 1),
+).filter(lambda p: p[0] != p[1])
+
+
+@given(
+    st.lists(pairs, min_size=1, max_size=25),
+    st.sampled_from([0.02, 0.05, 0.1, 0.3]),
+    st.sampled_from(["longest", "random"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_r2r_error_bounded_for_any_workload(query_pairs, eta, selection):
+    queries = QuerySet.from_pairs(query_pairs)
+    decomposition = CoClusteringDecomposer(GRAPH, eta=eta).decompose(queries)
+    answer = RegionToRegionAnswerer(GRAPH, eta=eta, selection=selection, seed=1).answer(
+        decomposition
+    )
+    assert answer.num_queries == len(queries)
+    for q, r in answer.answers:
+        truth = dijkstra(GRAPH, q.source, q.target).distance
+        if math.isinf(truth):
+            continue
+        assert r.distance >= truth - 1e-9
+        assert r.distance <= truth * (1 + eta) + 1e-9, (q, eta, selection)
+
+
+@given(st.lists(pairs, min_size=1, max_size=15))
+@settings(max_examples=25, deadline=None)
+def test_r2r_paths_are_realisable_walks(query_pairs):
+    queries = QuerySet.from_pairs(query_pairs)
+    decomposition = CoClusteringDecomposer(GRAPH, eta=0.1).decompose(queries)
+    answer = RegionToRegionAnswerer(GRAPH, eta=0.1).answer(decomposition)
+    for q, r in answer.answers:
+        if not r.found or not r.path:
+            continue
+        assert r.path[0] == q.source
+        assert r.path[-1] == q.target
+        total = sum(GRAPH.weight(u, v) for u, v in zip(r.path, r.path[1:]))
+        assert math.isclose(total, r.distance, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,100 @@
+"""Property-based tests: all exact search algorithms agree, and the
+sub-path property (the foundation of every cache in the paper) holds."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.generators import grid_city
+from repro.search.astar import a_star
+from repro.search.bidirectional import bidirectional_dijkstra
+from repro.search.bidirectional_astar import bidirectional_a_star
+from repro.search.dijkstra import dijkstra
+from repro.search.generalized_astar import generalized_a_star
+
+# A pool of small deterministic networks; hypothesis picks one plus endpoints.
+GRAPHS = [grid_city(4, 4, seed=s) for s in range(3)] + [
+    grid_city(3, 6, seed=9, max_detour=2.0)
+]
+
+
+@st.composite
+def graph_and_pair(draw):
+    graph = draw(st.sampled_from(GRAPHS))
+    n = graph.num_vertices
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1))
+    return graph, s, t
+
+
+@given(graph_and_pair())
+@settings(max_examples=80, deadline=None)
+def test_all_exact_algorithms_agree(case):
+    graph, s, t = case
+    d1 = dijkstra(graph, s, t).distance
+    d2 = a_star(graph, s, t).distance
+    d3 = bidirectional_dijkstra(graph, s, t).distance
+    d4 = bidirectional_a_star(graph, s, t).distance
+    assert math.isclose(d1, d2, rel_tol=1e-9, abs_tol=1e-12)
+    assert math.isclose(d1, d3, rel_tol=1e-9, abs_tol=1e-12)
+    assert math.isclose(d1, d4, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(graph_and_pair())
+@settings(max_examples=60, deadline=None)
+def test_subpath_of_shortest_path_is_shortest(case):
+    """The theorem behind Global/Local Cache (Section II-B)."""
+    graph, s, t = case
+    result = dijkstra(graph, s, t)
+    path = result.path
+    if len(path) < 3:
+        return
+    # Check a few sub-pairs including the extremes.
+    pairs = [(0, len(path) - 1), (0, len(path) // 2), (len(path) // 3, len(path) - 1)]
+    for i, j in pairs:
+        if i >= j:
+            continue
+        sub = path[i : j + 1]
+        sub_len = sum(graph.weight(u, v) for u, v in zip(sub, sub[1:]))
+        truth = dijkstra(graph, path[i], path[j]).distance
+        assert math.isclose(sub_len, truth, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(
+    st.sampled_from(GRAPHS),
+    st.integers(min_value=0, max_value=15),
+    st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+    st.sampled_from(["representative", "min-target"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_generalized_astar_matches_dijkstra(graph, source, targets, mode):
+    source = source % graph.num_vertices
+    targets = [t % graph.num_vertices for t in targets]
+    results, _ = generalized_a_star(graph, source, targets, mode=mode)
+    for t in set(targets):
+        truth = dijkstra(graph, source, t).distance
+        assert math.isclose(
+            results[t].distance, truth, rel_tol=1e-9, abs_tol=1e-12
+        ), (source, t, mode)
+
+
+@given(graph_and_pair())
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality_of_distances(case):
+    graph, s, t = case
+    mid = (s + t) % graph.num_vertices
+    d_st = dijkstra(graph, s, t).distance
+    d_sm = dijkstra(graph, s, mid).distance
+    d_mt = dijkstra(graph, mid, t).distance
+    assert d_st <= d_sm + d_mt + 1e-9
+
+
+@given(graph_and_pair())
+@settings(max_examples=40, deadline=None)
+def test_heuristic_is_admissible(case):
+    """The graph's scaled Euclidean bound never exceeds the true distance."""
+    graph, s, t = case
+    truth = dijkstra(graph, s, t).distance
+    if math.isinf(truth):
+        return
+    assert graph.heuristic(s, t) <= truth + 1e-9

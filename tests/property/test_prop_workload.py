@@ -1,0 +1,37 @@
+"""Property-based tests for the workload generator's spatial snapping."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.generators import grid_city
+from repro.queries.workload import WorkloadGenerator
+
+GRAPH = grid_city(6, 6, seed=51)
+WORKLOAD = WorkloadGenerator(GRAPH, seed=1)
+
+_min_x, _min_y, _max_x, _max_y = GRAPH.extent()
+
+coords = st.tuples(
+    st.floats(min_value=_min_x - 10, max_value=_max_x + 10, allow_nan=False),
+    st.floats(min_value=_min_y - 10, max_value=_max_y + 10, allow_nan=False),
+)
+
+
+@given(coords)
+@settings(max_examples=150, deadline=None)
+def test_nearest_vertex_is_truly_nearest(point):
+    x, y = point
+    got = WORKLOAD._nearest_vertex(x, y)
+    best_d = min(
+        math.hypot(GRAPH.xs[v] - x, GRAPH.ys[v] - y)
+        for v in range(GRAPH.num_vertices)
+    )
+    got_d = math.hypot(GRAPH.xs[got] - x, GRAPH.ys[got] - y)
+    assert got_d <= best_d + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=GRAPH.num_vertices - 1))
+@settings(max_examples=50, deadline=None)
+def test_snapping_vertex_coordinates_is_identity(v):
+    assert WORKLOAD._nearest_vertex(GRAPH.xs[v], GRAPH.ys[v]) == v

@@ -1,0 +1,80 @@
+"""Unit tests for the workload profiler."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.profile import WorkloadProfile, _gini, profile_workload
+from repro.queries.query import Query, QuerySet
+from repro.queries.workload import WorkloadGenerator
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_is_high(self):
+        assert _gini([100, 1, 1, 1]) > 0.6
+
+    def test_empty_and_zeros(self):
+        assert _gini([]) == 0.0
+        assert _gini([0, 0]) == 0.0
+
+    def test_monotone_in_concentration(self):
+        assert _gini([10, 1, 1]) > _gini([4, 4, 4])
+
+
+class TestProfile:
+    def test_counts(self, ring):
+        qs = QuerySet.from_pairs([(0, 10), (0, 20), (0, 10)])
+        profile = profile_workload(ring, qs)
+        assert profile.num_queries == 3
+        assert profile.distinct_queries == 2
+        assert profile.distinct_sources == 1
+        assert profile.distinct_targets == 2
+        assert profile.repeat_fraction == pytest.approx(1 / 3)
+
+    def test_distance_statistics_ordered(self, ring, ring_batch):
+        profile = profile_workload(ring, ring_batch)
+        assert 0 < profile.median_distance <= profile.p90_distance
+        assert profile.mean_distance > 0
+
+    def test_direction_histogram_sums(self, ring, ring_batch):
+        profile = profile_workload(ring, ring_batch)
+        assert sum(profile.direction_histogram.values()) == len(ring_batch)
+        assert set(profile.direction_histogram) == {
+            "E", "NE", "N", "NW", "W", "SW", "S", "SE"
+        }
+
+    def test_hotspot_workload_more_concentrated_than_uniform(self, ring):
+        hot = WorkloadGenerator(
+            ring, seed=5, hotspot_fraction=0.95, num_hotspots=2
+        ).batch(150)
+        uniform = WorkloadGenerator(ring, seed=5, hotspot_fraction=0.0).batch(150)
+        g_hot = profile_workload(ring, hot).endpoint_gini
+        g_uni = profile_workload(ring, uniform).endpoint_gini
+        assert g_hot > g_uni
+
+    def test_empty_rejected(self, ring):
+        with pytest.raises(QueryError):
+            profile_workload(ring, QuerySet())
+
+    def test_as_dict_roundtrip(self, ring, ring_batch):
+        profile = profile_workload(ring, ring_batch)
+        d = profile.as_dict()
+        assert d["num_queries"] == profile.num_queries
+        assert isinstance(d["direction_histogram"], dict)
+
+    def test_directional_flow_detected(self, ring):
+        # All queries eastward: the E sector dominates.
+        east = [
+            (v, u)
+            for v in range(ring.num_vertices)
+            for u in range(ring.num_vertices)
+            if ring.xs[u] > ring.xs[v] + 20 and abs(ring.ys[u] - ring.ys[v]) < 3
+        ][:30]
+        if len(east) < 10:
+            pytest.skip("not enough eastward pairs on this network")
+        profile = profile_workload(ring, QuerySet.from_pairs(east))
+        assert profile.direction_histogram["E"] == max(
+            profile.direction_histogram.values()
+        )

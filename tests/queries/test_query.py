@@ -1,0 +1,116 @@
+"""Unit tests for Query and QuerySet."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.query import Query, QuerySet
+
+
+class TestQuery:
+    def test_fields_and_aliases(self):
+        q = Query(3, 7)
+        assert q.source == q.s == 3
+        assert q.target == q.t == 7
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(QueryError):
+            Query(-1, 2)
+        with pytest.raises(QueryError):
+            Query(1, -2)
+
+    def test_hashable_and_equal(self):
+        assert Query(1, 2) == Query(1, 2)
+        assert len({Query(1, 2), Query(1, 2), Query(2, 1)}) == 2
+
+    def test_euclidean(self, grid6):
+        q = Query(0, 1)
+        assert q.euclidean(grid6) == pytest.approx(grid6.euclidean(0, 1))
+
+
+class TestQuerySetBasics:
+    def test_from_pairs_and_len(self):
+        qs = QuerySet.from_pairs([(0, 1), (2, 3)])
+        assert len(qs) == 2
+        assert qs[0] == Query(0, 1)
+
+    def test_slice_returns_query_set(self):
+        qs = QuerySet.from_pairs([(0, 1), (2, 3), (4, 5)])
+        sub = qs[1:]
+        assert isinstance(sub, QuerySet)
+        assert len(sub) == 2
+
+    def test_contains(self):
+        qs = QuerySet.from_pairs([(0, 1)])
+        assert Query(0, 1) in qs
+        assert Query(1, 0) not in qs
+
+    def test_append_extend_copy(self):
+        qs = QuerySet()
+        qs.append(Query(0, 1))
+        qs.extend([Query(2, 3)])
+        other = qs.copy()
+        other.append(Query(4, 5))
+        assert len(qs) == 2 and len(other) == 3
+
+    def test_equality(self):
+        a = QuerySet.from_pairs([(0, 1)])
+        b = QuerySet.from_pairs([(0, 1)])
+        assert a == b
+        assert a != QuerySet.from_pairs([(1, 0)])
+
+
+class TestViews:
+    def test_sources_targets(self):
+        qs = QuerySet.from_pairs([(0, 1), (0, 2), (3, 2)])
+        assert qs.sources == {0, 3}
+        assert qs.targets == {1, 2}
+
+    def test_by_source(self):
+        qs = QuerySet.from_pairs([(0, 1), (0, 2), (3, 2)])
+        groups = qs.by_source()
+        assert len(groups[0]) == 2
+        assert len(groups[3]) == 1
+
+    def test_by_target(self):
+        qs = QuerySet.from_pairs([(0, 1), (0, 2), (3, 2)])
+        groups = qs.by_target()
+        assert len(groups[2]) == 2
+
+    def test_deduplicated_preserves_order(self):
+        qs = QuerySet.from_pairs([(0, 1), (2, 3), (0, 1)])
+        assert list(qs.deduplicated()) == [Query(0, 1), Query(2, 3)]
+
+    def test_validate_ok(self):
+        QuerySet.from_pairs([(0, 1), (0, 2)]).validate()
+
+    def test_definition1_bounds_hold_for_any_set(self):
+        # |Q| between max(|S|,|T|) and |S|*|T| always holds for dedup sets;
+        # validate() should therefore never raise.
+        QuerySet.from_pairs([(i, j) for i in range(3) for j in range(4)]).validate()
+
+
+class TestGeometryHelpers:
+    def test_sorted_by_euclidean(self, grid6):
+        qs = QuerySet.from_pairs([(0, 1), (0, 35), (0, 6)])
+        ordered = qs.sorted_by_euclidean(grid6)
+        dists = [grid6.euclidean(q.source, q.target) for q in ordered]
+        assert dists == sorted(dists, reverse=True)
+
+    def test_sorted_ascending(self, grid6):
+        qs = QuerySet.from_pairs([(0, 1), (0, 35), (0, 6)])
+        ordered = qs.sorted_by_euclidean(grid6, descending=False)
+        dists = [grid6.euclidean(q.source, q.target) for q in ordered]
+        assert dists == sorted(dists)
+
+    def test_within_band(self, grid6):
+        qs = QuerySet.from_pairs([(0, 1), (0, 35)])
+        near = qs.within_band(grid6, 0.0, 2.0)
+        assert Query(0, 1) in near and Query(0, 35) not in near
+
+    def test_shuffled_is_permutation_and_deterministic(self):
+        qs = QuerySet.from_pairs([(i, i + 1) for i in range(20)])
+        a = qs.shuffled(seed=4)
+        b = qs.shuffled(seed=4)
+        assert list(a) == list(b)
+        assert sorted(a.queries) == sorted(qs.queries)
+        assert list(a) != list(qs)

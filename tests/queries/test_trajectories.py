@@ -1,0 +1,132 @@
+"""Unit tests for the taxi-trajectory simulator."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError, QueryError
+from repro.queries.trajectories import (
+    TrajectorySimulator,
+    Trip,
+    queries_from_trips,
+    subtrip_queries,
+)
+from repro.search.dijkstra import dijkstra
+
+
+@pytest.fixture(scope="module")
+def trips(ring):
+    return TrajectorySimulator(ring, seed=4).simulate(40, rate_per_second=5.0)
+
+
+class TestSimulation:
+    def test_trip_count(self, trips):
+        assert len(trips) == 40
+
+    def test_routes_are_walks(self, ring, trips):
+        for trip in trips:
+            total = 0.0
+            for u, v in zip(trip.path, trip.path[1:]):
+                assert ring.has_edge(u, v)
+                total += ring.weight(u, v)
+            assert math.isclose(total, trip.distance, rel_tol=1e-9)
+
+    def test_start_times_monotone(self, trips):
+        times = [t.start_time for t in trips]
+        assert times == sorted(times)
+        assert times[0] > 0.0
+
+    def test_routes_at_least_shortest(self, ring, trips):
+        """Waypointed trips detour; no trip beats the shortest path."""
+        for trip in trips:
+            truth = dijkstra(ring, trip.origin, trip.destination).distance
+            assert trip.distance >= truth - 1e-9
+
+    def test_some_trips_detour(self, ring):
+        sim = TrajectorySimulator(ring, waypoint_probability=1.0, seed=8)
+        trips = sim.simulate(25, rate_per_second=5.0)
+        detours = 0
+        for trip in trips:
+            truth = dijkstra(ring, trip.origin, trip.destination).distance
+            if trip.distance > truth + 1e-9:
+                detours += 1
+        assert detours > 0
+
+    def test_no_detours_when_probability_zero(self, ring):
+        sim = TrajectorySimulator(ring, waypoint_probability=0.0, seed=8)
+        for trip in sim.simulate(15, rate_per_second=5.0):
+            truth = dijkstra(ring, trip.origin, trip.destination).distance
+            assert math.isclose(trip.distance, truth, rel_tol=1e-9)
+
+    def test_deterministic(self, ring):
+        a = TrajectorySimulator(ring, seed=6).simulate(10)
+        b = TrajectorySimulator(ring, seed=6).simulate(10)
+        assert a == b
+
+    def test_distance_band(self, ring):
+        sim = TrajectorySimulator(ring, seed=7)
+        trips = sim.simulate(15, min_dist=5.0, max_dist=20.0)
+        for trip in trips:
+            assert 5.0 <= ring.euclidean(trip.origin, trip.destination) <= 20.0
+
+    def test_infeasible_band_raises(self, ring):
+        with pytest.raises(QueryError):
+            TrajectorySimulator(ring, seed=7).simulate(10, min_dist=1e6, max_dist=2e6)
+
+    def test_parameter_validation(self, ring):
+        with pytest.raises(ConfigurationError):
+            TrajectorySimulator(ring, waypoint_probability=1.5)
+        sim = TrajectorySimulator(ring)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(-1)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(5, rate_per_second=0.0)
+
+
+class TestQueryDerivation:
+    def test_endpoint_queries(self, trips):
+        queries = queries_from_trips(trips)
+        assert len(queries) == len(trips)
+        for trip, q in zip(trips, queries):
+            assert q.source == trip.origin
+            assert q.target == trip.destination
+
+    def test_subtrip_queries_lie_on_routes(self, trips):
+        queries = subtrip_queries(trips, per_trip=2, seed=1)
+        by_endpoints = {
+            (t.origin, t.destination): t for t in trips
+        }
+        # Every sampled query's endpoints appear in order on some trip.
+        paths = [t.path for t in trips]
+        for q in queries:
+            ok = False
+            for path in paths:
+                if q.source in path and q.target in path:
+                    if path.index(q.source) < len(path) and q.target in path[path.index(q.source):]:
+                        ok = True
+                        break
+            assert ok
+
+    def test_subtrip_queries_cacheable(self, ring, trips):
+        """Caching the trip routes answers every sub-trip query."""
+        from repro.core.cache import PathCache
+
+        # Sub-trip queries require shortest-path caches; use direct trips.
+        sim = TrajectorySimulator(ring, waypoint_probability=0.0, seed=9)
+        direct = sim.simulate(20)
+        cache = PathCache(ring)
+        for trip in direct:
+            cache.insert(list(trip.path))
+        queries = subtrip_queries(direct, per_trip=2, seed=2)
+        for q in queries:
+            assert cache.lookup(q.source, q.target) is not None
+
+    def test_subtrip_validation(self, trips):
+        with pytest.raises(ConfigurationError):
+            subtrip_queries(trips, per_trip=-1)
+        with pytest.raises(ConfigurationError):
+            subtrip_queries(trips, min_hops=0)
+
+    def test_empty_trips(self):
+        assert len(queries_from_trips([])) == 0
+        assert len(subtrip_queries([])) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for the hotspot workload generator."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError, QueryError
+from repro.queries.workload import Hotspot, WorkloadGenerator, band_for_network
+
+
+class TestSampling:
+    def test_deterministic(self, ring):
+        a = WorkloadGenerator(ring, seed=3).batch(30)
+        b = WorkloadGenerator(ring, seed=3).batch(30)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self, ring):
+        a = WorkloadGenerator(ring, seed=3).batch(30)
+        b = WorkloadGenerator(ring, seed=4).batch(30)
+        assert list(a) != list(b)
+
+    def test_batch_size(self, ring_workload):
+        assert len(ring_workload.batch(25)) == 25
+
+    def test_zero_size(self, ring_workload):
+        assert len(ring_workload.batch(0)) == 0
+
+    def test_no_self_queries(self, ring, ring_workload):
+        for q in ring_workload.batch(50):
+            assert q.source != q.target
+
+    def test_band_respected(self, ring):
+        wl = WorkloadGenerator(ring, seed=5)
+        batch = wl.batch(30, min_dist=5.0, max_dist=15.0)
+        for q in batch:
+            d = ring.euclidean(q.source, q.target)
+            assert 5.0 <= d <= 15.0
+
+    def test_infeasible_band_raises(self, ring):
+        wl = WorkloadGenerator(ring, seed=5)
+        with pytest.raises(QueryError):
+            wl.batch(10, min_dist=1e6, max_dist=2e6, max_attempts_factor=5)
+
+    def test_negative_size_rejected(self, ring_workload):
+        with pytest.raises(ConfigurationError):
+            ring_workload.batch(-1)
+
+    def test_vertices_are_valid(self, ring, ring_workload):
+        for q in ring_workload.batch(40):
+            assert 0 <= q.source < ring.num_vertices
+            assert 0 <= q.target < ring.num_vertices
+
+
+class TestHotspots:
+    def test_custom_hotspots_concentrate_endpoints(self, ring):
+        x, y = ring.coord(0)
+        spots = [Hotspot(x, y, sigma=3.0)]
+        wl = WorkloadGenerator(ring, hotspots=spots, hotspot_fraction=1.0, seed=2)
+        batch = wl.batch(40)
+        near = sum(
+            1
+            for q in batch
+            if ring.euclidean(q.source, 0) < 8.0 and ring.euclidean(q.target, 0) < 8.0
+        )
+        assert near > len(batch) * 0.8
+
+    def test_fraction_zero_is_uniform(self, ring):
+        wl = WorkloadGenerator(ring, hotspot_fraction=0.0, seed=2)
+        batch = wl.batch(40)
+        assert len({q.source for q in batch}) > 10
+
+    def test_bad_fraction_rejected(self, ring):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(ring, hotspot_fraction=1.5)
+
+    def test_empty_hotspot_list_rejected(self, ring):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(ring, hotspots=[])
+
+
+class TestBands:
+    def test_cache_band_scales_with_extent(self, ring):
+        lo, hi = band_for_network(ring, "cache")
+        assert lo == 0.0
+        min_x, min_y, max_x, max_y = ring.extent()
+        span = max(max_x - min_x, max_y - min_y)
+        assert hi == pytest.approx(span * 50.0 / 184.0)
+
+    def test_r2r_band(self, ring):
+        lo, hi = band_for_network(ring, "r2r")
+        assert 0 < lo < hi
+
+    def test_unknown_band_rejected(self, ring):
+        with pytest.raises(ConfigurationError):
+            band_for_network(ring, "warp")
+
+    def test_convenience_bands(self, ring):
+        wl = WorkloadGenerator(ring, seed=9)
+        for q in wl.cache_band(10, limit=10.0):
+            assert ring.euclidean(q.source, q.target) <= 10.0
+        for q in wl.r2r_band(10, low=5.0, high=20.0):
+            assert 5.0 <= ring.euclidean(q.source, q.target) <= 20.0
+
+
+class TestStream:
+    def test_batch_stream_shapes(self, ring):
+        wl = WorkloadGenerator(ring, seed=6)
+        stream = wl.batch_stream(3, 15)
+        assert len(stream) == 3
+        assert all(len(b) == 15 for b in stream)
+
+    def test_stream_batches_differ(self, ring):
+        wl = WorkloadGenerator(ring, seed=6)
+        stream = wl.batch_stream(2, 20)
+        assert list(stream[0]) != list(stream[1])

@@ -1,0 +1,61 @@
+"""Unit tests for A*: exactness and search-space reduction."""
+
+import math
+
+import pytest
+
+from repro.search.astar import a_star
+from repro.search.dijkstra import dijkstra
+from tests.conftest import assert_valid_path
+
+
+class TestExactness:
+    @pytest.mark.parametrize("s,t", [(0, 70), (12, 140), (99, 3), (144, 0)])
+    def test_matches_dijkstra(self, ring, s, t):
+        assert math.isclose(
+            a_star(ring, s, t).distance, dijkstra(ring, s, t).distance, rel_tol=1e-12
+        )
+
+    def test_path_is_valid(self, ring):
+        r = a_star(ring, 4, 77)
+        assert_valid_path(ring, r.path, 4, 77, r.distance)
+
+    def test_same_vertex(self, ring):
+        r = a_star(ring, 9, 9)
+        assert r.distance == 0.0
+        assert r.path == [9]
+
+    def test_unreachable(self, line_graph):
+        assert not a_star(line_graph, 3, 0).found
+
+    def test_exact_on_travel_time_weights(self, ring):
+        # Scale all weights (e.g. km -> minutes at 1 km/min is identity;
+        # use 0.7 to make weights *smaller* than Euclidean distances).
+        g = ring.copy()
+        g.scale_weights(0.7)
+        for s, t in [(0, 70), (33, 101)]:
+            assert math.isclose(
+                a_star(g, s, t).distance, dijkstra(g, s, t).distance, rel_tol=1e-12
+            )
+
+
+class TestEfficiency:
+    def test_visits_no_more_than_dijkstra(self, ring):
+        total_astar = total_dij = 0
+        for s, t in [(0, 70), (12, 140), (99, 3)]:
+            total_astar += a_star(ring, s, t).visited
+            total_dij += dijkstra(ring, s, t).visited
+        assert total_astar <= total_dij
+
+    def test_custom_heuristic_zero_degrades_to_dijkstra(self, ring):
+        r_zero = a_star(ring, 0, 100, heuristic=lambda u: 0.0)
+        r_dij = dijkstra(ring, 0, 100)
+        assert math.isclose(r_zero.distance, r_dij.distance)
+
+    def test_custom_admissible_heuristic_stays_exact(self, ring):
+        truth = dijkstra(ring, 0, 100).distance
+
+        def h(u):
+            return ring.heuristic(u, 100) * 0.5  # weaker but admissible
+
+        assert math.isclose(a_star(ring, 0, 100, heuristic=h).distance, truth)

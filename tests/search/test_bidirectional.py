@@ -1,0 +1,54 @@
+"""Unit tests for bidirectional Dijkstra."""
+
+import math
+
+import pytest
+
+from repro.search.bidirectional import bidirectional_dijkstra
+from repro.search.dijkstra import dijkstra
+from tests.conftest import assert_valid_path
+
+
+class TestBidirectional:
+    @pytest.mark.parametrize("s,t", [(0, 70), (12, 140), (99, 3), (1, 144)])
+    def test_matches_dijkstra(self, ring, s, t):
+        assert math.isclose(
+            bidirectional_dijkstra(ring, s, t).distance,
+            dijkstra(ring, s, t).distance,
+            rel_tol=1e-12,
+        )
+
+    def test_path_is_valid(self, ring):
+        r = bidirectional_dijkstra(ring, 2, 88)
+        assert_valid_path(ring, r.path, 2, 88, r.distance)
+
+    def test_same_vertex(self, ring):
+        r = bidirectional_dijkstra(ring, 5, 5)
+        assert r.distance == 0.0
+        assert r.path == [5]
+
+    def test_unreachable(self, line_graph):
+        r = bidirectional_dijkstra(line_graph, 4, 0)
+        assert not r.found
+        assert r.path == []
+
+    def test_directed_asymmetry_respected(self, line_graph):
+        fwd = bidirectional_dijkstra(line_graph, 0, 4)
+        assert fwd.found
+        assert fwd.path == [0, 1, 2, 3, 4]
+
+    def test_usually_visits_fewer_than_unidirectional(self, ring):
+        total_bi = total_uni = 0
+        for s, t in [(0, 70), (12, 140), (99, 3), (50, 130)]:
+            total_bi += bidirectional_dijkstra(ring, s, t).visited
+            total_uni += dijkstra(ring, s, t).visited
+        assert total_bi <= total_uni * 1.1  # allow slack on tiny graphs
+
+    def test_grid_matches(self, grid6):
+        for s in range(0, 36, 5):
+            for t in range(0, 36, 7):
+                assert math.isclose(
+                    bidirectional_dijkstra(grid6, s, t).distance,
+                    dijkstra(grid6, s, t).distance,
+                    rel_tol=1e-12,
+                )

@@ -1,0 +1,62 @@
+"""Unit tests for bidirectional A* (average-potential construction)."""
+
+import math
+
+import pytest
+
+from repro.search.bidirectional_astar import bidirectional_a_star
+from repro.search.dijkstra import dijkstra
+from tests.conftest import assert_valid_path
+
+
+class TestBidirectionalAStar:
+    @pytest.mark.parametrize("s,t", [(0, 70), (12, 140), (99, 3), (1, 144), (50, 51)])
+    def test_matches_dijkstra(self, ring, s, t):
+        assert math.isclose(
+            bidirectional_a_star(ring, s, t).distance,
+            dijkstra(ring, s, t).distance,
+            rel_tol=1e-12,
+        )
+
+    def test_path_is_valid(self, ring):
+        r = bidirectional_a_star(ring, 2, 88)
+        assert_valid_path(ring, r.path, 2, 88, r.distance)
+
+    def test_same_vertex(self, ring):
+        r = bidirectional_a_star(ring, 5, 5)
+        assert r.distance == 0.0 and r.path == [5]
+
+    def test_unreachable(self, line_graph):
+        r = bidirectional_a_star(line_graph, 4, 0)
+        assert not r.found
+
+    def test_directed_path(self, line_graph):
+        r = bidirectional_a_star(line_graph, 0, 4)
+        assert r.path == [0, 1, 2, 3, 4]
+
+    def test_grid_all_pairs_sample(self, grid6):
+        for s in range(0, 36, 5):
+            for t in range(1, 36, 7):
+                truth = dijkstra(grid6, s, t).distance
+                assert math.isclose(
+                    bidirectional_a_star(grid6, s, t).distance, truth, rel_tol=1e-12
+                ), (s, t)
+
+    def test_visits_no_more_than_bidirectional_dijkstra(self, ring):
+        from repro.search.bidirectional import bidirectional_dijkstra
+
+        total_a = total_d = 0
+        for s, t in [(0, 70), (12, 140), (99, 3), (30, 110)]:
+            total_a += bidirectional_a_star(ring, s, t).visited
+            total_d += bidirectional_dijkstra(ring, s, t).visited
+        assert total_a <= total_d * 1.05
+
+    def test_scaled_weights_stay_exact(self, ring):
+        g = ring.copy()
+        g.scale_weights(0.5)
+        for s, t in [(0, 70), (33, 101)]:
+            assert math.isclose(
+                bidirectional_a_star(g, s, t).distance,
+                dijkstra(g, s, t).distance,
+                rel_tol=1e-12,
+            )

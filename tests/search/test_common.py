@@ -1,0 +1,80 @@
+"""Unit tests for search result helpers."""
+
+import math
+
+import pytest
+
+from repro.exceptions import NoPathError
+from repro.search.common import PathResult, SearchStats, path_length, reconstruct_path
+
+
+class TestPathResult:
+    def test_found_flag(self):
+        assert PathResult(0, 1, 5.0).found
+        assert not PathResult(0, 1, math.inf).found
+
+    def test_require_found_passthrough(self):
+        r = PathResult(0, 1, 5.0)
+        assert r.require_found() is r
+
+    def test_require_found_raises(self):
+        with pytest.raises(NoPathError):
+            PathResult(0, 1, math.inf).require_found()
+
+    def test_defaults(self):
+        r = PathResult(0, 1, 5.0)
+        assert r.path == []
+        assert r.visited == 0
+        assert r.exact
+
+
+class TestReconstructPath:
+    def test_simple_chain(self):
+        parents = {1: 0, 2: 1, 3: 2}
+        assert reconstruct_path(parents, 0, 3) == [0, 1, 2, 3]
+
+    def test_source_equals_target(self):
+        assert reconstruct_path({}, 5, 5) == [5]
+
+    def test_unreached_target(self):
+        assert reconstruct_path({1: 0}, 0, 9) == []
+
+
+class TestPathLength:
+    def test_length(self, line_graph):
+        assert path_length(line_graph, [0, 1, 2]) == pytest.approx(1.0 + 1.1)
+
+    def test_trivial_paths(self, line_graph):
+        assert path_length(line_graph, []) == 0.0
+        assert path_length(line_graph, [3]) == 0.0
+
+
+class TestSearchStats:
+    def test_record(self):
+        stats = SearchStats()
+        stats.record(PathResult(0, 1, 5.0, visited=10))
+        stats.record(PathResult(1, 2, 3.0, visited=4))
+        assert stats.searches == 2
+        assert stats.visited == 14
+        assert stats.mean_visited == 7.0
+
+    def test_record_returns_result(self):
+        stats = SearchStats()
+        r = PathResult(0, 1, 5.0, visited=1)
+        assert stats.record(r) is r
+
+    def test_record_visited(self):
+        stats = SearchStats()
+        stats.record_visited(42)
+        assert stats.searches == 1
+        assert stats.visited == 42
+
+    def test_merge(self):
+        a = SearchStats(searches=1, visited=10)
+        b = SearchStats(searches=2, visited=5)
+        a.merge(b)
+        assert a.searches == 3
+        assert a.visited == 15
+
+    def test_empty_mean(self):
+        assert SearchStats().mean_visited == 0.0

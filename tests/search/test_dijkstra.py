@@ -1,0 +1,158 @@
+"""Unit tests for Dijkstra and its variants, cross-checked with networkx."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.search.dijkstra import (
+    bounded_ball,
+    bounded_ball_tree,
+    dijkstra,
+    one_to_many,
+    sssp_distances,
+    sssp_tree,
+)
+from tests.conftest import assert_valid_path
+
+
+def to_networkx(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+@pytest.fixture(scope="module")
+def nx_ring(ring):
+    return to_networkx(ring)
+
+
+class TestPointToPoint:
+    def test_matches_networkx(self, ring, nx_ring):
+        pairs = [(0, 50), (3, 120), (77, 8), (144, 1), (60, 60)]
+        for s, t in pairs:
+            ours = dijkstra(ring, s, t).distance
+            theirs = nx.dijkstra_path_length(nx_ring, s, t)
+            assert math.isclose(ours, theirs, rel_tol=1e-12)
+
+    def test_path_is_valid(self, ring):
+        r = dijkstra(ring, 5, 99)
+        assert_valid_path(ring, r.path, 5, 99, r.distance)
+
+    def test_same_vertex(self, ring):
+        r = dijkstra(ring, 7, 7)
+        assert r.distance == 0.0
+        assert r.path == [7]
+
+    def test_unreachable(self, line_graph):
+        r = dijkstra(line_graph, 4, 0)  # edges only go forward
+        assert not r.found
+        assert r.path == []
+
+    def test_visited_counted(self, ring):
+        r = dijkstra(ring, 0, 100)
+        assert r.visited > 0
+
+    def test_backward_equals_forward_reversed(self, ring):
+        fwd = dijkstra(ring, 10, 90)
+        bwd = dijkstra(ring, 90, 10, backward=True)
+        assert math.isclose(fwd.distance, bwd.distance)
+        assert bwd.path == list(reversed(fwd.path)) or math.isclose(
+            fwd.distance, bwd.distance
+        )
+
+    def test_require_found_raises(self, line_graph):
+        from repro.exceptions import NoPathError
+
+        with pytest.raises(NoPathError):
+            dijkstra(line_graph, 4, 0).require_found()
+
+
+class TestBoundedBall:
+    def test_all_within_radius(self, ring):
+        ball, visited = bounded_ball(ring, 0, 10.0)
+        assert visited == len(ball)
+        for v, d in ball.items():
+            assert d <= 10.0
+            assert math.isclose(d, dijkstra(ring, 0, v).distance)
+
+    def test_radius_zero_only_source(self, ring):
+        ball, _ = bounded_ball(ring, 5, 0.0)
+        assert ball == {5: 0.0}
+
+    def test_ball_grows_with_radius(self, ring):
+        small, _ = bounded_ball(ring, 0, 5.0)
+        large, _ = bounded_ball(ring, 0, 15.0)
+        assert set(small) <= set(large)
+        assert len(large) > len(small)
+
+    def test_backward_ball(self, line_graph):
+        ball, _ = bounded_ball(line_graph, 4, 100.0, backward=True)
+        assert set(ball) == {0, 1, 2, 3, 4}
+        ball_fwd, _ = bounded_ball(line_graph, 4, 100.0)
+        assert set(ball_fwd) == {4}
+
+    def test_tree_variant_paths(self, ring):
+        ball, parents, _ = bounded_ball_tree(ring, 0, 12.0)
+        for v in list(ball)[:10]:
+            if v == 0:
+                continue
+            # Walk parents back to the source.
+            cur, hops = v, 0
+            while cur != 0 and hops < 1000:
+                cur = parents[cur]
+                hops += 1
+            assert cur == 0
+
+
+class TestOneToMany:
+    def test_distances_match(self, ring):
+        targets = [3, 50, 99, 140]
+        found, parents, visited = one_to_many(ring, 0, targets)
+        for t in targets:
+            assert math.isclose(found[t], dijkstra(ring, 0, t).distance)
+        assert visited > 0
+
+    def test_unreachable_marked_inf(self, line_graph):
+        found, _, _ = one_to_many(line_graph, 2, [0, 4])
+        assert math.isinf(found[0])
+        assert found[4] == pytest.approx(1.2 + 1.3)
+
+    def test_stops_early(self, ring):
+        # Asking for a close-by target should settle far fewer than n nodes.
+        close = min(
+            range(1, ring.num_vertices), key=lambda v: ring.euclidean(0, v)
+        )
+        _, _, visited = one_to_many(ring, 0, [close])
+        assert visited < ring.num_vertices / 2
+
+    def test_empty_targets(self, ring):
+        found, parents, visited = one_to_many(ring, 0, [])
+        assert found == {}
+        assert visited == 0
+
+
+class TestSSSP:
+    def test_matches_networkx(self, ring, nx_ring):
+        ours = sssp_distances(ring, 0)
+        theirs = nx.single_source_dijkstra_path_length(nx_ring, 0)
+        for v in range(ring.num_vertices):
+            assert math.isclose(ours[v], theirs[v], rel_tol=1e-12)
+
+    def test_backward_matches_reverse_graph(self, ring):
+        ours = sssp_distances(ring, 0, backward=True)
+        rev = ring.reversed_copy()
+        expected = sssp_distances(rev, 0)
+        assert ours == pytest.approx(expected)
+
+    def test_tree_parents_reconstruct(self, ring):
+        dist, parents = sssp_tree(ring, 0)
+        for v in (10, 60, 130):
+            cur, total = v, 0.0
+            while cur != 0:
+                p = parents[cur]
+                total += ring.weight(p, cur)
+                cur = p
+            assert math.isclose(total, dist[v])

@@ -1,0 +1,78 @@
+"""Unit tests for the generalized 1-N A* of [33]."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.search.dijkstra import dijkstra
+from repro.search.generalized_astar import generalized_a_star, pick_representative
+from tests.conftest import assert_valid_path
+
+
+class TestExactness:
+    @pytest.mark.parametrize("mode", ["representative", "min-target", "zero"])
+    def test_matches_per_target_dijkstra(self, ring, mode):
+        source = 0
+        targets = [10, 55, 99, 130, 144]
+        results, visited = generalized_a_star(ring, source, targets, mode=mode)
+        assert visited > 0
+        for t in targets:
+            truth = dijkstra(ring, source, t).distance
+            assert math.isclose(results[t].distance, truth, rel_tol=1e-12), (mode, t)
+
+    def test_paths_are_valid(self, ring):
+        results, _ = generalized_a_star(ring, 3, [40, 90])
+        for t, r in results.items():
+            assert_valid_path(ring, r.path, 3, t, r.distance)
+
+    def test_source_in_targets(self, ring):
+        results, _ = generalized_a_star(ring, 7, [7, 20])
+        assert results[7].distance == 0.0
+        assert results[7].path == [7]
+
+    def test_duplicate_targets_collapsed(self, ring):
+        results, _ = generalized_a_star(ring, 0, [5, 5, 5])
+        assert len(results) == 1
+
+    def test_unreachable_target(self, line_graph):
+        results, _ = generalized_a_star(line_graph, 2, [0, 4])
+        assert not results[0].found
+        assert results[4].found
+
+    def test_empty_targets(self, ring):
+        results, visited = generalized_a_star(ring, 0, [])
+        assert results == {}
+        assert visited == 0
+
+    def test_unknown_mode_rejected(self, ring):
+        with pytest.raises(ConfigurationError):
+            generalized_a_star(ring, 0, [1], mode="warp")
+
+
+class TestSharedComputation:
+    def test_single_run_cheaper_than_separate(self, ring):
+        """The whole point: one 1-N run beats N separate A* runs on VNN."""
+        source = 0
+        # A tight target cloud in one direction.
+        anchor = 100
+        targets = sorted(
+            range(ring.num_vertices), key=lambda v: ring.euclidean(anchor, v)
+        )[:8]
+        _, shared_visited = generalized_a_star(ring, source, targets)
+        separate_visited = sum(dijkstra(ring, source, t).visited for t in targets)
+        assert shared_visited < separate_visited
+
+    def test_representative_is_farthest(self, ring):
+        targets = [10, 50, 100]
+        rep = pick_representative(ring, 0, targets)
+        dists = {t: ring.euclidean(0, t) for t in targets}
+        assert dists[rep] == max(dists.values())
+
+    def test_representative_requires_targets(self, ring):
+        with pytest.raises(ConfigurationError):
+            pick_representative(ring, 0, [])
+
+    def test_visited_attributed_once(self, ring):
+        results, visited = generalized_a_star(ring, 0, [30, 60, 90])
+        assert sum(r.visited for r in results.values()) == visited

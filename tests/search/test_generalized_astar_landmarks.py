@@ -1,0 +1,53 @@
+"""Landmark-assisted generalized A* (the paper's alternative heuristic)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.search.dijkstra import dijkstra
+from repro.search.generalized_astar import generalized_a_star
+from repro.search.landmarks import LandmarkIndex
+
+
+@pytest.fixture(scope="module")
+def landmarks(ring):
+    return LandmarkIndex(ring, num_landmarks=4, seed=1)
+
+
+class TestLandmarkModes:
+    @pytest.mark.parametrize("mode", ["representative", "min-target"])
+    def test_exact_with_landmarks(self, ring, landmarks, mode):
+        targets = [10, 50, 99, 130]
+        results, visited = generalized_a_star(
+            ring, 0, targets, mode=mode, landmarks=landmarks
+        )
+        assert visited > 0
+        for t in targets:
+            truth = dijkstra(ring, 0, t).distance
+            assert math.isclose(results[t].distance, truth, rel_tol=1e-12)
+
+    def test_min_target_landmarks_tighter(self, ring, landmarks):
+        """ALT bounds dominate scaled Euclidean, so the search shrinks."""
+        targets = [100, 101, 102]
+        _, with_lm = generalized_a_star(
+            ring, 0, targets, mode="min-target", landmarks=landmarks
+        )
+        _, without = generalized_a_star(ring, 0, targets, mode="min-target")
+        assert with_lm <= without
+
+    def test_stale_landmarks_rejected(self, ring):
+        g = ring.copy()
+        lm = LandmarkIndex(g, num_landmarks=2, seed=0)
+        u, v, w = next(iter(g.edges()))
+        g.set_weight(u, v, w * 2)
+        with pytest.raises(ConfigurationError):
+            generalized_a_star(g, 0, [5], landmarks=lm)
+
+    def test_unreachable_target_with_landmarks(self, line_graph):
+        lm = LandmarkIndex(line_graph, num_landmarks=2, seed=0)
+        results, _ = generalized_a_star(
+            line_graph, 2, [0, 4], mode="representative", landmarks=lm
+        )
+        assert not results[0].found
+        assert results[4].found

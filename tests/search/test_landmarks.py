@@ -1,0 +1,75 @@
+"""Unit tests for ALT landmarks."""
+
+import math
+
+import pytest
+
+from repro.exceptions import IndexConstructionError
+from repro.network.graph import RoadNetwork
+from repro.search.astar import a_star
+from repro.search.dijkstra import dijkstra
+from repro.search.landmarks import LandmarkIndex
+
+
+@pytest.fixture(scope="module")
+def landmarks(ring):
+    return LandmarkIndex(ring, num_landmarks=4, seed=2)
+
+
+class TestBounds:
+    def test_lower_bound_is_admissible(self, ring, landmarks):
+        for s, t in [(0, 70), (12, 140), (99, 3), (50, 50)]:
+            truth = dijkstra(ring, s, t).distance
+            assert landmarks.lower_bound(s, t) <= truth + 1e-9
+
+    def test_bound_to_self_is_zero(self, ring, landmarks):
+        for v in (0, 10, 100):
+            assert landmarks.lower_bound(v, v) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bound_nonnegative(self, ring, landmarks):
+        for s, t in [(5, 80), (80, 5)]:
+            assert landmarks.lower_bound(s, t) >= 0.0
+
+    def test_tighter_than_euclidean_somewhere(self, ring, landmarks):
+        """ALT should beat the Euclidean bound for at least some pair."""
+        wins = 0
+        for s in range(0, ring.num_vertices, 11):
+            for t in range(3, ring.num_vertices, 13):
+                if landmarks.lower_bound(s, t) > ring.heuristic(s, t) + 1e-9:
+                    wins += 1
+        assert wins > 0
+
+
+class TestAStarIntegration:
+    def test_astar_with_alt_is_exact(self, ring, landmarks):
+        for s, t in [(0, 70), (12, 140), (99, 3)]:
+            truth = dijkstra(ring, s, t).distance
+            r = a_star(ring, s, t, heuristic=landmarks.heuristic_to(t))
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_alt_visits_no_more_than_dijkstra(self, ring, landmarks):
+        total_alt = total_dij = 0
+        for s, t in [(0, 70), (12, 140), (99, 3)]:
+            total_alt += a_star(ring, s, t, heuristic=landmarks.heuristic_to(t)).visited
+            total_dij += dijkstra(ring, s, t).visited
+        assert total_alt <= total_dij
+
+
+class TestLifecycle:
+    def test_selection_spread(self, ring, landmarks):
+        assert len(set(landmarks.landmarks)) == 4
+
+    def test_stale_flag(self, ring):
+        g = ring.copy()
+        lm = LandmarkIndex(g, num_landmarks=2, seed=0)
+        assert not lm.stale
+        g.set_weight(*[(u, v) for u, v, _ in g.edges()][0], 99.0)
+        assert lm.stale
+
+    def test_zero_landmarks_rejected(self, ring):
+        with pytest.raises(IndexConstructionError):
+            LandmarkIndex(ring, num_landmarks=0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            LandmarkIndex(RoadNetwork([], []), num_landmarks=1)

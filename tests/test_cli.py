@@ -1,0 +1,74 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestInfo:
+    def test_info_runs(self, capsys):
+        assert main(["info", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out
+        assert "cache band" in out
+
+
+class TestRun:
+    @pytest.mark.parametrize("method", ["astar", "slc-s", "r2r-s"])
+    def test_run_methods(self, capsys, method):
+        code = main(
+            ["run", "--scale", "tiny", "--method", method, "--size", "25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total_seconds" in out
+
+    def test_run_requires_valid_method(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scale", "tiny", "--method", "warp"])
+
+
+class TestReproduce:
+    def test_fig7a_to_directory(self, capsys, tmp_path):
+        code = main(
+            [
+                "reproduce",
+                "--scale",
+                "tiny",
+                "--experiment",
+                "fig7a",
+                "--sizes",
+                "15,30",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "fig7a.txt").exists()
+        assert "Fig 7-(a)" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        code = main(
+            ["reproduce", "--scale", "tiny", "--experiment", "table2", "--sizes", "15"]
+        )
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "--scale", "tiny", "--experiment", "fig99"])
+
+    def test_bad_sizes(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "--scale", "tiny", "--sizes", "abc"])
+
+
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["info"])
+        assert args.command == "info"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,47 @@
+"""Smoke tests for the `repro dynamic` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDynamicCommand:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            [
+                "dynamic",
+                "--scale",
+                "tiny",
+                "--batches",
+                "4",
+                "--size",
+                "40",
+                "--epoch-every",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit" in out
+        assert "flushed_epochs=" in out
+        # Two epochs changes over 4 batches with period 2: batches 3 and...
+        # exactly one flush happens after the first change that follows a
+        # built cache set.
+        assert "flushed_epochs=0" not in out
+
+    def test_no_epoch_changes(self, capsys):
+        code = main(
+            [
+                "dynamic",
+                "--scale",
+                "tiny",
+                "--batches",
+                "2",
+                "--size",
+                "30",
+                "--epoch-every",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "flushed_epochs=0" in capsys.readouterr().out

@@ -1,0 +1,37 @@
+"""End-to-end CLI test: reproduce every artefact at tiny scale."""
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestReproduceAll:
+    def test_all_artifacts_generated(self, capsys, tmp_path):
+        code = main(
+            [
+                "reproduce",
+                "--experiment",
+                "all",
+                "--scale",
+                "tiny",
+                "--sizes",
+                "20,40",
+                "--fig8-size",
+                "30",
+                "--servers",
+                "8",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        for name in EXPERIMENTS:
+            artefact = tmp_path / f"{name}.txt"
+            assert artefact.exists(), name
+            assert artefact.read_text().strip(), name
+        out = capsys.readouterr().out
+        assert "Fig 7-(a)" in out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Fig 8" in out
+        # The paper's log-scale Fig 8 presentation is rendered too.
+        assert "log-scale seconds" in out
+        assert "arcflags-construction" in out

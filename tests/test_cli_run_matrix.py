@@ -1,0 +1,32 @@
+"""The `repro run` CLI across the full method matrix."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.batch_runner import METHODS
+
+
+class TestRunMatrix:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_every_method_runs(self, capsys, method):
+        code = main(
+            ["run", "--scale", "tiny", "--method", method, "--size", "25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total_seconds" in out
+        assert "visited" in out
+
+    def test_r2r_uses_long_band(self, capsys):
+        # r2r methods draw from the long band: summary still well-formed.
+        code = main(["run", "--scale", "tiny", "--method", "r2r-r", "--size", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+
+    def test_eta_flag_respected(self, capsys):
+        code = main(
+            ["run", "--scale", "tiny", "--method", "r2r-s", "--size", "20",
+             "--eta", "0.3"]
+        )
+        assert code == 0

@@ -1,0 +1,25 @@
+"""Tests for the `repro verify` subcommand."""
+
+from repro.cli import main
+
+
+class TestVerify:
+    def test_verify_passes_on_tiny(self, capsys):
+        code = main(["verify", "--scale", "tiny", "--size", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VERIFY OK" in out
+        assert "0 mismatches" in out
+        assert "0 bound violations" in out
+
+    def test_verify_covers_both_bands(self, capsys):
+        main(["verify", "--scale", "tiny", "--size", "30"])
+        out = capsys.readouterr().out
+        # Exact methods and bounded methods both appear.
+        for method in ("astar", "gc", "slc-s", "zigzag-petal", "r2r-s", "r2r-r"):
+            assert method in out
+
+    def test_verify_with_looser_eta(self, capsys):
+        code = main(["verify", "--scale", "tiny", "--size", "30", "--eta", "0.2"])
+        assert code == 0
+        assert "eta=0.2" in capsys.readouterr().out

@@ -1,0 +1,55 @@
+"""Guard the examples: importable, well-formed, and entry-pointed.
+
+Running every example end-to-end belongs to manual/benchmark time (they
+use medium-scale networks); these tests catch the regressions that break
+them silently — syntax errors, renamed imports, missing main().
+"""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExamples:
+    def test_parses(self, path):
+        ast.parse(path.read_text(encoding="utf-8"))
+
+    def test_has_main_and_guard(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in names
+        assert '__main__' in path.read_text(encoding="utf-8")
+
+    def test_imports_resolve(self, path):
+        """Every `from repro...` import in the example must exist."""
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )
+
+    def test_has_docstring(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert {
+        "quickstart.py",
+        "ride_hailing.py",
+        "dynamic_traffic.py",
+        "long_distance_carpool.py",
+        "streaming_day.py",
+        "capacity_planning.py",
+        "taxi_log_replay.py",
+    } <= names

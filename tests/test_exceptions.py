@@ -1,0 +1,48 @@
+"""The exception hierarchy: everything is catchable as ReproError."""
+
+import pytest
+
+from repro.exceptions import (
+    CacheError,
+    ConfigurationError,
+    DecompositionError,
+    GraphError,
+    IndexConstructionError,
+    NoPathError,
+    QueryError,
+    ReproError,
+)
+
+
+ALL_ERRORS = [
+    CacheError,
+    ConfigurationError,
+    DecompositionError,
+    GraphError,
+    IndexConstructionError,
+    QueryError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_subclass_of_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+        with pytest.raises(ReproError):
+            raise cls("boom")
+
+    def test_no_path_error_is_graph_error(self):
+        assert issubclass(NoPathError, GraphError)
+
+    def test_no_path_error_carries_endpoints(self):
+        err = NoPathError(3, 7)
+        assert err.source == 3
+        assert err.target == 7
+        assert "3" in str(err) and "7" in str(err)
+
+    def test_library_raises_only_repro_errors_for_bad_input(self, ring):
+        from repro.core.batch_runner import BatchProcessor
+        from repro.queries.query import QuerySet
+
+        with pytest.raises(ReproError):
+            BatchProcessor(ring).process(QuerySet(), "no-such-method")

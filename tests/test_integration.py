@@ -1,0 +1,133 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise full pipelines the way the examples and benchmarks do —
+network generation -> workload -> decomposition -> answering -> metrics —
+and cross-check outcomes between independent implementations.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    BatchProcessor,
+    ContractionHierarchy,
+    PrunedLandmarkLabeling,
+    WorkloadGenerator,
+    beijing_like,
+    grid_city,
+)
+from repro.analysis.metrics import error_report
+from repro.core.batch_runner import METHODS
+from repro.network.io import load_text, save_text
+from repro.queries.workload import band_for_network
+from repro.search.dijkstra import dijkstra
+
+
+class TestFullPipelineOnGrid:
+    """The whole stack on a grid city (different topology than the ring)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = grid_city(9, 9, spacing=2.0, seed=17)
+        workload = WorkloadGenerator(graph, seed=3)
+        batch = workload.batch(120)
+        oracle = {
+            q: dijkstra(graph, q.source, q.target).distance
+            for q in batch.deduplicated()
+        }
+        return graph, batch, oracle
+
+    @pytest.mark.parametrize("method", ["slc-s", "zlc", "r2r-s", "k-path"])
+    def test_method_sound_on_grid(self, setup, method):
+        graph, batch, oracle = setup
+        answer = BatchProcessor(graph, seed=2).process(batch, method)
+        assert answer.num_queries == len(batch)
+        for q, r in answer.answers:
+            assert r.distance >= oracle[q] - 1e-9
+            if r.exact:
+                assert math.isclose(r.distance, oracle[q], rel_tol=1e-12)
+
+    def test_r2r_error_reporting_end_to_end(self, setup):
+        graph, batch, oracle = setup
+        answer = BatchProcessor(graph, eta=0.05).process(batch, "r2r-s")
+        report = error_report(graph, answer, oracle)
+        assert report.max_error <= 0.05 + 1e-9
+
+
+class TestIndexesAgreeWithBatchMethods:
+    """CH, PLL and the exact batch pipelines all give identical distances."""
+
+    def test_three_way_agreement(self):
+        graph = beijing_like("tiny", seed=2)
+        workload = WorkloadGenerator(graph, seed=5)
+        batch = workload.batch(40)
+        ch = ContractionHierarchy(graph)
+        pll = PrunedLandmarkLabeling(graph)
+        answer = BatchProcessor(graph).process(batch, "slc-s")
+        for q, r in answer.answers:
+            assert math.isclose(r.distance, ch.distance(q.source, q.target), rel_tol=1e-9)
+            assert math.isclose(r.distance, pll.distance(q.source, q.target), rel_tol=1e-9)
+
+
+class TestPersistenceRoundTrip:
+    """A network survives serialisation and keeps producing equal answers."""
+
+    def test_answers_identical_after_reload(self, tmp_path):
+        graph = beijing_like("tiny", seed=4)
+        path = tmp_path / "city.gr"
+        save_text(graph, path)
+        reloaded = load_text(path)
+
+        workload_a = WorkloadGenerator(graph, seed=7)
+        workload_b = WorkloadGenerator(reloaded, seed=7)
+        batch_a = workload_a.batch(30)
+        batch_b = workload_b.batch(30)
+        assert list(batch_a) == list(batch_b)
+
+        answers_a = BatchProcessor(graph).process(batch_a, "slc-s").distances()
+        answers_b = BatchProcessor(reloaded).process(batch_b, "slc-s").distances()
+        for q, d in answers_a.items():
+            assert math.isclose(d, answers_b[q], rel_tol=1e-12)
+
+
+class TestDynamicWeightsEndToEnd:
+    """Weight changes flow through every layer: graph, search, batch, index."""
+
+    def test_batch_answers_track_snapshot(self):
+        graph = beijing_like("tiny", seed=6).copy()
+        workload = WorkloadGenerator(graph, seed=9)
+        batch = workload.batch(30)
+        before = BatchProcessor(graph).process(batch, "slc-s").distances()
+
+        graph.scale_weights(2.0)
+        after = BatchProcessor(graph).process(batch, "slc-s").distances()
+        for q in before:
+            assert math.isclose(after[q], 2.0 * before[q], rel_tol=1e-9)
+
+    def test_index_goes_stale_but_batch_does_not(self):
+        graph = beijing_like("tiny", seed=6).copy()
+        ch = ContractionHierarchy(graph)
+        u, v, w = next(iter(graph.edges()))
+        graph.set_weight(u, v, w * 5.0)
+        assert ch.stale
+        # The index-free pipeline is correct against the new snapshot.
+        workload = WorkloadGenerator(graph, seed=10)
+        batch = workload.batch(15)
+        answer = BatchProcessor(graph).process(batch, "slc-s")
+        for q, r in answer.answers:
+            truth = dijkstra(graph, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+
+class TestEveryMethodOnEveryBand:
+    """Smoke: the full method matrix runs on both distance bands."""
+
+    @pytest.mark.parametrize("band", ["cache", "r2r"])
+    def test_matrix(self, ring, ring_workload, band):
+        lo, hi = band_for_network(ring, band)
+        batch = ring_workload.batch(25, min_dist=lo, max_dist=hi)
+        processor = BatchProcessor(ring, seed=1)
+        for method in METHODS:
+            answer = processor.process(batch, method)
+            assert answer.num_queries > 0

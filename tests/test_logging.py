@@ -1,0 +1,47 @@
+"""The library logs its lifecycle events through standard logging."""
+
+import logging
+
+import pytest
+
+from repro.baselines.global_cache import GlobalCacheAnswerer
+from repro.core.dynamic import DynamicBatchSession
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.network.timeline import TrafficTimeline, congestion_snapshot
+
+
+class TestLogging:
+    def test_global_cache_build_logged(self, ring, ring_batch, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.baselines.global_cache"):
+            GlobalCacheAnswerer(ring).build(ring_batch[:15])
+        assert any("global cache built" in r.message for r in caplog.records)
+
+    def test_epoch_flush_logged(self, ring, ring_workload, caplog):
+        graph = ring.copy()
+        session = DynamicBatchSession(
+            graph,
+            decomposer=SearchSpaceDecomposer(graph),
+            answerer=LocalCacheAnswerer(graph, cache_bytes=10**6),
+        )
+        session.process_batch(ring_workload.batch(20))
+        graph.scale_weights(1.5)
+        with caplog.at_level(logging.INFO, logger="repro.core.dynamic"):
+            session.process_batch(ring_workload.batch(20))
+        assert any("flushing" in r.message for r in caplog.records)
+
+    def test_timeline_event_logged(self, ring, caplog):
+        graph = ring.copy()
+        timeline = TrafficTimeline(graph, seed=1)
+        timeline.schedule(1.0, congestion_snapshot(0.1), "jam")
+        with caplog.at_level(logging.INFO, logger="repro.network.timeline"):
+            timeline.advance_to(2.0)
+        assert any("traffic snapshot" in r.message and "jam" in r.message
+                   for r in caplog.records)
+
+    def test_quiet_by_default(self, ring, ring_batch, capsys):
+        """No handler configured -> nothing printed (library etiquette)."""
+        GlobalCacheAnswerer(ring).build(ring_batch[:10])
+        captured = capsys.readouterr()
+        assert "global cache built" not in captured.out
+        assert "global cache built" not in captured.err

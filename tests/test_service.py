@@ -1,0 +1,110 @@
+"""Tests for the windowed batch query service."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.timeline import TrafficTimeline, congestion_snapshot
+from repro.queries.arrivals import PoissonArrivals, TimedQuery
+from repro.queries.query import Query, QuerySet
+from repro.search.dijkstra import dijkstra
+from repro.service import BatchQueryService
+
+
+@pytest.fixture()
+def city(ring):
+    return ring.copy()
+
+
+@pytest.fixture()
+def arrivals(ring_workload):
+    return PoissonArrivals(ring_workload, rate=60.0, seed=3).duration(4.0)
+
+
+class TestRun:
+    def test_all_queries_answered(self, city, arrivals):
+        service = BatchQueryService(city, window_seconds=1.0)
+        report = service.run(arrivals)
+        assert report.total_queries == len(arrivals)
+        answered = sum(
+            w.answer.num_queries for w in report.windows if w.answer is not None
+        )
+        assert answered == len(arrivals)
+
+    def test_answers_exact(self, city, arrivals):
+        service = BatchQueryService(city, window_seconds=1.0)
+        report = service.run(arrivals)
+        for window in report.windows:
+            if window.answer is None:
+                continue
+            q, r = window.answer.answers[0]
+            truth = dijkstra(city, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_window_count_matches_duration(self, city, arrivals):
+        service = BatchQueryService(city, window_seconds=1.0)
+        report = service.run(arrivals)
+        last = max(tq.arrival for tq in arrivals)
+        assert len(report.windows) == int(last) + 1
+
+    def test_report_aggregates(self, city, arrivals):
+        service = BatchQueryService(city, window_seconds=1.0)
+        report = service.run(arrivals)
+        assert report.busy_windows > 0
+        assert report.worst_window_seconds > 0.0
+        assert 0.0 <= report.mean_hit_ratio <= 1.0
+        assert len(report.window_costs()) == report.busy_windows
+
+    def test_deadline_accounting(self, city, arrivals):
+        # An impossible SLO: every busy window misses.
+        service = BatchQueryService(city, window_seconds=1.0, deadline_seconds=1e-9)
+        report = service.run(arrivals)
+        assert report.deadline_misses == report.busy_windows
+
+    def test_empty_stream(self, city):
+        report = BatchQueryService(city).run([])
+        assert report.windows == []
+        assert report.total_queries == 0
+
+
+class TestTimelineIntegration:
+    def test_snapshots_fire_and_answers_track(self, city, ring_workload):
+        timeline = TrafficTimeline(city, seed=2)
+        timeline.schedule(2.0, congestion_snapshot(0.3), "jam")
+        service = BatchQueryService(city, window_seconds=1.0, timeline=timeline)
+        arrivals = PoissonArrivals(ring_workload, rate=40.0, seed=9).duration(5.0)
+        report = service.run(arrivals)
+        assert sum(w.timeline_events for w in report.windows) == 1
+        # Post-jam answers reflect the new weights.
+        late = [w for w in report.windows if w.window_index >= 2 and w.answer]
+        q, r = late[-1].answer.answers[0]
+        truth = dijkstra(city, q.source, q.target).distance
+        assert math.isclose(r.distance, truth, rel_tol=1e-12)
+        assert service.session.epochs_flushed >= 1
+
+    def test_process_window_directly(self, city, ring_workload):
+        timeline = TrafficTimeline(city, seed=2)
+        service = BatchQueryService(city, timeline=timeline)
+        batch = ring_workload.batch(15)
+        window = service.process_window(batch, at_seconds=3.5)
+        assert window.queries == 15
+        assert window.answer is not None
+
+
+class TestValidation:
+    def test_bad_window(self, city):
+        with pytest.raises(ConfigurationError):
+            BatchQueryService(city, window_seconds=0.0)
+
+    def test_bad_deadline(self, city):
+        with pytest.raises(ConfigurationError):
+            BatchQueryService(city, deadline_seconds=-1.0)
+
+    def test_capacity_integration(self, city, arrivals):
+        from repro.analysis.capacity import servers_needed
+
+        service = BatchQueryService(city)
+        report = service.run(arrivals)
+        plan = servers_needed(report.window_costs(), deadline_seconds=10.0)
+        assert plan.servers >= 1
