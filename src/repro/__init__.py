@@ -76,6 +76,7 @@ from .queries import (
     queries_from_trips,
     window_batches,
 )
+from .parallel import ExecutionReport, ParallelBatchEngine, ParallelOutcome
 from .service import BatchQueryService, ServiceReport, WindowReport
 from .search import (
     LandmarkIndex,
@@ -116,6 +117,9 @@ __all__ = [
     "PathCache",
     "PoissonArrivals",
     "PathResult",
+    "ExecutionReport",
+    "ParallelBatchEngine",
+    "ParallelOutcome",
     "PrunedLandmarkLabeling",
     "Query",
     "QueryCluster",

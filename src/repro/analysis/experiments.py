@@ -438,6 +438,7 @@ def run_fig8(
     eta: float = DEFAULT_ETA,
     include_indexes: bool = True,
     index_scale_cap: int = 4000,
+    measure_workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 8: 40-server makespan per method, plus CH/PLL construction time.
 
@@ -445,6 +446,11 @@ def run_fig8(
     scheduled on ``num_servers`` with LPT — see
     :mod:`repro.analysis.parallel` for why this reproduces the paper's
     thread experiment faithfully under the GIL.
+
+    ``measure_workers=k`` additionally runs the ``slc-s`` dispatch on
+    ``k`` real worker processes (:class:`repro.parallel.ParallelBatchEngine`)
+    and reports the measured makespan, speedup, utilisation and queue wait
+    next to the LPT prediction for the same ``k``.
     """
     lo, hi = env.cache_band
     workload = env.fresh_workload(404)
@@ -495,6 +501,30 @@ def run_fig8(
     makespans["r2r-s"] = lpt_makespan(r2r_costs, num_servers).makespan_seconds
 
     extra: Dict[str, object] = {"num_servers": num_servers, "size": size}
+    if measure_workers is not None and measure_workers > 0:
+        from ..parallel import ParallelBatchEngine
+
+        engine = ParallelBatchEngine(
+            env.graph,
+            workers=measure_workers,
+            answerer_kind="local-cache",
+            answerer_kwargs={
+                "cache_bytes": max(gc.cache_bytes, 1),
+                "order": "longest",
+            },
+        )
+        with engine:
+            outcome = engine.execute(sse, method="slc-s")
+        measured = outcome.report.schedule_result()
+        predicted = lpt_makespan(cluster_costs, measured.num_servers)
+        makespans[f"slc-s-mp{measured.num_servers}"] = measured.makespan_seconds
+        makespans[f"slc-s-lpt{predicted.num_servers}"] = predicted.makespan_seconds
+        extra["measured_workers"] = measured.num_servers
+        extra["measured_speedup"] = measured.speedup
+        extra["predicted_speedup"] = predicted.speedup
+        extra["measured_utilisation"] = measured.utilisation
+        extra["mean_queue_wait_seconds"] = measured.mean_queue_wait_seconds
+        extra["fallback_units"] = outcome.report.fallbacks
     if include_indexes:
         from ..index.arcflags import ArcFlags
         from ..index.ch import ContractionHierarchy

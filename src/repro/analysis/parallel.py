@@ -23,12 +23,23 @@ from ..exceptions import ConfigurationError
 
 @dataclass
 class ScheduleResult:
-    """Outcome of simulating a k-server dispatch."""
+    """Outcome of a k-server dispatch, simulated or measured.
+
+    :func:`lpt_makespan` produces ``source="simulated"`` results; a real
+    :class:`repro.parallel.ParallelBatchEngine` run reports itself through
+    the same container with ``source="measured"`` (see
+    :meth:`repro.parallel.ExecutionReport.schedule_result`), so predictions
+    and measurements render through one code path.
+    """
 
     num_servers: int
     makespan_seconds: float
     total_work_seconds: float
     per_server_seconds: List[float] = field(default_factory=list)
+    #: ``"simulated"`` (LPT prediction) or ``"measured"`` (multiprocess run).
+    source: str = "simulated"
+    #: Mean submit-to-pickup latency per work unit (measured runs only).
+    mean_queue_wait_seconds: float = 0.0
 
     @property
     def speedup(self) -> float:

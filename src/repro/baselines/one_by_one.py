@@ -28,6 +28,10 @@ class OneByOneAnswerer:
         self.graph = graph
         self.algorithm = algorithm
 
+    def spec(self):
+        """``(kind, kwargs)`` from which a worker process can rebuild me."""
+        return "one-by-one", {"algorithm": self.algorithm}
+
     def answer(self, queries: QuerySet, method: Optional[str] = None) -> BatchAnswer:
         batch = BatchAnswer(method=method or self.algorithm, num_clusters=len(queries))
         start = time.perf_counter()

@@ -93,7 +93,12 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
             results.append(runner(env, r2r_suites))
         elif name == "fig8":
             results.append(
-                exp.run_fig8(env, size=args.fig8_size, num_servers=args.servers)
+                exp.run_fig8(
+                    env,
+                    size=args.fig8_size,
+                    num_servers=args.servers,
+                    measure_workers=args.measure_workers,
+                )
             )
         else:
             raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
@@ -121,10 +126,18 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         super_snap_radius=args.snap_radius,
         eviction=args.eviction,
+        workers=args.workers,
     )
     answer = processor.process(queries, args.method)
     for key, value in answer.summary().items():
         print(f"{key:>20}: {value:.6g}")
+    report = answer.execution_report
+    if report is not None:
+        schedule = report.schedule_result()
+        print(f"{'measured speedup':>20}: {schedule.speedup:.6g}")
+        print(f"{'utilisation':>20}: {schedule.utilisation:.6g}")
+        print(f"{'mean queue wait':>20}: {schedule.mean_queue_wait_seconds:.6g}")
+        print(f"{'fallback units':>20}: {report.fallbacks}")
     return 0
 
 
@@ -252,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--servers", type=int, default=40, help="fig8 server count")
     p_rep.add_argument("--fig8-size", type=int, default=600, help="fig8 batch size")
     p_rep.add_argument(
+        "--measure-workers",
+        type=int,
+        default=None,
+        help="fig8: also run the slc-s dispatch on this many real worker "
+        "processes and report the measured makespan next to the LPT "
+        "prediction",
+    )
+    p_rep.add_argument(
         "--report", default=None, help="write a one-shot markdown report to this path"
     )
     p_rep.set_defaults(func=cmd_reproduce)
@@ -265,6 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--eviction", default="none",
                        choices=["none", "lru", "benefit"],
                        help="local-cache eviction policy")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="worker processes for zlc/slc-s/r2r-s "
+                       "(1 = single-process)")
     p_run.set_defaults(func=cmd_run)
 
     p_dyn = sub.add_parser(

@@ -67,7 +67,18 @@ class BatchProcessor:
         Seed for randomised variants.
     super_snap_radius:
         Super-vertex snap radius for the local caches (0 = exact).
+    workers:
+        Worker processes for answering.  ``workers > 1`` routes the
+        deterministic decomposed pipelines (``zlc``, ``slc-s``, ``r2r-s``)
+        through :class:`repro.parallel.ParallelBatchEngine`, one cluster
+        per work unit; the merged answer is identical to the serial run.
+        Methods whose processing order is randomised across clusters
+        (``slc-r``, ``r2r-r``) and the undecomposed baselines stay
+        single-process.
     """
+
+    #: Methods that ``workers > 1`` actually parallelises.
+    PARALLEL_METHODS = ("zlc", "slc-s", "r2r-s")
 
     def __init__(
         self,
@@ -79,7 +90,10 @@ class BatchProcessor:
         super_snap_radius: float = 0.0,
         log_fraction: float = 0.2,
         eviction: str = "none",
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be at least 1")
         self.graph = graph
         self.cache_bytes = cache_bytes
         self.eta = eta
@@ -88,6 +102,7 @@ class BatchProcessor:
         self.super_snap_radius = super_snap_radius
         self.log_fraction = log_fraction
         self.eviction = eviction
+        self.workers = workers
 
     # ------------------------------------------------------------------
     def process(self, queries: QuerySet, method: str) -> BatchAnswer:
@@ -151,6 +166,8 @@ class BatchProcessor:
             seed=self.seed,
             eviction=self.eviction,
         )
+        if self.workers > 1 and label in self.PARALLEL_METHODS:
+            return self._run_parallel(answerer, decomposition, label)
         return answerer.answer(decomposition, method=label)
 
     def _run_r2r(self, queries: QuerySet, selection: str, label: str) -> BatchAnswer:
@@ -158,7 +175,17 @@ class BatchProcessor:
         answerer = RegionToRegionAnswerer(
             self.graph, eta=self.eta, selection=selection, seed=self.seed
         )
+        if self.workers > 1 and label in self.PARALLEL_METHODS:
+            return self._run_parallel(answerer, decomposition, label)
         return answerer.answer(decomposition, method=label)
+
+    def _run_parallel(self, answerer, decomposition, label: str) -> BatchAnswer:
+        # Imported lazily: repro.parallel pulls the answerers in, so a
+        # module-scope import would be circular.
+        from ..parallel import ParallelBatchEngine
+
+        with ParallelBatchEngine.from_answerer(answerer, workers=self.workers) as engine:
+            return engine.execute(decomposition, method=label).answer
 
     def _run_kpath(self, queries: QuerySet) -> BatchAnswer:
         from ..baselines.kpath import KPathAnswerer

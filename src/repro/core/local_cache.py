@@ -68,9 +68,20 @@ class LocalCacheAnswerer:
         self.order = order
         self.seed = seed
         self.eviction = eviction
+        self.super_snap_radius = super_snap_radius
         self.super_map = (
             SuperVertexMap(graph, super_snap_radius) if super_snap_radius > 0 else None
         )
+
+    def spec(self):
+        """``(kind, kwargs)`` from which a worker process can rebuild me."""
+        return "local-cache", {
+            "cache_bytes": self.cache_bytes,
+            "order": self.order,
+            "super_snap_radius": self.super_snap_radius,
+            "seed": self.seed,
+            "eviction": self.eviction,
+        }
 
     # ------------------------------------------------------------------
     def _ordered(self, cluster: QueryCluster, rng: random.Random) -> List:

@@ -72,6 +72,15 @@ class RegionToRegionAnswerer:
         self.seed = seed
         self.build_paths = build_paths
 
+    def spec(self):
+        """``(kind, kwargs)`` from which a worker process can rebuild me."""
+        return "r2r", {
+            "eta": self.eta,
+            "selection": self.selection,
+            "seed": self.seed,
+            "build_paths": self.build_paths,
+        }
+
     # ------------------------------------------------------------------
     def answer(self, decomposition: Decomposition, method: Optional[str] = None) -> BatchAnswer:
         label = method or f"r2r[{self.selection}]"

@@ -45,6 +45,11 @@ class BatchAnswer:
     #: cache-size sweep of Fig 7-(c)/(e) at reproduction scale).
     max_cluster_cache_bytes: int = 0
     num_clusters: int = 0
+    #: Worker processes that produced this answer (1 = single-process).
+    workers: int = 1
+    #: The :class:`repro.parallel.ExecutionReport` of a multiprocess run,
+    #: when one produced this answer (``None`` otherwise).
+    execution_report: Optional[object] = None
 
     @property
     def total_seconds(self) -> float:
@@ -81,4 +86,5 @@ class BatchAnswer:
             "visited": float(self.visited),
             "hit_ratio": self.hit_ratio,
             "cache_mb": self.cache_bytes / (1024.0 * 1024.0),
+            "workers": float(self.workers),
         }

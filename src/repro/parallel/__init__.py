@@ -1,0 +1,39 @@
+"""Real multiprocess batch execution (the measured side of Figure 8).
+
+The paper's scaling story is horizontal: a decomposed batch is
+embarrassingly parallel because every cluster's cache state is private to
+it.  :mod:`repro.analysis.parallel` *predicts* the k-server makespan with
+an LPT simulation; this package *runs* the dispatch with real worker
+processes and reports per-worker timing, queue waits and utilisation, so
+the two can be compared side by side.
+
+Quickstart::
+
+    from repro import ParallelBatchEngine, SearchSpaceDecomposer
+
+    decomposition = SearchSpaceDecomposer(graph).decompose(batch)
+    with ParallelBatchEngine(graph, workers=4,
+                             answerer_kwargs={"cache_bytes": 512 * 1024}) as engine:
+        outcome = engine.execute(decomposition, method="slc-s")
+    outcome.answer      # identical to the serial LocalCacheAnswerer output
+    outcome.report      # measured makespan, queue waits, per-worker load
+"""
+
+from .engine import (
+    ExecutionReport,
+    ParallelBatchEngine,
+    ParallelOutcome,
+    UnitTrace,
+    WorkerStats,
+)
+from .worker import ANSWERER_KINDS, build_answerer
+
+__all__ = [
+    "ANSWERER_KINDS",
+    "ExecutionReport",
+    "ParallelBatchEngine",
+    "ParallelOutcome",
+    "UnitTrace",
+    "WorkerStats",
+    "build_answerer",
+]

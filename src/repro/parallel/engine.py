@@ -1,0 +1,453 @@
+"""A real multiprocess execution engine for decomposed batches.
+
+:mod:`repro.analysis.parallel` predicts the k-server makespan with an LPT
+simulation; this engine actually runs the dispatch with ``k`` worker
+processes and reports what happened, so prediction and measurement can be
+compared side by side (Figure 8).
+
+Design
+------
+* **Work units are indivisible.**  A unit is one query cluster (or a
+  singleton query wrapped as a cluster): its Local Cache / R2R state is
+  private to it, so a unit never crosses workers and workers never share
+  mutable state.
+* **Longest-estimated-first dispatch.**  Units are submitted in
+  descending order of estimated cost (summed Euclidean query lengths — the
+  same C(q) proxy the decomposers use), which is exactly the greedy that
+  makes LPT's 4/3 bound apply to the pool's work-conserving schedule.
+* **Fork-time graph sharing.**  On fork platforms the graph and answerer
+  are inherited copy-on-write; on spawn platforms a pickled payload
+  rebuilds them once per worker.  The pool is kept alive across
+  :meth:`ParallelBatchEngine.execute` calls and transparently rebuilt when
+  ``graph.version`` changes (a weight epoch invalidates worker snapshots).
+* **Deterministic merge.**  Per-unit answers are merged in original
+  cluster order, so for deterministic processing orders (``longest``) the
+  merged :class:`~repro.core.results.BatchAnswer` is identical — paths,
+  distances, and accounting — to the single-process answerer's output.
+* **Graceful degradation.**  A worker crash, a broken pool, or a unit
+  timeout falls back to answering the affected units in the parent
+  process: queries are never dropped.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.clusters import Decomposition, QueryCluster
+from ..core.results import BatchAnswer
+from ..exceptions import ConfigurationError
+from ..queries.query import QuerySet
+from . import worker
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class UnitTrace:
+    """What happened to one work unit."""
+
+    index: int  #: position of the cluster in the decomposition
+    queries: int
+    estimate: float  #: dispatch priority (summed Euclidean lengths)
+    worker: int  #: worker pid, or 0 for in-process execution
+    queue_wait_seconds: float  #: submit-to-pickup latency
+    busy_seconds: float  #: answering time inside the worker
+    fallback: bool = False  #: answered in-process after a worker failure
+
+
+@dataclass
+class WorkerStats:
+    """Aggregate over the units one worker processed."""
+
+    worker: int
+    units: int
+    busy_seconds: float
+
+
+@dataclass
+class ExecutionReport:
+    """Measured counterpart of the LPT :class:`ScheduleResult`."""
+
+    requested_workers: int
+    workers: int
+    start_method: str
+    wall_seconds: float = 0.0
+    units: List[UnitTrace] = field(default_factory=list)
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(1 for u in self.units if u.fallback)
+
+    @property
+    def total_busy_seconds(self) -> float:
+        return sum(u.busy_seconds for u in self.units)
+
+    @property
+    def mean_queue_wait_seconds(self) -> float:
+        if not self.units:
+            return 0.0
+        return sum(u.queue_wait_seconds for u in self.units) / len(self.units)
+
+    @property
+    def speedup(self) -> float:
+        """Total busy time / wall time: achieved parallelism."""
+        if self.wall_seconds <= 0:
+            return float(self.workers)
+        return self.total_busy_seconds / self.wall_seconds
+
+    @property
+    def utilisation(self) -> float:
+        return self.speedup / self.workers if self.workers else 0.0
+
+    def worker_stats(self) -> List[WorkerStats]:
+        by_pid: Dict[int, WorkerStats] = {}
+        for u in self.units:
+            stats = by_pid.get(u.worker)
+            if stats is None:
+                stats = by_pid[u.worker] = WorkerStats(u.worker, 0, 0.0)
+            stats.units += 1
+            stats.busy_seconds += u.busy_seconds
+        return sorted(by_pid.values(), key=lambda s: s.worker)
+
+    def schedule_result(self):
+        """This run as a measured :class:`~repro.analysis.parallel.ScheduleResult`.
+
+        Plugs into the same reporting as the LPT simulation so measured and
+        predicted makespans render side by side.
+        """
+        from ..analysis.parallel import ScheduleResult
+
+        per_server = [s.busy_seconds for s in self.worker_stats()]
+        while len(per_server) < self.workers:
+            per_server.append(0.0)
+        return ScheduleResult(
+            num_servers=self.workers,
+            makespan_seconds=self.wall_seconds,
+            total_work_seconds=self.total_busy_seconds,
+            per_server_seconds=per_server,
+            source="measured",
+            mean_queue_wait_seconds=self.mean_queue_wait_seconds,
+        )
+
+
+@dataclass
+class ParallelOutcome:
+    """An answered batch plus the execution trace that produced it."""
+
+    answer: BatchAnswer
+    report: ExecutionReport
+
+
+class ParallelBatchEngine:
+    """Answer decomposed batches with ``workers`` processes.
+
+    Parameters
+    ----------
+    graph:
+        The road network (shared with workers at fork time, or pickled
+        once per worker on spawn platforms).
+    workers:
+        Number of worker processes requested; clamped per batch to the
+        number of work units.
+    answerer_kind / answerer_kwargs:
+        Worker-side answering algorithm: ``"local-cache"``, ``"r2r"`` or
+        ``"one-by-one"``, with constructor kwargs (the graph argument is
+        injected).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` when
+        the platform offers it, else the platform default (pickle
+        fallback).
+    unit_timeout:
+        Optional per-unit cap in seconds on the *additional* wait for a
+        worker result; on expiry the unit is answered in-process.
+    min_queries_per_worker:
+        Fewer total queries than ``workers * min_queries_per_worker``
+        shrinks the effective worker count so tiny batches are not
+        dominated by dispatch overhead.
+    """
+
+    def __init__(
+        self,
+        graph,
+        workers: int = 2,
+        answerer_kind: str = "local-cache",
+        answerer_kwargs: Optional[dict] = None,
+        start_method: Optional[str] = None,
+        unit_timeout: Optional[float] = None,
+        min_queries_per_worker: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        if unit_timeout is not None and unit_timeout < 0:
+            raise ConfigurationError("unit_timeout must be non-negative")
+        if start_method is not None and start_method not in mp.get_all_start_methods():
+            raise ConfigurationError(
+                f"start method {start_method!r} not available on this platform"
+            )
+        self.graph = graph
+        self.workers = workers
+        self.answerer_kind = answerer_kind
+        self.answerer_kwargs = dict(answerer_kwargs or {})
+        self.start_method = start_method
+        self.unit_timeout = unit_timeout
+        self.min_queries_per_worker = max(1, min_queries_per_worker)
+        # Validates the kind eagerly and doubles as the in-process fallback
+        # answerer and the fork-inherited template.
+        self._answerer = worker.build_answerer(
+            graph, answerer_kind, self.answerer_kwargs
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._pool_version: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_answerer(cls, answerer, workers: int = 2, **options) -> "ParallelBatchEngine":
+        """Build an engine that replicates an existing answerer per worker."""
+        kind, kwargs = answerer.spec()
+        return cls(
+            answerer.graph,
+            workers=workers,
+            answerer_kind=kind,
+            answerer_kwargs=kwargs,
+            **options,
+        )
+
+    def __enter__(self) -> "ParallelBatchEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_workers = 0
+            self._pool_version = None
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        work: Union[Decomposition, QuerySet],
+        method: Optional[str] = None,
+    ) -> ParallelOutcome:
+        """Answer ``work`` across the pool and merge deterministically.
+
+        ``work`` is a :class:`Decomposition` (clusters become work units)
+        or a plain :class:`QuerySet` (each query becomes a singleton
+        unit).  Returns the merged answer plus the execution report.
+        """
+        decomposition = self._as_decomposition(work)
+        units = [
+            (index, cluster)
+            for index, cluster in enumerate(decomposition.clusters)
+            if len(cluster)
+        ]
+        estimates = {index: self._estimate(cluster) for index, cluster in units}
+        # Longest-estimated-first, index-stable for determinism.
+        order = sorted(units, key=lambda item: (-estimates[item[0]], item[0]))
+        effective = self._effective_workers(len(units), decomposition.num_queries)
+        report = ExecutionReport(
+            requested_workers=self.workers,
+            workers=effective,
+            start_method=(
+                "in-process" if effective <= 1 else self._resolved_start_method()
+            ),
+        )
+        merged = BatchAnswer(
+            method=method or f"parallel[{self.answerer_kind}]",
+            decompose_seconds=decomposition.elapsed_seconds,
+            num_clusters=len(decomposition.clusters),
+            workers=effective,
+        )
+        wall0 = time.perf_counter()
+        if effective <= 1:
+            results = self._run_in_process(order, estimates, report)
+        else:
+            results = self._run_pool(order, estimates, report, effective)
+        report.wall_seconds = time.perf_counter() - wall0
+        for index in sorted(results):
+            unit_answer = results[index]
+            merged.answers.extend(unit_answer.answers)
+            merged.visited += unit_answer.visited
+            merged.cache_hits += unit_answer.cache_hits
+            merged.cache_misses += unit_answer.cache_misses
+            merged.cache_bytes += unit_answer.cache_bytes
+            if unit_answer.max_cluster_cache_bytes > merged.max_cluster_cache_bytes:
+                merged.max_cluster_cache_bytes = unit_answer.max_cluster_cache_bytes
+        merged.answer_seconds = report.wall_seconds
+        merged.execution_report = report
+        return ParallelOutcome(answer=merged, report=report)
+
+    # ------------------------------------------------------------------
+    def _as_decomposition(self, work) -> Decomposition:
+        if isinstance(work, Decomposition):
+            return work
+        if isinstance(work, QuerySet):
+            clusters = [QueryCluster(queries=[q]) for q in work]
+            return Decomposition(clusters, "singletons", 0.0)
+        raise ConfigurationError(
+            f"cannot execute {type(work).__name__}; pass a Decomposition or QuerySet"
+        )
+
+    def _estimate(self, cluster: QueryCluster) -> float:
+        graph = self.graph
+        return sum(graph.euclidean(q.source, q.target) for q in cluster.queries)
+
+    def _effective_workers(self, num_units: int, num_queries: int) -> int:
+        by_queries = num_queries // self.min_queries_per_worker
+        return max(1, min(self.workers, num_units, by_queries))
+
+    def _resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        methods = mp.get_all_start_methods()
+        return "fork" if "fork" in methods else mp.get_start_method()
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        version = getattr(self.graph, "version", None)
+        if self._pool is not None and (
+            self._pool_workers != workers or self._pool_version != version
+        ):
+            # A weight epoch (graph.version bump) invalidates the snapshot
+            # the workers hold; re-fork so they see the new weights.
+            self.close()
+        if self._pool is None:
+            method = self._resolved_start_method()
+            context = mp.get_context(method)
+            if method == "fork":
+                # Workers fork lazily at first submit; the state installed
+                # here (and re-asserted before each submit round) is what
+                # they inherit.
+                worker.set_parent_state(self.graph, self._answerer)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                )
+            else:
+                payload = pickle.dumps(
+                    (self.graph, self.answerer_kind, self.answerer_kwargs)
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=worker.init_spawn,
+                    initargs=(payload,),
+                )
+            self._pool_workers = workers
+            self._pool_version = version
+        return self._pool
+
+    def _run_in_process(
+        self,
+        order: List[Tuple[int, QueryCluster]],
+        estimates: Dict[int, float],
+        report: ExecutionReport,
+    ) -> Dict[int, BatchAnswer]:
+        results: Dict[int, BatchAnswer] = {}
+        for index, cluster in order:
+            results[index] = self._answer_locally(
+                index, cluster, estimates[index], report, fallback=False
+            )
+        return results
+
+    def _answer_locally(
+        self,
+        index: int,
+        cluster: QueryCluster,
+        estimate: float,
+        report: ExecutionReport,
+        fallback: bool,
+    ) -> BatchAnswer:
+        t0 = time.perf_counter()
+        answer = worker.answer_one(self._answerer, cluster)
+        busy = time.perf_counter() - t0
+        report.units.append(
+            UnitTrace(
+                index=index,
+                queries=len(cluster),
+                estimate=estimate,
+                worker=0,
+                queue_wait_seconds=0.0,
+                busy_seconds=busy,
+                fallback=fallback,
+            )
+        )
+        return answer
+
+    def _run_pool(
+        self,
+        order: List[Tuple[int, QueryCluster]],
+        estimates: Dict[int, float],
+        report: ExecutionReport,
+        workers: int,
+    ) -> Dict[int, BatchAnswer]:
+        pool = self._ensure_pool(workers)
+        if self._resolved_start_method() == "fork":
+            # Re-assert in case another engine replaced the globals since
+            # this pool was created (workers fork on first submit).
+            worker.set_parent_state(self.graph, self._answerer)
+        submits: List[Tuple[int, QueryCluster, float, object]] = []
+        for index, cluster in order:
+            submitted = time.time()
+            future = pool.submit(worker.answer_unit, (index, cluster))
+            submits.append((index, cluster, submitted, future))
+
+        results: Dict[int, BatchAnswer] = {}
+        pool_broken = False
+        for index, cluster, submitted, future in submits:
+            try:
+                r_index, answer, pid, started, busy = future.result(
+                    timeout=self.unit_timeout
+                )
+            except Exception as exc:
+                if not future.cancelled() and not future.done():
+                    future.cancel()
+                pool_broken = pool_broken or _is_pool_fatal(exc)
+                logger.warning(
+                    "unit %d (%d queries) failed in worker (%s: %s); "
+                    "answering in-process",
+                    index,
+                    len(cluster),
+                    type(exc).__name__,
+                    exc,
+                )
+                results[index] = self._answer_locally(
+                    index, cluster, estimates[index], report, fallback=True
+                )
+                continue
+            results[r_index] = answer
+            report.units.append(
+                UnitTrace(
+                    index=r_index,
+                    queries=len(cluster),
+                    estimate=estimates[r_index],
+                    worker=pid,
+                    queue_wait_seconds=max(0.0, started - submitted),
+                    busy_seconds=busy,
+                )
+            )
+        if pool_broken:
+            # Drop the broken pool; the next execute() builds a fresh one.
+            self.close()
+        return results
+
+
+def _is_pool_fatal(exc: BaseException) -> bool:
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(exc, BrokenProcessPool)

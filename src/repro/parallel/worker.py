@@ -1,0 +1,98 @@
+"""Worker-side state and entry points for the multiprocess engine.
+
+The engine shares the road network with its workers in one of two ways:
+
+* **fork** (Linux default): the parent sets the module globals below just
+  before the pool forks, so every child inherits the graph and a ready
+  answerer copy-on-write — the graph is never pickled.
+* **spawn / forkserver** (macOS, Windows): the pool initialiser receives a
+  pickled ``(graph, answerer_kind, answerer_kwargs)`` payload and rebuilds
+  the answerer once per worker process.
+
+Either way a worker only ever answers whole work units (one query cluster
+per call), so all cache state stays private to the unit — exactly the
+locality argument that makes the paper's decomposed batches
+embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Tuple
+
+from ..core.clusters import Decomposition, QueryCluster
+from ..core.results import BatchAnswer
+from ..exceptions import ConfigurationError
+
+#: Answerer kinds a worker knows how to build.
+ANSWERER_KINDS = ("local-cache", "r2r", "one-by-one")
+
+# Per-process state: set in the parent before a fork pool starts, or by
+# :func:`init_spawn` inside each spawned worker.
+_GRAPH = None
+_ANSWERER = None
+
+
+def build_answerer(graph, kind: str, kwargs: dict):
+    """Construct the named answerer over ``graph``."""
+    kwargs = dict(kwargs or {})
+    if kind == "local-cache":
+        from ..core.local_cache import LocalCacheAnswerer
+
+        return LocalCacheAnswerer(graph, **kwargs)
+    if kind == "r2r":
+        from ..core.r2r import RegionToRegionAnswerer
+
+        return RegionToRegionAnswerer(graph, **kwargs)
+    if kind == "one-by-one":
+        from ..baselines.one_by_one import OneByOneAnswerer
+
+        return OneByOneAnswerer(graph, **kwargs)
+    raise ConfigurationError(
+        f"unknown answerer kind {kind!r}; choose from {ANSWERER_KINDS}"
+    )
+
+
+def set_parent_state(graph, answerer) -> None:
+    """Install fork-inherited state (called in the parent process)."""
+    global _GRAPH, _ANSWERER
+    _GRAPH = graph
+    _ANSWERER = answerer
+
+
+def clear_parent_state() -> None:
+    set_parent_state(None, None)
+
+
+def init_spawn(payload: bytes) -> None:
+    """Pool initialiser for spawn platforms: rebuild state from a pickle."""
+    graph, kind, kwargs = pickle.loads(payload)
+    set_parent_state(graph, build_answerer(graph, kind, kwargs))
+
+
+def answer_one(answerer, cluster: QueryCluster) -> BatchAnswer:
+    """Answer one work unit with ``answerer`` (any supported kind)."""
+    from ..baselines.one_by_one import OneByOneAnswerer
+
+    if isinstance(answerer, OneByOneAnswerer):
+        return answerer.answer(cluster.as_query_set())
+    return answerer.answer(Decomposition([cluster], "unit", 0.0))
+
+
+def answer_unit(payload: Tuple[int, QueryCluster]):
+    """Pool task: answer one ``(index, cluster)`` unit.
+
+    Returns ``(index, BatchAnswer, pid, started_wall, busy_seconds)``;
+    ``started_wall`` is ``time.time()`` so the parent can compute the
+    queue wait against its own submit stamp.
+    """
+    index, cluster = payload
+    if _ANSWERER is None:  # pragma: no cover - engine always initialises
+        raise ConfigurationError("worker used before initialisation")
+    started = time.time()
+    t0 = time.perf_counter()
+    answer = answer_one(_ANSWERER, cluster)
+    busy = time.perf_counter() - t0
+    return index, answer, os.getpid(), started, busy

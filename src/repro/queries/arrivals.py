@@ -78,7 +78,10 @@ class PoissonArrivals:
             arrivals.extend(
                 TimedQuery(offset + tq.arrival, tq.query) for tq in more
             )
-        return [tq for tq in arrivals if tq.arrival <= seconds]
+        # Half-open horizon, matching the window predicate of
+        # :func:`window_batches`: an arrival at exactly ``seconds`` belongs
+        # to the *next* window, which would be a phantom extra window here.
+        return [tq for tq in arrivals if tq.arrival < seconds]
 
 
 def window_batches(
@@ -96,11 +99,28 @@ def window_batches(
     ordered = sorted(arrivals)
     if not ordered:
         return []
-    last_window = int(ordered[-1].arrival / window_seconds)
+    last_window = _window_index(ordered[-1].arrival, window_seconds)
     batches: List[QuerySet] = [QuerySet() for _ in range(last_window + 1)]
     for tq in ordered:
-        batches[int(tq.arrival / window_seconds)].append(tq.query)
+        batches[_window_index(tq.arrival, window_seconds)].append(tq.query)
     return batches
+
+
+def _window_index(arrival: float, window_seconds: float) -> int:
+    """The window ``k`` with ``k * w <= arrival < (k + 1) * w``, exactly.
+
+    ``floor(arrival / w)`` alone can land one window off: the quotient is
+    rounded, so the documented multiplicative bounds may exclude the
+    arrival (e.g. ``arrival=42.99999999999999``, ``w=1/3``).  Nudge the
+    bucket until the predicate holds under the same float arithmetic the
+    callers (and tests) use.
+    """
+    k = int(math.floor(arrival / window_seconds))
+    while k > 0 and arrival < k * window_seconds:
+        k -= 1
+    while arrival >= (k + 1) * window_seconds:
+        k += 1
+    return k
 
 
 def stream_statistics(arrivals: Sequence[TimedQuery]) -> dict:

@@ -105,8 +105,17 @@ def profile_workload(graph, queries: QuerySet) -> WorkloadProfile:
         rank = p * (n - 1)
         lo = int(math.floor(rank))
         hi = int(math.ceil(rank))
+        if lo == hi:
+            # The naive interpolation would compute ordered[lo] * 1.0 +
+            # ordered[lo] * 0.0, which can be 1 ULP off the sample itself
+            # and break percentile monotonicity on repeated values.
+            return ordered[lo]
         frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+        # Clamp to the bracketing samples so percentiles stay monotone
+        # even when the interpolation rounds outside [ordered[lo],
+        # ordered[hi]].
+        return min(max(value, ordered[lo]), ordered[hi])
 
     return WorkloadProfile(
         num_queries=n,

@@ -14,10 +14,16 @@ run it:
 * per-window latency is tracked against an SLO so operators see at a
   glance whether the current server would keep up.
 
-The service is synchronous and single-threaded by design — the paper's
-scaling story is *algorithmic* (shared computation) plus horizontal
-dispatch, which :mod:`repro.analysis.capacity` sizes from the per-window
-costs this service records.
+With ``workers=1`` (the default) the service runs synchronously in one
+process and window answering goes through the cache-reusing dynamic
+session.  With ``workers=k`` each window is dispatched across ``k``
+worker processes by :class:`repro.parallel.ParallelBatchEngine` — one
+cluster per indivisible work unit, caches worker-local — and every
+:class:`WindowReport` carries the measured
+:class:`~repro.analysis.parallel.ScheduleResult` so operators can read
+per-window speedup and utilisation next to the latency SLO.
+:mod:`repro.analysis.capacity` still sizes the horizontal fleet from the
+per-window costs this service records.
 """
 
 from __future__ import annotations
@@ -48,6 +54,11 @@ class WindowReport:
     wall_seconds: float
     deadline_seconds: float
     timeline_events: int = 0
+    #: Worker processes that answered this window.
+    workers: int = 1
+    #: Measured :class:`~repro.analysis.parallel.ScheduleResult` of a
+    #: multiprocess window (``None`` for single-process windows).
+    schedule: Optional[object] = None
 
     @property
     def met_deadline(self) -> bool:
@@ -86,6 +97,14 @@ class ServiceReport:
         busy = [w.hit_ratio for w in self.windows if w.queries]
         return sum(busy) / len(busy) if busy else 0.0
 
+    @property
+    def mean_utilisation(self) -> float:
+        """Mean worker utilisation over measured multiprocess windows."""
+        measured = [w.schedule for w in self.windows if w.schedule is not None]
+        if not measured:
+            return 0.0
+        return sum(s.utilisation for s in measured) / len(measured)
+
     def window_costs(self) -> List[float]:
         """Per-window wall costs — input for the capacity planner."""
         return [w.wall_seconds for w in self.windows if w.queries]
@@ -108,6 +127,14 @@ class BatchQueryService:
         Optional traffic timeline advanced to each window's start time.
     deadline_seconds:
         Latency SLO per window; defaults to ``window_seconds``.
+    workers:
+        Worker processes per window.  ``1`` (default) keeps the
+        single-process dynamic session with cross-window cache reuse;
+        ``k > 1`` answers each window through a multiprocess
+        :class:`~repro.parallel.ParallelBatchEngine` (worker-local caches,
+        re-forked automatically when the timeline bumps the graph
+        version).  Call :meth:`close` (or use the service as a context
+        manager) to release the worker pool.
     """
 
     def __init__(
@@ -119,9 +146,12 @@ class BatchQueryService:
         timeline=None,
         deadline_seconds: Optional[float] = None,
         similarity_threshold: float = 0.3,
+        workers: int = 1,
     ) -> None:
         if window_seconds <= 0:
             raise ConfigurationError("window_seconds must be positive")
+        if workers < 1:
+            raise ConfigurationError("workers must be at least 1")
         self.graph = graph
         self.window_seconds = window_seconds
         self.deadline_seconds = (
@@ -135,13 +165,31 @@ class BatchQueryService:
             answerer = LocalCacheAnswerer(
                 graph, cache_bytes=512 * 1024, order="longest", eviction="lru"
             )
+        self.decomposer = decomposer
+        self.workers = workers
         self.session = DynamicBatchSession(
             graph,
             decomposer=decomposer,
             answerer=answerer,
             similarity_threshold=similarity_threshold,
         )
+        self._engine = None
+        if workers > 1:
+            from .parallel import ParallelBatchEngine
+
+            self._engine = ParallelBatchEngine.from_answerer(answerer, workers=workers)
         self.timeline = timeline
+
+    def close(self) -> None:
+        """Release the worker pool of a multiprocess service (idempotent)."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "BatchQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(self, arrivals: Iterable[TimedQuery]) -> ServiceReport:
@@ -161,8 +209,15 @@ class BatchQueryService:
                 fired = self.timeline.advance_to(target)
         if len(batch) == 0:
             return WindowReport(index, 0, None, 0.0, self.deadline_seconds, fired)
+        schedule = None
         start = time.perf_counter()
-        answer = self.session.process_batch(batch)
+        if self._engine is not None:
+            decomposition = self.decomposer.decompose(batch)
+            outcome = self._engine.execute(decomposition, method="window-parallel")
+            answer = outcome.answer
+            schedule = outcome.report.schedule_result()
+        else:
+            answer = self.session.process_batch(batch)
         wall = time.perf_counter() - start
         if wall > self.deadline_seconds:
             logger.warning(
@@ -172,7 +227,16 @@ class BatchQueryService:
                 wall,
                 len(batch),
             )
-        return WindowReport(index, len(batch), answer, wall, self.deadline_seconds, fired)
+        return WindowReport(
+            index,
+            len(batch),
+            answer,
+            wall,
+            self.deadline_seconds,
+            fired,
+            workers=answer.workers,
+            schedule=schedule,
+        )
 
     def process_window(self, batch: QuerySet, at_seconds: Optional[float] = None) -> WindowReport:
         """Answer one externally-formed window (e.g. replayed from a log)."""

@@ -1,0 +1,257 @@
+"""Parallel engine tests: determinism, reporting, graceful degradation."""
+
+import math
+
+import pytest
+
+from repro.core.batch_runner import BatchProcessor
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.r2r import RegionToRegionAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.exceptions import ConfigurationError
+from repro.parallel import ParallelBatchEngine
+from repro.queries.workload import WorkloadGenerator, band_for_network
+from repro.search.dijkstra import dijkstra
+
+
+def answers_key(batch):
+    """Everything that must be byte-identical between serial and parallel."""
+    return [(q, r.distance, tuple(r.path), r.exact) for q, r in batch.answers]
+
+
+@pytest.fixture(scope="module")
+def decomposition(ring, ring_batch):
+    return SearchSpaceDecomposer(ring).decompose(ring_batch)
+
+
+@pytest.fixture(scope="module")
+def serial_answer(ring, decomposition):
+    answerer = LocalCacheAnswerer(ring, cache_bytes=64 * 1024, order="longest")
+    return answerer.answer(decomposition, method="slc-s")
+
+
+class TestIdenticalToSerial:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_local_cache_engine_matches_serial(
+        self, ring, decomposition, serial_answer, workers
+    ):
+        engine = ParallelBatchEngine(
+            ring,
+            workers=workers,
+            answerer_kwargs={"cache_bytes": 64 * 1024, "order": "longest"},
+        )
+        with engine:
+            outcome = engine.execute(decomposition, method="slc-s")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        assert outcome.answer.visited == serial_answer.visited
+        assert outcome.answer.cache_hits == serial_answer.cache_hits
+        assert outcome.answer.cache_misses == serial_answer.cache_misses
+        assert outcome.answer.cache_bytes == serial_answer.cache_bytes
+        assert outcome.answer.num_clusters == serial_answer.num_clusters
+        assert outcome.answer.method == "slc-s"
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("method", ["zlc", "slc-s"])
+    def test_batch_processor_workers_match_serial(
+        self, ring, ring_batch, method, workers
+    ):
+        serial = BatchProcessor(ring).process(ring_batch, method)
+        parallel = BatchProcessor(ring, workers=workers).process(ring_batch, method)
+        assert answers_key(parallel) == answers_key(serial)
+        assert parallel.visited == serial.visited
+        if workers > 1:
+            assert parallel.workers > 1
+            assert parallel.execution_report is not None
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_r2r_longest_matches_serial(self, ring, workers):
+        lo, hi = band_for_network(ring, "r2r")
+        batch = WorkloadGenerator(ring, seed=11).batch(40, min_dist=lo, max_dist=hi)
+        serial = BatchProcessor(ring).process(batch, "r2r-s")
+        parallel = BatchProcessor(ring, workers=workers).process(batch, "r2r-s")
+        assert answers_key(parallel) == answers_key(serial)
+
+    def test_query_set_becomes_singleton_units(self, ring, ring_batch):
+        from repro.baselines.one_by_one import OneByOneAnswerer
+
+        serial = OneByOneAnswerer(ring, "astar").answer(ring_batch, "astar")
+        engine = ParallelBatchEngine(ring, workers=2, answerer_kind="one-by-one")
+        with engine:
+            outcome = engine.execute(ring_batch, method="astar")
+        assert answers_key(outcome.answer) == answers_key(serial)
+        assert len(outcome.report.units) == len(ring_batch)
+
+    def test_random_order_methods_stay_serial(self, ring, ring_batch):
+        answer = BatchProcessor(ring, workers=4).process(ring_batch, "slc-r")
+        assert answer.workers == 1
+        assert answer.execution_report is None
+
+
+class TestReporting:
+    def test_execution_report_accounting(self, ring, decomposition):
+        engine = ParallelBatchEngine(
+            ring, workers=2, answerer_kwargs={"cache_bytes": 64 * 1024}
+        )
+        with engine:
+            outcome = engine.execute(decomposition, method="slc-s")
+        report = outcome.report
+        busy_units = [c for c in decomposition.clusters if len(c)]
+        assert report.workers == 2
+        assert len(report.units) == len(busy_units)
+        assert all(u.queue_wait_seconds >= 0.0 for u in report.units)
+        assert all(u.busy_seconds >= 0.0 for u in report.units)
+        assert report.wall_seconds > 0.0
+        stats = report.worker_stats()
+        assert sum(s.units for s in stats) == len(busy_units)
+        assert math.isclose(
+            sum(s.busy_seconds for s in stats), report.total_busy_seconds
+        )
+
+    def test_schedule_result_is_measured(self, ring, decomposition):
+        engine = ParallelBatchEngine(
+            ring, workers=2, answerer_kwargs={"cache_bytes": 64 * 1024}
+        )
+        with engine:
+            outcome = engine.execute(decomposition)
+        schedule = outcome.report.schedule_result()
+        assert schedule.source == "measured"
+        assert schedule.num_servers == 2
+        assert len(schedule.per_server_seconds) >= 2
+        assert schedule.makespan_seconds == outcome.report.wall_seconds
+        assert schedule.mean_queue_wait_seconds >= 0.0
+        assert 0.0 < schedule.utilisation <= 1.0 + 1e-9
+
+    def test_dispatch_is_longest_estimated_first(self, ring, decomposition):
+        engine = ParallelBatchEngine(ring, workers=1)
+        with engine:
+            outcome = engine.execute(decomposition)
+        # With one in-process worker the trace preserves dispatch order.
+        estimates = [u.estimate for u in outcome.report.units]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_workers_clamped_to_units(self, ring, ring_workload):
+        batch = WorkloadGenerator(ring, seed=77).batch(2)
+        decomposition = SearchSpaceDecomposer(ring).decompose(batch)
+        engine = ParallelBatchEngine(ring, workers=16)
+        with engine:
+            outcome = engine.execute(decomposition)
+        assert outcome.report.workers <= len(decomposition.clusters)
+
+    def test_min_queries_per_worker_shrinks_pool(self, ring, decomposition):
+        engine = ParallelBatchEngine(ring, workers=8, min_queries_per_worker=10**6)
+        with engine:
+            outcome = engine.execute(decomposition)
+        assert outcome.report.workers == 1
+        assert outcome.report.start_method == "in-process"
+
+
+def _boom(payload):
+    raise RuntimeError("injected worker failure")
+
+
+class TestGracefulDegradation:
+    def test_worker_exception_falls_back_in_process(
+        self, ring, decomposition, serial_answer, monkeypatch
+    ):
+        import repro.parallel.worker as worker_module
+
+        monkeypatch.setattr(worker_module, "answer_unit", _boom)
+        engine = ParallelBatchEngine(
+            ring, workers=2, answerer_kwargs={"cache_bytes": 64 * 1024, "order": "longest"}
+        )
+        with engine:
+            outcome = engine.execute(decomposition, method="slc-s")
+        busy_units = [c for c in decomposition.clusters if len(c)]
+        assert outcome.report.fallbacks == len(busy_units)
+        # No query dropped, and the fallback answers are the serial answers.
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+
+    def test_unit_timeout_falls_back_without_dropping_queries(
+        self, ring, decomposition, serial_answer
+    ):
+        engine = ParallelBatchEngine(
+            ring,
+            workers=2,
+            unit_timeout=0.0,
+            answerer_kwargs={"cache_bytes": 64 * 1024, "order": "longest"},
+        )
+        with engine:
+            outcome = engine.execute(decomposition, method="slc-s")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+
+    def test_spawn_pickle_fallback_produces_identical_answers(
+        self, ring, decomposition, serial_answer
+    ):
+        engine = ParallelBatchEngine(
+            ring,
+            workers=2,
+            start_method="spawn",
+            answerer_kwargs={"cache_bytes": 64 * 1024, "order": "longest"},
+        )
+        with engine:
+            outcome = engine.execute(decomposition, method="slc-s")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+
+    def test_pool_survives_consecutive_batches(self, ring, ring_workload):
+        decomposer = SearchSpaceDecomposer(ring)
+        engine = ParallelBatchEngine(
+            ring, workers=2, answerer_kwargs={"cache_bytes": 64 * 1024}
+        )
+        with engine:
+            for seed in (201, 202):
+                batch = WorkloadGenerator(ring, seed=seed).batch(30)
+                outcome = engine.execute(decomposer.decompose(batch))
+                assert outcome.answer.num_queries == len(batch)
+
+    def test_graph_version_bump_refreshes_workers(self, ring, ring_workload):
+        graph = ring.copy()
+        decomposer = SearchSpaceDecomposer(graph)
+        batch = WorkloadGenerator(graph, seed=301).batch(25)
+        engine = ParallelBatchEngine(
+            graph, workers=2, answerer_kwargs={"cache_bytes": 64 * 1024}
+        )
+        with engine:
+            engine.execute(decomposer.decompose(batch))
+            # A weight epoch: every worker snapshot is now stale.
+            u, v, w = next(iter(graph.edges()))
+            graph.set_weight(u, v, w * 3.0)
+            outcome = engine.execute(decomposer.decompose(batch))
+        for q, r in outcome.answer.answers:
+            truth = dijkstra(graph, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+
+class TestValidation:
+    def test_bad_workers(self, ring):
+        with pytest.raises(ConfigurationError):
+            ParallelBatchEngine(ring, workers=0)
+        with pytest.raises(ConfigurationError):
+            BatchProcessor(ring, workers=0)
+
+    def test_bad_answerer_kind(self, ring):
+        with pytest.raises(ConfigurationError):
+            ParallelBatchEngine(ring, answerer_kind="quantum")
+
+    def test_bad_start_method(self, ring):
+        with pytest.raises(ConfigurationError):
+            ParallelBatchEngine(ring, start_method="telepathy")
+
+    def test_bad_timeout(self, ring):
+        with pytest.raises(ConfigurationError):
+            ParallelBatchEngine(ring, unit_timeout=-1.0)
+
+    def test_bad_work_type(self, ring):
+        engine = ParallelBatchEngine(ring, workers=1)
+        with pytest.raises(ConfigurationError):
+            engine.execute([1, 2, 3])
+
+    def test_from_answerer_round_trip(self, ring):
+        answerer = RegionToRegionAnswerer(ring, eta=0.07, selection="longest")
+        engine = ParallelBatchEngine.from_answerer(answerer, workers=2)
+        assert engine.answerer_kind == "r2r"
+        assert engine.answerer_kwargs["eta"] == 0.07
+        answerer2 = LocalCacheAnswerer(ring, cache_bytes=1234, eviction="lru")
+        engine2 = ParallelBatchEngine.from_answerer(answerer2, workers=2)
+        assert engine2.answerer_kind == "local-cache"
+        assert engine2.answerer_kwargs["cache_bytes"] == 1234
+        assert engine2.answerer_kwargs["eviction"] == "lru"

@@ -1,0 +1,97 @@
+"""Regression pins for float-boundary bugs.
+
+Each test here pins a concrete falsifying example (originally found by
+Hypothesis) as a plain pytest case, so these regressions fail fast and
+deterministically without the property-testing machinery.
+"""
+
+import math
+
+from repro.network.generators import grid_city
+from repro.queries.arrivals import PoissonArrivals, TimedQuery, window_batches
+from repro.queries.profile import profile_workload
+from repro.queries.query import Query, QuerySet
+
+
+class TestWindowBucketBoundary:
+    """``window_batches`` must honour ``k*w <= arrival < (k+1)*w`` exactly."""
+
+    def test_hypothesis_falsifier(self):
+        # floor(42.99999999999999 / (1/3)) rounds into bucket 129, whose
+        # multiplicative bounds exclude the arrival: 129 * (1/3) > arrival.
+        window = 1.0 / 3.0
+        arrival = 42.99999999999999
+        tq = TimedQuery(arrival, Query(0, 21))
+        batches = window_batches([tq], window)
+        k = len(batches) - 1
+        assert len(batches[k]) == 1
+        assert k * window <= arrival < (k + 1) * window
+
+    def test_exact_window_boundary_goes_to_next_window(self):
+        batches = window_batches([TimedQuery(2.0, Query(0, 1))], 1.0)
+        assert len(batches) == 3
+        assert len(batches[2]) == 1
+
+    def test_boundary_sweep_stays_consistent(self):
+        # A sweep of awkward (arrival, window) combinations: the bucket the
+        # query lands in must always satisfy the documented predicate.
+        windows = (1.0 / 3.0, 0.1, 0.7, 1.0)
+        arrivals = (0.0, 0.30000000000000004, 2.9999999999999996, 7.000000000000001, 49.99999999999999)
+        for w in windows:
+            for a in arrivals:
+                batches = window_batches([TimedQuery(a, Query(0, 1))], w)
+                k = len(batches) - 1
+                assert len(batches[k]) == 1
+                assert k * w <= a < (k + 1) * w, (a, w, k)
+
+
+class TestPercentileRepeatedPairs:
+    """Percentiles of a constant sample must equal the sample exactly."""
+
+    def test_hypothesis_falsifier(self):
+        # 13 copies of one pair: interpolating p90 at rank 10.8 computed
+        # d*(1-0.8) + d*0.8, which is 1 ULP below d for this distance, so
+        # p90_distance < median_distance.
+        graph = grid_city(5, 5, seed=81)
+        queries = QuerySet.from_pairs([(2, 18)] * 13)
+        profile = profile_workload(graph, queries)
+        expected = graph.euclidean(2, 18)
+        assert profile.median_distance == expected
+        assert profile.p90_distance == expected
+        assert profile.median_distance <= profile.p90_distance
+
+    def test_percentiles_monotone_on_mixed_repeats(self):
+        graph = grid_city(5, 5, seed=81)
+        queries = QuerySet.from_pairs([(2, 18)] * 9 + [(0, 24)] * 4)
+        profile = profile_workload(graph, queries)
+        assert profile.median_distance <= profile.p90_distance
+
+
+class _FakeRng:
+    """Deterministic stand-in for ``random.Random`` inter-arrival draws."""
+
+    def __init__(self, gaps, tail=10.0):
+        self._gaps = list(gaps)
+        self._tail = tail
+
+    def expovariate(self, rate):
+        return self._gaps.pop(0) if self._gaps else self._tail
+
+
+class TestDurationHorizonHalfOpen:
+    """``duration(s)`` keeps ``arrival < s``: the horizon itself is excluded."""
+
+    def test_arrival_at_exact_horizon_is_excluded(self, grid_workload):
+        process = PoissonArrivals(grid_workload, rate=1.0, seed=0)
+        # Gaps 0.5 + 0.5 land the second arrival at exactly the horizon.
+        process._rng = _FakeRng([0.5, 0.5])
+        arrivals = process.duration(1.0)
+        assert [tq.arrival for tq in arrivals] == [0.5]
+        # An arrival at the horizon would have opened a phantom window.
+        assert len(window_batches(arrivals, 1.0)) == 1
+
+    def test_interior_arrivals_kept(self, grid_workload):
+        process = PoissonArrivals(grid_workload, rate=1.0, seed=0)
+        process._rng = _FakeRng([0.25, 0.25, 0.25])
+        arrivals = process.duration(1.0)
+        assert [tq.arrival for tq in arrivals] == [0.25, 0.5, 0.75]

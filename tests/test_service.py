@@ -92,6 +92,45 @@ class TestTimelineIntegration:
         assert window.answer is not None
 
 
+class TestParallelService:
+    def test_workers_answer_every_query_exactly(self, city, arrivals):
+        with BatchQueryService(city, window_seconds=1.0, workers=2) as service:
+            report = service.run(arrivals)
+        answered = sum(
+            w.answer.num_queries for w in report.windows if w.answer is not None
+        )
+        assert answered == len(arrivals)
+        for window in report.windows:
+            if window.answer is None:
+                continue
+            assert window.workers >= 1
+            for q, r in window.answer.answers:
+                truth = dijkstra(city, q.source, q.target).distance
+                assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_busy_windows_carry_measured_schedules(self, city, arrivals):
+        with BatchQueryService(city, window_seconds=1.0, workers=2) as service:
+            report = service.run(arrivals)
+        busy = [w for w in report.windows if w.answer is not None]
+        assert busy
+        for window in busy:
+            assert window.schedule is not None
+            assert window.schedule.source == "measured"
+            assert window.schedule.makespan_seconds > 0.0
+        assert 0.0 < report.mean_utilisation <= 1.0 + 1e-9
+
+    def test_serial_service_has_no_schedule(self, city, arrivals):
+        service = BatchQueryService(city, window_seconds=1.0)
+        report = service.run(arrivals)
+        for window in report.windows:
+            assert window.workers == 1
+            assert window.schedule is None
+
+    def test_bad_workers(self, city):
+        with pytest.raises(ConfigurationError):
+            BatchQueryService(city, workers=0)
+
+
 class TestValidation:
     def test_bad_window(self, city):
         with pytest.raises(ConfigurationError):
