@@ -55,6 +55,16 @@ from .index import (
     GeometricContainers,
     PrunedLandmarkLabeling,
 )
+from .obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    SpanTracer,
+    get_registry,
+    set_registry,
+    to_prometheus_text,
+    use_registry,
+)
 from .network import (
     GridIndex,
     RoadNetwork,
@@ -112,7 +122,10 @@ __all__ = [
     "LandmarkIndex",
     "LocalCacheAnswerer",
     "METHODS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "NoPathError",
+    "NullRegistry",
     "OneByOneAnswerer",
     "PathCache",
     "PoissonArrivals",
@@ -131,6 +144,7 @@ __all__ = [
     "SearchSpaceDecomposer",
     "SearchSpaceOracle",
     "ServiceReport",
+    "SpanTracer",
     "SuperVertexMap",
     "TrafficTimeline",
     "TrajectorySimulator",
@@ -143,11 +157,15 @@ __all__ = [
     "bidirectional_dijkstra",
     "dijkstra",
     "generalized_a_star",
+    "get_registry",
     "profile_workload",
     "queries_from_trips",
     "grid_city",
     "random_geometric_city",
     "ring_radial_city",
+    "set_registry",
+    "to_prometheus_text",
+    "use_registry",
     "window_batches",
     "__version__",
 ]

@@ -1,6 +1,11 @@
 """Evaluation metrics matching Section VI's definitions.
 
-* hit ratio ``R_h = sum(h_i) / |Q_i|`` — from :class:`BatchAnswer` counters;
+* hit ratio ``R_h`` (:func:`hit_ratio`) — the share of cache lookups that
+  hit, **excluding the singleton (unclustered) queries** from the
+  denominator: a query alone in its cluster gets a fresh empty cache, so
+  its guaranteed miss says nothing about the decomposition's coherence.
+  ``BatchAnswer.hit_ratio`` is the *raw* ratio over all lookups; this
+  module implements the paper's corrected definition;
 * approximation error ``eps = (d* - d) / d`` computed per approximate
   answer against an exact oracle, averaged *excluding the accurate ones*
   (the paper's convention for Table II), plus the maximum;
@@ -77,6 +82,25 @@ def error_report(
             exact_count=exact_count,
         )
     return ErrorReport(0.0, 0.0, 0, exact_count)
+
+
+def hit_ratio(batch: BatchAnswer, exclude_singletons: bool = True) -> float:
+    """Section VI's cache hit ratio ``R_h`` for one answered batch.
+
+    ``R_h = hits / (hits + misses - singletons)``: lookups made by queries
+    that ended up alone in their cluster are removed from the denominator,
+    because a singleton's first (and only) lookup hits an empty cache by
+    construction — counting it would penalise the decomposition for
+    workload sparsity rather than for poor clustering.  Pass
+    ``exclude_singletons=False`` for the raw ratio (identical to
+    :attr:`BatchAnswer.hit_ratio <repro.core.results.BatchAnswer.hit_ratio>`).
+    """
+    lookups = batch.cache_hits + batch.cache_misses
+    if exclude_singletons:
+        lookups -= batch.singleton_queries
+    if lookups <= 0:
+        return 0.0
+    return batch.cache_hits / lookups
 
 
 def bytes_to_mb(size_bytes: float) -> float:

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
+from ..obs import MetricsSnapshot
 
 
 @dataclass
@@ -40,6 +41,12 @@ class ScheduleResult:
     source: str = "simulated"
     #: Mean submit-to-pickup latency per work unit (measured runs only).
     mean_queue_wait_seconds: float = 0.0
+    #: Work units answered in the parent after a worker failure or timeout
+    #: (measured runs only; simulated schedules never fall back).
+    fallback_units: int = 0
+    #: Fleet-wide metrics snapshot of the run (measured runs with a live
+    #: registry only).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def speedup(self) -> float:

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 
 from ..core.cache import PathCache, path_size_bytes
 from ..core.results import BatchAnswer
+from ..obs import record_cache
 from ..queries.query import Query, QuerySet
 from ..search.astar import a_star
 from ..search.common import PathResult
@@ -127,6 +128,11 @@ class GlobalCacheAnswerer:
             batch.answers.append((q, result))
         batch.cache_hits = cache.hits - hits_before
         batch.cache_misses = cache.misses - misses_before
+        record_cache(
+            batch.cache_hits,
+            batch.cache_misses,
+            subpath_hits=cache.subpath_hits,
+        )
         batch.answer_seconds = time.perf_counter() - start
         return batch
 

@@ -10,9 +10,12 @@ Reproduce everything (writes plain-text artefacts to ``--out``)::
 
     python -m repro.cli reproduce --experiment all --out results/
 
-Answer one generated batch with a chosen method::
+Answer one generated batch with a chosen method, saving metrics/spans::
 
-    python -m repro.cli run --method slc-s --size 500 --scale small
+    python -m repro.cli run --method slc-s --size 500 --scale small \
+        --metrics-out metrics.json --spans-out spans.jsonl
+    python -m repro.cli obs summary metrics.json
+    python -m repro.cli obs summary spans.jsonl
 """
 
 from __future__ import annotations
@@ -117,6 +120,8 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from .obs import MetricsRegistry, use_registry, write_metrics_json
+
     env = exp.build_env(scale=args.scale, seed=args.seed)
     band = env.r2r_band if args.method.startswith("r2r") else env.cache_band
     queries = env.workload.batch(args.size, min_dist=band[0], max_dist=band[1])
@@ -128,7 +133,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         eviction=args.eviction,
         workers=args.workers,
     )
-    answer = processor.process(queries, args.method)
+    registry = MetricsRegistry() if (args.metrics_out or args.spans_out) else None
+    if registry is not None:
+        with use_registry(registry):
+            answer = processor.process(queries, args.method)
+    else:
+        answer = processor.process(queries, args.method)
     for key, value in answer.summary().items():
         print(f"{key:>20}: {value:.6g}")
     report = answer.execution_report
@@ -138,6 +148,41 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"{'utilisation':>20}: {schedule.utilisation:.6g}")
         print(f"{'mean queue wait':>20}: {schedule.mean_queue_wait_seconds:.6g}")
         print(f"{'fallback units':>20}: {report.fallbacks}")
+    if registry is not None:
+        import json
+
+        snapshot = registry.snapshot()
+        if args.metrics_out:
+            write_metrics_json(snapshot, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        if args.spans_out:
+            with open(args.spans_out, "w", encoding="utf-8") as fh:
+                for span in snapshot.spans:
+                    fh.write(json.dumps(span, sort_keys=True) + "\n")
+            print(f"spans written to {args.spans_out}")
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Render a saved metrics JSON or span JSONL file as text tables."""
+    import json
+
+    from .obs import read_jsonl, render_metrics_summary, render_stage_table
+
+    path = Path(args.file)
+    if not path.exists():
+        raise SystemExit(f"no such file: {path}")
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        data = None
+    if isinstance(data, dict) and (
+        "counters" in data or "gauges" in data or "histograms" in data
+    ):
+        print(render_metrics_summary(data))
+    else:
+        # Span JSONL (one object per line) — fall back to the stage table.
+        print(render_stage_table(read_jsonl(path)))
     return 0
 
 
@@ -289,6 +334,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--workers", type=int, default=1,
                        help="worker processes for zlc/slc-s/r2r-s "
                        "(1 = single-process)")
+    p_run.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the run's metrics snapshot as JSON")
+    p_run.add_argument("--spans-out", default=None, metavar="FILE",
+                       help="write the run's span records as JSONL")
     p_run.set_defaults(func=cmd_run)
 
     p_dyn = sub.add_parser(
@@ -307,6 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("--size", type=int, default=120)
     p_ver.add_argument("--eta", type=float, default=0.05)
     p_ver.set_defaults(func=cmd_verify)
+
+    p_obs = sub.add_parser("obs", help="observability artefact tools")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_sum = obs_sub.add_parser(
+        "summary", help="render a metrics JSON or span JSONL file as tables"
+    )
+    p_obs_sum.add_argument("file", help="metrics .json or spans .jsonl path")
+    p_obs_sum.set_defaults(func=cmd_obs)
 
     p_info = sub.add_parser("info", parents=[common], help="describe the environment")
     p_info.set_defaults(func=cmd_info)

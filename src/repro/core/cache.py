@@ -104,6 +104,9 @@ class PathCache:
         self.size_bytes = 0
         self.hits = 0
         self.misses = 0
+        #: Hits answered from a *proper* sub-path of a cached path (the
+        #: Figure 5 extraction), as opposed to returning a whole path.
+        self.subpath_hits = 0
         self.rejected_inserts = 0
         self.evictions = 0
 
@@ -238,6 +241,8 @@ class PathCache:
             self.misses += 1
         else:
             self.hits += 1
+            if len(best.path) < len(self._entries[best.path_id].path):
+                self.subpath_hits += 1
             self._clock += 1
             self._last_used[best.path_id] = self._clock
             self._hit_count[best.path_id] = self._hit_count.get(best.path_id, 0) + 1
@@ -260,11 +265,11 @@ class PathCache:
     # ------------------------------------------------------------------
     def contains_pair(self, source: int, target: int) -> bool:
         """Hit test without touching the hit/miss counters."""
-        hits, misses = self.hits, self.misses
+        hits, misses, subpath = self.hits, self.misses, self.subpath_hits
         try:
             return self.lookup(source, target) is not None
         finally:
-            self.hits, self.misses = hits, misses
+            self.hits, self.misses, self.subpath_hits = hits, misses, subpath
 
     def clear(self) -> None:
         """Drop every cached path (weights changed / cluster finished)."""

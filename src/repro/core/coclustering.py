@@ -24,6 +24,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConfigurationError
+from ..obs import get_registry, record_decomposition
 from ..queries.query import Query, QuerySet
 from .clusters import Decomposition, QueryCluster
 from .wspd import DEFAULT_DETOUR_RATIO, cocluster_radius
@@ -72,12 +73,15 @@ class CoClusteringDecomposer:
     # ------------------------------------------------------------------
     def decompose(self, queries: QuerySet) -> Decomposition:
         start = time.perf_counter()
-        if self.accelerate:
-            clusters = self._decompose_accelerated(queries)
-        else:
-            clusters = self._decompose_linear(queries)
+        with get_registry().span("decompose", method=self.method, queries=len(queries)):
+            if self.accelerate:
+                clusters = self._decompose_accelerated(queries)
+            else:
+                clusters = self._decompose_linear(queries)
         elapsed = time.perf_counter() - start
-        return Decomposition(clusters, self.method, elapsed).validate(queries)
+        decomposition = Decomposition(clusters, self.method, elapsed).validate(queries)
+        record_decomposition(decomposition)
+        return decomposition
 
     # ------------------------------------------------------------------
     def _decompose_linear(self, queries: QuerySet) -> List[QueryCluster]:

@@ -18,6 +18,7 @@ from typing import List, Optional, Set, Tuple
 
 from ..exceptions import ConfigurationError
 from ..network.grid import GridIndex
+from ..obs import get_registry, record_cache
 from ..network.spatial import angular_difference
 from ..queries.query import QuerySet
 from .cache import PathCache
@@ -131,32 +132,55 @@ class DynamicBatchSession:
             num_clusters=len(decomposition.clusters),
         )
         start = time.perf_counter()
-        for cluster in decomposition:
-            cells = self._cluster_cells(cluster)
-            live = self._find_similar(cells, cluster.direction)
-            if live is None:
-                live = _LiveCache(
-                    cache=PathCache(
-                        self.graph,
-                        self.answerer.cache_bytes,
-                        self.answerer.super_map,
-                        eviction=self.answerer.eviction,
-                    ),
-                    cells=cells,
-                    direction=cluster.direction,
+        reg = get_registry()
+        with reg.span("answer", method=batch.method):
+            for cluster in decomposition:
+                cells = self._cluster_cells(cluster)
+                live = self._find_similar(cells, cluster.direction)
+                if live is None:
+                    live = _LiveCache(
+                        cache=PathCache(
+                            self.graph,
+                            self.answerer.cache_bytes,
+                            self.answerer.super_map,
+                            eviction=self.answerer.eviction,
+                        ),
+                        cells=cells,
+                        direction=cluster.direction,
+                    )
+                    self._caches.append(live)
+                    self.caches_created += 1
+                else:
+                    self.caches_reused += 1
+                    live.cells |= cells
+                cache = live.cache
+                before_hits = cache.hits
+                before_misses = cache.misses
+                before_evictions = cache.evictions
+                before_rejected = cache.rejected_inserts
+                before_subpath = cache.subpath_hits
+                before_bytes = cache.size_bytes
+                pairs = self.answerer.answer_cluster(cluster, cache)
+                batch.answers.extend(pairs)
+                batch.visited += sum(r.visited for _, r in pairs)
+                batch.cache_hits += cache.hits - before_hits
+                batch.cache_misses += cache.misses - before_misses
+                if len(cluster) == 1:
+                    batch.singleton_queries += 1
+                record_cache(
+                    cache.hits - before_hits,
+                    cache.misses - before_misses,
+                    evictions=cache.evictions - before_evictions,
+                    rejected_inserts=cache.rejected_inserts - before_rejected,
+                    subpath_hits=cache.subpath_hits - before_subpath,
+                    bytes_built=max(0, cache.size_bytes - before_bytes),
                 )
-                self._caches.append(live)
-                self.caches_created += 1
-            else:
-                self.caches_reused += 1
-                live.cells |= cells
-            before_hits = live.cache.hits
-            before_misses = live.cache.misses
-            pairs = self.answerer.answer_cluster(cluster, live.cache)
-            batch.answers.extend(pairs)
-            batch.visited += sum(r.visited for _, r in pairs)
-            batch.cache_hits += live.cache.hits - before_hits
-            batch.cache_misses += live.cache.misses - before_misses
+        if reg.enabled:
+            # Session-lifetime totals, so gauges (set, not add): re-publishing
+            # after every batch keeps them current without double counting.
+            reg.gauge("dynamic.live_caches").set(len(self._caches))
+            reg.gauge("dynamic.caches_reused").set(self.caches_reused)
+            reg.gauge("dynamic.caches_created").set(self.caches_created)
         batch.cache_bytes = sum(c.cache.size_bytes for c in self._caches)
         batch.answer_seconds = time.perf_counter() - start
         return batch

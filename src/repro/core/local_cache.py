@@ -21,6 +21,7 @@ from typing import Iterable, List, Optional
 
 from ..exceptions import ConfigurationError
 from ..network.supervertex import SuperVertexMap
+from ..obs import get_registry, record_cache
 from ..search.astar import a_star
 from ..search.common import PathResult
 from .cache import PathCache
@@ -136,19 +137,30 @@ class LocalCacheAnswerer:
         )
         start = time.perf_counter()
         rng = random.Random(self.seed)
-        for cluster in decomposition:
-            cache = PathCache(
-                self.graph, self.cache_bytes, self.super_map, eviction=self.eviction
-            )
-            pairs = self.answer_cluster(cluster, cache, rng)
-            batch.answers.extend(pairs)
-            batch.visited += sum(r.visited for _, r in pairs)
-            batch.cache_hits += cache.hits
-            batch.cache_misses += cache.misses
-            batch.cache_bytes += cache.size_bytes
-            if cache.size_bytes > batch.max_cluster_cache_bytes:
-                batch.max_cluster_cache_bytes = cache.size_bytes
-            # The per-cluster cache is conceptually destroyed here; dropping
-            # the reference is exactly that.
+        with get_registry().span("answer", method=label):
+            for cluster in decomposition:
+                cache = PathCache(
+                    self.graph, self.cache_bytes, self.super_map, eviction=self.eviction
+                )
+                pairs = self.answer_cluster(cluster, cache, rng)
+                batch.answers.extend(pairs)
+                batch.visited += sum(r.visited for _, r in pairs)
+                batch.cache_hits += cache.hits
+                batch.cache_misses += cache.misses
+                batch.cache_bytes += cache.size_bytes
+                if len(cluster) == 1:
+                    batch.singleton_queries += 1
+                if cache.size_bytes > batch.max_cluster_cache_bytes:
+                    batch.max_cluster_cache_bytes = cache.size_bytes
+                record_cache(
+                    cache.hits,
+                    cache.misses,
+                    evictions=cache.evictions,
+                    rejected_inserts=cache.rejected_inserts,
+                    subpath_hits=cache.subpath_hits,
+                    bytes_built=cache.size_bytes,
+                )
+                # The per-cluster cache is conceptually destroyed here;
+                # dropping the reference is exactly that.
         batch.answer_seconds = time.perf_counter() - start
         return batch

@@ -24,6 +24,7 @@ import random
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import get_registry
 from ..exceptions import ConfigurationError
 from ..queries.query import Query
 from ..search.astar import a_star
@@ -91,8 +92,11 @@ class RegionToRegionAnswerer:
         )
         start = time.perf_counter()
         rng = random.Random(self.seed)
-        for cluster in decomposition:
-            batch.answers.extend(self._answer_cluster(cluster, rng, batch))
+        with get_registry().span("answer", method=label):
+            for cluster in decomposition:
+                batch.answers.extend(self._answer_cluster(cluster, rng, batch))
+                if len(cluster) == 1:
+                    batch.singleton_queries += 1
         batch.answer_seconds = time.perf_counter() - start
         return batch
 

@@ -45,6 +45,10 @@ class BatchAnswer:
     #: cache-size sweep of Fig 7-(c)/(e) at reproduction scale).
     max_cluster_cache_bytes: int = 0
     num_clusters: int = 0
+    #: Queries answered through a singleton (unclustered) cluster — the
+    #: paper's R_h excludes these from the hit-ratio denominator
+    #: (Section VI); see :func:`repro.analysis.metrics.hit_ratio`.
+    singleton_queries: int = 0
     #: Worker processes that produced this answer (1 = single-process).
     workers: int = 1
     #: The :class:`repro.parallel.ExecutionReport` of a multiprocess run,
@@ -61,7 +65,12 @@ class BatchAnswer:
 
     @property
     def hit_ratio(self) -> float:
-        """The paper's R_h: answered-from-cache fraction of all queries."""
+        """Raw answered-from-cache fraction over *every* cache lookup.
+
+        Singleton (unclustered) queries are included in the denominator
+        here; the paper's Section VI definition of ``R_h`` excludes them —
+        use :func:`repro.analysis.metrics.hit_ratio` for that.
+        """
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 

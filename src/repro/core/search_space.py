@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import ConfigurationError
 from ..network.grid import GridIndex, auto_levels
+from ..obs import get_registry, record_decomposition
 from ..network.spatial import (
     Ellipse,
     angular_difference,
@@ -135,12 +136,15 @@ class SearchSpaceDecomposer:
     # ------------------------------------------------------------------
     def decompose(self, queries: QuerySet) -> Decomposition:
         start = time.perf_counter()
-        distinct = queries.deduplicated()
-        clusters = self._generate(distinct)
-        clusters = self._merge(clusters)
-        clusters = self._restore_multiplicity(queries, clusters)
+        with get_registry().span("decompose", method=self.method, queries=len(queries)):
+            distinct = queries.deduplicated()
+            clusters = self._generate(distinct)
+            clusters = self._merge(clusters)
+            clusters = self._restore_multiplicity(queries, clusters)
         elapsed = time.perf_counter() - start
-        return Decomposition(clusters, self.method, elapsed).validate(queries)
+        decomposition = Decomposition(clusters, self.method, elapsed).validate(queries)
+        record_decomposition(decomposition)
+        return decomposition
 
     # ------------------------------------------------------------------
     # Generation phase

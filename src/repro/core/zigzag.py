@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import ConfigurationError
 from ..network.convexhull import convex_hull, hull_bounding_box, point_in_hull
+from ..obs import get_registry, record_decomposition
 from ..network.spatial import angular_difference, bearing_angle
 from ..queries.query import Query, QuerySet
 from .clusters import Decomposition, QueryCluster
@@ -122,14 +123,17 @@ class ZigzagDecomposer:
     def decompose(self, queries: QuerySet) -> Decomposition:
         """Run both phases and return a validated partition of ``queries``."""
         start = time.perf_counter()
-        distinct = queries.deduplicated()
-        petals = self._build_petals(distinct)
-        clusters = self._zigzag_merge(distinct, petals)
-        if self.absorb_singletons:
-            clusters = self._absorb_singletons(clusters)
-        clusters = self._restore_multiplicity(queries, clusters)
+        with get_registry().span("decompose", method=self.method, queries=len(queries)):
+            distinct = queries.deduplicated()
+            petals = self._build_petals(distinct)
+            clusters = self._zigzag_merge(distinct, petals)
+            if self.absorb_singletons:
+                clusters = self._absorb_singletons(clusters)
+            clusters = self._restore_multiplicity(queries, clusters)
         elapsed = time.perf_counter() - start
-        return Decomposition(clusters, self.method, elapsed).validate(queries)
+        decomposition = Decomposition(clusters, self.method, elapsed).validate(queries)
+        record_decomposition(decomposition)
+        return decomposition
 
     # ------------------------------------------------------------------
     # Phase 1

@@ -43,3 +43,7 @@ class IndexConstructionError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid parameter combination passed to a public API."""
+
+
+class ObservabilityError(ReproError):
+    """Metrics registry misuse (bucket mismatch, negative duration...)."""

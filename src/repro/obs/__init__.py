@@ -1,0 +1,135 @@
+"""Runtime observability: metrics registry, span tracing, aggregation.
+
+The live pipeline (search → cache → decomposition → parallel dispatch →
+service windows) reports what it does through one process-local
+:class:`MetricsRegistry`, installed with :func:`use_registry` /
+:func:`set_registry`.  By default the :data:`NULL_REGISTRY` is active and
+every instrumentation point costs one attribute check, so the library is
+observability-free unless somebody asks.
+
+Quickstart::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        BatchProcessor(graph).process(batch, "slc-s")
+    snap = reg.snapshot()
+    print(snap.counters["search.heap_pops"], snap.counters["cache.hits"])
+
+The helpers below (:func:`record_search`, :func:`record_cache`,
+:func:`record_decomposition`) are the single place where the hot layers'
+flush-at-end counts turn into named metrics, so the metric naming scheme
+lives here and nowhere else.
+"""
+
+from __future__ import annotations
+
+from .export import (
+    load_metrics_json,
+    render_metrics_summary,
+    render_stage_table,
+    snapshot_to_json,
+    to_prometheus_text,
+    write_metrics_json,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_REGISTRY,
+    NullRegistry,
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .spans import SpanRecord, SpanTracer, read_jsonl, summarize_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SIZE_BUCKETS",
+    "SpanRecord",
+    "SpanTracer",
+    "TIME_BUCKETS",
+    "get_registry",
+    "load_metrics_json",
+    "read_jsonl",
+    "record_cache",
+    "record_decomposition",
+    "record_search",
+    "render_metrics_summary",
+    "render_stage_table",
+    "set_registry",
+    "snapshot_to_json",
+    "summarize_spans",
+    "to_prometheus_text",
+    "use_registry",
+    "write_metrics_json",
+]
+
+
+def record_search(settled: int, relaxations: int, heap_pops: int) -> None:
+    """Flush one search run's locally-counted work into the registry.
+
+    Searches count with plain local integers inside their loops and call
+    this once at the end, so the per-event overhead stays a local
+    increment regardless of the registry installed.
+    """
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("search.runs").add(1)
+        reg.counter("search.settled").add(settled)
+        reg.counter("search.relaxations").add(relaxations)
+        reg.counter("search.heap_pops").add(heap_pops)
+
+
+def record_cache(
+    hits: int,
+    misses: int,
+    evictions: int = 0,
+    rejected_inserts: int = 0,
+    subpath_hits: int = 0,
+    bytes_built: int = 0,
+) -> None:
+    """Flush one cache's (delta) counters into the registry.
+
+    :class:`~repro.core.cache.PathCache` keeps its own plain attribute
+    counters; answerers publish either the full counts of a fresh cache or
+    the before/after delta of a reused one.
+    """
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("cache.hits").add(hits)
+        reg.counter("cache.misses").add(misses)
+        reg.counter("cache.evictions").add(evictions)
+        reg.counter("cache.rejected_inserts").add(rejected_inserts)
+        reg.counter("cache.subpath_hits").add(subpath_hits)
+        reg.counter("cache.bytes_built").add(bytes_built)
+
+
+def record_decomposition(decomposition) -> None:
+    """Publish cluster counts/sizes and timing of one decomposition run."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    sizes = decomposition.cluster_sizes
+    reg.counter("decompose.runs").add(1)
+    reg.counter("cluster.count").add(len(sizes))
+    reg.counter("cluster.queries").add(sum(sizes))
+    reg.counter("cluster.singletons").add(sum(1 for s in sizes if s == 1))
+    size_hist = reg.histogram("cluster.size", SIZE_BUCKETS)
+    for size in sizes:
+        size_hist.observe(size)
+    reg.histogram("decompose.seconds", TIME_BUCKETS).observe(
+        max(0.0, decomposition.elapsed_seconds)
+    )

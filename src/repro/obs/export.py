@@ -1,0 +1,140 @@
+"""Surfacing: JSON files, Prometheus text exposition, summary tables.
+
+Three consumers, three formats:
+
+* ``--metrics-out FILE`` writes one JSON document (counters, gauges,
+  histograms, spans) that CI and notebooks parse;
+* :func:`to_prometheus_text` renders the classic ``# TYPE`` / sample-line
+  exposition so a future scrape endpoint only needs to serve the string;
+* :func:`render_metrics_summary` / :func:`render_stage_table` produce the
+  human tables behind ``repro obs summary``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .registry import MetricsSnapshot
+from .spans import summarize_spans
+
+SnapshotLike = Union[MetricsSnapshot, Dict[str, Any]]
+
+
+def _as_dict(snapshot: SnapshotLike) -> Dict[str, Any]:
+    if isinstance(snapshot, MetricsSnapshot):
+        return snapshot.to_dict()
+    return snapshot
+
+
+def snapshot_to_json(snapshot: SnapshotLike, indent: int = 2) -> str:
+    return json.dumps(_as_dict(snapshot), indent=indent, sort_keys=True)
+
+
+def write_metrics_json(snapshot: SnapshotLike, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(snapshot_to_json(snapshot) + "\n")
+
+
+def load_metrics_json(path) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str, prefix: str) -> str:
+    mangled = name.replace(".", "_").replace("-", "_")
+    return f"{prefix}_{mangled}" if prefix else mangled
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus_text(snapshot: SnapshotLike, prefix: str = "repro") -> str:
+    """The snapshot in Prometheus text exposition format (version 0.0.4).
+
+    Counters get a ``_total`` suffix, histograms emit cumulative
+    ``_bucket{le="..."}`` series plus ``_sum`` and ``_count`` — exactly
+    what a scraper expects, so wiring an HTTP endpoint later is one
+    handler returning this string.
+    """
+    data = _as_dict(snapshot)
+    lines: List[str] = []
+    for name in sorted(data.get("counters", {})):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(data['counters'][name])}")
+    for name in sorted(data.get("gauges", {})):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(data['gauges'][name])}")
+    for name in sorted(data.get("histograms", {})):
+        hist = data["histograms"][name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_prom_value(float(bound))}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Human-readable summaries
+# ----------------------------------------------------------------------
+def render_stage_table(spans: Iterable[Dict[str, Any]]) -> str:
+    """Per-stage table (count / total / mean / max) from span dicts."""
+    stages = summarize_spans(spans)
+    if not stages:
+        return "(no spans recorded)"
+    lines = [f"{'stage':<24} {'count':>7} {'total(s)':>10} {'mean(s)':>10} {'max(s)':>10}"]
+    for name in sorted(stages, key=lambda n: -stages[n]["total_seconds"]):
+        agg = stages[name]
+        lines.append(
+            f"{name:<24} {int(agg['count']):>7} {agg['total_seconds']:>10.4f} "
+            f"{agg['mean_seconds']:>10.4f} {agg['max_seconds']:>10.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics_summary(snapshot: SnapshotLike) -> str:
+    """Counters, gauges, histogram digests and the stage table, as text."""
+    data = _as_dict(snapshot)
+    lines: List[str] = []
+    counters = data.get("counters", {})
+    if counters:
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<32} {counters[name]:>14g}")
+    gauges = data.get("gauges", {})
+    if gauges:
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<32} {gauges[name]:>14g}")
+    histograms = data.get("histograms", {})
+    if histograms:
+        lines.append("histograms")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = hist["count"]
+            mean = hist["sum"] / count if count else 0.0
+            lines.append(
+                f"  {name:<32} count={count} mean={mean:.6g} sum={hist['sum']:.6g}"
+            )
+    spans = data.get("spans", [])
+    if spans:
+        lines.append("stages")
+        lines.append(render_stage_table(spans))
+    if not lines:
+        return "(empty metrics snapshot)"
+    return "\n".join(lines)

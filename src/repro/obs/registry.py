@@ -1,0 +1,395 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints (they shape every signature here):
+
+* **Lock-free hot path.**  Instruments are plain objects whose update
+  methods do one attribute increment (``self.value += n``) — atomic enough
+  under the GIL, no locks, no allocation.  Hot loops go further and keep a
+  *local* integer, flushing it into a counter once per call, so the
+  per-event cost is a plain local increment.
+* **No dict lookups per event.**  ``registry.counter(name)`` does its dict
+  lookup once, at instrumentation-point setup (typically once per search
+  call or per cluster), and hands back the instrument object; events then
+  touch only attributes.
+* **Free when disabled.**  The module-level active registry defaults to
+  :data:`NULL_REGISTRY`, whose ``enabled`` is ``False`` and whose
+  instruments are shared no-ops — disabled instrumentation costs one
+  attribute check (``if reg.enabled:``) per call site.
+
+Aggregation across worker processes goes through
+:class:`MetricsSnapshot`: counters sum, gauges keep their maximum,
+histograms merge bucket-wise (identical bounds required), and span records
+concatenate.  ``workers=k`` runs therefore report fleet-wide totals.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ObservabilityError
+from .spans import SpanTracer
+
+#: Default histogram bounds for durations in seconds (upper bucket edges;
+#: an implicit +inf bucket catches the overflow).
+TIME_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+#: Default histogram bounds for small cardinalities (cluster sizes...).
+SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+class Counter:
+    """Monotonically increasing count; ``add`` is the whole hot-path API."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    inc = add
+
+
+class Gauge:
+    """A point-in-time value (pool size, live caches...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def track_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``bounds`` are the finite upper bucket edges, strictly increasing; an
+    implicit ``+inf`` bucket catches overflow.  A value exactly on an edge
+    belongs to that edge's bucket (``value <= bound``).  Negative values
+    are rejected — every histogram here measures a duration or a size, so
+    a negative observation is always an instrumentation bug worth
+    surfacing, not data.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs at least one bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} bounds must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ObservabilityError(
+                f"histogram {self.name!r} rejects negative value {value!r}"
+            )
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def add(self, amount: int = 1) -> None:
+        pass
+
+    inc = add
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def track_max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class MetricsSnapshot:
+    """A frozen, picklable view of one registry — the cross-process unit.
+
+    ``histograms`` maps name to ``{"bounds": [...], "counts": [...],
+    "sum": float, "count": int}`` (counts are per-bucket, not cumulative;
+    the last slot is the +inf bucket).  ``spans`` holds
+    :meth:`~repro.obs.spans.SpanRecord.to_dict` dicts.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold ``other`` into self: sum, max, bucket-wise add, concat."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            mine = self.gauges.get(name)
+            if mine is None or value > mine:
+                self.gauges[name] = value
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+                continue
+            if list(mine["bounds"]) != list(hist["bounds"]):
+                raise ObservabilityError(
+                    f"cannot merge histogram {name!r}: bounds differ "
+                    f"({mine['bounds']} vs {hist['bounds']})"
+                )
+            mine["counts"] = [a + b for a, b in zip(mine["counts"], hist["counts"])]
+            mine["sum"] += hist["sum"]
+            mine["count"] += hist["count"]
+        self.spans.extend(dict(s) for s in other.spans)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    "bounds": list(h["bounds"]),
+                    "counts": list(h["counts"]),
+                    "sum": h["sum"],
+                    "count": h["count"],
+                }
+                for name, h in self.histograms.items()
+            },
+            "spans": [dict(s) for s in self.spans],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "MetricsSnapshot":
+        return MetricsSnapshot(
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms={
+                name: {
+                    "bounds": list(h["bounds"]),
+                    "counts": list(h["counts"]),
+                    "sum": h["sum"],
+                    "count": h["count"],
+                }
+                for name, h in data.get("histograms", {}).items()
+            },
+            spans=[dict(s) for s in data.get("spans", [])],
+        )
+
+
+class MetricsRegistry:
+    """A live set of instruments plus a span tracer.
+
+    Instruments are created on first use and then returned by identity, so
+    call sites can (and should) hold the returned object across events.
+    Registration is name-keyed: asking for an existing name with a
+    conflicting kind or bucket layout raises
+    :class:`~repro.exceptions.ObservabilityError` rather than silently
+    splitting the series.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.tracer = SpanTracer()
+        self._imported_spans: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: Sequence[float] = TIME_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        elif instrument.bounds != tuple(float(b) for b in bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}, requested {tuple(bounds)}"
+            )
+        return instrument
+
+    def _check_free(self, name: str, owner: Dict[str, Any]) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not owner and name in kind:
+                raise ObservabilityError(
+                    f"metric name {name!r} already registered as a different kind"
+                )
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the current state (instruments keep counting afterwards)."""
+        return MetricsSnapshot(
+            counters={name: c.value for name, c in self._counters.items()},
+            gauges={name: g.value for name, g in self._gauges.items()},
+            histograms={
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in self._histograms.items()
+            },
+            spans=[r.to_dict() for r in self.tracer.records] + [
+                dict(s) for s in self._imported_spans
+            ],
+        )
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a (worker) snapshot into this live registry."""
+        for name, value in snapshot.counters.items():
+            self.counter(name).add(value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).track_max(value)
+        for name, hist in snapshot.histograms.items():
+            mine = self.histogram(name, hist["bounds"])
+            mine.counts = [a + b for a, b in zip(mine.counts, hist["counts"])]
+            mine.sum += hist["sum"]
+            mine.count += hist["count"]
+        self._imported_spans.extend(dict(s) for s in snapshot.spans)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._imported_spans.clear()
+        self.tracer.clear()
+
+
+class NullRegistry:
+    """The do-nothing registry installed by default.
+
+    Every accessor returns a shared no-op instrument, so instrumented code
+    runs unchanged; the only cost left in the hot path is the call site's
+    ``if reg.enabled:`` attribute check (and whatever local counting it
+    chose to keep).
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, bounds: Sequence[float] = TIME_BUCKETS) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot()
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+_ACTIVE = NULL_REGISTRY
+
+
+def get_registry():
+    """The process's active registry (the null registry unless installed)."""
+    return _ACTIVE
+
+
+def set_registry(registry) -> None:
+    """Install ``registry`` as the active one; ``None`` restores the null."""
+    global _ACTIVE
+    _ACTIVE = NULL_REGISTRY if registry is None else registry
+
+
+@contextmanager
+def use_registry(registry):
+    """Scope ``registry`` as the active one, restoring the prior on exit."""
+    global _ACTIVE
+    prior = _ACTIVE
+    _ACTIVE = NULL_REGISTRY if registry is None else registry
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = prior

@@ -1,0 +1,151 @@
+"""Span tracing: where does the time of one batch actually go?
+
+A *span* is a named, timed region of execution — ``decompose``, ``answer``,
+``dispatch``, ``merge`` — opened with a context manager and timed with the
+monotonic :func:`time.perf_counter` clock, so spans are immune to wall-clock
+adjustments.  Spans nest: the tracer keeps a stack, and every span records
+the id of the span that was open when it started, so a JSONL export can be
+reassembled into the stage tree of a run.
+
+Spans are process-local (the stack is per-tracer, and perf_counter origins
+differ between processes); cross-process runs tag worker spans with their
+``pid`` before merging, and only durations — never start offsets — are
+compared across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    ``start`` is a :func:`time.perf_counter` stamp, meaningful only
+    relative to other spans of the same process.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    duration_seconds: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_seconds": self.duration_seconds,
+            "attrs": dict(self.attrs),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "SpanRecord":
+        return SpanRecord(
+            span_id=int(data["span_id"]),
+            parent_id=data.get("parent_id"),
+            name=str(data["name"]),
+            start=float(data.get("start", 0.0)),
+            duration_seconds=float(data["duration_seconds"]),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class _ActiveSpan:
+    """Handle yielded while a span is open; lets callers attach attributes."""
+
+    __slots__ = ("record",)
+
+    def __init__(self, record: SpanRecord) -> None:
+        self.record = record
+
+    def set(self, **attrs: Any) -> "_ActiveSpan":
+        self.record.attrs.update(attrs)
+        return self
+
+
+class SpanTracer:
+    """Records nested spans; finished spans land in :attr:`records`.
+
+    Records are appended at span *exit*, so a parent appears after its
+    children — readers reconstruct the tree through ``parent_id``, not
+    through file order.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        span_id = self._next_id
+        self._next_id += 1
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            start=time.perf_counter(),
+            duration_seconds=0.0,
+            attrs=dict(attrs),
+        )
+        self._stack.append(span_id)
+        try:
+            yield _ActiveSpan(record)
+        finally:
+            record.duration_seconds = time.perf_counter() - record.start
+            self._stack.pop()
+            self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in completion order."""
+        return "\n".join(json.dumps(r.to_dict(), sort_keys=True) for r in self.records)
+
+    def write_jsonl(self, path) -> None:
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+
+
+def read_jsonl(path) -> List[Dict[str, Any]]:
+    """Load span dicts back from a JSONL file (blank lines ignored)."""
+    spans: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def summarize_spans(spans: Iterable[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Per-stage aggregate of span dicts: count, total, mean and max seconds."""
+    stages: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        name = str(span.get("name", "?"))
+        duration = float(span.get("duration_seconds", 0.0))
+        agg = stages.get(name)
+        if agg is None:
+            agg = stages[name] = {"count": 0.0, "total_seconds": 0.0, "max_seconds": 0.0}
+        agg["count"] += 1
+        agg["total_seconds"] += duration
+        if duration > agg["max_seconds"]:
+            agg["max_seconds"] = duration
+    for agg in stages.values():
+        agg["mean_seconds"] = agg["total_seconds"] / agg["count"] if agg["count"] else 0.0
+    return stages

@@ -42,6 +42,13 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..core.clusters import Decomposition, QueryCluster
 from ..core.results import BatchAnswer
 from ..exceptions import ConfigurationError
+from ..obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    TIME_BUCKETS,
+    get_registry,
+    use_registry,
+)
 from ..queries.query import QuerySet
 from . import worker
 
@@ -79,6 +86,9 @@ class ExecutionReport:
     start_method: str
     wall_seconds: float = 0.0
     units: List[UnitTrace] = field(default_factory=list)
+    #: Fleet-wide metrics merged from the per-unit worker registries
+    #: (``None`` when no registry was active during :meth:`execute`).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def fallbacks(self) -> int:
@@ -133,6 +143,8 @@ class ExecutionReport:
             per_server_seconds=per_server,
             source="measured",
             mean_queue_wait_seconds=self.mean_queue_wait_seconds,
+            fallback_units=self.fallbacks,
+            metrics=self.metrics,
         )
 
 
@@ -274,24 +286,52 @@ class ParallelBatchEngine:
             num_clusters=len(decomposition.clusters),
             workers=effective,
         )
+        registry = get_registry()
+        if registry.enabled:
+            # Fleet accumulator: every unit (worker or in-process) runs
+            # under its own registry and its snapshot is folded in here.
+            report.metrics = MetricsSnapshot()
         wall0 = time.perf_counter()
-        if effective <= 1:
-            results = self._run_in_process(order, estimates, report)
-        else:
-            results = self._run_pool(order, estimates, report, effective)
+        with registry.span(
+            "dispatch", units=len(units), workers=effective, mode=report.start_method
+        ):
+            if effective <= 1:
+                results = self._run_in_process(order, estimates, report)
+            else:
+                results = self._run_pool(order, estimates, report, effective)
         report.wall_seconds = time.perf_counter() - wall0
-        for index in sorted(results):
-            unit_answer = results[index]
-            merged.answers.extend(unit_answer.answers)
-            merged.visited += unit_answer.visited
-            merged.cache_hits += unit_answer.cache_hits
-            merged.cache_misses += unit_answer.cache_misses
-            merged.cache_bytes += unit_answer.cache_bytes
-            if unit_answer.max_cluster_cache_bytes > merged.max_cluster_cache_bytes:
-                merged.max_cluster_cache_bytes = unit_answer.max_cluster_cache_bytes
+        with registry.span("merge", units=len(results)):
+            for index in sorted(results):
+                unit_answer = results[index]
+                merged.answers.extend(unit_answer.answers)
+                merged.visited += unit_answer.visited
+                merged.cache_hits += unit_answer.cache_hits
+                merged.cache_misses += unit_answer.cache_misses
+                merged.cache_bytes += unit_answer.cache_bytes
+                merged.singleton_queries += unit_answer.singleton_queries
+                if unit_answer.max_cluster_cache_bytes > merged.max_cluster_cache_bytes:
+                    merged.max_cluster_cache_bytes = unit_answer.max_cluster_cache_bytes
+        if report.metrics is not None:
+            report.metrics.merge(self._dispatch_metrics(report))
+            # Fold the fleet totals into the caller's registry so one
+            # snapshot covers the run regardless of the worker count.
+            registry.merge_snapshot(report.metrics)
         merged.answer_seconds = report.wall_seconds
         merged.execution_report = report
         return ParallelOutcome(answer=merged, report=report)
+
+    def _dispatch_metrics(self, report: ExecutionReport) -> MetricsSnapshot:
+        """Engine-level metrics for one execute() round as a snapshot."""
+        engine_reg = MetricsRegistry()
+        engine_reg.counter("parallel.units").add(len(report.units))
+        engine_reg.counter("parallel.fallbacks").add(report.fallbacks)
+        engine_reg.gauge("parallel.workers").track_max(report.workers)
+        busy = engine_reg.histogram("parallel.unit_seconds", TIME_BUCKETS)
+        wait = engine_reg.histogram("parallel.queue_wait_seconds", TIME_BUCKETS)
+        for u in report.units:
+            busy.observe(u.busy_seconds)
+            wait.observe(max(0.0, u.queue_wait_seconds))
+        return engine_reg.snapshot()
 
     # ------------------------------------------------------------------
     def _as_decomposition(self, work) -> Decomposition:
@@ -374,7 +414,19 @@ class ParallelBatchEngine:
         fallback: bool,
     ) -> BatchAnswer:
         t0 = time.perf_counter()
-        answer = worker.answer_one(self._answerer, cluster)
+        if report.metrics is not None:
+            # Mirror the worker path: run the unit under its own registry
+            # and fold the snapshot into the fleet accumulator, so serial
+            # and parallel runs report identical counter totals.
+            unit_registry = MetricsRegistry()
+            with use_registry(unit_registry):
+                answer = worker.answer_one(self._answerer, cluster)
+            snapshot = unit_registry.snapshot()
+            for span in snapshot.spans:
+                span["attrs"].update({"pid": 0, "unit": index})
+            report.metrics.merge(snapshot)
+        else:
+            answer = worker.answer_one(self._answerer, cluster)
         busy = time.perf_counter() - t0
         report.units.append(
             UnitTrace(
@@ -401,17 +453,18 @@ class ParallelBatchEngine:
             # Re-assert in case another engine replaced the globals since
             # this pool was created (workers fork on first submit).
             worker.set_parent_state(self.graph, self._answerer)
+        collect = report.metrics is not None
         submits: List[Tuple[int, QueryCluster, float, object]] = []
         for index, cluster in order:
             submitted = time.time()
-            future = pool.submit(worker.answer_unit, (index, cluster))
+            future = pool.submit(worker.answer_unit, (index, cluster, collect))
             submits.append((index, cluster, submitted, future))
 
         results: Dict[int, BatchAnswer] = {}
         pool_broken = False
         for index, cluster, submitted, future in submits:
             try:
-                r_index, answer, pid, started, busy = future.result(
+                r_index, answer, pid, started, busy, snapshot = future.result(
                     timeout=self.unit_timeout
                 )
             except Exception as exc:
@@ -431,6 +484,8 @@ class ParallelBatchEngine:
                 )
                 continue
             results[r_index] = answer
+            if snapshot is not None and report.metrics is not None:
+                report.metrics.merge(snapshot)
             report.units.append(
                 UnitTrace(
                     index=r_index,

@@ -25,6 +25,7 @@ from typing import Tuple
 from ..core.clusters import Decomposition, QueryCluster
 from ..core.results import BatchAnswer
 from ..exceptions import ConfigurationError
+from ..obs import MetricsRegistry, use_registry
 
 #: Answerer kinds a worker knows how to build.
 ANSWERER_KINDS = ("local-cache", "r2r", "one-by-one")
@@ -81,18 +82,33 @@ def answer_one(answerer, cluster: QueryCluster) -> BatchAnswer:
     return answerer.answer(Decomposition([cluster], "unit", 0.0))
 
 
-def answer_unit(payload: Tuple[int, QueryCluster]):
-    """Pool task: answer one ``(index, cluster)`` unit.
+def answer_unit(payload: Tuple[int, QueryCluster, bool]):
+    """Pool task: answer one ``(index, cluster, collect_metrics)`` unit.
 
-    Returns ``(index, BatchAnswer, pid, started_wall, busy_seconds)``;
-    ``started_wall`` is ``time.time()`` so the parent can compute the
-    queue wait against its own submit stamp.
+    Returns ``(index, BatchAnswer, pid, started_wall, busy_seconds,
+    metrics_snapshot_or_None)``; ``started_wall`` is ``time.time()`` so the
+    parent can compute the queue wait against its own submit stamp.  When
+    ``collect_metrics`` is set (the parent has a live registry), the unit
+    runs under a fresh per-unit :class:`~repro.obs.MetricsRegistry` and its
+    snapshot rides home with the answer, spans tagged with this worker's
+    pid — the parent merges snapshots so ``workers=k`` reports fleet-wide
+    totals.
     """
-    index, cluster = payload
+    index, cluster, collect = payload
     if _ANSWERER is None:  # pragma: no cover - engine always initialises
         raise ConfigurationError("worker used before initialisation")
     started = time.time()
     t0 = time.perf_counter()
-    answer = answer_one(_ANSWERER, cluster)
+    if not collect:
+        answer = answer_one(_ANSWERER, cluster)
+        busy = time.perf_counter() - t0
+        return index, answer, os.getpid(), started, busy, None
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        answer = answer_one(_ANSWERER, cluster)
     busy = time.perf_counter() - t0
-    return index, answer, os.getpid(), started, busy
+    pid = os.getpid()
+    snapshot = registry.snapshot()
+    for span in snapshot.spans:
+        span["attrs"].update({"pid": pid, "unit": index})
+    return index, answer, pid, started, busy, snapshot

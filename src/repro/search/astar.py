@@ -12,6 +12,7 @@ import math
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..obs import record_search
 from .common import PathResult, reconstruct_path
 
 Heuristic = Callable[[int], float]
@@ -42,6 +43,7 @@ def a_star(
     heap: List[Tuple[float, int]] = [(heuristic(source), source)]
     adj = graph._adj  # noqa: SLF001 - hot path
     visited = 0
+    pushes = 0
     while heap:
         f, u = heappop(heap)
         if u in done:
@@ -49,6 +51,7 @@ def a_star(
         done.add(u)
         visited += 1
         if u == target:
+            record_search(visited, pushes, pushes + 1 - len(heap))
             return PathResult(
                 source, target, dist[u], reconstruct_path(parents, source, target), visited
             )
@@ -61,5 +64,7 @@ def a_star(
             if nd < dist.get(v, math.inf):
                 dist[v] = nd
                 parents[v] = u
+                pushes += 1
                 heappush(heap, (nd + heuristic(v), v))
+    record_search(visited, pushes, pushes + 1)
     return PathResult(source, target, math.inf, [], visited)

@@ -11,6 +11,7 @@ import math
 from heapq import heappop, heappush
 from typing import Dict, List, Set, Tuple
 
+from ..obs import record_search
 from .common import PathResult
 
 
@@ -34,6 +35,7 @@ def bidirectional_dijkstra(graph, source: int, target: int) -> PathResult:
     best = math.inf
     meet = -1
     visited = 0
+    pushes = 0
 
     def top(heap: List[Tuple[float, int]], done: Set[int]) -> float:
         while heap and heap[0][1] in done:
@@ -57,6 +59,7 @@ def bidirectional_dijkstra(graph, source: int, target: int) -> PathResult:
                 if nd < dist_f.get(v, math.inf):
                     dist_f[v] = nd
                     par_f[v] = u
+                    pushes += 1
                     heappush(heap_f, (nd, v))
                 if v in dist_b and nd + dist_b[v] < best:
                     best = nd + dist_b[v]
@@ -76,6 +79,7 @@ def bidirectional_dijkstra(graph, source: int, target: int) -> PathResult:
                 if nd < dist_b.get(v, math.inf):
                     dist_b[v] = nd
                     par_b[v] = u
+                    pushes += 1
                     heappush(heap_b, (nd, v))
                 if v in dist_f and nd + dist_f[v] < best:
                     best = nd + dist_f[v]
@@ -86,6 +90,7 @@ def bidirectional_dijkstra(graph, source: int, target: int) -> PathResult:
         else:
             break
 
+    record_search(visited, pushes, pushes + 2 - len(heap_f) - len(heap_b))
     if meet < 0:
         return PathResult(source, target, math.inf, [], visited)
 

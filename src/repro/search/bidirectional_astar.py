@@ -21,6 +21,7 @@ import math
 from heapq import heappop, heappush
 from typing import Dict, List, Set, Tuple
 
+from ..obs import record_search
 from .common import PathResult
 
 
@@ -57,6 +58,7 @@ def bidirectional_a_star(graph, source: int, target: int) -> PathResult:
     best = math.inf
     meet = -1
     visited = 0
+    pushes = 0
 
     def top(heap: List[Tuple[float, int]], done: Set[int]) -> float:
         while heap and heap[0][1] in done:
@@ -86,6 +88,7 @@ def bidirectional_a_star(graph, source: int, target: int) -> PathResult:
                 if nd < dist_f.get(v, math.inf):
                     dist_f[v] = nd
                     par_f[v] = u
+                    pushes += 1
                     heappush(heap_f, (nd + pf(v), v))
                 if v in dist_b and nd + dist_b[v] < best:
                     best = nd + dist_b[v]
@@ -106,6 +109,7 @@ def bidirectional_a_star(graph, source: int, target: int) -> PathResult:
                 if nd < dist_b.get(v, math.inf):
                     dist_b[v] = nd
                     par_b[v] = u
+                    pushes += 1
                     heappush(heap_b, (nd - pf(v), v))
                 if v in dist_f and nd + dist_f[v] < best:
                     best = nd + dist_f[v]
@@ -116,6 +120,7 @@ def bidirectional_a_star(graph, source: int, target: int) -> PathResult:
         else:
             break
 
+    record_search(visited, pushes, pushes + 2 - len(heap_f) - len(heap_b))
     if meet < 0:
         return PathResult(source, target, math.inf, [], visited)
 

@@ -18,6 +18,7 @@ import math
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs import record_search
 from .common import PathResult, reconstruct_path
 
 Infinity = math.inf
@@ -41,6 +42,7 @@ def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathRes
     done: Set[int] = set()
     heap: List[Tuple[float, int]] = [(0.0, source)]
     visited = 0
+    pushes = 0
     while heap:
         d, u = heappop(heap)
         if u in done:
@@ -48,6 +50,7 @@ def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathRes
         done.add(u)
         visited += 1
         if u == target:
+            record_search(visited, pushes, pushes + 1 - len(heap))
             return PathResult(source, target, d, reconstruct_path(parents, source, target), visited)
         for v, w in adj[u]:
             v = int(v)
@@ -55,7 +58,9 @@ def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathRes
             if nd < dist.get(v, Infinity):
                 dist[v] = nd
                 parents[v] = u
+                pushes += 1
                 heappush(heap, (nd, v))
+    record_search(visited, pushes, pushes + 1)
     return PathResult(source, target, Infinity, [], visited)
 
 
@@ -76,6 +81,7 @@ def bounded_ball(
     done: Dict[int, float] = {}
     heap: List[Tuple[float, int]] = [(0.0, source)]
     visited = 0
+    pushes = 0
     while heap:
         d, u = heappop(heap)
         if u in done:
@@ -89,7 +95,9 @@ def bounded_ball(
             nd = d + w
             if nd <= radius and nd < dist.get(v, Infinity):
                 dist[v] = nd
+                pushes += 1
                 heappush(heap, (nd, v))
+    record_search(visited, pushes, pushes + 1 - len(heap))
     return done, visited
 
 
@@ -110,6 +118,7 @@ def bounded_ball_tree(
     done: Dict[int, float] = {}
     heap: List[Tuple[float, int]] = [(0.0, source)]
     visited = 0
+    pushes = 0
     while heap:
         d, u = heappop(heap)
         if u in done:
@@ -124,7 +133,9 @@ def bounded_ball_tree(
             if nd <= radius and nd < dist.get(v, Infinity):
                 dist[v] = nd
                 parents[v] = u
+                pushes += 1
                 heappush(heap, (nd, v))
+    record_search(visited, pushes, pushes + 1 - len(heap))
     return done, parents, visited
 
 
@@ -146,6 +157,7 @@ def one_to_many(
     done: Set[int] = set()
     heap: List[Tuple[float, int]] = [(0.0, source)]
     visited = 0
+    pushes = 0
     found: Dict[int, float] = {}
     while heap and remaining:
         d, u = heappop(heap)
@@ -162,9 +174,11 @@ def one_to_many(
             if nd < dist.get(v, Infinity):
                 dist[v] = nd
                 parents[v] = u
+                pushes += 1
                 heappush(heap, (nd, v))
     for t in remaining:
         found[t] = Infinity
+    record_search(visited, pushes, pushes + 1 - len(heap))
     return found, parents, visited
 
 
@@ -180,17 +194,22 @@ def sssp_distances(graph, source: int, backward: bool = False) -> List[float]:
     dist[source] = 0.0
     done = [False] * n
     heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled = 0
+    pushes = 0
     while heap:
         d, u = heappop(heap)
         if done[u]:
             continue
         done[u] = True
+        settled += 1
         for v, w in adj[u]:
             v = int(v)
             nd = d + w
             if nd < dist[v]:
                 dist[v] = nd
+                pushes += 1
                 heappush(heap, (nd, v))
+    record_search(settled, pushes, pushes + 1)
     return dist
 
 
@@ -203,16 +222,21 @@ def sssp_tree(graph, source: int, backward: bool = False) -> Tuple[List[float], 
     parents: Dict[int, int] = {}
     done = [False] * n
     heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled = 0
+    pushes = 0
     while heap:
         d, u = heappop(heap)
         if done[u]:
             continue
         done[u] = True
+        settled += 1
         for v, w in adj[u]:
             v = int(v)
             nd = d + w
             if nd < dist[v]:
                 dist[v] = nd
                 parents[v] = u
+                pushes += 1
                 heappush(heap, (nd, v))
+    record_search(settled, pushes, pushes + 1)
     return dist, parents

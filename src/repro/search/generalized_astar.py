@@ -26,6 +26,7 @@ from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..exceptions import ConfigurationError
+from ..obs import record_search
 from .common import PathResult, reconstruct_path
 
 HEURISTIC_MODES = ("representative", "min-target", "zero")
@@ -129,6 +130,7 @@ def generalized_a_star(
     heap: List[Tuple[float, int]] = [(heuristic(source), source)]
     adj = graph._adj  # noqa: SLF001 - hot path
     visited = visited_offset
+    pushes = 0
     h_cache: Dict[int, float] = {}
 
     while heap and remaining:
@@ -153,7 +155,9 @@ def generalized_a_star(
                 if hv is None:
                     hv = heuristic(v)
                     h_cache[v] = hv
+                pushes += 1
                 heappush(heap, (nd + hv, v))
+    record_search(visited - visited_offset, pushes, pushes + 1 - len(heap))
 
     results: Dict[int, PathResult] = {}
     for t in target_list:

@@ -38,6 +38,7 @@ from .core.local_cache import LocalCacheAnswerer
 from .core.results import BatchAnswer
 from .core.search_space import SearchSpaceDecomposer
 from .exceptions import ConfigurationError
+from .obs import MetricsSnapshot, TIME_BUCKETS, get_registry
 from .queries.arrivals import TimedQuery, window_batches
 from .queries.query import QuerySet
 
@@ -74,6 +75,9 @@ class ServiceReport:
     """Aggregate over a whole run of the service."""
 
     windows: List[WindowReport] = field(default_factory=list)
+    #: Snapshot of the active metrics registry taken when :meth:`run`
+    #: finished (``None`` when no registry was installed).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def total_queries(self) -> int:
@@ -133,8 +137,12 @@ class BatchQueryService:
         ``k > 1`` answers each window through a multiprocess
         :class:`~repro.parallel.ParallelBatchEngine` (worker-local caches,
         re-forked automatically when the timeline bumps the graph
-        version).  Call :meth:`close` (or use the service as a context
-        manager) to release the worker pool.
+        version).  ``0`` runs the *same* engine path serially in-process —
+        identical per-unit cache locality to ``k > 1``, no processes — so
+        serial and parallel runs of one workload are directly comparable
+        (their metrics counter totals match exactly).  Call :meth:`close`
+        (or use the service as a context manager) to release the worker
+        pool.
     """
 
     def __init__(
@@ -150,8 +158,8 @@ class BatchQueryService:
     ) -> None:
         if window_seconds <= 0:
             raise ConfigurationError("window_seconds must be positive")
-        if workers < 1:
-            raise ConfigurationError("workers must be at least 1")
+        if workers < 0:
+            raise ConfigurationError("workers must be non-negative")
         self.graph = graph
         self.window_seconds = window_seconds
         self.deadline_seconds = (
@@ -174,10 +182,15 @@ class BatchQueryService:
             similarity_threshold=similarity_threshold,
         )
         self._engine = None
-        if workers > 1:
+        if workers != 1:
             from .parallel import ParallelBatchEngine
 
-            self._engine = ParallelBatchEngine.from_answerer(answerer, workers=workers)
+            # workers=0 builds a one-worker engine whose units run in the
+            # parent process: the same decompose -> unit -> merge path as
+            # workers=k, minus the pool.
+            self._engine = ParallelBatchEngine.from_answerer(
+                answerer, workers=max(1, workers)
+            )
         self.timeline = timeline
 
     def close(self) -> None:
@@ -197,6 +210,9 @@ class BatchQueryService:
         report = ServiceReport()
         for index, batch in enumerate(window_batches(arrivals, self.window_seconds)):
             report.windows.append(self._process_window(index, batch))
+        registry = get_registry()
+        if registry.enabled:
+            report.metrics = registry.snapshot()
         return report
 
     def _process_window(self, index: int, batch: QuerySet) -> WindowReport:
@@ -210,15 +226,22 @@ class BatchQueryService:
         if len(batch) == 0:
             return WindowReport(index, 0, None, 0.0, self.deadline_seconds, fired)
         schedule = None
+        registry = get_registry()
         start = time.perf_counter()
-        if self._engine is not None:
-            decomposition = self.decomposer.decompose(batch)
-            outcome = self._engine.execute(decomposition, method="window-parallel")
-            answer = outcome.answer
-            schedule = outcome.report.schedule_result()
-        else:
-            answer = self.session.process_batch(batch)
+        with registry.span("window", index=index, queries=len(batch)):
+            if self._engine is not None:
+                decomposition = self.decomposer.decompose(batch)
+                outcome = self._engine.execute(decomposition, method="window-parallel")
+                answer = outcome.answer
+                schedule = outcome.report.schedule_result()
+            else:
+                answer = self.session.process_batch(batch)
         wall = time.perf_counter() - start
+        if registry.enabled:
+            registry.counter("service.windows").add(1)
+            registry.histogram("service.window_seconds", TIME_BUCKETS).observe(wall)
+            if wall > self.deadline_seconds:
+                registry.counter("service.deadline_misses").add(1)
         if wall > self.deadline_seconds:
             logger.warning(
                 "window %d missed its %.2fs deadline (%.3fs, %d queries)",

@@ -1,0 +1,80 @@
+"""CLI surfacing: --metrics-out / --spans-out and `repro obs summary`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("obs")
+    metrics = out / "metrics.json"
+    spans = out / "spans.jsonl"
+    code = main(
+        [
+            "run",
+            "--scale", "tiny",
+            "--method", "slc-s",
+            "--size", "40",
+            "--metrics-out", str(metrics),
+            "--spans-out", str(spans),
+        ]
+    )
+    assert code == 0
+    return metrics, spans
+
+
+class TestRunArtefacts:
+    def test_metrics_json_has_hot_counters(self, artefacts):
+        metrics, _ = artefacts
+        data = json.loads(metrics.read_text())
+        assert data["counters"]["search.heap_pops"] > 0
+        assert data["counters"]["cache.hits"] > 0
+        assert data["counters"]["decompose.runs"] == 1
+
+    def test_spans_jsonl_lines_parse(self, artefacts):
+        _, spans = artefacts
+        records = [json.loads(line) for line in spans.read_text().splitlines()]
+        assert records
+        names = {r["name"] for r in records}
+        assert {"decompose", "answer"} <= names
+        assert all("duration_seconds" in r for r in records)
+
+    def test_parallel_run_merges_worker_metrics(self, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run",
+                "--scale", "tiny",
+                "--method", "slc-s",
+                "--size", "40",
+                "--workers", "2",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        data = json.loads(metrics.read_text())
+        assert data["counters"]["search.heap_pops"] > 0
+        assert data["counters"]["parallel.units"] > 0
+
+
+class TestObsSummary:
+    def test_summary_of_metrics_json(self, artefacts, capsys):
+        metrics, _ = artefacts
+        assert main(["obs", "summary", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "search.heap_pops" in out
+        assert "stages" in out
+
+    def test_summary_of_span_jsonl(self, artefacts, capsys):
+        _, spans = artefacts
+        assert main(["obs", "summary", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "decompose" in out
+        assert "mean(s)" in out
+
+    def test_summary_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "summary", str(tmp_path / "nope.json")])

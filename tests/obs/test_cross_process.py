@@ -1,0 +1,191 @@
+"""Cross-process metrics aggregation through the parallel engine.
+
+The acceptance bar: with ``workers=2`` the merged snapshot's
+``search.heap_pops`` equals the sum over the worker registries, and a
+serial run of the same workload reports identical counter totals.
+"""
+
+import pytest
+
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.obs import MetricsRegistry, use_registry
+from repro.parallel import ParallelBatchEngine
+from repro.queries.workload import WorkloadGenerator
+from repro.service import BatchQueryService
+
+
+@pytest.fixture(scope="module")
+def decomposition(ring, ring_batch):
+    return SearchSpaceDecomposer(ring).decompose(ring_batch)
+
+
+def run_engine(ring, decomposition, workers):
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        with ParallelBatchEngine(ring, workers=workers) as engine:
+            outcome = engine.execute(decomposition)
+    return outcome, reg.snapshot()
+
+
+WORK_COUNTERS = (
+    "search.runs",
+    "search.settled",
+    "search.relaxations",
+    "search.heap_pops",
+    "cache.hits",
+    "cache.misses",
+    "cache.evictions",
+    "cache.bytes_built",
+)
+
+
+class TestFleetTotals:
+    def test_parallel_equals_serial_counters(self, ring, decomposition):
+        _, serial = run_engine(ring, decomposition, workers=1)
+        _, fleet = run_engine(ring, decomposition, workers=2)
+        for name in WORK_COUNTERS:
+            assert fleet.counters.get(name, 0) == serial.counters.get(name, 0), name
+        assert fleet.counters["search.heap_pops"] > 0
+
+    def test_heap_pops_is_sum_over_units(self, ring, decomposition):
+        outcome, fleet = run_engine(ring, decomposition, workers=2)
+        report = outcome.report
+        assert report.metrics is not None
+        # the report snapshot is exactly the per-unit fold plus engine stats
+        assert (
+            report.metrics.counters["search.heap_pops"]
+            == fleet.counters["search.heap_pops"]
+        )
+        assert report.metrics.counters["parallel.units"] == len(report.units)
+
+    def test_worker_spans_tagged_with_pid(self, ring, decomposition):
+        _, fleet = run_engine(ring, decomposition, workers=2)
+        answer_spans = [s for s in fleet.spans if s["name"] == "answer"]
+        assert answer_spans, "worker answer spans should merge into the parent"
+        assert all("pid" in s["attrs"] and "unit" in s["attrs"] for s in answer_spans)
+        pids = {s["attrs"]["pid"] for s in answer_spans}
+        assert len(pids) >= 1
+
+    def test_engine_spans_present(self, ring, decomposition):
+        _, fleet = run_engine(ring, decomposition, workers=2)
+        names = [s["name"] for s in fleet.spans]
+        assert "dispatch" in names and "merge" in names
+
+    def test_histograms_cover_every_unit(self, ring, decomposition):
+        outcome, fleet = run_engine(ring, decomposition, workers=2)
+        n = len(outcome.report.units)
+        assert fleet.histograms["parallel.unit_seconds"]["count"] == n
+        assert fleet.histograms["parallel.queue_wait_seconds"]["count"] == n
+
+    def test_no_registry_means_no_snapshot(self, ring, decomposition):
+        with ParallelBatchEngine(ring, workers=2) as engine:
+            outcome = engine.execute(decomposition)
+        assert outcome.report.metrics is None
+        assert outcome.report.schedule_result().metrics is None
+
+
+class TestScheduleResultSurface:
+    def test_fallbacks_and_metrics_on_schedule_result(self, ring, decomposition):
+        outcome, _ = run_engine(ring, decomposition, workers=2)
+        schedule = outcome.report.schedule_result()
+        assert schedule.source == "measured"
+        assert schedule.fallback_units == outcome.report.fallbacks == 0
+        assert schedule.metrics is outcome.report.metrics
+        assert schedule.metrics.counters["parallel.fallbacks"] == 0
+
+    def test_simulated_schedule_defaults(self):
+        from repro.analysis.parallel import lpt_makespan
+
+        schedule = lpt_makespan([1.0, 2.0], 2)
+        assert schedule.fallback_units == 0
+        assert schedule.metrics is None
+
+
+class TestFallbackCounting:
+    def test_fallback_units_counted(self, ring, decomposition, monkeypatch):
+        """Break the pool path so every unit falls back in-process."""
+        from repro.parallel import engine as engine_mod
+
+        reg = MetricsRegistry()
+        engine = ParallelBatchEngine(ring, workers=2)
+
+        class FailingFuture:
+            def result(self, timeout=None):
+                raise RuntimeError("synthetic worker failure")
+
+            def cancelled(self):
+                return False
+
+            def done(self):
+                return True
+
+        class FailingPool:
+            def submit(self, fn, payload):
+                return FailingFuture()
+
+        monkeypatch.setattr(engine, "_ensure_pool", lambda workers: FailingPool())
+        with use_registry(reg):
+            outcome = engine.execute(decomposition)
+        engine.close()
+        n_units = len(outcome.report.units)
+        assert outcome.report.fallbacks == n_units > 0
+        schedule = outcome.report.schedule_result()
+        assert schedule.fallback_units == n_units
+        snap = reg.snapshot()
+        assert snap.counters["parallel.fallbacks"] == n_units
+        # fallback units still contribute their work counters
+        assert snap.counters["search.heap_pops"] > 0
+        # and every query still got answered
+        assert len(outcome.answer.answers) == sum(
+            len(c) for c in decomposition.clusters
+        )
+
+
+class TestServiceSerialVsParallel:
+    """workers=0 (serial engine path) must match workers=2 counter totals."""
+
+    @staticmethod
+    def run_service(ring, arrivals, workers):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with BatchQueryService(
+                ring, window_seconds=1.0, workers=workers
+            ) as service:
+                report = service.run(list(arrivals))
+        return report, reg.snapshot()
+
+    @pytest.fixture(scope="class")
+    def arrivals(self, ring):
+        from repro.queries.arrivals import PoissonArrivals
+
+        return PoissonArrivals(
+            WorkloadGenerator(ring, seed=23), rate=30.0, seed=23
+        ).duration(2.0)
+
+    def test_serial_and_parallel_totals_match(self, ring, arrivals):
+        report0, serial = self.run_service(ring, arrivals, workers=0)
+        report2, fleet = self.run_service(ring, arrivals, workers=2)
+        assert report0.total_queries == report2.total_queries > 0
+        for name in WORK_COUNTERS:
+            assert fleet.counters.get(name, 0) == serial.counters.get(name, 0), name
+        assert serial.counters["search.heap_pops"] > 0
+
+    def test_service_report_carries_metrics(self, ring, arrivals):
+        report, snap = self.run_service(ring, arrivals, workers=0)
+        assert report.metrics is not None
+        assert (
+            report.metrics.counters["service.windows"]
+            == snap.counters["service.windows"]
+            == report.busy_windows
+        )
+        assert report.metrics.histograms["service.window_seconds"]["count"] == (
+            report.busy_windows
+        )
+        window_spans = [s for s in report.metrics.spans if s["name"] == "window"]
+        assert len(window_spans) == report.busy_windows
+
+    def test_workers_zero_rejected_only_below_zero(self, ring):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BatchQueryService(ring, workers=-1)

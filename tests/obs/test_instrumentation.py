@@ -1,0 +1,125 @@
+"""The hot layers actually report through an installed registry."""
+
+import pytest
+
+from repro.analysis.metrics import hit_ratio
+from repro.core.batch_runner import BatchProcessor
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.core.zigzag import ZigzagDecomposer
+from repro.obs import MetricsRegistry, use_registry
+from repro.search.astar import a_star
+from repro.search.bidirectional import bidirectional_dijkstra
+from repro.search.dijkstra import dijkstra, sssp_distances
+from repro.search.generalized_astar import generalized_a_star
+
+
+class TestSearchCounters:
+    def test_dijkstra_reports_pops_and_relaxations(self, grid6):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            result = dijkstra(grid6, 0, grid6.num_vertices - 1)
+        snap = reg.snapshot()
+        assert snap.counters["search.runs"] == 1
+        assert snap.counters["search.heap_pops"] > 0
+        assert snap.counters["search.relaxations"] >= snap.counters["search.heap_pops"] - 1
+        assert snap.counters["search.settled"] == result.visited
+
+    def test_counters_accumulate_across_runs(self, grid6):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            dijkstra(grid6, 0, 5)
+        once = reg.snapshot().counters["search.heap_pops"]
+        with use_registry(reg):
+            dijkstra(grid6, 0, 5)
+        assert reg.snapshot().counters["search.heap_pops"] == 2 * once
+
+    @pytest.mark.parametrize(
+        "search", [a_star, bidirectional_dijkstra, generalized_a_star]
+    )
+    def test_other_searches_report(self, grid6, search):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            if search is generalized_a_star:
+                search(grid6, 0, [grid6.num_vertices - 1])
+            else:
+                search(grid6, 0, grid6.num_vertices - 1)
+        snap = reg.snapshot()
+        assert snap.counters["search.runs"] >= 1
+        assert snap.counters["search.heap_pops"] > 0
+
+    def test_sssp_reports(self, grid6):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            sssp_distances(grid6, 0)
+        assert reg.snapshot().counters["search.settled"] == grid6.num_vertices
+
+    def test_null_registry_records_nothing(self, grid6):
+        # No registry installed: dijkstra behaves identically, nothing kept.
+        a = dijkstra(grid6, 0, grid6.num_vertices - 1)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            b = dijkstra(grid6, 0, grid6.num_vertices - 1)
+        assert a.distance == b.distance and a.path == b.path
+
+
+class TestPipelineCounters:
+    def test_slc_batch_populates_all_layers(self, ring, ring_batch):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            answer = BatchProcessor(ring).process(ring_batch, "slc-s")
+        snap = reg.snapshot()
+        assert snap.counters["decompose.runs"] == 1
+        assert snap.counters["cluster.queries"] == len(ring_batch)
+        assert snap.counters["cache.hits"] == answer.cache_hits
+        assert snap.counters["cache.misses"] == answer.cache_misses
+        assert snap.counters["search.heap_pops"] > 0
+        assert snap.histograms["cluster.size"]["count"] == snap.counters["cluster.count"]
+        names = {s["name"] for s in snap.spans}
+        assert {"decompose", "answer"} <= names
+
+    def test_cluster_singletons_match_batch_answer(self, ring, ring_batch):
+        reg = MetricsRegistry()
+        decomposer = SearchSpaceDecomposer(ring)
+        answerer = LocalCacheAnswerer(ring)
+        with use_registry(reg):
+            decomposition = decomposer.decompose(ring_batch)
+            answer = answerer.answer(decomposition)
+        snap = reg.snapshot()
+        assert snap.counters["cluster.singletons"] == answer.singleton_queries
+
+    def test_decomposers_record_cluster_histogram(self, ring, ring_batch):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            decomposition = ZigzagDecomposer(ring).decompose(ring_batch)
+        snap = reg.snapshot()
+        assert snap.counters["cluster.count"] == len(decomposition.clusters)
+        assert snap.histograms["cluster.size"]["count"] == len(decomposition.clusters)
+
+
+class TestHitRatioRegression:
+    """R_h (Section VI) excludes singleton queries from the denominator."""
+
+    def test_excludes_singletons(self):
+        from repro.core.results import BatchAnswer
+
+        batch = BatchAnswer(
+            method="test", cache_hits=6, cache_misses=6, singleton_queries=2
+        )
+        # raw ratio counts every lookup; R_h removes the 2 guaranteed misses
+        assert batch.hit_ratio == pytest.approx(0.5)
+        assert hit_ratio(batch) == pytest.approx(6 / 10)
+        assert hit_ratio(batch, exclude_singletons=False) == pytest.approx(0.5)
+
+    def test_all_singletons_is_zero_not_nan(self):
+        from repro.core.results import BatchAnswer
+
+        batch = BatchAnswer(
+            method="test", cache_hits=0, cache_misses=3, singleton_queries=3
+        )
+        assert hit_ratio(batch) == 0.0
+
+    def test_real_batch_rh_at_least_raw(self, ring, ring_batch):
+        answer = BatchProcessor(ring).process(ring_batch, "slc-s")
+        assert answer.singleton_queries > 0
+        assert hit_ratio(answer) >= answer.hit_ratio

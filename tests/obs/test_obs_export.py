@@ -1,0 +1,69 @@
+"""Export surfaces: JSON files, Prometheus text, summary tables."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    load_metrics_json,
+    render_metrics_summary,
+    snapshot_to_json,
+    to_prometheus_text,
+    write_metrics_json,
+)
+
+
+def sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("search.heap_pops").add(12)
+    reg.gauge("parallel.workers").set(2)
+    h = reg.histogram("answer.seconds", bounds=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(2.0)
+    with reg.span("answer"):
+        pass
+    return reg
+
+
+class TestJson:
+    def test_write_and_load_round_trip(self, tmp_path):
+        snap = sample_registry().snapshot()
+        path = tmp_path / "metrics.json"
+        write_metrics_json(snap, path)
+        data = load_metrics_json(path)
+        assert data["counters"]["search.heap_pops"] == 12
+        assert data["histograms"]["answer.seconds"]["count"] == 3
+        assert data == json.loads(snapshot_to_json(snap))
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus_text(sample_registry().snapshot())
+        assert "# TYPE repro_search_heap_pops_total counter" in text
+        assert "repro_search_heap_pops_total 12" in text
+        assert "# TYPE repro_parallel_workers gauge" in text
+        assert "# TYPE repro_answer_seconds histogram" in text
+        # buckets are cumulative: 1 (<=0.1), 2 (<=1.0), 3 (+Inf)
+        assert 'repro_answer_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_answer_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_answer_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_answer_seconds_count 3" in text
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert to_prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_prefixless(self):
+        text = to_prometheus_text(sample_registry().snapshot(), prefix="")
+        assert "search_heap_pops_total 12" in text
+
+
+class TestSummary:
+    def test_render_summary_sections(self):
+        text = render_metrics_summary(sample_registry().snapshot())
+        assert "counters" in text
+        assert "search.heap_pops" in text
+        assert "histograms" in text
+        assert "stages" in text and "answer" in text
+
+    def test_empty_snapshot(self):
+        assert "empty" in render_metrics_summary(MetricsRegistry().snapshot())

@@ -1,0 +1,214 @@
+"""Unit tests for the metrics registry, instruments and snapshot merging."""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_REGISTRY,
+    NullRegistry,
+    SIZE_BUCKETS,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_add_and_identity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.add()
+        c.add(4)
+        assert reg.counter("x") is c
+        assert reg.snapshot().counters["x"] == 5
+
+    def test_inc_alias(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        assert reg.snapshot().counters["x"] == 1
+
+
+class TestGauge:
+    def test_set_and_track_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(3.0)
+        g.track_max(1.0)
+        assert reg.snapshot().gauges["g"] == 3.0
+        g.track_max(7.0)
+        assert reg.snapshot().gauges["g"] == 7.0
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        """A value exactly on an upper edge belongs to that edge's bucket."""
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0, 2.0, 5.0))
+        for v in (1.0, 2.0, 5.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 0]
+
+    def test_between_and_overflow_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0, 2.0))
+        h.observe(0.5)  # <= 1.0
+        h.observe(1.5)  # <= 2.0
+        h.observe(99.0)  # +inf
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(101.0)
+
+    def test_zero_is_first_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0,))
+        h.observe(0.0)
+        assert h.counts == [1, 0]
+
+    def test_negative_observation_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0,))
+        with pytest.raises(ObservabilityError):
+            h.observe(-0.001)
+        assert h.count == 0
+
+    def test_bounds_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.histogram("bad", bounds=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            reg.histogram("bad2", bounds=())
+
+    def test_reregister_with_other_bounds_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            reg.histogram("h", bounds=(1.0, 3.0))
+
+
+class TestNameCollisions:
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("x")
+
+
+class TestSnapshotMerge:
+    def test_disjoint_label_sets_union(self):
+        """Merging registries that saw different metrics keeps both sets."""
+        a = MetricsRegistry()
+        a.counter("only.a").add(2)
+        a.histogram("h.a", bounds=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.counter("only.b").add(3)
+        b.gauge("g.b").set(4.0)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counters == {"only.a": 2, "only.b": 3}
+        assert merged.gauges == {"g.b": 4.0}
+        assert merged.histograms["h.a"]["counts"] == [1, 0]
+
+    def test_counters_sum_gauges_max_histograms_bucketwise(self):
+        a = MetricsRegistry()
+        a.counter("c").add(2)
+        a.gauge("g").set(5.0)
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.counter("c").add(3)
+        b.gauge("g").set(4.0)
+        b.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.counters["c"] == 5
+        assert merged.gauges["g"] == 5.0
+        assert merged.histograms["h"]["counts"] == [1, 1, 0]
+        assert merged.histograms["h"]["count"] == 2
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        a = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", bounds=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ObservabilityError):
+            a.snapshot().merge(b.snapshot())
+
+    def test_snapshot_pickles(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(1)
+        reg.histogram("h", SIZE_BUCKETS).observe(3)
+        with reg.span("stage"):
+            pass
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        assert snap.counters["c"] == 1
+        assert snap.spans[0]["name"] == "stage"
+
+    def test_dict_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(7)
+        reg.gauge("g").set(2.0)
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        again = MetricsSnapshot.from_dict(snap.to_dict())
+        assert again.to_dict() == snap.to_dict()
+
+    def test_merge_snapshot_into_live_registry(self):
+        worker = MetricsRegistry()
+        worker.counter("c").add(4)
+        worker.histogram("h", bounds=(1.0,)).observe(0.2)
+        parent = MetricsRegistry()
+        parent.counter("c").add(1)
+        parent.merge_snapshot(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap.counters["c"] == 5
+        assert snap.histograms["h"]["counts"] == [1, 0]
+
+
+class TestNullRegistry:
+    def test_all_operations_are_noops(self):
+        null = NullRegistry()
+        assert not null.enabled
+        null.counter("c").add(5)
+        null.gauge("g").set(1.0)
+        null.histogram("h").observe(-1.0)  # not even validated
+        with null.span("s") as s:
+            s.set(k=1)
+        snap = null.snapshot()
+        assert snap.counters == {} and snap.spans == []
+
+    def test_shared_instruments(self):
+        null = NullRegistry()
+        assert null.counter("a") is null.counter("b")
+
+
+class TestActiveRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_prior(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert get_registry() is reg
+            inner = MetricsRegistry()
+            with use_registry(inner):
+                assert get_registry() is inner
+            assert get_registry() is reg
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_none_restores_null(self):
+        reg = MetricsRegistry()
+        set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            set_registry(None)
+        assert get_registry() is NULL_REGISTRY

@@ -1,0 +1,97 @@
+"""Span tracer: nesting, attributes, JSONL round-trip, summaries."""
+
+from repro.obs import MetricsRegistry, SpanTracer, read_jsonl, summarize_spans
+from repro.obs.export import render_stage_table
+
+
+class TestSpanTracer:
+    def test_records_appear_at_exit(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            assert tracer.records == []
+        assert [r.name for r in tracer.records] == ["outer"]
+        assert tracer.records[0].duration_seconds >= 0.0
+
+    def test_nesting_parent_ids(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        by_name = {r.name: r for r in tracer.records}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["inner2"].parent_id == by_name["outer"].span_id
+        # children close before the parent, so they are recorded first
+        assert [r.name for r in tracer.records] == ["inner", "inner2", "outer"]
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = SpanTracer()
+        with tracer.span("s", method="zigzag") as span:
+            span.set(queries=42)
+        rec = tracer.records[0]
+        assert rec.attrs == {"method": "zigzag", "queries": 42}
+
+    def test_exception_still_closes_span(self):
+        tracer = SpanTracer()
+        try:
+            with tracer.span("failing"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert tracer.records[0].name == "failing"
+        assert not tracer._stack
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("a", k=1):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        tracer.write_jsonl(path)
+        spans = read_jsonl(path)
+        assert [s["name"] for s in spans] == ["b", "a"]
+        assert spans[1]["attrs"] == {"k": 1}
+        assert spans[0]["parent_id"] == spans[1]["span_id"]
+
+    def test_clear_resets_ids(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        with tracer.span("b"):
+            pass
+        assert tracer.records[0].span_id == 1
+
+
+class TestSummaries:
+    def test_summarize_spans(self):
+        spans = [
+            {"name": "answer", "duration_seconds": 0.25},
+            {"name": "answer", "duration_seconds": 0.75},
+            {"name": "decompose", "duration_seconds": 0.1},
+        ]
+        stages = summarize_spans(spans)
+        assert stages["answer"]["count"] == 2
+        assert stages["answer"]["total_seconds"] == 1.0
+        assert stages["answer"]["mean_seconds"] == 0.5
+        assert stages["answer"]["max_seconds"] == 0.75
+        assert stages["decompose"]["count"] == 1
+
+    def test_stage_table_renders(self):
+        table = render_stage_table(
+            [{"name": "answer", "duration_seconds": 0.5}]
+        )
+        assert "answer" in table and "count" in table
+
+    def test_stage_table_empty(self):
+        assert "no spans" in render_stage_table([])
+
+    def test_registry_span_snapshot(self):
+        reg = MetricsRegistry()
+        with reg.span("stage", pid=7):
+            pass
+        spans = reg.snapshot().spans
+        assert spans[0]["name"] == "stage"
+        assert spans[0]["attrs"]["pid"] == 7

@@ -128,7 +128,16 @@ class TestParallelService:
 
     def test_bad_workers(self, city):
         with pytest.raises(ConfigurationError):
-            BatchQueryService(city, workers=0)
+            BatchQueryService(city, workers=-1)
+
+    def test_workers_zero_is_serial_engine_mode(self, city, arrivals):
+        with BatchQueryService(city, window_seconds=1.0, workers=0) as service:
+            report = service.run(arrivals)
+        assert report.total_queries == len(arrivals)
+        for window in report.windows:
+            if window.queries:
+                assert window.schedule is not None
+                assert window.schedule.num_servers == 1
 
 
 class TestValidation:
