@@ -50,9 +50,13 @@ class ScheduleResult:
 
     @property
     def speedup(self) -> float:
-        """Total work / makespan: achieved parallelism (<= num_servers)."""
+        """Total work / makespan: achieved parallelism (<= num_servers).
+
+        A schedule with no work (zero makespan) reports 0.0 rather than
+        pretending to perfect ``num_servers``-way parallelism.
+        """
         if self.makespan_seconds <= 0:
-            return float(self.num_servers)
+            return 0.0
         return self.total_work_seconds / self.makespan_seconds
 
     @property

@@ -119,6 +119,35 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_options(args: argparse.Namespace) -> dict:
+    """Resilience knobs shared by ``run`` and ``chaos``."""
+    from .resilience import FaultPlan, RetryPolicy
+
+    options: dict = {}
+    if getattr(args, "fault_plan", None):
+        options["fault_plan"] = FaultPlan.from_file(args.fault_plan)
+    if getattr(args, "max_attempts", None):
+        options["retry_policy"] = RetryPolicy(max_attempts=args.max_attempts)
+    if getattr(args, "unit_timeout", None):
+        options["unit_timeout"] = args.unit_timeout
+    return options
+
+
+def _print_resilience(report) -> None:
+    from .resilience import render_dead_letters
+
+    print(f"{'retries':>20}: {report.retries}")
+    print(f"{'quarantined units':>20}: {report.quarantined_units}")
+    if report.faults_injected:
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(report.faults_by_kind.items())
+        )
+        print(f"{'faults injected':>20}: {report.faults_injected} ({kinds})")
+    if report.dead_letters:
+        print(f"{'dead letters':>20}: {len(report.dead_letters)}")
+        print(render_dead_letters(report.dead_letters))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from .obs import MetricsRegistry, use_registry, write_metrics_json
 
@@ -132,6 +161,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         super_snap_radius=args.snap_radius,
         eviction=args.eviction,
         workers=args.workers,
+        engine_options=_engine_options(args),
     )
     registry = MetricsRegistry() if (args.metrics_out or args.spans_out) else None
     if registry is not None:
@@ -148,6 +178,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"{'utilisation':>20}: {schedule.utilisation:.6g}")
         print(f"{'mean queue wait':>20}: {schedule.mean_queue_wait_seconds:.6g}")
         print(f"{'fallback units':>20}: {report.fallbacks}")
+        _print_resilience(report)
     if registry is not None:
         import json
 
@@ -223,6 +254,125 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
         f"created={session.caches_created} reused={session.caches_reused} "
         f"flushed_epochs={session.epochs_flushed}"
     )
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """End-to-end chaos drill: the windowed service under a seeded fault plan.
+
+    Runs the same arrival stream twice — a fault-free serial baseline and
+    a faulted run with ``--workers`` processes — and enforces the chaos
+    invariant: every valid query answered with a distance identical to the
+    baseline, every malformed query dead-lettered with a reason, zero
+    queries dropped.  Exit status 1 on any violation, so CI can gate on it.
+    """
+    import math
+    import random
+
+    from .obs import MetricsRegistry, use_registry
+    from .queries.arrivals import TimedQuery
+    from .queries.query import Query
+    from .resilience import (
+        FaultPlan,
+        REASON_INVALID_QUERY,
+        RetryPolicy,
+        default_chaos_plan,
+        summarize_dead_letters,
+    )
+    from .service import BatchQueryService
+
+    env = exp.build_env(scale=args.scale, seed=args.seed)
+    graph = env.graph
+    queries = list(env.workload.batch(args.size, *env.cache_band))
+    n = graph.num_vertices
+    bad = [Query(n + i, i % n) for i in range(args.bad_queries)]
+    stream = queries + bad
+    random.Random(args.seed).shuffle(stream)
+    span = args.windows * args.window_seconds
+    dt = span / (len(stream) + 1)
+    arrivals = [TimedQuery(i * dt, q) for i, q in enumerate(stream)]
+
+    if args.fault_plan:
+        plan = FaultPlan.from_file(args.fault_plan)
+    else:
+        plan = default_chaos_plan(seed=args.seed)
+    policy = RetryPolicy(max_attempts=args.max_attempts)
+
+    # Fault-free serial baseline (workers=0 = the engine path in-process).
+    with BatchQueryService(
+        graph, window_seconds=args.window_seconds, workers=0
+    ) as baseline_service:
+        baseline = baseline_service.run(arrivals)
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with BatchQueryService(
+            graph,
+            window_seconds=args.window_seconds,
+            workers=args.workers,
+            fault_plan=plan,
+            retry_policy=policy,
+            unit_timeout=args.unit_timeout,
+        ) as chaos_service:
+            chaos = chaos_service.run(arrivals)
+
+    def answer_key(report):
+        return sorted(
+            (q.source, q.target, round(r.distance, 9))
+            for w in report.windows
+            if w.answer is not None
+            for q, r in w.answer.answers
+        )
+
+    failures = []
+    base_key = answer_key(baseline)
+    chaos_key = answer_key(chaos)
+    if base_key != chaos_key:
+        missing = len(set(base_key) - set(chaos_key))
+        extra = len(set(chaos_key) - set(base_key))
+        failures.append(
+            f"answers diverge from the fault-free baseline "
+            f"({missing} missing, {extra} unexpected/changed)"
+        )
+    invalid_letters = [
+        d for d in chaos.dead_letters if d.reason == REASON_INVALID_QUERY
+    ]
+    if len(invalid_letters) != len(bad):
+        failures.append(
+            f"expected {len(bad)} invalid-query dead letters, got "
+            f"{len(invalid_letters)}"
+        )
+    accounted = chaos.answered_queries + len(chaos.dead_letters)
+    if accounted != len(stream):
+        failures.append(
+            f"{len(stream)} queries in, {accounted} accounted for "
+            f"(answered + dead-lettered): queries were dropped"
+        )
+
+    snap = registry.snapshot()
+    resilience_counts = {
+        k: v for k, v in sorted(snap.counters.items()) if k.startswith("resilience.")
+    }
+    print(f"queries       : {len(stream)} ({len(bad)} malformed)")
+    print(f"windows       : {chaos.busy_windows} busy / {len(chaos.windows)}")
+    print(f"answered      : {chaos.answered_queries}")
+    print(f"dead letters  : {len(chaos.dead_letters)} "
+          f"{summarize_dead_letters(chaos.dead_letters)}")
+    print(f"retries       : {chaos.total_retries}")
+    print(f"degraded wins : {chaos.degraded_windows}")
+    for name, value in resilience_counts.items():
+        print(f"  {name:<40} {value:g}")
+    if not math.isclose(
+        sum(1 for _ in baseline.dead_letters if _.reason == REASON_INVALID_QUERY),
+        len(bad),
+    ):
+        failures.append("baseline did not dead-letter the malformed queries")
+    if failures:
+        for failure in failures:
+            print(f"CHAOS FAILED: {failure}")
+        return 1
+    print("CHAOS OK: every valid query answered identically to the "
+          "fault-free baseline; malformed queries dead-lettered")
     return 0
 
 
@@ -338,7 +488,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the run's metrics snapshot as JSON")
     p_run.add_argument("--spans-out", default=None, metavar="FILE",
                        help="write the run's span records as JSONL")
+    p_run.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="JSON fault plan to inject into the engine "
+                       "(see docs/robustness.md)")
+    p_run.add_argument("--max-attempts", type=int, default=None,
+                       help="retry budget per work unit (default 2)")
+    p_run.add_argument("--unit-timeout", type=float, default=None,
+                       help="per-attempt deadline (seconds) on each work unit")
     p_run.set_defaults(func=cmd_run)
+
+    p_chaos = sub.add_parser(
+        "chaos", parents=[common],
+        help="fault-injected end-to-end drill of the windowed service",
+    )
+    p_chaos.add_argument("--size", type=int, default=120, help="valid queries")
+    p_chaos.add_argument("--bad-queries", type=int, default=3,
+                         help="malformed queries mixed into the stream")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="worker processes for the faulted run "
+                         "(1 = serial session path)")
+    p_chaos.add_argument("--windows", type=int, default=4,
+                         help="scheduling windows the stream spans")
+    p_chaos.add_argument("--window-seconds", type=float, default=0.5)
+    p_chaos.add_argument("--fault-plan", default=None, metavar="FILE",
+                         help="JSON fault plan (default: built-in chaos mix)")
+    p_chaos.add_argument("--max-attempts", type=int, default=3)
+    p_chaos.add_argument("--unit-timeout", type=float, default=None)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_dyn = sub.add_parser(
         "dynamic", parents=[common], help="dynamic-traffic cache reuse scenario"

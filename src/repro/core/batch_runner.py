@@ -91,6 +91,7 @@ class BatchProcessor:
         log_fraction: float = 0.2,
         eviction: str = "none",
         workers: int = 1,
+        engine_options: Optional[dict] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
@@ -103,6 +104,9 @@ class BatchProcessor:
         self.log_fraction = log_fraction
         self.eviction = eviction
         self.workers = workers
+        #: Extra :class:`repro.parallel.ParallelBatchEngine` kwargs
+        #: (retry_policy, fault_plan, unit_timeout, breaker...).
+        self.engine_options = dict(engine_options or {})
 
     # ------------------------------------------------------------------
     def process(self, queries: QuerySet, method: str) -> BatchAnswer:
@@ -184,7 +188,9 @@ class BatchProcessor:
         # module-scope import would be circular.
         from ..parallel import ParallelBatchEngine
 
-        with ParallelBatchEngine.from_answerer(answerer, workers=self.workers) as engine:
+        with ParallelBatchEngine.from_answerer(
+            answerer, workers=self.workers, **self.engine_options
+        ) as engine:
             return engine.execute(decomposition, method=label).answer
 
     def _run_kpath(self, queries: QuerySet) -> BatchAnswer:

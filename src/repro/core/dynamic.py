@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, FaultInjectionError
 from ..network.grid import GridIndex
 from ..obs import get_registry, record_cache
 from ..network.spatial import angular_difference
@@ -56,6 +56,11 @@ class DynamicBatchSession:
     direction_window:
         Maximum direction difference (degrees) for reuse when both clusters
         carry a direction (SSE clusters); ignored otherwise.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; its ``session``
+        faults raise a :class:`FaultInjectionError` at the start of
+        :meth:`process_batch` (before any cache mutation), modelling a
+        transient snapshot failure the service retry loop can absorb.
     """
 
     def __init__(
@@ -66,6 +71,7 @@ class DynamicBatchSession:
         similarity_threshold: float = 0.5,
         direction_window: float = 15.0,
         grid: Optional[GridIndex] = None,
+        fault_plan=None,
     ) -> None:
         if not 0.0 < similarity_threshold <= 1.0:
             raise ConfigurationError("similarity_threshold must be in (0, 1]")
@@ -74,12 +80,15 @@ class DynamicBatchSession:
         self.answerer = answerer
         self.similarity_threshold = similarity_threshold
         self.direction_window = direction_window
+        self.fault_plan = fault_plan
         self._grid = grid if grid is not None else GridIndex(graph, levels=5)
         self._caches: List[_LiveCache] = []
         self._epoch_version = graph.version
         self.caches_reused = 0
         self.caches_created = 0
         self.epochs_flushed = 0
+        self.faults_raised = 0
+        self._batch_counter = 0
 
     # ------------------------------------------------------------------
     def _cluster_cells(self, cluster: QueryCluster) -> Set[Cell]:
@@ -122,8 +131,26 @@ class DynamicBatchSession:
             self._epoch_version = self.graph.version
 
     # ------------------------------------------------------------------
-    def process_batch(self, queries: QuerySet) -> BatchAnswer:
-        """Decompose and answer one arriving batch, reusing live caches."""
+    def process_batch(self, queries: QuerySet, attempt: int = 1) -> BatchAnswer:
+        """Decompose and answer one arriving batch, reusing live caches.
+
+        ``attempt`` is the caller's retry counter for *this* batch; the
+        fault plan keys on it so injected transient failures clear on
+        retry.  Same-batch retries share one batch index, so the service
+        retry loop deterministically converges.
+        """
+        if attempt == 1:
+            self._batch_counter += 1
+        batch_index = self._batch_counter - 1
+        if self.fault_plan is not None and self.fault_plan.session_fault(
+            batch_index, attempt
+        ):
+            # Before any cache mutation, so a retried batch starts clean.
+            self.faults_raised += 1
+            raise FaultInjectionError(
+                f"injected transient session failure (batch {batch_index}, "
+                f"attempt {attempt})"
+            )
         self._flush_if_new_epoch()
         decomposition = self.decomposer.decompose(queries)
         batch = BatchAnswer(

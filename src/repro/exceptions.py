@@ -24,6 +24,12 @@ class NoPathError(GraphError):
         self.source = source
         self.target = target
 
+    def __reduce__(self):
+        # Default exception pickling replays args=(message,), which does not
+        # match this constructor; a NoPathError raised inside a worker
+        # process must survive the trip back through the result pipe.
+        return (NoPathError, (self.source, self.target))
+
 
 class QueryError(ReproError):
     """Malformed query or query set."""
@@ -47,3 +53,48 @@ class ConfigurationError(ReproError):
 
 class ObservabilityError(ReproError):
     """Metrics registry misuse (bucket mismatch, negative duration...)."""
+
+
+class WorkerError(ReproError):
+    """A worker process failed while answering a work unit."""
+
+
+class UnitTimeoutError(WorkerError):
+    """A work unit exceeded its per-attempt deadline (``unit_timeout``)."""
+
+    def __init__(self, unit: int, attempt: int, timeout_seconds: float) -> None:
+        super().__init__(
+            f"unit {unit} attempt {attempt} exceeded its "
+            f"{timeout_seconds:g}s deadline"
+        )
+        self.unit = unit
+        self.attempt = attempt
+        self.timeout_seconds = timeout_seconds
+
+    def __reduce__(self):
+        return (UnitTimeoutError, (self.unit, self.attempt, self.timeout_seconds))
+
+
+class QuarantinedUnitError(ReproError):
+    """A work unit exhausted its retry budget and was quarantined."""
+
+    def __init__(self, unit: int, attempts: int, cause: str = "") -> None:
+        detail = f" ({cause})" if cause else ""
+        super().__init__(
+            f"unit {unit} quarantined after {attempts} failed attempts{detail}"
+        )
+        self.unit = unit
+        self.attempts = attempts
+        self.cause = cause
+
+    def __reduce__(self):
+        return (QuarantinedUnitError, (self.unit, self.attempts, self.cause))
+
+
+class FaultInjectionError(WorkerError):
+    """A deliberate failure raised by the fault-injection harness.
+
+    Never raised in production runs: it only appears when a
+    :class:`repro.resilience.FaultPlan` is active, so tests can tell an
+    injected fault from an organic bug.
+    """

@@ -65,8 +65,13 @@ __all__ = [
     "load_metrics_json",
     "read_jsonl",
     "record_cache",
+    "record_dead_letters",
     "record_decomposition",
+    "record_fault",
+    "record_quarantine",
+    "record_retry",
     "record_search",
+    "set_breaker_state",
     "render_metrics_summary",
     "render_stage_table",
     "set_registry",
@@ -115,6 +120,42 @@ def record_cache(
         reg.counter("cache.rejected_inserts").add(rejected_inserts)
         reg.counter("cache.subpath_hits").add(subpath_hits)
         reg.counter("cache.bytes_built").add(bytes_built)
+
+
+def record_retry(count: int = 1) -> None:
+    """Count re-dispatches of failed work units (``resilience.retries_total``)."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("resilience.retries_total").add(count)
+
+
+def record_fault(kind: str) -> None:
+    """Count one injected fault, total and per kind."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("resilience.faults_injected_total").add(1)
+        reg.counter(f"resilience.faults.{kind}").add(1)
+
+
+def record_quarantine(count: int = 1) -> None:
+    """Count work units that exhausted retries and were quarantined."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("resilience.quarantined_units_total").add(count)
+
+
+def record_dead_letters(count: int) -> None:
+    """Count queries routed to the dead-letter record."""
+    reg = get_registry()
+    if reg.enabled and count:
+        reg.counter("resilience.dead_letters_total").add(count)
+
+
+def set_breaker_state(state_value: int) -> None:
+    """Publish the circuit-breaker state gauge (0 closed, 1 half-open, 2 open)."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.gauge("resilience.breaker_state").set(state_value)
 
 
 def record_decomposition(decomposition) -> None:

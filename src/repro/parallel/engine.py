@@ -24,24 +24,42 @@ Design
   cluster order, so for deterministic processing orders (``longest``) the
   merged :class:`~repro.core.results.BatchAnswer` is identical — paths,
   distances, and accounting — to the single-process answerer's output.
-* **Graceful degradation.**  A worker crash, a broken pool, or a unit
-  timeout falls back to answering the affected units in the parent
-  process: queries are never dropped.
+* **Resilience.**  A failed unit is retried under a bounded
+  :class:`~repro.resilience.RetryPolicy` (exponential backoff,
+  deterministic jitter); a unit that exhausts its retries is quarantined
+  and walks the degradation ladder (in-process cache answerer, then
+  singleton queries answered by plain Dijkstra), with unanswerable
+  queries landing in the :class:`~repro.resilience.DeadLetterRecord` list
+  of the :class:`ExecutionReport` instead of aborting the batch.  A
+  :class:`~repro.resilience.CircuitBreaker` trips the engine to serial
+  in-process execution after repeated pool failures.  A seeded
+  :class:`~repro.resilience.FaultPlan` can inject unit crashes, hangs,
+  worker exits, and pool-construction breaks to exercise all of it
+  deterministically.  Queries are never silently dropped: every query is
+  either answered or dead-lettered with a reason.
 """
 
 from __future__ import annotations
 
 import logging
+import math
 import multiprocessing as mp
 import pickle
 import time
+from collections import deque
+from concurrent.futures import CancelledError as FuturesCancelledError
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.clusters import Decomposition, QueryCluster
 from ..core.results import BatchAnswer
-from ..exceptions import ConfigurationError
+from ..exceptions import (
+    ConfigurationError,
+    FaultInjectionError,
+    UnitTimeoutError,
+)
 from ..obs import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -50,6 +68,18 @@ from ..obs import (
     use_registry,
 )
 from ..queries.query import QuerySet
+from ..resilience import (
+    CircuitBreaker,
+    DeadLetterRecord,
+    FaultPlan,
+    OPEN,
+    REASON_INVALID_QUERY,
+    REASON_NO_PATH,
+    REASON_QUARANTINE_FAILED,
+    RetryPolicy,
+    STAGE_QUARANTINE,
+    STAGE_VALIDATION,
+)
 from . import worker
 
 logger = logging.getLogger(__name__)
@@ -66,6 +96,8 @@ class UnitTrace:
     queue_wait_seconds: float  #: submit-to-pickup latency
     busy_seconds: float  #: answering time inside the worker
     fallback: bool = False  #: answered in-process after a worker failure
+    attempts: int = 1  #: dispatch attempts spent on the unit (1 = first try)
+    quarantined: bool = False  #: exhausted retries; degradation ladder answered it
 
 
 @dataclass
@@ -89,10 +121,32 @@ class ExecutionReport:
     #: Fleet-wide metrics merged from the per-unit worker registries
     #: (``None`` when no registry was active during :meth:`execute`).
     metrics: Optional[MetricsSnapshot] = None
+    #: Queries the engine gave up on (validation failures, no-path,
+    #: exhausted quarantine ladder) — never silently dropped.
+    dead_letters: List[DeadLetterRecord] = field(default_factory=list)
+    #: The circuit breaker forced this batch to serial in-process mode.
+    breaker_tripped: bool = False
+    #: Injected faults that fired during this batch, by kind.
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Unit attempts abandoned because ``unit_timeout`` expired.
+    unit_timeouts: int = 0
 
     @property
     def fallbacks(self) -> int:
         return sum(1 for u in self.units if u.fallback)
+
+    @property
+    def retries(self) -> int:
+        """Re-dispatches beyond each unit's first attempt."""
+        return sum(max(0, u.attempts - 1) for u in self.units)
+
+    @property
+    def quarantined_units(self) -> int:
+        return sum(1 for u in self.units if u.quarantined)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.faults_by_kind.values())
 
     @property
     def total_busy_seconds(self) -> float:
@@ -106,9 +160,14 @@ class ExecutionReport:
 
     @property
     def speedup(self) -> float:
-        """Total busy time / wall time: achieved parallelism."""
+        """Total busy time / wall time: achieved parallelism.
+
+        An empty batch (zero wall time) reports 0.0 — not ``workers`` —
+        so dashboards never show phantom full-parallel speedup for
+        windows that did nothing.
+        """
         if self.wall_seconds <= 0:
-            return float(self.workers)
+            return 0.0
         return self.total_busy_seconds / self.wall_seconds
 
     @property
@@ -156,6 +215,17 @@ class ParallelOutcome:
     report: ExecutionReport
 
 
+@dataclass
+class _Pending:
+    """One in-flight pool submission awaiting its result."""
+
+    index: int
+    cluster: QueryCluster
+    attempt: int
+    submitted: float
+    future: object
+
+
 class ParallelBatchEngine:
     """Answer decomposed batches with ``workers`` processes.
 
@@ -176,12 +246,23 @@ class ParallelBatchEngine:
         the platform offers it, else the platform default (pickle
         fallback).
     unit_timeout:
-        Optional per-unit cap in seconds on the *additional* wait for a
-        worker result; on expiry the unit is answered in-process.
+        Optional per-attempt cap in seconds on the *additional* wait for a
+        worker result; on expiry the attempt counts as failed and the
+        retry policy decides what happens next.
     min_queries_per_worker:
         Fewer total queries than ``workers * min_queries_per_worker``
         shrinks the effective worker count so tiny batches are not
         dominated by dispatch overhead.
+    retry_policy:
+        Bounded-attempt :class:`~repro.resilience.RetryPolicy` applied to
+        failed units (default: one retry with a short backoff).
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` injecting
+        deterministic failures for chaos testing.
+    breaker:
+        :class:`~repro.resilience.CircuitBreaker` guarding the pool path;
+        a default breaker (3 failures, 30 s cooldown) is created when not
+        given.
     """
 
     def __init__(
@@ -193,6 +274,9 @@ class ParallelBatchEngine:
         start_method: Optional[str] = None,
         unit_timeout: Optional[float] = None,
         min_queries_per_worker: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
@@ -209,6 +293,9 @@ class ParallelBatchEngine:
         self.start_method = start_method
         self.unit_timeout = unit_timeout
         self.min_queries_per_worker = max(1, min_queries_per_worker)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         # Validates the kind eagerly and doubles as the in-process fallback
         # answerer and the fork-inherited template.
         self._answerer = worker.build_answerer(
@@ -217,6 +304,12 @@ class ParallelBatchEngine:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
         self._pool_version: Optional[int] = None
+        #: Construction attempts so far; doubles as the pool generation id.
+        self._pool_builds = 0
+        self._pool_generation = -1
+        # Distinct from the initial generation so a failure before the
+        # first successful build still counts against the breaker.
+        self._failed_generation = -2
 
     # ------------------------------------------------------------------
     @classmethod
@@ -239,14 +332,20 @@ class ParallelBatchEngine:
 
     def __del__(self) -> None:  # pragma: no cover - gc timing dependent
         try:
-            self.close()
+            # Never wait on the GC path: a blocking shutdown during
+            # interpreter teardown can deadlock against dying worker
+            # machinery.  Explicit close()/context-manager exits still wait.
+            self._shutdown(wait=False)
         except Exception:
             pass
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
+        self._shutdown(wait=True)
+
+    def _shutdown(self, wait: bool) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool.shutdown(wait=wait, cancel_futures=True)
             self._pool = None
             self._pool_workers = 0
             self._pool_version = None
@@ -262,24 +361,37 @@ class ParallelBatchEngine:
         ``work`` is a :class:`Decomposition` (clusters become work units)
         or a plain :class:`QuerySet` (each query becomes a singleton
         unit).  Returns the merged answer plus the execution report.
+        Queries with out-of-range endpoints are dead-lettered up front;
+        everything else is answered or dead-lettered with a reason —
+        never silently dropped.
         """
         decomposition = self._as_decomposition(work)
-        units = [
-            (index, cluster)
-            for index, cluster in enumerate(decomposition.clusters)
-            if len(cluster)
-        ]
+        dead_letters: List[DeadLetterRecord] = []
+        units: List[Tuple[int, QueryCluster]] = []
+        for index, cluster in enumerate(decomposition.clusters):
+            cluster = self._validated_cluster(index, cluster, dead_letters)
+            if len(cluster):
+                units.append((index, cluster))
+        num_valid = sum(len(cluster) for _, cluster in units)
         estimates = {index: self._estimate(cluster) for index, cluster in units}
         # Longest-estimated-first, index-stable for determinism.
         order = sorted(units, key=lambda item: (-estimates[item[0]], item[0]))
-        effective = self._effective_workers(len(units), decomposition.num_queries)
+        effective = self._effective_workers(len(units), num_valid)
+        breaker_tripped = False
+        if effective > 1 and self.breaker.state == OPEN:
+            # Repeated pool failures: stay serial until the cooldown allows
+            # a half-open probe.
+            breaker_tripped = True
+            effective = 1
         report = ExecutionReport(
             requested_workers=self.workers,
             workers=effective,
             start_method=(
                 "in-process" if effective <= 1 else self._resolved_start_method()
             ),
+            breaker_tripped=breaker_tripped,
         )
+        report.dead_letters.extend(dead_letters)
         merged = BatchAnswer(
             method=method or f"parallel[{self.answerer_kind}]",
             decompose_seconds=decomposition.elapsed_seconds,
@@ -326,6 +438,22 @@ class ParallelBatchEngine:
         engine_reg.counter("parallel.units").add(len(report.units))
         engine_reg.counter("parallel.fallbacks").add(report.fallbacks)
         engine_reg.gauge("parallel.workers").track_max(report.workers)
+        engine_reg.counter("resilience.retries_total").add(report.retries)
+        engine_reg.counter("resilience.quarantined_units_total").add(
+            report.quarantined_units
+        )
+        engine_reg.counter("resilience.dead_letters_total").add(
+            len(report.dead_letters)
+        )
+        engine_reg.counter("resilience.faults_injected_total").add(
+            report.faults_injected
+        )
+        for kind, count in report.faults_by_kind.items():
+            engine_reg.counter(f"resilience.faults.{kind}").add(count)
+        engine_reg.counter("resilience.unit_timeouts_total").add(report.unit_timeouts)
+        if report.breaker_tripped:
+            engine_reg.counter("resilience.breaker_short_circuits_total").add(1)
+        engine_reg.gauge("resilience.breaker_state").set(self.breaker.state_value)
         busy = engine_reg.histogram("parallel.unit_seconds", TIME_BUCKETS)
         wait = engine_reg.histogram("parallel.queue_wait_seconds", TIME_BUCKETS)
         for u in report.units:
@@ -342,6 +470,45 @@ class ParallelBatchEngine:
             return Decomposition(clusters, "singletons", 0.0)
         raise ConfigurationError(
             f"cannot execute {type(work).__name__}; pass a Decomposition or QuerySet"
+        )
+
+    def _validated_cluster(
+        self,
+        index: int,
+        cluster: QueryCluster,
+        dead_letters: List[DeadLetterRecord],
+    ) -> QueryCluster:
+        """Strip queries with out-of-range endpoints into dead letters.
+
+        A malformed query must never reach a search heap (where it would
+        surface as a bare ``KeyError``/``IndexError`` and kill the whole
+        unit); it is recorded and the rest of the cluster proceeds.
+        """
+        n = self.graph.num_vertices
+        if all(q.source < n and q.target < n for q in cluster.queries):
+            return cluster
+        valid = []
+        for q in cluster.queries:
+            if q.source < n and q.target < n:
+                valid.append(q)
+            else:
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_INVALID_QUERY,
+                        stage=STAGE_VALIDATION,
+                        detail=f"vertex id out of range (|V| = {n})",
+                        unit=index,
+                    )
+                )
+        return QueryCluster(
+            queries=valid,
+            kind=cluster.kind,
+            direction=cluster.direction,
+            covered_cells=cluster.covered_cells,
+            center=cluster.center,
+            radius=cluster.radius,
         )
 
     def _estimate(self, cluster: QueryCluster) -> float:
@@ -368,6 +535,14 @@ class ParallelBatchEngine:
             # the workers hold; re-fork so they see the new weights.
             self.close()
         if self._pool is None:
+            build = self._pool_builds
+            self._pool_builds += 1
+            self._pool_generation = build
+            if self.fault_plan is not None and self.fault_plan.pool_fault(build):
+                self._note_fault("break")
+                raise FaultInjectionError(
+                    f"injected pool construction failure (build {build})"
+                )
             method = self._resolved_start_method()
             context = mp.get_context(method)
             if method == "fork":
@@ -400,8 +575,9 @@ class ParallelBatchEngine:
     ) -> Dict[int, BatchAnswer]:
         results: Dict[int, BatchAnswer] = {}
         for index, cluster in order:
-            results[index] = self._answer_locally(
-                index, cluster, estimates[index], report, fallback=False
+            results[index] = self._guarded_local(
+                index, cluster, estimates[index], report,
+                fallback=False, attempts=1, quarantined=False,
             )
         return results
 
@@ -412,6 +588,8 @@ class ParallelBatchEngine:
         estimate: float,
         report: ExecutionReport,
         fallback: bool,
+        attempts: int = 1,
+        quarantined: bool = False,
     ) -> BatchAnswer:
         t0 = time.perf_counter()
         if report.metrics is not None:
@@ -437,9 +615,231 @@ class ParallelBatchEngine:
                 queue_wait_seconds=0.0,
                 busy_seconds=busy,
                 fallback=fallback,
+                attempts=attempts,
+                quarantined=quarantined,
             )
         )
         return answer
+
+    # -- degradation ladder ---------------------------------------------
+    def _guarded_local(
+        self,
+        index: int,
+        cluster: QueryCluster,
+        estimate: float,
+        report: ExecutionReport,
+        fallback: bool,
+        attempts: int,
+        quarantined: bool,
+    ) -> BatchAnswer:
+        """In-process answer with the ladder's last rung as a safety net."""
+        try:
+            return self._answer_locally(
+                index, cluster, estimate, report,
+                fallback=fallback, attempts=attempts, quarantined=quarantined,
+            )
+        except Exception as exc:
+            logger.warning(
+                "unit %d failed in-process (%s: %s); degrading to singleton "
+                "Dijkstra queries",
+                index,
+                type(exc).__name__,
+                exc,
+            )
+            return self._answer_singletons(index, cluster, estimate, report, attempts)
+
+    def _quarantine_unit(
+        self,
+        index: int,
+        cluster: QueryCluster,
+        estimate: float,
+        report: ExecutionReport,
+        attempts: int,
+        cause: BaseException,
+    ) -> BatchAnswer:
+        """Retries exhausted: walk the degradation ladder.
+
+        Rung 1 re-answers the whole unit in-process with the engine's own
+        (cache) answerer; rung 2 splits the unit into singleton queries;
+        rung 3 answers each singleton with plain Dijkstra.  Queries that
+        still fail (no path, structural errors) become dead letters.
+        """
+        logger.warning(
+            "unit %d (%d queries) quarantined after %d attempts (%s: %s)",
+            index,
+            len(cluster),
+            attempts,
+            type(cause).__name__,
+            cause,
+        )
+        return self._guarded_local(
+            index, cluster, estimate, report,
+            fallback=True, attempts=attempts, quarantined=True,
+        )
+
+    def _answer_singletons(
+        self,
+        index: int,
+        cluster: QueryCluster,
+        estimate: float,
+        report: ExecutionReport,
+        attempts: int,
+    ) -> BatchAnswer:
+        """The ladder's bottom: each query alone, plain Dijkstra at the end."""
+        from ..search.dijkstra import dijkstra
+
+        t0 = time.perf_counter()
+        answer = BatchAnswer(method=f"quarantine[{self.answerer_kind}]")
+        for q in cluster.queries:
+            try:
+                singleton = QueryCluster(queries=[q], kind=cluster.kind)
+                unit_answer = worker.answer_one(self._answerer, singleton)
+                answer.answers.extend(unit_answer.answers)
+                answer.visited += unit_answer.visited
+                answer.singleton_queries += 1
+                continue
+            except Exception:
+                pass  # fall through to the most conservative answerer
+            try:
+                result = dijkstra(self.graph, q.source, q.target)
+                if not math.isfinite(result.distance):
+                    self._dead_letter_query(
+                        report, q, index, attempts,
+                        reason=REASON_NO_PATH,
+                        error="NoPathError",
+                        detail=f"no path from {q.source} to {q.target}",
+                    )
+                    continue
+                answer.answers.append((q, result))
+                answer.visited += result.visited
+                answer.singleton_queries += 1
+            except Exception as exc:
+                self._dead_letter_query(
+                    report, q, index, attempts,
+                    reason=REASON_QUARANTINE_FAILED,
+                    error=type(exc).__name__,
+                    detail=str(exc),
+                )
+        busy = time.perf_counter() - t0
+        report.units.append(
+            UnitTrace(
+                index=index,
+                queries=len(cluster),
+                estimate=estimate,
+                worker=0,
+                queue_wait_seconds=0.0,
+                busy_seconds=busy,
+                fallback=True,
+                attempts=attempts,
+                quarantined=True,
+            )
+        )
+        return answer
+
+    def _dead_letter_query(
+        self,
+        report: ExecutionReport,
+        query,
+        unit: int,
+        attempts: int,
+        reason: str,
+        error: str,
+        detail: str,
+    ) -> None:
+        report.dead_letters.append(
+            DeadLetterRecord(
+                source=query.source,
+                target=query.target,
+                reason=reason,
+                stage=STAGE_QUARANTINE,
+                error=error,
+                detail=detail,
+                unit=unit,
+                attempts=attempts,
+            )
+        )
+
+    # -- pool path -------------------------------------------------------
+    def _note_fault(self, kind: str) -> None:
+        self._active_report.faults_by_kind[kind] = (
+            self._active_report.faults_by_kind.get(kind, 0) + 1
+        )
+
+    def _note_pool_failure(self) -> None:
+        """Account one pool-level failure against the breaker (per generation)."""
+        if self._pool_generation != self._failed_generation:
+            self._failed_generation = self._pool_generation
+            self.breaker.record_failure()
+        self._shutdown(wait=False)
+
+    def _submit_unit(
+        self, workers: int, index: int, cluster: QueryCluster, attempt: int,
+        collect: bool,
+    ) -> _Pending:
+        directive = None
+        if self.fault_plan is not None:
+            directive = self.fault_plan.unit_fault(index, attempt)
+            if directive is not None:
+                self._note_fault(directive.kind)
+        pool = self._ensure_pool(workers)
+        if self._resolved_start_method() == "fork":
+            # Re-assert in case another engine replaced the globals since
+            # this pool was created (workers fork on first submit).
+            worker.set_parent_state(self.graph, self._answerer)
+        submitted = time.time()
+        future = pool.submit(worker.answer_unit, (index, cluster, collect, directive))
+        return _Pending(index, cluster, attempt, submitted, future)
+
+    def _try_submit(
+        self,
+        workers: int,
+        index: int,
+        cluster: QueryCluster,
+        attempt: int,
+        collect: bool,
+        estimates: Dict[int, float],
+        report: ExecutionReport,
+        results: Dict[int, BatchAnswer],
+    ) -> Optional[_Pending]:
+        """Submit a unit, retrying pool construction; local answer as last resort.
+
+        Returns the pending submission, or ``None`` when the unit was
+        answered in-process (breaker denied the pool, or construction kept
+        failing past the retry budget).
+        """
+        while True:
+            if not self.breaker.allow():
+                # Open breaker (or half-open with the probe slot taken):
+                # stay off the pool for this unit.
+                results[index] = self._guarded_local(
+                    index, cluster, estimates[index], report,
+                    fallback=True, attempts=attempt, quarantined=False,
+                )
+                return None
+            try:
+                return self._submit_unit(workers, index, cluster, attempt, collect)
+            except Exception as exc:
+                self._note_pool_failure()
+                logger.warning(
+                    "pool unavailable for unit %d attempt %d (%s: %s)",
+                    index,
+                    attempt,
+                    type(exc).__name__,
+                    exc,
+                )
+                if self.retry_policy.allows_retry(attempt):
+                    self._sleep_backoff(attempt, index)
+                    attempt += 1
+                    continue
+                results[index] = self._quarantine_unit(
+                    index, cluster, estimates[index], report, attempt, exc
+                )
+                return None
+
+    def _sleep_backoff(self, attempt: int, key: int) -> None:
+        delay = self.retry_policy.delay_seconds(attempt, key=key)
+        if delay > 0:
+            time.sleep(delay)
 
     def _run_pool(
         self,
@@ -448,40 +848,59 @@ class ParallelBatchEngine:
         report: ExecutionReport,
         workers: int,
     ) -> Dict[int, BatchAnswer]:
-        pool = self._ensure_pool(workers)
-        if self._resolved_start_method() == "fork":
-            # Re-assert in case another engine replaced the globals since
-            # this pool was created (workers fork on first submit).
-            worker.set_parent_state(self.graph, self._answerer)
+        self._active_report = report
+        registry = get_registry()
         collect = report.metrics is not None
-        submits: List[Tuple[int, QueryCluster, float, object]] = []
-        for index, cluster in order:
-            submitted = time.time()
-            future = pool.submit(worker.answer_unit, (index, cluster, collect))
-            submits.append((index, cluster, submitted, future))
-
         results: Dict[int, BatchAnswer] = {}
-        pool_broken = False
-        for index, cluster, submitted, future in submits:
+        pending: deque = deque()
+        pool_ok = True
+        for index, cluster in order:
+            item = self._try_submit(
+                workers, index, cluster, 1, collect, estimates, report, results
+            )
+            if item is not None:
+                pending.append(item)
+        while pending:
+            item = pending.popleft()
             try:
-                r_index, answer, pid, started, busy, snapshot = future.result(
-                    timeout=self.unit_timeout
-                )
-            except Exception as exc:
-                if not future.cancelled() and not future.done():
-                    future.cancel()
-                pool_broken = pool_broken or _is_pool_fatal(exc)
+                with registry.span(
+                    "unit_attempt", unit=item.index, attempt=item.attempt
+                ):
+                    r_index, answer, pid, started, busy, snapshot = item.future.result(
+                        timeout=self.unit_timeout
+                    )
+            except (Exception, FuturesCancelledError) as exc:
+                if isinstance(exc, FuturesTimeoutError):
+                    exc = UnitTimeoutError(
+                        item.index, item.attempt, self.unit_timeout or 0.0
+                    )
+                    report.unit_timeouts += 1
+                if not item.future.cancelled() and not item.future.done():
+                    item.future.cancel()
+                if _is_pool_fatal(exc):
+                    pool_ok = False
+                    self._note_pool_failure()
                 logger.warning(
-                    "unit %d (%d queries) failed in worker (%s: %s); "
-                    "answering in-process",
-                    index,
-                    len(cluster),
+                    "unit %d (%d queries) attempt %d failed in worker (%s: %s)",
+                    item.index,
+                    len(item.cluster),
+                    item.attempt,
                     type(exc).__name__,
                     exc,
                 )
-                results[index] = self._answer_locally(
-                    index, cluster, estimates[index], report, fallback=True
-                )
+                if self.retry_policy.allows_retry(item.attempt):
+                    self._sleep_backoff(item.attempt, item.index)
+                    retry = self._try_submit(
+                        workers, item.index, item.cluster, item.attempt + 1,
+                        collect, estimates, report, results,
+                    )
+                    if retry is not None:
+                        pending.append(retry)
+                else:
+                    results[item.index] = self._quarantine_unit(
+                        item.index, item.cluster, estimates[item.index],
+                        report, item.attempt, exc,
+                    )
                 continue
             results[r_index] = answer
             if snapshot is not None and report.metrics is not None:
@@ -489,20 +908,24 @@ class ParallelBatchEngine:
             report.units.append(
                 UnitTrace(
                     index=r_index,
-                    queries=len(cluster),
+                    queries=len(item.cluster),
                     estimate=estimates[r_index],
                     worker=pid,
-                    queue_wait_seconds=max(0.0, started - submitted),
+                    queue_wait_seconds=max(0.0, started - item.submitted),
                     busy_seconds=busy,
+                    attempts=item.attempt,
                 )
             )
-        if pool_broken:
-            # Drop the broken pool; the next execute() builds a fresh one.
-            self.close()
+        if pool_ok and self._pool is not None:
+            self.breaker.record_success()
+        self._active_report = None
         return results
+
+    #: The report the current _run_pool round accounts faults against.
+    _active_report: Optional[ExecutionReport] = None
 
 
 def _is_pool_fatal(exc: BaseException) -> bool:
     from concurrent.futures.process import BrokenProcessPool
 
-    return isinstance(exc, BrokenProcessPool)
+    return isinstance(exc, (BrokenProcessPool, FuturesCancelledError))

@@ -24,8 +24,9 @@ from typing import Tuple
 
 from ..core.clusters import Decomposition, QueryCluster
 from ..core.results import BatchAnswer
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, FaultInjectionError
 from ..obs import MetricsRegistry, use_registry
+from ..resilience.faults import FAULT_EXIT_CODE, FaultDirective
 
 #: Answerer kinds a worker knows how to build.
 ANSWERER_KINDS = ("local-cache", "r2r", "one-by-one")
@@ -82,8 +83,26 @@ def answer_one(answerer, cluster: QueryCluster) -> BatchAnswer:
     return answerer.answer(Decomposition([cluster], "unit", 0.0))
 
 
-def answer_unit(payload: Tuple[int, QueryCluster, bool]):
-    """Pool task: answer one ``(index, cluster, collect_metrics)`` unit.
+def execute_directive(directive: FaultDirective, unit: int) -> None:
+    """Carry out one injected fault inside the worker process.
+
+    ``hang`` sleeps and then lets the unit proceed (a slowdown the parent
+    may or may not have timed out on); ``crash`` raises so the unit fails
+    cleanly; ``exit`` kills the whole process without cleanup, which
+    breaks the pool — the parent-side signal for a dead worker.
+    """
+    if directive.kind == "hang":
+        time.sleep(directive.delay_seconds)
+    elif directive.kind == "crash":
+        raise FaultInjectionError(f"injected crash in unit {unit}")
+    elif directive.kind == "exit":
+        os._exit(FAULT_EXIT_CODE)
+    else:  # pragma: no cover - plan validation rejects unknown kinds
+        raise ConfigurationError(f"unknown fault directive {directive.kind!r}")
+
+
+def answer_unit(payload: Tuple[int, QueryCluster, bool, object]):
+    """Pool task: answer one ``(index, cluster, collect_metrics, fault)`` unit.
 
     Returns ``(index, BatchAnswer, pid, started_wall, busy_seconds,
     metrics_snapshot_or_None)``; ``started_wall`` is ``time.time()`` so the
@@ -92,11 +111,15 @@ def answer_unit(payload: Tuple[int, QueryCluster, bool]):
     runs under a fresh per-unit :class:`~repro.obs.MetricsRegistry` and its
     snapshot rides home with the answer, spans tagged with this worker's
     pid — the parent merges snapshots so ``workers=k`` reports fleet-wide
-    totals.
+    totals.  ``fault`` is ``None`` or the :class:`FaultDirective` the
+    parent's :class:`~repro.resilience.FaultPlan` scheduled for this
+    attempt; the plan itself never crosses the process boundary.
     """
-    index, cluster, collect = payload
+    index, cluster, collect, fault = payload
     if _ANSWERER is None:  # pragma: no cover - engine always initialises
         raise ConfigurationError("worker used before initialisation")
+    if fault is not None:
+        execute_directive(fault, index)
     started = time.time()
     t0 = time.perf_counter()
     if not collect:

@@ -124,6 +124,39 @@ class QuerySet:
         """Distinct queries in first-seen order."""
         return QuerySet(dict.fromkeys(self._queries))
 
+    def validate_endpoints(self, graph) -> None:
+        """Raise :class:`QueryError` if any endpoint is not a vertex of ``graph``.
+
+        Catching bad ids here turns what would otherwise surface as a bare
+        ``KeyError``/``IndexError`` deep inside a search heap into a typed,
+        actionable error at the service boundary.
+        """
+        n = graph.num_vertices
+        for q in self._queries:
+            if q.source >= n or q.target >= n:
+                raise QueryError(
+                    f"query ({q.source}, {q.target}) references a vertex outside "
+                    f"the network (|V| = {n})"
+                )
+
+    def partition_valid(self, graph) -> Tuple["QuerySet", List[Tuple[Query, str]]]:
+        """Split into (valid queries, rejected ``(query, reason)`` pairs).
+
+        The service uses this to dead-letter malformed queries instead of
+        aborting the whole scheduling window.
+        """
+        n = graph.num_vertices
+        valid: List[Query] = []
+        rejected: List[Tuple[Query, str]] = []
+        for q in self._queries:
+            if q.source >= n or q.target >= n:
+                rejected.append(
+                    (q, f"vertex id out of range (|V| = {n})")
+                )
+            else:
+                valid.append(q)
+        return QuerySet(valid), rejected
+
     def validate(self) -> None:
         """Check Definition 1's size bounds on the deduplicated set."""
         distinct = dict.fromkeys(self._queries)

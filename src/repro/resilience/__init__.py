@@ -1,0 +1,70 @@
+"""Resilience layer: fault injection, retries, circuit breaking, dead letters.
+
+The batch pipeline's failure story lives here, in four pieces the engine
+and service thread together:
+
+* :class:`FaultPlan` — a deterministic, seeded fault-injection harness
+  (unit crashes, hangs, hard worker exits, pool-construction breaks,
+  transient session failures), so every failure mode is reproducible in
+  tests and from the CLI (``repro run --fault-plan``).
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  deterministic jitter; replaces the engine's old one-shot parent
+  fallback.
+* :class:`CircuitBreaker` — trips the engine to serial in-process
+  execution after repeated pool failures, with cooldown and a half-open
+  probe.
+* :class:`DeadLetterRecord` — the structured record a query that failed
+  validation (or exhausted the degradation ladder) leaves behind instead
+  of aborting its window.
+
+See ``docs/robustness.md`` for the operator-facing walkthrough.
+"""
+
+from .breaker import BREAKER_STATE_VALUES, CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .deadletter import (
+    DeadLetterRecord,
+    REASON_INVALID_QUERY,
+    REASON_NO_PATH,
+    REASON_QUARANTINE_FAILED,
+    REASON_WINDOW_DEGRADED,
+    STAGE_QUARANTINE,
+    STAGE_SESSION,
+    STAGE_VALIDATION,
+    render_dead_letters,
+    summarize_dead_letters,
+)
+from .faults import (
+    FAULT_EXIT_CODE,
+    FaultDirective,
+    FaultPlan,
+    FaultSpec,
+    SITE_KINDS,
+    default_chaos_plan,
+)
+from .retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "BREAKER_STATE_VALUES",
+    "CLOSED",
+    "CircuitBreaker",
+    "DeadLetterRecord",
+    "FAULT_EXIT_CODE",
+    "FaultDirective",
+    "FaultPlan",
+    "FaultSpec",
+    "HALF_OPEN",
+    "NO_RETRY",
+    "OPEN",
+    "REASON_INVALID_QUERY",
+    "REASON_NO_PATH",
+    "REASON_QUARANTINE_FAILED",
+    "REASON_WINDOW_DEGRADED",
+    "RetryPolicy",
+    "SITE_KINDS",
+    "STAGE_QUARANTINE",
+    "STAGE_SESSION",
+    "STAGE_VALIDATION",
+    "default_chaos_plan",
+    "render_dead_letters",
+    "summarize_dead_letters",
+]

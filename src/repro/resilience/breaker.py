@@ -1,0 +1,134 @@
+"""A circuit breaker guarding the multiprocess dispatch path.
+
+Repeated pool-level failures (broken pools, failed pool construction) mean
+something environmental is wrong — fork bombs, OOM kills, a bad libc — and
+re-forking on every window just multiplies the damage.  The breaker
+implements the classic three-state machine:
+
+* **closed** — normal operation; pool failures count against
+  ``failure_threshold``.
+* **open** — the threshold was reached: the engine answers in-process
+  (serial) and does not touch process pools until ``cooldown_seconds``
+  have elapsed.
+* **half-open** — cooldown expired: exactly one probe dispatch may use a
+  pool.  Success closes the breaker, failure re-opens it for another
+  cooldown.
+
+The clock is injectable so tests drive the state machine without
+sleeping, and the current state is published as the
+``resilience.breaker_state`` gauge (see :data:`BREAKER_STATE_VALUES`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding of the breaker state (exported to ``repro.obs``).
+BREAKER_STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Trip to serial execution after repeated pool failures.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive pool-level failures that open the breaker.
+    cooldown_seconds:
+        How long the breaker stays open before allowing a half-open probe.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be at least 1")
+        if cooldown_seconds < 0:
+            raise ConfigurationError("cooldown_seconds must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when cooldown expires."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._transition(HALF_OPEN)
+        return self._state
+
+    @property
+    def state_value(self) -> int:
+        """The state as the ``resilience.breaker_state`` gauge value."""
+        return BREAKER_STATE_VALUES[self.state]
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self.transitions += 1
+        if state == HALF_OPEN:
+            self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the caller use a process pool right now?
+
+        In half-open state only the first caller gets a probe slot until
+        its outcome is recorded; everyone else stays serial.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_failure(self) -> None:
+        """Note one pool-level failure (broken pool / failed construction)."""
+        if self.state == HALF_OPEN:
+            # The probe failed: back to a full cooldown.
+            self._failures = self.failure_threshold
+            self._open()
+            return
+        self._failures += 1
+        if self._state == CLOSED and self._failures >= self.failure_threshold:
+            self._open()
+
+    def record_success(self) -> None:
+        """Note one successful pooled dispatch round."""
+        if self.state == HALF_OPEN:
+            self._transition(CLOSED)
+        self._failures = 0
+        self._probe_inflight = False
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._transition(OPEN)
+
+    def reset(self) -> None:
+        """Force the breaker back to a pristine closed state."""
+        self._failures = 0
+        self._probe_inflight = False
+        self._transition(CLOSED)

@@ -1,0 +1,106 @@
+"""Structured dead-letter records for queries the pipeline could not answer.
+
+A production batch service never lets one bad query abort a window: a
+query that fails validation, has no path, or sinks a whole quarantined
+unit lands here — with enough structure that an operator (or a replay
+job) can tell *why* and *where* it died.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Why a query was dead-lettered.
+REASON_INVALID_QUERY = "invalid-query"
+REASON_NO_PATH = "no-path"
+REASON_QUARANTINE_FAILED = "quarantine-failed"
+REASON_WINDOW_DEGRADED = "window-degraded"
+
+#: Pipeline stage the query died in.
+STAGE_VALIDATION = "validation"
+STAGE_QUARANTINE = "quarantine"
+STAGE_SESSION = "session"
+
+
+@dataclass(frozen=True)
+class DeadLetterRecord:
+    """One query the pipeline gave up on, with its post-mortem.
+
+    Attributes
+    ----------
+    source / target:
+        The query endpoints (kept as raw ints — the query may be exactly
+        what was malformed).
+    reason:
+        One of the ``REASON_*`` constants.
+    stage:
+        Pipeline stage that rejected the query (``STAGE_*`` constants).
+    error:
+        Exception class name that killed it (empty for validation).
+    detail:
+        Human-readable message.
+    unit:
+        Work-unit index the query belonged to, when it got that far.
+    attempts:
+        Attempts spent on the query's unit before it was given up on.
+    """
+
+    source: int
+    target: int
+    reason: str
+    stage: str
+    error: str = ""
+    detail: str = ""
+    unit: Optional[int] = None
+    attempts: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "reason": self.reason,
+            "stage": self.stage,
+            "error": self.error,
+            "detail": self.detail,
+            "unit": self.unit,
+            "attempts": self.attempts,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "DeadLetterRecord":
+        return DeadLetterRecord(
+            source=int(data["source"]),
+            target=int(data["target"]),
+            reason=str(data["reason"]),
+            stage=str(data["stage"]),
+            error=str(data.get("error", "")),
+            detail=str(data.get("detail", "")),
+            unit=data.get("unit"),
+            attempts=int(data.get("attempts", 0)),
+        )
+
+
+def summarize_dead_letters(records: Iterable[DeadLetterRecord]) -> Dict[str, int]:
+    """Count dead letters by reason — the shape dashboards want."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record.reason] = counts.get(record.reason, 0) + 1
+    return counts
+
+
+def render_dead_letters(records: List[DeadLetterRecord], limit: int = 10) -> str:
+    """A small text table of dead letters for CLI output."""
+    if not records:
+        return "no dead letters"
+    lines = [f"{len(records)} dead letter(s):"]
+    for record in records[:limit]:
+        where = f" unit={record.unit}" if record.unit is not None else ""
+        err = f" {record.error}:" if record.error else ""
+        lines.append(
+            f"  ({record.source} -> {record.target}) {record.reason} "
+            f"at {record.stage}{where}{err} {record.detail}".rstrip()
+        )
+    if len(records) > limit:
+        lines.append(f"  ... and {len(records) - limit} more")
+    return "\n".join(lines)

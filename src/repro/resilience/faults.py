@@ -1,0 +1,258 @@
+"""Deterministic, seeded fault injection for the batch pipeline.
+
+A :class:`FaultPlan` is a declarative list of :class:`FaultSpec` entries,
+each naming an injection *site*, a failure *kind*, and a deterministic
+firing rule.  The supported sites mirror the places a production batch
+service actually breaks:
+
+=========  ===========================  =====================================
+site       kinds                        where it fires
+=========  ===========================  =====================================
+``unit``   ``crash``, ``hang``,         inside ``worker.answer_unit`` — the
+           ``exit``                     unit raises, sleeps, or hard-kills
+                                        its worker process (``os._exit``,
+                                        which breaks the whole pool)
+``pool``   ``break``                    pool construction in the engine — the
+                                        build raises before any worker starts
+``session``  ``transient``              :meth:`DynamicBatchSession.process_batch`
+                                        — a transient snapshot failure
+=========  ===========================  =====================================
+
+Firing decisions are *pure functions* of ``(plan.seed, spec position,
+site, kind, index, attempt)``: no mutable firing state, so parent and
+worker processes, reruns, and resumed retries all agree on exactly which
+faults fire.  A spec with ``max_attempt=1`` (the default) only hits the
+first attempt of a unit, which is what makes retried execution converge —
+the retry of a crashed unit deterministically succeeds.
+
+The parent evaluates the plan and ships a small picklable
+:class:`FaultDirective` with the work-unit payload; worker processes never
+see the plan itself.
+
+JSON format (``repro run --fault-plan plan.json``)::
+
+    {
+      "seed": 7,
+      "faults": [
+        {"site": "unit", "kind": "crash", "probability": 0.3},
+        {"site": "unit", "kind": "hang", "units": [2], "delay_seconds": 0.2},
+        {"site": "pool", "kind": "break", "units": [0]},
+        {"site": "session", "kind": "transient", "probability": 1.0}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ConfigurationError
+
+#: Failure kinds accepted per injection site.
+SITE_KINDS: Dict[str, Tuple[str, ...]] = {
+    "unit": ("crash", "hang", "exit"),
+    "pool": ("break",),
+    "session": ("transient",),
+}
+
+#: Exit status used by the ``exit`` fault so a dead worker is recognisable.
+FAULT_EXIT_CODE = 117
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """The picklable instruction shipped to a worker with its unit."""
+
+    kind: str  #: ``"crash"``, ``"hang"`` or ``"exit"``
+    delay_seconds: float = 0.0  #: sleep length for ``hang``
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: where, what, and when it fires.
+
+    Parameters
+    ----------
+    site / kind:
+        Injection point and failure mode (see :data:`SITE_KINDS`).
+    probability:
+        Chance the fault fires for a matching ``(index, attempt)``; the
+        draw is a pure function of the plan seed, so it is reproducible.
+    units:
+        Restrict firing to these indices (unit index for ``unit`` faults,
+        build count for ``pool``, batch index for ``session``).  ``None``
+        matches every index.
+    max_attempt:
+        Fire only while ``attempt <= max_attempt``.  The default ``1``
+        makes every fault transient: the first retry escapes it.
+    delay_seconds:
+        Sleep length for ``hang`` faults; ignored otherwise.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    units: Optional[Tuple[int, ...]] = None
+    max_attempt: int = 1
+    delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        kinds = SITE_KINDS.get(self.site)
+        if kinds is None:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; choose from {tuple(SITE_KINDS)}"
+            )
+        if self.kind not in kinds:
+            raise ConfigurationError(
+                f"fault kind {self.kind!r} not valid at site {self.site!r}; "
+                f"choose from {kinds}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("fault probability must be in [0, 1]")
+        if self.max_attempt < 1:
+            raise ConfigurationError("max_attempt must be at least 1")
+        if self.delay_seconds < 0:
+            raise ConfigurationError("delay_seconds must be non-negative")
+        if self.units is not None:
+            object.__setattr__(self, "units", tuple(int(u) for u in self.units))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "site": self.site,
+            "kind": self.kind,
+            "probability": self.probability,
+            "max_attempt": self.max_attempt,
+            "delay_seconds": self.delay_seconds,
+        }
+        if self.units is not None:
+            data["units"] = list(self.units)
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FaultSpec":
+        known = {"site", "kind", "probability", "units", "max_attempt", "delay_seconds"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault spec keys {sorted(unknown)}; expected {sorted(known)}"
+            )
+        if "site" not in data or "kind" not in data:
+            raise ConfigurationError("fault spec needs at least 'site' and 'kind'")
+        units = data.get("units")
+        return FaultSpec(
+            site=str(data["site"]),
+            kind=str(data["kind"]),
+            probability=float(data.get("probability", 1.0)),
+            units=tuple(units) if units is not None else None,
+            max_attempt=int(data.get("max_attempt", 1)),
+            delay_seconds=float(data.get("delay_seconds", 0.05)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered set of :class:`FaultSpec` entries.
+
+    The first matching spec wins at each site, so a plan can layer a
+    targeted fault (``units=[3]``) over a background probability.
+    """
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    # -- firing rules ---------------------------------------------------
+    def _fires(self, pos: int, spec: FaultSpec, index: int, attempt: int) -> bool:
+        if attempt > spec.max_attempt:
+            return False
+        if spec.units is not None and index not in spec.units:
+            return False
+        if spec.probability >= 1.0:
+            return True
+        if spec.probability <= 0.0:
+            return False
+        # str seeds hash through SHA-512 in CPython: stable across runs,
+        # platforms and processes (unlike hash()).
+        draw = random.Random(
+            f"{self.seed}:{pos}:{spec.site}:{spec.kind}:{index}:{attempt}"
+        ).random()
+        return draw < spec.probability
+
+    def _first_match(self, site: str, index: int, attempt: int) -> Optional[FaultSpec]:
+        for pos, spec in enumerate(self.specs):
+            if spec.site == site and self._fires(pos, spec, index, attempt):
+                return spec
+        return None
+
+    def unit_fault(self, unit: int, attempt: int) -> Optional[FaultDirective]:
+        """The directive to ship with ``unit``'s ``attempt``-th dispatch."""
+        spec = self._first_match("unit", unit, attempt)
+        if spec is None:
+            return None
+        return FaultDirective(spec.kind, spec.delay_seconds)
+
+    def pool_fault(self, build_count: int) -> bool:
+        """Whether the ``build_count``-th pool construction should fail."""
+        return self._first_match("pool", build_count, 1) is not None
+
+    def session_fault(self, batch_index: int, attempt: int) -> bool:
+        """Whether the dynamic session should fail this batch attempt."""
+        return self._first_match("session", batch_index, attempt) is not None
+
+    # -- (de)serialisation ----------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "faults": [s.to_dict() for s in self.specs]}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ConfigurationError("fault plan must be a JSON object")
+        unknown = set(data) - {"seed", "faults"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan keys {sorted(unknown)}; expected seed, faults"
+            )
+        faults = data.get("faults", [])
+        if not isinstance(faults, (list, tuple)):
+            raise ConfigurationError("fault plan 'faults' must be a list")
+        return FaultPlan(
+            seed=int(data.get("seed", 0)),
+            specs=tuple(FaultSpec.from_dict(f) for f in faults),
+        )
+
+    @staticmethod
+    def from_file(path: Union[str, Path]) -> "FaultPlan":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read fault plan {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ConfigurationError(f"fault plan {path} is not valid JSON: {exc}") from exc
+        return FaultPlan.from_dict(data)
+
+    def write(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+def default_chaos_plan(seed: int = 0) -> FaultPlan:
+    """The crash + hang + pool-break mix the chaos smoke test runs under."""
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(site="unit", kind="crash", probability=0.35),
+            FaultSpec(site="unit", kind="hang", probability=0.2, delay_seconds=0.05),
+            FaultSpec(site="unit", kind="exit", probability=0.1),
+            FaultSpec(site="pool", kind="break", units=(0,)),
+            FaultSpec(site="session", kind="transient", probability=0.5),
+        ),
+    )

@@ -1,0 +1,89 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` is a frozen value object: it never sleeps or counts
+by itself, it only answers "may attempt ``n+1`` happen?" and "how long to
+wait before it?".  The jitter draw is a pure function of ``(seed, key,
+attempt)`` — two processes replaying the same schedule compute the same
+delays, which keeps fault-injection runs reproducible down to the backoff
+sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failed work unit is re-attempted.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first; ``1`` disables retries entirely.
+    base_delay_seconds:
+        Backoff before the second attempt; attempt ``n`` waits
+        ``base * multiplier**(n-1)``, capped at ``max_delay_seconds``.
+    multiplier:
+        Exponential growth factor (>= 1).
+    max_delay_seconds:
+        Upper bound on any single backoff sleep.
+    jitter:
+        Fraction of the computed delay added as deterministic noise in
+        ``[0, jitter * delay)``; spreads retry bursts without breaking
+        reproducibility.
+    seed:
+        Seed for the jitter draws.
+    """
+
+    max_attempts: int = 2
+    base_delay_seconds: float = 0.01
+    multiplier: float = 2.0
+    max_delay_seconds: float = 0.25
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.base_delay_seconds < 0:
+            raise ConfigurationError("base_delay_seconds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be at least 1")
+        if self.max_delay_seconds < 0:
+            raise ConfigurationError("max_delay_seconds must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def allows_retry(self, attempt: int) -> bool:
+        """Whether another try may follow failed attempt number ``attempt``."""
+        return attempt < self.max_attempts
+
+    def delay_seconds(self, attempt: int, key: int = 0) -> float:
+        """Backoff to sleep after failed attempt ``attempt`` (1-based).
+
+        ``key`` distinguishes concurrent retry series (e.g. the unit
+        index) so their jitter decorrelates deterministically.
+        """
+        if attempt < 1:
+            raise ConfigurationError("attempt numbers are 1-based")
+        raw = self.base_delay_seconds * self.multiplier ** (attempt - 1)
+        delay = min(raw, self.max_delay_seconds)
+        if self.jitter > 0.0 and delay > 0.0:
+            draw = random.Random(f"{self.seed}:{key}:{attempt}").random()
+            delay += delay * self.jitter * draw
+        return min(delay, self.max_delay_seconds * (1.0 + self.jitter))
+
+    def backoff_schedule(self, key: int = 0) -> Iterator[float]:
+        """The full delay sequence between attempts 1..max_attempts."""
+        for attempt in range(1, self.max_attempts):
+            yield self.delay_seconds(attempt, key=key)
+
+
+#: Retry disabled: one attempt, straight to the degradation ladder.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay_seconds=0.0, jitter=0.0)

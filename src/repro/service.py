@@ -37,10 +37,27 @@ from .core.dynamic import DynamicBatchSession
 from .core.local_cache import LocalCacheAnswerer
 from .core.results import BatchAnswer
 from .core.search_space import SearchSpaceDecomposer
-from .exceptions import ConfigurationError
-from .obs import MetricsSnapshot, TIME_BUCKETS, get_registry
+from .exceptions import ConfigurationError, FaultInjectionError
+from .obs import (
+    MetricsSnapshot,
+    TIME_BUCKETS,
+    get_registry,
+    record_dead_letters,
+    record_fault,
+    record_retry,
+)
 from .queries.arrivals import TimedQuery, window_batches
 from .queries.query import QuerySet
+from .resilience import (
+    DeadLetterRecord,
+    FaultPlan,
+    REASON_INVALID_QUERY,
+    REASON_NO_PATH,
+    REASON_WINDOW_DEGRADED,
+    RetryPolicy,
+    STAGE_SESSION,
+    STAGE_VALIDATION,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -60,10 +77,22 @@ class WindowReport:
     #: Measured :class:`~repro.analysis.parallel.ScheduleResult` of a
     #: multiprocess window (``None`` for single-process windows).
     schedule: Optional[object] = None
+    #: Queries this window could not answer (validation failures, no
+    #: path, exhausted degradation ladder) — recorded, never dropped.
+    dead_letters: List[DeadLetterRecord] = field(default_factory=list)
+    #: Work-unit / session re-dispatches spent on this window.
+    retries: int = 0
+    #: The session path exhausted its retries and the window was answered
+    #: by the last-resort per-query Dijkstra rung.
+    degraded: bool = False
 
     @property
     def met_deadline(self) -> bool:
         return self.wall_seconds <= self.deadline_seconds
+
+    @property
+    def answered_queries(self) -> int:
+        return len(self.answer.answers) if self.answer is not None else 0
 
     @property
     def hit_ratio(self) -> float:
@@ -109,6 +138,23 @@ class ServiceReport:
             return 0.0
         return sum(s.utilisation for s in measured) / len(measured)
 
+    @property
+    def dead_letters(self) -> List[DeadLetterRecord]:
+        """Every dead letter of the run, in window order."""
+        return [d for w in self.windows for d in w.dead_letters]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(w.retries for w in self.windows)
+
+    @property
+    def degraded_windows(self) -> int:
+        return sum(1 for w in self.windows if w.degraded)
+
+    @property
+    def answered_queries(self) -> int:
+        return sum(w.answered_queries for w in self.windows)
+
     def window_costs(self) -> List[float]:
         """Per-window wall costs — input for the capacity planner."""
         return [w.wall_seconds for w in self.windows if w.queries]
@@ -143,6 +189,23 @@ class BatchQueryService:
         (their metrics counter totals match exactly).  Call :meth:`close`
         (or use the service as a context manager) to release the worker
         pool.
+    retry_policy:
+        Bounded-attempt :class:`~repro.resilience.RetryPolicy` applied to
+        failed work units (engine path) and transient session failures
+        (serial path).
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` injecting
+        deterministic failures into the engine and the dynamic session
+        for chaos testing.
+    unit_timeout:
+        Per-attempt deadline (seconds) on each multiprocess work unit.
+    breaker:
+        :class:`~repro.resilience.CircuitBreaker` guarding the engine's
+        pool path.
+
+    Invalid queries (endpoints outside the network) and queries that
+    exhaust the degradation ladder never abort a window: they land in the
+    window's ``dead_letters`` with a structured reason.
     """
 
     def __init__(
@@ -155,6 +218,10 @@ class BatchQueryService:
         deadline_seconds: Optional[float] = None,
         similarity_threshold: float = 0.3,
         workers: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        unit_timeout: Optional[float] = None,
+        breaker=None,
     ) -> None:
         if window_seconds <= 0:
             raise ConfigurationError("window_seconds must be positive")
@@ -175,11 +242,14 @@ class BatchQueryService:
             )
         self.decomposer = decomposer
         self.workers = workers
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fault_plan = fault_plan
         self.session = DynamicBatchSession(
             graph,
             decomposer=decomposer,
             answerer=answerer,
             similarity_threshold=similarity_threshold,
+            fault_plan=fault_plan,
         )
         self._engine = None
         if workers != 1:
@@ -188,8 +258,15 @@ class BatchQueryService:
             # workers=0 builds a one-worker engine whose units run in the
             # parent process: the same decompose -> unit -> merge path as
             # workers=k, minus the pool.
+            engine_options = dict(
+                retry_policy=self.retry_policy,
+                fault_plan=fault_plan,
+                unit_timeout=unit_timeout,
+            )
+            if breaker is not None:
+                engine_options["breaker"] = breaker
             self._engine = ParallelBatchEngine.from_answerer(
-                answerer, workers=max(1, workers)
+                answerer, workers=max(1, workers), **engine_options
             )
         self.timeline = timeline
 
@@ -227,21 +304,46 @@ class BatchQueryService:
             return WindowReport(index, 0, None, 0.0, self.deadline_seconds, fired)
         schedule = None
         registry = get_registry()
+        dead_letters: List[DeadLetterRecord] = []
+        retries = 0
+        degraded = False
+        # Malformed queries are stripped at the service boundary so they
+        # never surface as a bare KeyError inside a search heap.
+        valid, rejected = batch.partition_valid(self.graph)
+        for query, reason in rejected:
+            dead_letters.append(
+                DeadLetterRecord(
+                    source=query.source,
+                    target=query.target,
+                    reason=REASON_INVALID_QUERY,
+                    stage=STAGE_VALIDATION,
+                    detail=reason,
+                )
+            )
         start = time.perf_counter()
         with registry.span("window", index=index, queries=len(batch)):
-            if self._engine is not None:
-                decomposition = self.decomposer.decompose(batch)
+            if len(valid) == 0:
+                answer = None
+            elif self._engine is not None:
+                decomposition = self.decomposer.decompose(valid)
                 outcome = self._engine.execute(decomposition, method="window-parallel")
                 answer = outcome.answer
                 schedule = outcome.report.schedule_result()
+                dead_letters.extend(outcome.report.dead_letters)
+                retries = outcome.report.retries
             else:
-                answer = self.session.process_batch(batch)
+                answer, retries, degraded = self._answer_with_session(
+                    index, valid, dead_letters
+                )
         wall = time.perf_counter() - start
+        record_dead_letters(len(dead_letters))
         if registry.enabled:
             registry.counter("service.windows").add(1)
             registry.histogram("service.window_seconds", TIME_BUCKETS).observe(wall)
             if wall > self.deadline_seconds:
                 registry.counter("service.deadline_misses").add(1)
+            if degraded:
+                registry.counter("service.degraded_windows").add(1)
         if wall > self.deadline_seconds:
             logger.warning(
                 "window %d missed its %.2fs deadline (%.3fs, %d queries)",
@@ -257,9 +359,103 @@ class BatchQueryService:
             wall,
             self.deadline_seconds,
             fired,
-            workers=answer.workers,
+            workers=answer.workers if answer is not None else 1,
             schedule=schedule,
+            dead_letters=dead_letters,
+            retries=retries,
+            degraded=degraded,
         )
+
+    def _answer_with_session(
+        self,
+        index: int,
+        batch: QuerySet,
+        dead_letters: List[DeadLetterRecord],
+    ):
+        """Serial window path: dynamic session under the retry policy.
+
+        Transient session failures are retried with backoff; once the
+        budget is exhausted the window degrades to per-query Dijkstra so
+        the queries are still answered (at cache-free cost) rather than
+        lost.
+        """
+        attempt = 1
+        while True:
+            try:
+                return self.session.process_batch(batch, attempt=attempt), attempt - 1, False
+            except Exception as exc:
+                if isinstance(exc, FaultInjectionError):
+                    record_fault("transient")
+                if self.retry_policy.allows_retry(attempt):
+                    record_retry()
+                    logger.warning(
+                        "window %d session attempt %d failed (%s: %s); retrying",
+                        index,
+                        attempt,
+                        type(exc).__name__,
+                        exc,
+                    )
+                    delay = self.retry_policy.delay_seconds(attempt, key=index)
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                logger.warning(
+                    "window %d session failed %d times (%s: %s); degrading to "
+                    "per-query Dijkstra",
+                    index,
+                    attempt,
+                    type(exc).__name__,
+                    exc,
+                )
+                return (
+                    self._degraded_window_answer(batch, dead_letters),
+                    attempt - 1,
+                    True,
+                )
+
+    def _degraded_window_answer(
+        self, batch: QuerySet, dead_letters: List[DeadLetterRecord]
+    ) -> BatchAnswer:
+        """Last-resort window answering: each query alone, plain Dijkstra."""
+        import math
+
+        from .search.dijkstra import dijkstra
+
+        answer = BatchAnswer(method="degraded[dijkstra]")
+        for q in batch:
+            try:
+                result = dijkstra(self.graph, q.source, q.target)
+            except Exception as exc:
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_WINDOW_DEGRADED,
+                        stage=STAGE_SESSION,
+                        error=type(exc).__name__,
+                        detail=str(exc),
+                        attempts=self.retry_policy.max_attempts,
+                    )
+                )
+                continue
+            if not math.isfinite(result.distance):
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_NO_PATH,
+                        stage=STAGE_SESSION,
+                        error="NoPathError",
+                        detail=f"no path from {q.source} to {q.target}",
+                        attempts=self.retry_policy.max_attempts,
+                    )
+                )
+                continue
+            answer.answers.append((q, result))
+            answer.visited += result.visited
+            answer.singleton_queries += 1
+        return answer
 
     def process_window(self, batch: QuerySet, at_seconds: Optional[float] = None) -> WindowReport:
         """Answer one externally-formed window (e.g. replayed from a log)."""

@@ -46,7 +46,8 @@ class TestLPT:
     def test_empty_costs(self):
         r = lpt_makespan([], 4)
         assert r.makespan_seconds == 0.0
-        assert r.speedup == 4.0  # degenerate: defined as num_servers
+        assert r.speedup == 0.0  # no work done => no phantom parallelism
+        assert r.utilisation == 0.0
 
     def test_zero_servers_rejected(self):
         with pytest.raises(ConfigurationError):

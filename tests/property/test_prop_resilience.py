@@ -1,0 +1,96 @@
+"""Property-based test: the chaos invariant holds for arbitrary fault plans.
+
+Whatever seeded combination of worker crashes, hangs, and pool breaks a
+FaultPlan injects, the retrying engine must return answers identical to
+the fault-free serial baseline, account for every query (answered + dead
+lettered == submitted), and keep its counters consistent with the unit
+traces.  Runs under the deterministic ``ci`` profile in CI.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.network.generators import grid_city
+from repro.parallel import ParallelBatchEngine
+from repro.queries.query import QuerySet
+from repro.resilience import FaultPlan, FaultSpec, RetryPolicy
+
+GRAPH = grid_city(5, 5, seed=7)
+N = GRAPH.num_vertices
+ANSWERER = LocalCacheAnswerer(GRAPH, cache_bytes=64 * 1024, order="longest")
+DECOMPOSER = SearchSpaceDecomposer(GRAPH)
+
+# Zero backoff keeps examples fast; determinism comes from the plan seed.
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay_seconds=0.0, jitter=0.0)
+
+pairs = st.tuples(
+    st.integers(min_value=0, max_value=N - 1),
+    st.integers(min_value=0, max_value=N - 1),
+).filter(lambda p: p[0] != p[1])
+
+fault_plans = st.builds(
+    lambda seed, crash_p, hang_p, break_pool: FaultPlan(
+        seed=seed,
+        specs=tuple(
+            [
+                FaultSpec(site="unit", kind="crash", probability=crash_p),
+                FaultSpec(
+                    site="unit", kind="hang", probability=hang_p, delay_seconds=0.01
+                ),
+            ]
+            + ([FaultSpec(site="pool", kind="break", units=(0,))] if break_pool else [])
+        ),
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+    crash_p=st.sampled_from([0.2, 0.5, 0.9]),
+    hang_p=st.sampled_from([0.0, 0.3]),
+    break_pool=st.booleans(),
+)
+
+
+def answers_key(batch):
+    return sorted((q, r.distance, tuple(r.path), r.exact) for q, r in batch.answers)
+
+
+def run_engine(decomposition, **options):
+    options.setdefault("workers", 2)
+    options.setdefault("retry_policy", FAST_RETRY)
+    with ParallelBatchEngine.from_answerer(ANSWERER, **options) as engine:
+        return engine.execute(decomposition, method="chaos")
+
+
+@given(st.lists(pairs, min_size=3, max_size=16), fault_plans)
+@settings(max_examples=15, deadline=None)
+def test_faulted_engine_matches_serial_baseline(query_pairs, plan):
+    decomposition = DECOMPOSER.decompose(QuerySet.from_pairs(query_pairs))
+    baseline = ANSWERER.answer(decomposition, method="chaos")
+
+    outcome = run_engine(decomposition, fault_plan=plan)
+    report = outcome.report
+
+    # The invariant itself: identical answers, nothing dropped.
+    assert answers_key(outcome.answer) == answers_key(baseline)
+    assert not report.dead_letters
+    assert outcome.answer.num_queries == len(query_pairs)
+
+    # Accounting: traces explain the counters.
+    assert report.retries == sum(max(0, u.attempts - 1) for u in report.units)
+    assert report.faults_injected == sum(report.faults_by_kind.values())
+    if report.retries == 0 and not report.breaker_tripped:
+        assert report.faults_by_kind.get("crash", 0) == 0
+
+
+@given(st.lists(pairs, min_size=3, max_size=12))
+@settings(max_examples=10, deadline=None)
+def test_fault_free_counters_agree_serial_vs_parallel(query_pairs):
+    """Regression pin: fallback/retry counters agree between serial and workers=2."""
+    decomposition = DECOMPOSER.decompose(QuerySet.from_pairs(query_pairs))
+    reports = {}
+    for workers in (1, 2):
+        outcome = run_engine(decomposition, workers=workers)
+        reports[workers] = outcome.report
+        assert outcome.answer.num_queries == len(query_pairs)
+    for field in ("fallbacks", "retries", "quarantined_units", "faults_injected"):
+        assert getattr(reports[1], field) == getattr(reports[2], field) == 0
+    assert not reports[1].dead_letters and not reports[2].dead_letters

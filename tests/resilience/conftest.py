@@ -1,0 +1,21 @@
+"""Shared fixtures for the resilience suite."""
+
+import pytest
+
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+
+
+@pytest.fixture(scope="module")
+def decomposition(ring, ring_batch):
+    return SearchSpaceDecomposer(ring).decompose(ring_batch)
+
+
+@pytest.fixture(scope="module")
+def answerer(ring):
+    return LocalCacheAnswerer(ring, cache_bytes=64 * 1024, order="longest")
+
+
+@pytest.fixture(scope="module")
+def serial_answer(answerer, decomposition):
+    return answerer.answer(decomposition, method="slc-s")

@@ -1,0 +1,118 @@
+"""CircuitBreaker: the three-state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience import (
+    BREAKER_STATE_VALUES,
+    CLOSED,
+    CircuitBreaker,
+    HALF_OPEN,
+    OPEN,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=2, cooldown_seconds=10.0, clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self, breaker):
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_leads_to_half_open_probe(self, breaker, clock):
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        # Exactly one probe slot.
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, breaker, clock):
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_full_cooldown(self, breaker, clock):
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.0)
+        assert breaker.state == OPEN
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_reset_restores_pristine_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_state_gauge_values(self, breaker, clock):
+        assert breaker.state_value == BREAKER_STATE_VALUES[CLOSED] == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state_value == 2
+        clock.advance(11.0)
+        assert breaker.state_value == 1
+
+    def test_transitions_counted(self, breaker, clock):
+        assert breaker.transitions == 0
+        breaker.record_failure()
+        breaker.record_failure()  # -> open
+        clock.advance(11.0)
+        _ = breaker.state  # -> half-open
+        breaker.record_success()  # -> closed
+        assert breaker.transitions == 3
+
+
+class TestValidation:
+    def test_threshold_positive(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_cooldown_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_seconds=-1.0)

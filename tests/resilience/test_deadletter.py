@@ -1,0 +1,73 @@
+"""DeadLetterRecord serialisation and the summary/render helpers."""
+
+from repro.resilience import (
+    DeadLetterRecord,
+    REASON_INVALID_QUERY,
+    REASON_NO_PATH,
+    STAGE_QUARANTINE,
+    STAGE_VALIDATION,
+    render_dead_letters,
+    summarize_dead_letters,
+)
+
+
+def _record(**overrides):
+    base = dict(
+        source=1,
+        target=2,
+        reason=REASON_INVALID_QUERY,
+        stage=STAGE_VALIDATION,
+        detail="vertex id out of range (|V| = 10)",
+    )
+    base.update(overrides)
+    return DeadLetterRecord(**base)
+
+
+class TestRecord:
+    def test_round_trip_through_dict(self):
+        record = _record(
+            reason=REASON_NO_PATH,
+            stage=STAGE_QUARANTINE,
+            error="NoPathError",
+            unit=4,
+            attempts=3,
+        )
+        assert DeadLetterRecord.from_dict(record.to_dict()) == record
+
+    def test_defaults_survive_sparse_dict(self):
+        record = DeadLetterRecord.from_dict(
+            {"source": 7, "target": 9, "reason": "no-path", "stage": "session"}
+        )
+        assert record.error == ""
+        assert record.unit is None
+        assert record.attempts == 0
+
+
+class TestHelpers:
+    def test_summarize_counts_by_reason(self):
+        records = [
+            _record(),
+            _record(source=3),
+            _record(reason=REASON_NO_PATH, stage=STAGE_QUARANTINE),
+        ]
+        assert summarize_dead_letters(records) == {
+            REASON_INVALID_QUERY: 2,
+            REASON_NO_PATH: 1,
+        }
+
+    def test_render_empty(self):
+        assert render_dead_letters([]) == "no dead letters"
+
+    def test_render_limits_output(self):
+        records = [_record(source=i) for i in range(15)]
+        text = render_dead_letters(records, limit=10)
+        assert "15 dead letter(s)" in text
+        assert "... and 5 more" in text
+        assert "(0 -> 2)" in text
+
+    def test_render_includes_unit_and_error(self):
+        text = render_dead_letters(
+            [_record(reason=REASON_NO_PATH, unit=3, error="NoPathError")]
+        )
+        assert "unit=3" in text
+        assert "NoPathError" in text

@@ -1,0 +1,345 @@
+"""ParallelBatchEngine under injected faults: the chaos invariant.
+
+Every test here asserts some slice of the same contract: whatever a
+seeded FaultPlan throws at the engine, valid queries come back identical
+to the fault-free serial answer, failures beyond the retry budget land in
+dead letters, and the counters account for everything.
+"""
+
+import pytest
+
+from repro.network.graph import RoadNetwork
+from repro.obs import MetricsRegistry, use_registry
+from repro.parallel import ParallelBatchEngine
+from repro.queries.query import Query, QuerySet
+from repro.resilience import (
+    CLOSED,
+    CircuitBreaker,
+    FaultPlan,
+    FaultSpec,
+    NO_RETRY,
+    OPEN,
+    REASON_INVALID_QUERY,
+    REASON_NO_PATH,
+    RetryPolicy,
+    RetryPolicy as RP,
+    default_chaos_plan,
+)
+
+def answers_key(batch):
+    """Everything that must be byte-identical between faulted and clean runs."""
+    return sorted((q, r.distance, tuple(r.path), r.exact) for q, r in batch.answers)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_engine(answerer, **options):
+    options.setdefault("workers", 2)
+    return ParallelBatchEngine.from_answerer(answerer, **options)
+
+
+class TestUnitFaults:
+    def test_crashes_are_retried_to_the_serial_answer(
+        self, answerer, decomposition, serial_answer
+    ):
+        plan = FaultPlan(
+            seed=5, specs=(FaultSpec(site="unit", kind="crash", probability=0.5),)
+        )
+        with make_engine(answerer, fault_plan=plan) as engine:
+            outcome = engine.execute(decomposition, method="chaos")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        report = outcome.report
+        assert report.faults_by_kind.get("crash", 0) > 0
+        assert report.retries >= report.faults_by_kind["crash"]
+        assert report.quarantined_units == 0
+        assert not report.dead_letters
+
+    def test_hang_slowdown_still_matches_serial(
+        self, answerer, decomposition, serial_answer
+    ):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="unit", kind="hang", units=(0, 1), delay_seconds=0.05),
+            )
+        )
+        with make_engine(answerer, fault_plan=plan) as engine:
+            outcome = engine.execute(decomposition, method="chaos")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        assert outcome.report.faults_by_kind.get("hang", 0) == 2
+        # No timeout configured: a hang is just latency, not a failure.
+        assert outcome.report.retries == 0
+
+    def test_hang_past_unit_timeout_is_retried(
+        self, answerer, decomposition, serial_answer
+    ):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="unit", kind="hang", units=(0,), delay_seconds=1.0),)
+        )
+        with make_engine(
+            answerer,
+            fault_plan=plan,
+            unit_timeout=0.15,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_seconds=0.0, jitter=0.0),
+        ) as engine:
+            outcome = engine.execute(decomposition, method="chaos")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        assert outcome.report.unit_timeouts >= 1
+        assert outcome.report.retries >= 1
+
+    def test_hard_worker_exit_breaks_pool_and_recovers(
+        self, answerer, decomposition, serial_answer
+    ):
+        plan = FaultPlan(specs=(FaultSpec(site="unit", kind="exit", units=(0,)),))
+        breaker = CircuitBreaker(failure_threshold=10)
+        with make_engine(answerer, fault_plan=plan, breaker=breaker) as engine:
+            outcome = engine.execute(decomposition, method="chaos")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        assert outcome.report.faults_by_kind.get("exit", 0) == 1
+        assert outcome.report.retries >= 1
+
+    def test_exhausted_retries_quarantine_but_still_answer(
+        self, answerer, decomposition, serial_answer
+    ):
+        # max_attempt=99: the fault hits every pool attempt, so the unit
+        # must fall down the ladder — where the in-process rung (no
+        # injection) answers it.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="unit", kind="crash", units=(0,), max_attempt=99),
+            )
+        )
+        with make_engine(
+            answerer,
+            fault_plan=plan,
+            retry_policy=RP(max_attempts=2, base_delay_seconds=0.0, jitter=0.0),
+        ) as engine:
+            outcome = engine.execute(decomposition, method="chaos")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        report = outcome.report
+        assert report.quarantined_units == 1
+        assert report.retries >= 1
+        assert not report.dead_letters
+        [trace] = [u for u in report.units if u.quarantined]
+        assert trace.index == 0
+        assert trace.fallback
+        assert trace.attempts == 2
+
+    def test_default_chaos_plan_end_to_end(
+        self, answerer, decomposition, serial_answer
+    ):
+        with make_engine(
+            answerer,
+            fault_plan=default_chaos_plan(seed=3),
+            retry_policy=RetryPolicy(max_attempts=3),
+        ) as engine:
+            outcome = engine.execute(decomposition, method="chaos")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        assert outcome.report.faults_injected > 0
+
+
+class TestValidation:
+    def test_out_of_range_queries_become_dead_letters(self, ring, answerer):
+        n = ring.num_vertices
+        batch = QuerySet([Query(0, 5), Query(n + 3, 1), Query(2, n)])
+        with make_engine(answerer) as engine:
+            outcome = engine.execute(batch)
+        assert len(outcome.answer.answers) == 1
+        assert len(outcome.report.dead_letters) == 2
+        assert all(
+            d.reason == REASON_INVALID_QUERY for d in outcome.report.dead_letters
+        )
+        letters = {(d.source, d.target) for d in outcome.report.dead_letters}
+        assert letters == {(n + 3, 1), (2, n)}
+
+    def test_no_bare_keyerror_for_bad_ids(self, answerer):
+        with make_engine(answerer, workers=1) as engine:
+            outcome = engine.execute(QuerySet([Query(10**6, 0)]))
+        assert outcome.answer.answers == []
+        assert len(outcome.report.dead_letters) == 1
+
+
+class TestQuarantineLadder:
+    def test_no_path_query_dead_letters_not_aborts(self):
+        # Two islands: (0,1) and (2,3).  The cross-island query has no
+        # path; the ladder must record it and still answer the others.
+        graph = RoadNetwork(
+            xs=[0.0, 1.0, 10.0, 11.0],
+            ys=[0.0, 0.0, 0.0, 0.0],
+            edges=[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)],
+        )
+        from repro.core.local_cache import LocalCacheAnswerer
+
+        answerer = LocalCacheAnswerer(graph, cache_bytes=64 * 1024, order="longest")
+        engine = ParallelBatchEngine.from_answerer(
+            answerer, workers=2, retry_policy=NO_RETRY
+        )
+        # Force the ladder all the way down: the answerer always raises,
+        # so every query lands on the last-resort Dijkstra rung — where
+        # the unreachable one is detected and dead-lettered.
+        import repro.parallel.worker as worker_module
+
+        original = worker_module.answer_one
+
+        def always_broken(answerer_arg, cluster):
+            raise RuntimeError("forced unit failure")
+
+        engine._ensure_pool = lambda workers: (_ for _ in ()).throw(
+            RuntimeError("pool down")
+        )
+        worker_module.answer_one = always_broken
+        try:
+            outcome = engine.execute(
+                QuerySet([Query(0, 1), Query(0, 3), Query(2, 3)])
+            )
+        finally:
+            worker_module.answer_one = original
+            engine.close()
+        answered = {(q.source, q.target) for q, _ in outcome.answer.answers}
+        assert answered == {(0, 1), (2, 3)}
+        [letter] = outcome.report.dead_letters
+        assert (letter.source, letter.target) == (0, 3)
+        assert letter.reason == REASON_NO_PATH
+
+    def test_singleton_rung_uses_plain_dijkstra(self, ring, answerer, ring_batch):
+        """Even with the answerer fully broken, queries are still answered."""
+        import repro.parallel.worker as worker_module
+
+        sub = QuerySet(list(ring_batch)[:6])
+        engine = ParallelBatchEngine.from_answerer(
+            answerer, workers=2, retry_policy=NO_RETRY
+        )
+        engine._ensure_pool = lambda workers: (_ for _ in ()).throw(
+            RuntimeError("pool down")
+        )
+        original = worker_module.answer_one
+
+        def always_broken(answerer_arg, cluster):
+            raise RuntimeError("answerer broken")
+
+        worker_module.answer_one = always_broken
+        try:
+            outcome = engine.execute(sub)
+        finally:
+            worker_module.answer_one = original
+            engine.close()
+        assert len(outcome.answer.answers) == len(sub)
+        assert not outcome.report.dead_letters
+        from repro.search.dijkstra import dijkstra
+
+        for q, r in outcome.answer.answers:
+            assert r.distance == pytest.approx(
+                dijkstra(ring, q.source, q.target).distance
+            )
+
+
+class TestCircuitBreaker:
+    def test_pool_failures_trip_engine_to_serial(
+        self, answerer, decomposition, serial_answer
+    ):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=60.0, clock=clock
+        )
+        engine = ParallelBatchEngine.from_answerer(
+            answerer, workers=2, retry_policy=NO_RETRY, breaker=breaker
+        )
+        real_ensure = engine._ensure_pool
+        engine._ensure_pool = lambda workers: (_ for _ in ()).throw(
+            RuntimeError("no pools today")
+        )
+        try:
+            first = engine.execute(decomposition, method="chaos")
+            assert answers_key(first.answer) == answers_key(serial_answer)
+            assert breaker.state == OPEN
+            # While open: the engine pre-trips to serial in-process mode.
+            second = engine.execute(decomposition, method="chaos")
+            assert second.report.breaker_tripped
+            assert second.report.workers == 1
+            assert second.report.start_method == "in-process"
+            assert answers_key(second.answer) == answers_key(serial_answer)
+            # Cooldown over: the half-open probe uses a (now healthy) pool
+            # and success closes the breaker again.
+            clock.advance(61.0)
+            engine._ensure_pool = real_ensure
+            third = engine.execute(decomposition, method="chaos")
+            assert not third.report.breaker_tripped
+            assert third.report.workers == 2
+            assert answers_key(third.answer) == answers_key(serial_answer)
+            assert breaker.state == CLOSED
+        finally:
+            engine.close()
+
+    def test_injected_pool_break_is_retried(
+        self, answerer, decomposition, serial_answer
+    ):
+        plan = FaultPlan(specs=(FaultSpec(site="pool", kind="break", units=(0,)),))
+        with make_engine(
+            answerer,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay_seconds=0.0, jitter=0.0),
+        ) as engine:
+            outcome = engine.execute(decomposition, method="chaos")
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        assert outcome.report.faults_by_kind.get("break", 0) == 1
+        assert outcome.report.retries >= 1
+        assert outcome.report.quarantined_units == 0
+
+
+class TestCounters:
+    def test_serial_and_parallel_report_identical_counters(
+        self, answerer, decomposition
+    ):
+        """Regression pin: fallback and retry counters agree across modes."""
+        totals = {}
+        for workers in (1, 2):
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                with make_engine(answerer, workers=workers) as engine:
+                    outcome = engine.execute(decomposition, method="slc-s")
+            assert outcome.report.fallbacks == 0
+            assert outcome.report.retries == 0
+            totals[workers] = registry.snapshot().counters
+        assert totals[1] == totals[2]
+        assert totals[1]["resilience.retries_total"] == 0
+        assert totals[1]["resilience.dead_letters_total"] == 0
+        assert totals[1]["parallel.fallbacks"] == 0
+
+    def test_resilience_counters_flow_to_registry(self, answerer, decomposition):
+        plan = FaultPlan(
+            seed=5, specs=(FaultSpec(site="unit", kind="crash", probability=0.5),)
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with make_engine(
+                answerer, fault_plan=plan, retry_policy=RetryPolicy(max_attempts=3)
+            ) as engine:
+                outcome = engine.execute(decomposition, method="chaos")
+        counters = registry.snapshot().counters
+        assert counters["resilience.retries_total"] == outcome.report.retries
+        assert (
+            counters["resilience.faults_injected_total"]
+            == outcome.report.faults_injected
+        )
+        assert counters["resilience.faults.crash"] > 0
+        gauges = registry.snapshot().gauges
+        assert "resilience.breaker_state" in gauges
+
+
+class TestReportShape:
+    def test_speedup_zero_for_empty_report(self):
+        from repro.parallel.engine import ExecutionReport
+
+        report = ExecutionReport(
+            requested_workers=4, workers=4, start_method="fork", wall_seconds=0.0
+        )
+        assert report.speedup == 0.0
+        assert report.utilisation == 0.0

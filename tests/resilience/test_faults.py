@@ -1,0 +1,121 @@
+"""FaultPlan/FaultSpec: validation, determinism, serialisation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience import (
+    FaultDirective,
+    FaultPlan,
+    FaultSpec,
+    default_chaos_plan,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="network", kind="crash")
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="pool", kind="crash")
+
+    @pytest.mark.parametrize("probability", [-0.1, 1.5])
+    def test_probability_bounds(self, probability):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="unit", kind="crash", probability=probability)
+
+    def test_max_attempt_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="unit", kind="crash", max_attempt=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(site="unit", kind="hang", delay_seconds=-1.0)
+
+    def test_unknown_dict_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.from_dict({"site": "unit", "kind": "crash", "when": "always"})
+
+
+class TestFiringRules:
+    def test_certain_fault_always_fires_on_first_attempt(self):
+        plan = FaultPlan(specs=(FaultSpec(site="unit", kind="crash"),))
+        for unit in range(20):
+            assert plan.unit_fault(unit, attempt=1) is not None
+
+    def test_max_attempt_makes_faults_transient(self):
+        plan = FaultPlan(specs=(FaultSpec(site="unit", kind="crash"),))
+        assert plan.unit_fault(3, attempt=1) is not None
+        assert plan.unit_fault(3, attempt=2) is None
+
+    def test_units_filter(self):
+        plan = FaultPlan(specs=(FaultSpec(site="unit", kind="hang", units=(2, 5)),))
+        assert plan.unit_fault(2, 1) == FaultDirective("hang", 0.05)
+        assert plan.unit_fault(3, 1) is None
+        assert plan.unit_fault(5, 1) is not None
+
+    def test_probabilistic_draws_are_deterministic(self):
+        plan = FaultPlan(
+            seed=9, specs=(FaultSpec(site="unit", kind="crash", probability=0.5),)
+        )
+        fired = [plan.unit_fault(i, 1) is not None for i in range(200)]
+        again = [plan.unit_fault(i, 1) is not None for i in range(200)]
+        assert fired == again
+        # Roughly half fire: the draw really is per-index, not all-or-nothing.
+        assert 60 < sum(fired) < 140
+
+    def test_seed_changes_the_draw(self):
+        spec = FaultSpec(site="unit", kind="crash", probability=0.5)
+        a = [FaultPlan(seed=1, specs=(spec,)).unit_fault(i, 1) is not None for i in range(100)]
+        b = [FaultPlan(seed=2, specs=(spec,)).unit_fault(i, 1) is not None for i in range(100)]
+        assert a != b
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="unit", kind="hang", units=(1,), delay_seconds=0.2),
+                FaultSpec(site="unit", kind="crash"),
+            )
+        )
+        assert plan.unit_fault(1, 1).kind == "hang"
+        assert plan.unit_fault(0, 1).kind == "crash"
+
+    def test_pool_and_session_sites(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="pool", kind="break", units=(0,)),
+                FaultSpec(site="session", kind="transient", units=(1,)),
+            )
+        )
+        assert plan.pool_fault(0) is True
+        assert plan.pool_fault(1) is False
+        assert plan.session_fault(1, attempt=1) is True
+        assert plan.session_fault(1, attempt=2) is False  # transient by default
+        assert plan.session_fault(0, attempt=1) is False
+
+
+class TestSerialisation:
+    def test_round_trip_through_dict(self):
+        plan = default_chaos_plan(seed=11)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_round_trip_through_file(self, tmp_path):
+        plan = default_chaos_plan(seed=4)
+        path = tmp_path / "plan.json"
+        plan.write(path)
+        assert FaultPlan.from_file(path) == plan
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_file(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_file(tmp_path / "nope.json")
+
+    def test_unknown_plan_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"seed": 0, "specs": []})

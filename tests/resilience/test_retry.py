@@ -1,0 +1,73 @@
+"""RetryPolicy: budget accounting, backoff shape, deterministic jitter."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience import NO_RETRY, RetryPolicy
+
+
+class TestBudget:
+    def test_allows_retry_until_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows_retry(1)
+        assert policy.allows_retry(2)
+        assert not policy.allows_retry(3)
+
+    def test_no_retry_constant(self):
+        assert not NO_RETRY.allows_retry(1)
+        assert NO_RETRY.delay_seconds(1) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_seconds": -1.0},
+            {"multiplier": 0.5},
+            {"max_delay_seconds": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay_seconds=0.01,
+            multiplier=2.0,
+            max_delay_seconds=10.0,
+            jitter=0.0,
+        )
+        assert list(policy.backoff_schedule()) == pytest.approx(
+            [0.01, 0.02, 0.04, 0.08]
+        )
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay_seconds=1.0,
+            multiplier=10.0,
+            max_delay_seconds=2.0,
+            jitter=0.0,
+        )
+        assert policy.delay_seconds(5) == 2.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.5, seed=3)
+        a = policy.delay_seconds(2, key=7)
+        b = policy.delay_seconds(2, key=7)
+        assert a == b
+        base = RetryPolicy(max_attempts=4, jitter=0.0).delay_seconds(2, key=7)
+        assert base <= a <= base * 1.5 + 1e-12
+
+    def test_jitter_decorrelates_keys(self):
+        policy = RetryPolicy(max_attempts=4, jitter=1.0, seed=0)
+        delays = {policy.delay_seconds(1, key=k) for k in range(16)}
+        assert len(delays) > 1
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay_seconds(0)

@@ -1,0 +1,237 @@
+"""BatchQueryService under faults: windows degrade gracefully, never drop."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.queries.arrivals import TimedQuery
+from repro.queries.query import Query, QuerySet
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    REASON_INVALID_QUERY,
+    RetryPolicy,
+)
+from repro.search.dijkstra import dijkstra
+from repro.service import BatchQueryService
+
+
+def arrivals_for(queries, windows=2, window_seconds=0.5):
+    dt = windows * window_seconds / (len(queries) + 1)
+    return [TimedQuery(i * dt, q) for i, q in enumerate(queries)]
+
+
+def answered_pairs(report):
+    return sorted(
+        (q.source, q.target, round(r.distance, 9))
+        for w in report.windows
+        if w.answer is not None
+        for q, r in w.answer.answers
+    )
+
+
+@pytest.fixture(scope="module")
+def stream(ring_batch):
+    return list(ring_batch)[:40]
+
+
+@pytest.fixture(scope="module")
+def baseline(ring, stream):
+    with BatchQueryService(ring, window_seconds=0.5, workers=0) as service:
+        return service.run(arrivals_for(stream))
+
+
+class TestValidation:
+    def test_invalid_queries_dead_letter_not_abort(self, ring, stream, baseline):
+        n = ring.num_vertices
+        mixed = stream[:10] + [Query(n + 1, 0), Query(0, n + 9)] + stream[10:]
+        with BatchQueryService(ring, window_seconds=0.5, workers=0) as service:
+            report = service.run(arrivals_for(mixed))
+        assert answered_pairs(report) == answered_pairs(baseline)
+        assert len(report.dead_letters) == 2
+        assert all(d.reason == REASON_INVALID_QUERY for d in report.dead_letters)
+        assert {(d.source, d.target) for d in report.dead_letters} == {
+            (n + 1, 0),
+            (0, n + 9),
+        }
+
+    def test_validation_also_guards_the_session_path(self, ring, stream):
+        n = ring.num_vertices
+        mixed = [Query(n + 5, 3)] + stream[:8]
+        service = BatchQueryService(ring, window_seconds=0.5, workers=1)
+        report = service.run(arrivals_for(mixed))
+        assert len(report.dead_letters) == 1
+        assert report.answered_queries == 8
+
+
+class TestSessionFaults:
+    def test_transient_session_failure_is_retried(self, ring, stream, baseline):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="session", kind="transient", probability=1.0),)
+        )
+        policy = RetryPolicy(max_attempts=2, base_delay_seconds=0.0, jitter=0.0)
+        service = BatchQueryService(
+            ring,
+            window_seconds=0.5,
+            workers=1,
+            fault_plan=plan,
+            retry_policy=policy,
+        )
+        report = service.run(arrivals_for(stream))
+        assert answered_pairs(report) == answered_pairs(baseline)
+        assert report.total_retries == report.busy_windows
+        assert report.degraded_windows == 0
+
+    def test_persistent_session_failure_degrades_window(self, ring, stream):
+        # max_attempt high: every retry hits the fault, so the window must
+        # fall back to per-query Dijkstra — still answering everything.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="session", kind="transient", probability=1.0, max_attempt=99
+                ),
+            )
+        )
+        policy = RetryPolicy(max_attempts=2, base_delay_seconds=0.0, jitter=0.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            service = BatchQueryService(
+                ring,
+                window_seconds=0.5,
+                workers=1,
+                fault_plan=plan,
+                retry_policy=policy,
+            )
+            report = service.run(arrivals_for(stream))
+        assert report.degraded_windows == report.busy_windows > 0
+        assert report.answered_queries == len(stream)
+        for w in report.windows:
+            if w.answer is None:
+                continue
+            assert w.degraded
+            for q, r in w.answer.answers:
+                assert r.distance == pytest.approx(
+                    dijkstra(ring, q.source, q.target).distance
+                )
+        counters = registry.snapshot().counters
+        assert counters["service.degraded_windows"] == report.degraded_windows
+        assert counters["resilience.retries_total"] == report.total_retries
+
+
+class TestEngineFaultsThroughService:
+    def test_windowed_chaos_matches_baseline(self, ring, stream, baseline):
+        plan = FaultPlan(
+            seed=2,
+            specs=(
+                FaultSpec(site="unit", kind="crash", probability=0.5),
+                FaultSpec(site="pool", kind="break", units=(0,)),
+            ),
+        )
+        with BatchQueryService(
+            ring,
+            window_seconds=0.5,
+            workers=2,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_seconds=0.0, jitter=0.0),
+        ) as service:
+            report = service.run(arrivals_for(stream))
+        assert answered_pairs(report) == answered_pairs(baseline)
+        assert not report.dead_letters
+        assert report.total_retries > 0
+
+    def test_window_report_carries_engine_dead_letters(self, ring, stream):
+        n = ring.num_vertices
+        mixed = stream[:6] + [Query(n + 2, 1)]
+        with BatchQueryService(ring, window_seconds=0.5, workers=2) as service:
+            report = service.run(arrivals_for(mixed, windows=1))
+        assert len(report.dead_letters) == 1
+        [window] = [w for w in report.windows if w.queries]
+        assert window.dead_letters == report.dead_letters
+        assert window.answered_queries == 6
+
+
+class TestChaosCli:
+    def test_chaos_command_passes_end_to_end(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "chaos",
+                "--scale",
+                "tiny",
+                "--size",
+                "30",
+                "--workers",
+                "2",
+                "--bad-queries",
+                "2",
+                "--windows",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CHAOS OK" in out
+        assert "dead letters  : 2" in out
+
+    def test_chaos_command_serial_path(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "chaos",
+                "--scale",
+                "tiny",
+                "--size",
+                "24",
+                "--workers",
+                "1",
+                "--bad-queries",
+                "1",
+                "--windows",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "CHAOS OK" in capsys.readouterr().out
+
+    def test_run_command_accepts_fault_plan(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.resilience import default_chaos_plan
+
+        plan_path = tmp_path / "plan.json"
+        default_chaos_plan(seed=1).write(plan_path)
+        code = main(
+            [
+                "run",
+                "--method",
+                "slc-s",
+                "--scale",
+                "tiny",
+                "--size",
+                "40",
+                "--workers",
+                "2",
+                "--fault-plan",
+                str(plan_path),
+                "--max-attempts",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults injected" in out
+
+
+class TestReportAggregation:
+    def test_service_report_totals(self, ring, stream):
+        n = ring.num_vertices
+        mixed = stream[:12] + [Query(n + 4, 2)]
+        with BatchQueryService(ring, window_seconds=0.5, workers=0) as service:
+            report = service.run(arrivals_for(mixed, windows=3))
+        assert report.total_queries == len(mixed)
+        assert report.answered_queries == 12
+        assert len(report.dead_letters) == 1
+        assert report.degraded_windows == 0
+        assert math.isfinite(report.worst_window_seconds)
