@@ -29,6 +29,27 @@ def test_micro_dijkstra(benchmark, env, long_pair):
     assert result.found
 
 
+def test_micro_dijkstra_frozen(benchmark, env, long_pair):
+    graph = env.graph.copy()
+    graph.freeze()
+    s, t = long_pair
+    result = benchmark(lambda: dijkstra(graph, s, t))
+    assert result.found
+    assert result.distance == dijkstra(env.graph, s, t).distance
+
+
+def test_micro_freeze(benchmark, env):
+    graph = env.graph.copy()
+    u, v, w = next(iter(graph.edges()))
+
+    def rebuild():
+        graph.set_weight(u, v, w)  # version bump drops the cached snapshot
+        return graph.freeze()
+
+    csr = benchmark(rebuild)
+    assert csr.num_vertices == graph.num_vertices
+
+
 def test_micro_astar(benchmark, env, long_pair):
     s, t = long_pair
     result = benchmark(lambda: a_star(env.graph, s, t))

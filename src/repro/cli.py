@@ -162,6 +162,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         eviction=args.eviction,
         workers=args.workers,
         engine_options=_engine_options(args),
+        frozen=args.frozen,
     )
     registry = MetricsRegistry() if (args.metrics_out or args.spans_out) else None
     if registry is not None:
@@ -300,7 +301,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     # Fault-free serial baseline (workers=0 = the engine path in-process).
     with BatchQueryService(
-        graph, window_seconds=args.window_seconds, workers=0
+        graph, window_seconds=args.window_seconds, workers=0, frozen=args.frozen
     ) as baseline_service:
         baseline = baseline_service.run(arrivals)
 
@@ -313,6 +314,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             fault_plan=plan,
             retry_policy=policy,
             unit_timeout=args.unit_timeout,
+            frozen=args.frozen,
+            start_method=args.start_method,
         ) as chaos_service:
             chaos = chaos_service.run(arrivals)
 
@@ -495,6 +498,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="retry budget per work unit (default 2)")
     p_run.add_argument("--unit-timeout", type=float, default=None,
                        help="per-attempt deadline (seconds) on each work unit")
+    p_run.add_argument("--frozen", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="freeze the graph to the CSR kernels "
+                       "(--no-frozen forces the dict-graph paths)")
     p_run.set_defaults(func=cmd_run)
 
     p_chaos = sub.add_parser(
@@ -514,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="JSON fault plan (default: built-in chaos mix)")
     p_chaos.add_argument("--max-attempts", type=int, default=3)
     p_chaos.add_argument("--unit-timeout", type=float, default=None)
+    p_chaos.add_argument("--frozen", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="freeze the graph to the CSR kernels "
+                         "(--no-frozen forces the dict-graph paths)")
+    p_chaos.add_argument("--start-method", default=None,
+                         choices=["fork", "spawn", "forkserver"],
+                         help="multiprocessing start method for the faulted "
+                         "run (spawn exercises the shared-memory attach)")
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_dyn = sub.add_parser(

@@ -75,6 +75,12 @@ class BatchProcessor:
         Methods whose processing order is randomised across clusters
         (``slc-r``, ``r2r-r``) and the undecomposed baselines stay
         single-process.
+    frozen:
+        When true (default) the graph is frozen to a CSR snapshot before
+        answering, so every search runs the flat-array kernels and worker
+        pools share the snapshot zero-copy (fork: copy-on-write; spawn:
+        shared memory).  Answers are bit-identical either way; set false
+        to force the mutable dict-graph paths.
     """
 
     #: Methods that ``workers > 1`` actually parallelises.
@@ -92,6 +98,7 @@ class BatchProcessor:
         eviction: str = "none",
         workers: int = 1,
         engine_options: Optional[dict] = None,
+        frozen: bool = True,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
@@ -104,6 +111,7 @@ class BatchProcessor:
         self.log_fraction = log_fraction
         self.eviction = eviction
         self.workers = workers
+        self.frozen = frozen
         #: Extra :class:`repro.parallel.ParallelBatchEngine` kwargs
         #: (retry_policy, fault_plan, unit_timeout, breaker...).
         self.engine_options = dict(engine_options or {})
@@ -114,6 +122,10 @@ class BatchProcessor:
         runner = self._runners().get(method)
         if runner is None:
             raise ConfigurationError(f"unknown method {method!r}; choose from {METHODS}")
+        if self.frozen:
+            # Cached by graph.version, so repeated process() calls on the
+            # same snapshot freeze exactly once.
+            self.graph.freeze()
         return runner(queries)
 
     def _runners(self) -> Dict[str, Callable[[QuerySet], BatchAnswer]]:
@@ -188,8 +200,10 @@ class BatchProcessor:
         # module-scope import would be circular.
         from ..parallel import ParallelBatchEngine
 
+        options = dict(self.engine_options)
+        options.setdefault("shared_graph", self.frozen)
         with ParallelBatchEngine.from_answerer(
-            answerer, workers=self.workers, **self.engine_options
+            answerer, workers=self.workers, **options
         ) as engine:
             return engine.execute(decomposition, method=label).answer
 

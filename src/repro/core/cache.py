@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import CacheError
+from ..exceptions import CacheError, GraphError
 from ..network.supervertex import SuperVertexMap
 from ..search.common import PathResult
 
@@ -142,16 +142,12 @@ class PathCache:
             if self.eviction == "none" or not self._make_room(path_size_bytes(path)):
                 self.rejected_inserts += 1
                 return None
-        edge_pos = self.graph._edge_pos  # noqa: SLF001 - hot path
-        adj = self.graph._adj  # noqa: SLF001
-        prefix = [0.0]
-        total = 0.0
+        # Graph-agnostic: RoadNetwork and frozen CSRGraph both expose
+        # path_prefix_weights, so caches work in shm-attached workers too.
         try:
-            for u, v in zip(path, path[1:]):
-                total += adj[u][edge_pos[(u, v)]][1]
-                prefix.append(total)
-        except KeyError:
-            raise CacheError(f"not a walk on the graph: missing edge ({u}, {v})") from None
+            prefix = self.graph.path_prefix_weights(path)
+        except GraphError as exc:
+            raise CacheError(f"not a walk on the graph: {exc}") from None
         pos: Dict[int, int] = {}
         for i, v in enumerate(path):
             pos.setdefault(v, i)

@@ -1,6 +1,7 @@
 """Road-network substrate: graphs, generators, spatial indexes, geometry."""
 
 from .convexhull import convex_hull, hull_bounding_box, point_in_hull
+from .csr import CSRGraph, CSRHandle, SharedCSR, share_csr
 from .generators import (
     beijing_like,
     grid_city,
@@ -28,11 +29,15 @@ from .timeline import (
 )
 
 __all__ = [
+    "CSRGraph",
+    "CSRHandle",
     "CellSummary",
     "Ellipse",
     "GridIndex",
     "RoadNetwork",
+    "SharedCSR",
     "SuperVertexMap",
+    "share_csr",
     "TrafficTimeline",
     "angular_difference",
     "auto_levels",

@@ -201,6 +201,7 @@ def beijing_like(scale: str = "small", seed: int = 0) -> RoadNetwork:
     ``small``    ~960         80 km          fast benchmarks
     ``medium``   ~2.9k        128 km         headline benchmarks
     ``large``    ~6.9k        192 km         stress runs
+    ``xlarge``   ~20.7k       288 km         kernel benchmarks
     ============ ============ ============== =================
     """
     presets: Dict[str, Tuple[int, int, float, int]] = {
@@ -208,6 +209,7 @@ def beijing_like(scale: str = "small", seed: int = 0) -> RoadNetwork:
         "small": (10, 24, 4.0, 3),
         "medium": (16, 36, 4.0, 4),
         "large": (24, 48, 4.0, 5),
+        "xlarge": (36, 64, 4.0, 8),
     }
     try:
         rings, spokes, spacing, between = presets[scale]

@@ -18,10 +18,13 @@ weights are travel times rather than distances.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import GraphError
 from .spatial import euclidean, reference_angle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .csr import CSRGraph
 
 EdgeTuple = Tuple[int, int, float]
 
@@ -61,6 +64,7 @@ class RoadNetwork:
         self._min_ratio_dirty = False
         #: Incremented on every mutation; caches key their validity on it.
         self.version = 0
+        self._frozen: Optional["CSRGraph"] = None
         if edges is not None:
             for u, v, w in edges:
                 self.add_edge(u, v, w)
@@ -130,6 +134,10 @@ class RoadNetwork:
 
     def add_edge(self, u: int, v: int, w: float) -> None:
         """Insert directed edge ``(u, v)`` with weight ``w`` (>= 0)."""
+        # Normalise endpoints to int up front: rows store [int, float] so
+        # downstream consumers (kernels, ratio recompute) never see a float
+        # vertex id even when callers pass numpy scalars or floats.
+        u, v = int(u), int(v)
         self._check_vertex(u)
         self._check_vertex(v)
         if w < 0:
@@ -158,12 +166,18 @@ class RoadNetwork:
         self._adj[u][pos][1] = float(w)
         self._radj[v][self._redge_pos[(u, v)]][1] = float(w)
         self._weight_sum += w - old
-        # A lowered weight may lower the min weight/euclid ratio, so the
-        # cached heuristic scale has to be recomputed lazily.
-        if w < old:
-            self._min_ratio_dirty = True
-        else:
-            self._note_ratio(u, v, w)
+        # Keep the cached min weight/euclid ratio exact, not merely
+        # admissible.  A new ratio at or below the cached minimum *is* the
+        # new minimum; a raised ratio on an edge that may have been the
+        # argmin (old ratio <= cached min) forces a lazy recompute.
+        if not self._min_ratio_dirty:
+            d = self.euclidean(u, v)
+            if d > 0:
+                ratio = float(w) / d
+                if self._min_ratio is None or ratio <= self._min_ratio:
+                    self._min_ratio = ratio
+                elif old / d <= self._min_ratio:
+                    self._min_ratio_dirty = True
         self.version += 1
 
     def scale_weights(self, factor: float, edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
@@ -231,6 +245,66 @@ class RoadNetwork:
     def total_weight(self) -> float:
         """Sum of all current edge weights."""
         return self._weight_sum
+
+    def path_prefix_weights(self, path: Sequence[int]) -> List[float]:
+        """Cumulative weights along ``path``: ``prefix[i] = d(path[0], path[i])``.
+
+        Raises :class:`GraphError` if any consecutive pair is not an edge.
+        """
+        adj = self._adj
+        edge_pos = self._edge_pos
+        prefix = [0.0]
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            try:
+                total += adj[u][edge_pos[(u, v)]][1]
+            except KeyError:
+                raise GraphError(f"edge ({u}, {v}) does not exist") from None
+            prefix.append(total)
+        return prefix
+
+    # ------------------------------------------------------------------
+    # Frozen CSR snapshots
+    # ------------------------------------------------------------------
+    def freeze(self) -> "CSRGraph":
+        """Return a flat-array :class:`~repro.network.csr.CSRGraph` snapshot.
+
+        The snapshot is cached and keyed to :attr:`version`: repeated calls
+        return the *same object* until the network mutates, so answerers and
+        the parallel engine can freeze eagerly without duplicating work.
+        Freezing also recomputes :attr:`total_weight` exactly, flushing any
+        float drift accumulated by incremental ``set_weight`` updates.
+        """
+        frozen = self._frozen
+        if frozen is not None and frozen.version == self.version:
+            return frozen
+        from .csr import freeze_network
+
+        # Exact (fsum) recompute of the incrementally maintained weight sum:
+        # each set_weight adds `w - old` in floating point, and over long
+        # churn the rounding errors drift.
+        self._weight_sum = math.fsum(w for row in self._adj for _, w in row)
+        frozen, seconds = freeze_network(self)
+        self._frozen = frozen
+        from .. import obs
+
+        obs.record_freeze(frozen.num_vertices, frozen.num_edges, seconds)
+        return frozen
+
+    def frozen_or_none(self) -> Optional["CSRGraph"]:
+        """The cached frozen snapshot if still valid for :attr:`version`."""
+        frozen = self._frozen
+        if frozen is not None and frozen.version == self.version:
+            return frozen
+        return None
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Never ship the frozen snapshot inside a pickled network: it is
+        # derived state, may be shm-backed (unpicklable by design), and
+        # spawn workers re-freeze or attach explicitly.
+        state = self.__dict__.copy()
+        state["_frozen"] = None
+        return state
 
     def reversed_copy(self) -> "RoadNetwork":
         """A new network with every edge direction flipped."""

@@ -68,9 +68,13 @@ __all__ = [
     "record_dead_letters",
     "record_decomposition",
     "record_fault",
+    "record_freeze",
     "record_quarantine",
     "record_retry",
     "record_search",
+    "record_shm_attach",
+    "record_shm_share",
+    "record_spawn_payload",
     "set_breaker_state",
     "render_metrics_summary",
     "render_stage_table",
@@ -120,6 +124,39 @@ def record_cache(
         reg.counter("cache.rejected_inserts").add(rejected_inserts)
         reg.counter("cache.subpath_hits").add(subpath_hits)
         reg.counter("cache.bytes_built").add(bytes_built)
+
+
+def record_freeze(num_vertices: int, num_edges: int, seconds: float) -> None:
+    """Count one CSR freeze (cache-miss snapshot build) and its size/time."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("csr.freezes").add(1)
+        reg.counter("csr.frozen_vertices").add(num_vertices)
+        reg.counter("csr.frozen_edges").add(num_edges)
+        reg.histogram("csr.freeze_seconds", TIME_BUCKETS).observe(max(0.0, seconds))
+
+
+def record_shm_share(nbytes: int) -> None:
+    """Count one shared-memory CSR segment published by the parent."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("csr.shm_segments").add(1)
+        reg.counter("csr.shm_bytes").add(nbytes)
+
+
+def record_shm_attach(nbytes: int) -> None:
+    """Count one zero-copy worker attachment to a shared CSR segment."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("csr.shm_attaches").add(1)
+        reg.counter("csr.shm_attached_bytes").add(nbytes)
+
+
+def record_spawn_payload(nbytes: int) -> None:
+    """Size of one spawn-pool initializer payload (handle or pickled graph)."""
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("parallel.spawn_payload_bytes").add(nbytes)
 
 
 def record_retry(count: int = 1) -> None:

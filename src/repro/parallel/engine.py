@@ -60,11 +60,13 @@ from ..exceptions import (
     FaultInjectionError,
     UnitTimeoutError,
 )
+from ..network.csr import SharedCSR, share_csr
 from ..obs import (
     MetricsRegistry,
     MetricsSnapshot,
     TIME_BUCKETS,
     get_registry,
+    record_spawn_payload,
     use_registry,
 )
 from ..queries.query import QuerySet
@@ -243,8 +245,17 @@ class ParallelBatchEngine:
         injected).
     start_method:
         ``multiprocessing`` start method; default prefers ``fork`` when
-        the platform offers it, else the platform default (pickle
-        fallback).
+        the platform offers it, else the platform default (shared-memory
+        CSR attach, or pickle fallback).
+    shared_graph:
+        When true (default) the engine freezes the graph before sharing it
+        with workers: fork pools inherit the CSR snapshot copy-on-write,
+        and spawn/forkserver pools receive only a
+        :class:`~repro.network.csr.CSRHandle` (shm segment names +
+        metadata) and attach the parent's buffers zero-copy.  The engine
+        owns the segment and unlinks it on shutdown, worker crash and
+        breaker fallback alike.  Set false to force the legacy
+        pickled-graph payload (mutable dict-graph search paths).
     unit_timeout:
         Optional per-attempt cap in seconds on the *additional* wait for a
         worker result; on expiry the attempt counts as failed and the
@@ -277,6 +288,7 @@ class ParallelBatchEngine:
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         breaker: Optional[CircuitBreaker] = None,
+        shared_graph: bool = True,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
@@ -296,6 +308,9 @@ class ParallelBatchEngine:
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.shared_graph = shared_graph
+        self._shared: Optional[SharedCSR] = None
+        self._shared_version: Optional[int] = None
         # Validates the kind eagerly and doubles as the in-process fallback
         # answerer and the fork-inherited template.
         self._answerer = worker.build_answerer(
@@ -349,6 +364,40 @@ class ParallelBatchEngine:
             self._pool = None
             self._pool_workers = 0
             self._pool_version = None
+        self._release_shared()
+
+    def _release_shared(self) -> None:
+        """Close + unlink the engine-owned shm segment (idempotent).
+
+        Runs on every pool teardown: clean shutdown, pool rebuild after a
+        version bump, worker-crash recovery (:meth:`_note_pool_failure`)
+        and the circuit breaker's serial fallback all come through
+        :meth:`_shutdown`, so the segment can never outlive its pool.
+        """
+        shared, self._shared = self._shared, None
+        self._shared_version = None
+        if shared is not None:
+            try:
+                shared.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+    def _ensure_shared_segment(self, version) -> Optional[SharedCSR]:
+        """The engine-owned shared CSR segment for the current graph version."""
+        if self._shared is not None and self._shared_version != version:
+            self._release_shared()
+        if self._shared is None:
+            freeze = getattr(self.graph, "freeze", None)
+            if freeze is None:
+                return None
+            try:
+                self._shared = share_csr(freeze())
+            except Exception:
+                # Out of shm space (or an exotic graph): fall back to the
+                # pickled-graph payload rather than failing dispatch.
+                return None
+            self._shared_version = version
+        return self._shared
 
     # ------------------------------------------------------------------
     def execute(
@@ -546,6 +595,12 @@ class ParallelBatchEngine:
             method = self._resolved_start_method()
             context = mp.get_context(method)
             if method == "fork":
+                if self.shared_graph:
+                    freeze = getattr(self.graph, "freeze", None)
+                    if freeze is not None:
+                        # Freeze before forking so every child inherits the
+                        # CSR snapshot copy-on-write and runs the kernels.
+                        freeze()
                 # Workers fork lazily at first submit; the state installed
                 # here (and re-asserted before each submit round) is what
                 # they inherit.
@@ -554,13 +609,24 @@ class ParallelBatchEngine:
                     max_workers=workers, mp_context=context
                 )
             else:
-                payload = pickle.dumps(
-                    (self.graph, self.answerer_kind, self.answerer_kwargs)
-                )
+                payload: Optional[bytes] = None
+                initializer = worker.init_spawn
+                if self.shared_graph:
+                    shared = self._ensure_shared_segment(version)
+                    if shared is not None:
+                        payload = pickle.dumps(
+                            (shared.handle, self.answerer_kind, self.answerer_kwargs)
+                        )
+                        initializer = worker.init_spawn_shared
+                if payload is None:
+                    payload = pickle.dumps(
+                        (self.graph, self.answerer_kind, self.answerer_kwargs)
+                    )
+                record_spawn_payload(len(payload))
                 self._pool = ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=context,
-                    initializer=worker.init_spawn,
+                    initializer=initializer,
                     initargs=(payload,),
                 )
             self._pool_workers = workers

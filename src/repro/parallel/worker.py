@@ -1,13 +1,18 @@
 """Worker-side state and entry points for the multiprocess engine.
 
-The engine shares the road network with its workers in one of two ways:
+The engine shares the road network with its workers in one of three ways:
 
 * **fork** (Linux default): the parent sets the module globals below just
   before the pool forks, so every child inherits the graph and a ready
   answerer copy-on-write — the graph is never pickled.
-* **spawn / forkserver** (macOS, Windows): the pool initialiser receives a
-  pickled ``(graph, answerer_kind, answerer_kwargs)`` payload and rebuilds
-  the answerer once per worker process.
+* **spawn / forkserver + shared memory** (default when the engine holds a
+  frozen graph): the pool initialiser receives a pickled
+  ``(CSRHandle, answerer_kind, answerer_kwargs)`` payload — shm segment
+  *names* plus metadata, a few hundred bytes — and each worker attaches the
+  parent's CSR buffers zero-copy via :meth:`CSRGraph.attach`.
+* **spawn / forkserver fallback**: a pickled
+  ``(graph, answerer_kind, answerer_kwargs)`` payload rebuilds the whole
+  graph once per worker process.
 
 Either way a worker only ever answers whole work units (one query cluster
 per call), so all cache state stays private to the unit — exactly the
@@ -17,6 +22,7 @@ embarrassingly parallel.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import time
@@ -32,9 +38,14 @@ from ..resilience.faults import FAULT_EXIT_CODE, FaultDirective
 ANSWERER_KINDS = ("local-cache", "r2r", "one-by-one")
 
 # Per-process state: set in the parent before a fork pool starts, or by
-# :func:`init_spawn` inside each spawned worker.
+# :func:`init_spawn` / :func:`init_spawn_shared` inside each spawned worker.
 _GRAPH = None
 _ANSWERER = None
+# Shm-attached CSR snapshot (spawn + shared-memory path), kept for cleanup.
+_ATTACHED = None
+# One-shot flag: the first metrics-collecting unit after an attach folds the
+# attach event into its snapshot so the parent's registry sees it.
+_ATTACH_PENDING = False
 
 
 def build_answerer(graph, kind: str, kwargs: dict):
@@ -72,6 +83,36 @@ def init_spawn(payload: bytes) -> None:
     """Pool initialiser for spawn platforms: rebuild state from a pickle."""
     graph, kind, kwargs = pickle.loads(payload)
     set_parent_state(graph, build_answerer(graph, kind, kwargs))
+
+
+def init_spawn_shared(payload: bytes) -> None:
+    """Pool initialiser for spawn platforms with a shared-memory CSR graph.
+
+    ``payload`` pickles ``(CSRHandle, answerer_kind, answerer_kwargs)`` —
+    no graph data crosses the process boundary; the worker attaches the
+    parent's buffers by segment name.  The attachment is closed at worker
+    exit; the parent owns (and unlinks) the segment.
+    """
+    global _ATTACHED, _ATTACH_PENDING
+    handle, kind, kwargs = pickle.loads(payload)
+    from ..network.csr import CSRGraph
+
+    graph = CSRGraph.attach(handle)
+    _ATTACHED = graph
+    _ATTACH_PENDING = True
+    atexit.register(release_attached)
+    set_parent_state(graph, build_answerer(graph, kind, kwargs))
+
+
+def release_attached() -> None:
+    """Close this process's shm attachment (idempotent; atexit hook)."""
+    global _ATTACHED
+    attached, _ATTACHED = _ATTACHED, None
+    if attached is not None:
+        try:
+            attached.release()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
 
 
 def answer_one(answerer, cluster: QueryCluster) -> BatchAnswer:
@@ -126,7 +167,14 @@ def answer_unit(payload: Tuple[int, QueryCluster, bool, object]):
         answer = answer_one(_ANSWERER, cluster)
         busy = time.perf_counter() - t0
         return index, answer, os.getpid(), started, busy, None
+    global _ATTACH_PENDING
     registry = MetricsRegistry()
+    if _ATTACH_PENDING and _ATTACHED is not None:
+        # Report this worker's zero-copy attach exactly once, riding home
+        # with the first collected unit's snapshot.
+        registry.counter("csr.shm_attaches").add(1)
+        registry.counter("csr.shm_attached_bytes").add(_ATTACHED.nbytes)
+        _ATTACH_PENDING = False
     with use_registry(registry):
         answer = answer_one(_ANSWERER, cluster)
     busy = time.perf_counter() - t0

@@ -10,6 +10,19 @@ from .astar import a_star
 from .bidirectional import bidirectional_dijkstra
 from .bidirectional_astar import bidirectional_a_star
 from .common import PathResult, SearchStats, path_length, reconstruct_path
+from .csr_kernels import (
+    csr_a_star,
+    csr_bidirectional_a_star,
+    csr_bidirectional_dijkstra,
+    csr_bounded_ball,
+    csr_bounded_ball_tree,
+    csr_dijkstra,
+    csr_generalized_a_star,
+    csr_one_to_many,
+    csr_sssp_distances,
+    csr_sssp_tree,
+    frozen_csr,
+)
 from .dijkstra import bounded_ball, dijkstra, one_to_many, sssp_distances, sssp_tree
 from .generalized_astar import generalized_a_star, pick_representative
 from .landmarks import LandmarkIndex
@@ -21,7 +34,18 @@ __all__ = [
     "bidirectional_a_star",
     "bidirectional_dijkstra",
     "bounded_ball",
+    "csr_a_star",
+    "csr_bidirectional_a_star",
+    "csr_bidirectional_dijkstra",
+    "csr_bounded_ball",
+    "csr_bounded_ball_tree",
+    "csr_dijkstra",
+    "csr_generalized_a_star",
+    "csr_one_to_many",
+    "csr_sssp_distances",
+    "csr_sssp_tree",
     "dijkstra",
+    "frozen_csr",
     "generalized_a_star",
     "LandmarkIndex",
     "one_to_many",

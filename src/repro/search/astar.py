@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..obs import record_search
 from .common import PathResult, reconstruct_path
+from .csr_kernels import csr_a_star, frozen_csr
 
 Heuristic = Callable[[int], float]
 
@@ -29,6 +30,9 @@ def a_star(
     ``heuristic`` maps a vertex to an admissible lower bound on its distance
     to ``target``; when omitted the graph's scaled Euclidean bound is used.
     """
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_a_star(csr, source, target, heuristic)
     if heuristic is None:
         tx, ty = graph.coord(target)
         scale = graph.heuristic_scale

@@ -13,10 +13,14 @@ from typing import Dict, List, Set, Tuple
 
 from ..obs import record_search
 from .common import PathResult
+from .csr_kernels import csr_bidirectional_dijkstra, frozen_csr
 
 
 def bidirectional_dijkstra(graph, source: int, target: int) -> PathResult:
     """Exact point-to-point shortest path via bidirectional Dijkstra."""
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_bidirectional_dijkstra(csr, source, target)
     if source == target:
         return PathResult(source, target, 0.0, [source], 1)
 

@@ -23,10 +23,14 @@ from typing import Dict, List, Set, Tuple
 
 from ..obs import record_search
 from .common import PathResult
+from .csr_kernels import csr_bidirectional_a_star, frozen_csr
 
 
 def bidirectional_a_star(graph, source: int, target: int) -> PathResult:
     """Exact point-to-point search: bidirectional Dijkstra on reduced costs."""
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_bidirectional_a_star(csr, source, target)
     if source == target:
         return PathResult(source, target, 0.0, [source], 1)
 

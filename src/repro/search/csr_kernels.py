@@ -1,0 +1,707 @@
+"""Index-based search kernels over frozen :class:`~repro.network.csr.CSRGraph`.
+
+Each kernel is a drop-in replacement for its dict-based counterpart in
+:mod:`repro.search.dijkstra` / :mod:`astar` / :mod:`bidirectional` /
+:mod:`bidirectional_astar` / :mod:`generalized_astar`: **bit-identical**
+distances, paths, VNN counts and :func:`repro.obs.record_search` accounting,
+just faster.  The dict implementations remain the mutable-graph fallback and
+the differential-testing oracle (``tests/search/test_csr_kernels.py``).
+
+Three things buy the speedup:
+
+* flat **index-addressed** distance/parent arrays instead of per-call dicts.
+  Expected-large kernels (point-to-point Dijkstra, SSSP) allocate a fresh
+  ``[inf] * n`` distance list per call — a single C-level allocation, ~50 µs
+  for 20k vertices, cheaper than any Python-level reset loop.  Expected-small
+  kernels (``bounded_ball``, ``one_to_many``) reuse a per-snapshot scratch
+  array reset via a touched-list in ``finally`` (O(search), not O(n)).  The
+  parent scratch is shared and **never reset**: only entries written in the
+  current run are ever read back (path walks and touched-list projections);
+* a **generation stamp** per vertex instead of per-call ``done`` sets — one
+  shared ``int`` array where ``done[u] == gen`` means "settled in *this*
+  run", so "clearing" the set is a single counter increment;
+* iteration over the snapshot's pre-decoded ``(v, w)`` row tuples with every
+  hot name bound to a local.
+
+The Dijkstra-keyed kernels skip stale heap entries with ``d > dist[u]``
+(push only on strict improvement ⇒ all entries for a settled vertex except
+the first popped are strictly worse), which is exactly the skip set of the
+dict versions' lazy-deletion ``done`` checks; the A*-keyed and bidirectional
+kernels need the explicit stamps because their heap keys are not distances.
+The hottest kernels keep no per-push counters: ``record_search`` arguments
+are derived from pop/stale tallies via the heap-size invariant
+``pushes == pops + len(heap) - 1`` (one seed entry, each pop removes one).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..obs import record_search
+from .common import PathResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.csr import CSRGraph
+
+Infinity = math.inf
+
+__all__ = [
+    "csr_a_star",
+    "csr_bidirectional_a_star",
+    "csr_bidirectional_dijkstra",
+    "csr_bounded_ball",
+    "csr_bounded_ball_tree",
+    "csr_dijkstra",
+    "csr_generalized_a_star",
+    "csr_one_to_many",
+    "csr_sssp_distances",
+    "csr_sssp_tree",
+    "frozen_csr",
+]
+
+
+def frozen_csr(graph: object) -> "Optional[CSRGraph]":
+    """The graph's valid frozen snapshot, or ``None`` (duck-typed dispatch)."""
+    probe = getattr(graph, "frozen_or_none", None)
+    return probe() if probe is not None else None
+
+
+class _Scratch:
+    """Preallocated per-snapshot search workspace.
+
+    ``dist_*``/``par_*`` are reset via the kernels' touched lists; the
+    ``done_*`` stamp arrays are "cleared" by bumping :attr:`gen`.
+    """
+
+    __slots__ = ("dist_f", "dist_b", "par_f", "par_b", "done_f", "done_b", "gen")
+
+    def __init__(self, n: int) -> None:
+        self.dist_f: List[float] = [Infinity] * n
+        self.dist_b: List[float] = [Infinity] * n
+        self.par_f: List[int] = [-1] * n
+        self.par_b: List[int] = [-1] * n
+        self.done_f: List[int] = [0] * n
+        self.done_b: List[int] = [0] * n
+        self.gen = 0
+
+
+def _scratch(csr: "CSRGraph") -> _Scratch:
+    ws = csr._scratch  # noqa: SLF001 - kernels own this slot
+    if type(ws) is not _Scratch or len(ws.done_f) != csr.num_vertices:
+        ws = _Scratch(csr.num_vertices)
+        csr._scratch = ws  # noqa: SLF001
+    return ws
+
+
+def _walk(parent: List[int], source: int, target: int) -> List[int]:
+    path = [target]
+    v = target
+    while v != source:
+        v = parent[v]
+        path.append(v)
+    path.reverse()
+    return path
+
+
+# ----------------------------------------------------------------------
+# Dijkstra family
+# ----------------------------------------------------------------------
+def csr_dijkstra(csr: CSRGraph, source: int, target: int, backward: bool = False) -> PathResult:
+    """Kernel twin of :func:`repro.search.dijkstra.dijkstra`."""
+    rows = csr.reverse_rows() if backward else csr.forward_rows()
+    parent = _scratch(csr).par_f
+    push = heappush
+    pop = heappop
+    dist = [Infinity] * csr.num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    pops = 0
+    stale = 0
+    try:
+        while True:
+            d, u = pop(heap)
+            pops += 1
+            if d > dist[u]:
+                stale += 1
+                continue
+            if u == target:
+                # settles == pops - stale; pushes == pops + len(heap) - 1.
+                record_search(pops - stale, pops + len(heap) - 1, pops)
+                return PathResult(
+                    source, target, d, _walk(parent, source, target), pops - stale
+                )
+            for v, w in rows[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    push(heap, (nd, v))
+    except IndexError:  # heap exhausted: target unreachable
+        record_search(pops - stale, pops - 1, pops)
+        return PathResult(source, target, Infinity, [], pops - stale)
+
+
+def csr_bounded_ball(
+    csr: CSRGraph, source: int, radius: float, backward: bool = False
+) -> Tuple[Dict[int, float], int]:
+    """Kernel twin of :func:`repro.search.dijkstra.bounded_ball`."""
+    rows = csr.reverse_rows() if backward else csr.forward_rows()
+    ws = _scratch(csr)
+    dist = ws.dist_f
+    push = heappush
+    pop = heappop
+    dist[source] = 0.0
+    touched = [source]
+    append = touched.append
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    done: Dict[int, float] = {}
+    visited = 0
+    pushes = 0
+    try:
+        while heap:
+            d, u = pop(heap)
+            if d > dist[u]:
+                continue
+            if d > radius:
+                break
+            done[u] = d
+            visited += 1
+            for v, w in rows[u]:
+                nd = d + w
+                if nd <= radius and nd < dist[v]:
+                    dist[v] = nd
+                    append(v)
+                    pushes += 1
+                    push(heap, (nd, v))
+        record_search(visited, pushes, pushes + 1 - len(heap))
+        return done, visited
+    finally:
+        for v in touched:
+            dist[v] = Infinity
+
+
+def csr_bounded_ball_tree(
+    csr: CSRGraph, source: int, radius: float, backward: bool = False
+) -> Tuple[Dict[int, float], Dict[int, int], int]:
+    """Kernel twin of :func:`repro.search.dijkstra.bounded_ball_tree`."""
+    rows = csr.reverse_rows() if backward else csr.forward_rows()
+    ws = _scratch(csr)
+    dist = ws.dist_f
+    parent = ws.par_f
+    push = heappush
+    pop = heappop
+    dist[source] = 0.0
+    touched = [source]
+    append = touched.append
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    done: Dict[int, float] = {}
+    visited = 0
+    pushes = 0
+    try:
+        while heap:
+            d, u = pop(heap)
+            if d > dist[u]:
+                continue
+            if d > radius:
+                break
+            done[u] = d
+            visited += 1
+            for v, w in rows[u]:
+                nd = d + w
+                if nd <= radius and nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    append(v)
+                    pushes += 1
+                    push(heap, (nd, v))
+        record_search(visited, pushes, pushes + 1 - len(heap))
+        parents = {v: parent[v] for v in touched if v != source}
+        return done, parents, visited
+    finally:
+        for v in touched:
+            dist[v] = Infinity
+
+
+def csr_one_to_many(
+    csr: CSRGraph, source: int, targets: Iterable[int], backward: bool = False
+) -> Tuple[Dict[int, float], Dict[int, int], int]:
+    """Kernel twin of :func:`repro.search.dijkstra.one_to_many`."""
+    remaining = set(targets)
+    rows = csr.reverse_rows() if backward else csr.forward_rows()
+    ws = _scratch(csr)
+    dist = ws.dist_f
+    parent = ws.par_f
+    push = heappush
+    pop = heappop
+    dist[source] = 0.0
+    touched = [source]
+    append = touched.append
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    found: Dict[int, float] = {}
+    visited = 0
+    pushes = 0
+    try:
+        while heap and remaining:
+            d, u = pop(heap)
+            if d > dist[u]:
+                continue
+            visited += 1
+            if u in remaining:
+                remaining.discard(u)
+                found[u] = d
+            for v, w in rows[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    append(v)
+                    pushes += 1
+                    push(heap, (nd, v))
+        for t in remaining:
+            found[t] = Infinity
+        record_search(visited, pushes, pushes + 1 - len(heap))
+        parents = {v: parent[v] for v in touched if v != source}
+        return found, parents, visited
+    finally:
+        for v in touched:
+            dist[v] = Infinity
+
+
+def csr_sssp_distances(csr: CSRGraph, source: int, backward: bool = False) -> List[float]:
+    """Kernel twin of :func:`repro.search.dijkstra.sssp_distances`."""
+    rows = csr.reverse_rows() if backward else csr.forward_rows()
+    push = heappush
+    pop = heappop
+    dist = [Infinity] * csr.num_vertices
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    pops = 0
+    stale = 0
+    try:
+        while True:
+            d, u = pop(heap)
+            pops += 1
+            if d > dist[u]:
+                stale += 1
+                continue
+            for v, w in rows[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    push(heap, (nd, v))
+    except IndexError:  # heap drained: every reachable vertex settled
+        record_search(pops - stale, pops - 1, pops)
+        return dist  # fresh per call, safe to hand to the caller
+
+
+def csr_sssp_tree(
+    csr: CSRGraph, source: int, backward: bool = False
+) -> Tuple[List[float], Dict[int, int]]:
+    """Kernel twin of :func:`repro.search.dijkstra.sssp_tree`."""
+    rows = csr.reverse_rows() if backward else csr.forward_rows()
+    parent = _scratch(csr).par_f
+    push = heappush
+    pop = heappop
+    dist = [Infinity] * csr.num_vertices
+    dist[source] = 0.0
+    touched = [source]  # one append per push: len(touched) - 1 == pushes
+    append = touched.append
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    pops = 0
+    stale = 0
+    try:
+        while True:
+            d, u = pop(heap)
+            pops += 1
+            if d > dist[u]:
+                stale += 1
+                continue
+            for v, w in rows[u]:
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    append(v)
+                    push(heap, (nd, v))
+    except IndexError:  # heap drained: every reachable vertex settled
+        record_search(pops - stale, len(touched) - 1, len(touched))
+        parents = {v: parent[v] for v in touched if v != source}
+        return dist, parents
+
+
+# ----------------------------------------------------------------------
+# A* family (f-keyed heaps need the generation-stamped done arrays)
+# ----------------------------------------------------------------------
+def csr_a_star(
+    csr: CSRGraph,
+    source: int,
+    target: int,
+    heuristic: Optional[Callable[[int], float]] = None,
+) -> PathResult:
+    """Kernel twin of :func:`repro.search.astar.a_star`."""
+    rows = csr.forward_rows()
+    ws = _scratch(csr)
+    gen = ws.gen + 1
+    ws.gen = gen
+    done = ws.done_f
+    dist = ws.dist_f
+    parent = ws.par_f
+    push = heappush
+    pop = heappop
+    hypot = math.hypot
+    xs, ys = csr.coord_lists()
+    tx = xs[target]
+    ty = ys[target]
+    scale = csr.heuristic_scale
+    custom = heuristic
+    dist[source] = 0.0
+    touched = [source]
+    append = touched.append
+    h0 = custom(source) if custom is not None else hypot(xs[source] - tx, ys[source] - ty) * scale
+    heap: List[Tuple[float, int]] = [(h0, source)]
+    visited = 0
+    pushes = 0
+    try:
+        while heap:
+            _, u = pop(heap)
+            if done[u] == gen:
+                continue
+            done[u] = gen
+            visited += 1
+            if u == target:
+                record_search(visited, pushes, pushes + 1 - len(heap))
+                return PathResult(
+                    source, target, dist[u], _walk(parent, source, target), visited
+                )
+            du = dist[u]
+            for v, w in rows[u]:
+                if done[v] == gen:
+                    continue
+                nd = du + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    append(v)
+                    pushes += 1
+                    hv = custom(v) if custom is not None else hypot(xs[v] - tx, ys[v] - ty) * scale
+                    push(heap, (nd + hv, v))
+        record_search(visited, pushes, pushes + 1)
+        return PathResult(source, target, Infinity, [], visited)
+    finally:
+        for v in touched:
+            dist[v] = Infinity
+
+
+def csr_generalized_a_star(
+    csr: CSRGraph,
+    source: int,
+    target_list: Sequence[int],
+    heuristic: Callable[[int], float],
+    visited_offset: int = 0,
+) -> Tuple[Dict[int, PathResult], int]:
+    """Kernel twin of the main loop of
+    :func:`repro.search.generalized_astar.generalized_a_star`.
+
+    The caller (the public dispatcher) builds the mode/landmark heuristic and
+    deduplicates ``target_list``; ``visited_offset`` carries the VNN of any
+    auxiliary search the heuristic construction ran (the ALT radius probe).
+    """
+    rows = csr.forward_rows()
+    ws = _scratch(csr)
+    gen = ws.gen + 1
+    ws.gen = gen
+    done = ws.done_f
+    dist = ws.dist_f
+    parent = ws.par_f
+    push = heappush
+    pop = heappop
+    remaining = set(target_list)
+    settled: Dict[int, float] = {}
+    dist[source] = 0.0
+    touched = [source]
+    append = touched.append
+    heap: List[Tuple[float, int]] = [(heuristic(source), source)]
+    visited = visited_offset
+    pushes = 0
+    h_cache: Dict[int, float] = {}
+    try:
+        while heap and remaining:
+            _, u = pop(heap)
+            if done[u] == gen:
+                continue
+            done[u] = gen
+            visited += 1
+            if u in remaining:
+                remaining.discard(u)
+                settled[u] = dist[u]
+            du = dist[u]
+            for v, w in rows[u]:
+                if done[v] == gen:
+                    continue
+                nd = du + w
+                if nd < dist[v]:
+                    if dist[v] == Infinity:
+                        append(v)
+                    dist[v] = nd
+                    parent[v] = u
+                    hv = h_cache.get(v)
+                    if hv is None:
+                        hv = heuristic(v)
+                        h_cache[v] = hv
+                    pushes += 1
+                    push(heap, (nd + hv, v))
+        record_search(visited - visited_offset, pushes, pushes + 1 - len(heap))
+
+        results: Dict[int, PathResult] = {}
+        for t in target_list:
+            if t in settled:
+                results[t] = PathResult(
+                    source, t, settled[t], _walk(parent, source, t), 0
+                )
+            else:
+                results[t] = PathResult(source, t, Infinity, [], 0)
+        if results:
+            results[target_list[0]].visited = visited
+        return results, visited
+    finally:
+        for v in touched:
+            dist[v] = Infinity
+
+
+# ----------------------------------------------------------------------
+# Bidirectional family
+# ----------------------------------------------------------------------
+def _top(heap: List[Tuple[float, int]], done: List[int], gen: int) -> float:
+    while heap and done[heap[0][1]] == gen:
+        heappop(heap)
+    return heap[0][0] if heap else Infinity
+
+
+def csr_bidirectional_dijkstra(csr: CSRGraph, source: int, target: int) -> PathResult:
+    """Kernel twin of :func:`repro.search.bidirectional.bidirectional_dijkstra`."""
+    if source == target:
+        return PathResult(source, target, 0.0, [source], 1)
+
+    fwd_rows = csr.forward_rows()
+    bwd_rows = csr.reverse_rows()
+    ws = _scratch(csr)
+    gen = ws.gen + 1
+    ws.gen = gen
+    dist_f = ws.dist_f
+    dist_b = ws.dist_b
+    par_f = ws.par_f
+    par_b = ws.par_b
+    done_f = ws.done_f
+    done_b = ws.done_b
+    push = heappush
+    pop = heappop
+
+    dist_f[source] = 0.0
+    dist_b[target] = 0.0
+    touched_f = [source]
+    touched_b = [target]
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+
+    best = Infinity
+    meet = -1
+    visited = 0
+    pushes = 0
+    try:
+        while True:
+            tf = _top(heap_f, done_f, gen)
+            tb = _top(heap_b, done_b, gen)
+            if tf + tb >= best or (not heap_f and not heap_b):
+                break
+            if tf <= tb and heap_f:
+                d, u = pop(heap_f)
+                if done_f[u] == gen:
+                    continue
+                done_f[u] = gen
+                visited += 1
+                for v, w in fwd_rows[u]:
+                    nd = d + w
+                    if nd < dist_f[v]:
+                        if dist_f[v] == Infinity:
+                            touched_f.append(v)
+                        dist_f[v] = nd
+                        par_f[v] = u
+                        pushes += 1
+                        push(heap_f, (nd, v))
+                    db = dist_b[v]
+                    if db != Infinity and nd + db < best:
+                        best = nd + db
+                        meet = v
+                du_b = dist_b[u]
+                if du_b != Infinity and d + du_b < best:
+                    best = d + du_b
+                    meet = u
+            elif heap_b:
+                d, u = pop(heap_b)
+                if done_b[u] == gen:
+                    continue
+                done_b[u] = gen
+                visited += 1
+                for v, w in bwd_rows[u]:
+                    nd = d + w
+                    if nd < dist_b[v]:
+                        if dist_b[v] == Infinity:
+                            touched_b.append(v)
+                        dist_b[v] = nd
+                        par_b[v] = u
+                        pushes += 1
+                        push(heap_b, (nd, v))
+                    df = dist_f[v]
+                    if df != Infinity and nd + df < best:
+                        best = nd + df
+                        meet = v
+                du_f = dist_f[u]
+                if du_f != Infinity and d + du_f < best:
+                    best = d + du_f
+                    meet = u
+            else:
+                break
+
+        record_search(visited, pushes, pushes + 2 - len(heap_f) - len(heap_b))
+        if meet < 0:
+            return PathResult(source, target, Infinity, [], visited)
+
+        fwd_half = _walk(par_f, source, meet)
+        bwd_half = []
+        v = meet
+        while v != target:
+            v = par_b[v]
+            bwd_half.append(v)
+        return PathResult(source, target, best, fwd_half + bwd_half, visited)
+    finally:
+        for v in touched_f:
+            dist_f[v] = Infinity
+        for v in touched_b:
+            dist_b[v] = Infinity
+
+
+def csr_bidirectional_a_star(csr: CSRGraph, source: int, target: int) -> PathResult:
+    """Kernel twin of
+    :func:`repro.search.bidirectional_astar.bidirectional_a_star`."""
+    if source == target:
+        return PathResult(source, target, 0.0, [source], 1)
+
+    xs, ys = csr.coord_lists()
+    scale = csr.heuristic_scale
+    sx, sy = xs[source], ys[source]
+    tx, ty = xs[target], ys[target]
+    hypot = math.hypot
+
+    def pf(u: int) -> float:
+        # Average potential, identical formula (and floats) to the dict twin.
+        return (hypot(xs[u] - tx, ys[u] - ty) - hypot(xs[u] - sx, ys[u] - sy)) * scale / 2.0
+
+    fwd_rows = csr.forward_rows()
+    bwd_rows = csr.reverse_rows()
+    ws = _scratch(csr)
+    gen = ws.gen + 1
+    ws.gen = gen
+    dist_f = ws.dist_f
+    dist_b = ws.dist_b
+    par_f = ws.par_f
+    par_b = ws.par_b
+    done_f = ws.done_f
+    done_b = ws.done_b
+    push = heappush
+    pop = heappop
+
+    dist_f[source] = 0.0
+    dist_b[target] = 0.0
+    touched_f = [source]
+    touched_b = [target]
+    heap_f: List[Tuple[float, int]] = [(pf(source), source)]
+    heap_b: List[Tuple[float, int]] = [(-pf(target), target)]
+
+    best = Infinity
+    meet = -1
+    visited = 0
+    pushes = 0
+    try:
+        while True:
+            tf = _top(heap_f, done_f, gen)
+            tb = _top(heap_b, done_b, gen)
+            if tf + tb >= best or (not heap_f and not heap_b):
+                break
+            if tf <= tb and heap_f:
+                _, u = pop(heap_f)
+                if done_f[u] == gen:
+                    continue
+                done_f[u] = gen
+                visited += 1
+                du = dist_f[u]
+                for v, w in fwd_rows[u]:
+                    nd = du + w
+                    if nd < dist_f[v]:
+                        if dist_f[v] == Infinity:
+                            touched_f.append(v)
+                        dist_f[v] = nd
+                        par_f[v] = u
+                        pushes += 1
+                        push(heap_f, (nd + pf(v), v))
+                    db = dist_b[v]
+                    if db != Infinity and nd + db < best:
+                        best = nd + db
+                        meet = v
+                du_b = dist_b[u]
+                if du_b != Infinity and du + du_b < best:
+                    best = du + du_b
+                    meet = u
+            elif heap_b:
+                _, u = pop(heap_b)
+                if done_b[u] == gen:
+                    continue
+                done_b[u] = gen
+                visited += 1
+                du = dist_b[u]
+                for v, w in bwd_rows[u]:
+                    nd = du + w
+                    if nd < dist_b[v]:
+                        if dist_b[v] == Infinity:
+                            touched_b.append(v)
+                        dist_b[v] = nd
+                        par_b[v] = u
+                        pushes += 1
+                        push(heap_b, (nd - pf(v), v))
+                    df = dist_f[v]
+                    if df != Infinity and nd + df < best:
+                        best = nd + df
+                        meet = v
+                du_f = dist_f[u]
+                if du_f != Infinity and du + du_f < best:
+                    best = du + du_f
+                    meet = u
+            else:
+                break
+
+        record_search(visited, pushes, pushes + 2 - len(heap_f) - len(heap_b))
+        if meet < 0:
+            return PathResult(source, target, Infinity, [], visited)
+
+        fwd_half = _walk(par_f, source, meet)
+        bwd_half = []
+        v = meet
+        while v != target:
+            v = par_b[v]
+            bwd_half.append(v)
+        return PathResult(source, target, best, fwd_half + bwd_half, visited)
+    finally:
+        for v in touched_f:
+            dist_f[v] = Infinity
+        for v in touched_b:
+            dist_b[v] = Infinity

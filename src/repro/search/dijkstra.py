@@ -20,6 +20,15 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..obs import record_search
 from .common import PathResult, reconstruct_path
+from .csr_kernels import (
+    csr_bounded_ball,
+    csr_bounded_ball_tree,
+    csr_dijkstra,
+    csr_one_to_many,
+    csr_sssp_distances,
+    csr_sssp_tree,
+    frozen_csr,
+)
 
 Infinity = math.inf
 
@@ -36,6 +45,9 @@ def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathRes
     still reads "from source to target" on the reverse graph, which equals
     the forward path from ``target`` to ``source`` reversed.
     """
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_dijkstra(csr, source, target, backward)
     adj = _rows(graph, backward)
     dist: Dict[int, float] = {source: 0.0}
     parents: Dict[int, int] = {}
@@ -76,6 +88,9 @@ def bounded_ball(
     reported vertices.  This is the ``Dij(u*) < 2r*`` primitive in the R2R
     pseudo-code (Algorithm 2, lines 3-4).
     """
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_bounded_ball(csr, source, radius, backward)
     adj = _rows(graph, backward)
     dist: Dict[int, float] = {source: 0.0}
     done: Dict[int, float] = {}
@@ -112,6 +127,9 @@ def bounded_ball_tree(
     R2R needs the actual leg paths (``q.s -> u*`` and ``v* -> q.t``), not
     just their lengths; the parent map reconstructs them.
     """
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_bounded_ball_tree(csr, source, radius, backward)
     adj = _rows(graph, backward)
     dist: Dict[int, float] = {source: 0.0}
     parents: Dict[int, int] = {}
@@ -150,6 +168,9 @@ def one_to_many(
     Returns ``(distances, parents, visited)``; unreachable targets keep
     ``math.inf`` in ``distances``.
     """
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_one_to_many(csr, source, targets, backward)
     remaining = set(targets)
     adj = _rows(graph, backward)
     dist: Dict[int, float] = {source: 0.0}
@@ -188,6 +209,9 @@ def sssp_distances(graph, source: int, backward: bool = False) -> List[float]:
     Used by landmark selection, PLL construction and as the ground truth in
     tests.  ``math.inf`` marks unreachable vertices.
     """
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_sssp_distances(csr, source, backward)
     n = graph.num_vertices
     adj = _rows(graph, backward)
     dist = [Infinity] * n
@@ -215,6 +239,9 @@ def sssp_distances(graph, source: int, backward: bool = False) -> List[float]:
 
 def sssp_tree(graph, source: int, backward: bool = False) -> Tuple[List[float], Dict[int, int]]:
     """Full SSSP distances plus the parent map (for path extraction)."""
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_sssp_tree(csr, source, backward)
     n = graph.num_vertices
     adj = _rows(graph, backward)
     dist = [Infinity] * n

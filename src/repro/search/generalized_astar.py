@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Sequence, Set, Tuple
 from ..exceptions import ConfigurationError
 from ..obs import record_search
 from .common import PathResult, reconstruct_path
+from .csr_kernels import csr_generalized_a_star, frozen_csr
 
 HEURISTIC_MODES = ("representative", "min-target", "zero")
 
@@ -39,38 +40,15 @@ def pick_representative(graph, source: int, targets: Sequence[int]) -> int:
     return max(targets, key=lambda t: graph.euclidean(source, t))
 
 
-def generalized_a_star(
-    graph,
-    source: int,
-    targets: Iterable[int],
-    mode: str = "representative",
-    landmarks=None,
-) -> Tuple[Dict[int, PathResult], int]:
-    """Exact shortest paths from ``source`` to every vertex in ``targets``.
+def _build_heuristic(graph, source: int, target_list: Sequence[int], mode: str, landmarks):
+    """Build the 1-N heuristic for ``mode`` and return ``(heuristic, extra_visited)``.
 
-    Returns ``(results, visited)`` where ``results[t]`` is the
-    :class:`PathResult` for target ``t`` and ``visited`` is the VNN of the
-    single shared run.  Unreachable targets get ``distance == inf``.
-
-    ``landmarks`` may carry a
-    :class:`~repro.search.landmarks.LandmarkIndex`; the paper's Section
-    IV-B allows the heuristic distance to come from "Euclidean distance or
-    Landmark estimation".  With landmarks, ``min-target`` mode uses the ALT
-    bound to the nearest target directly, and ``representative`` mode takes
-    the max of the geometric offset bound and the ALT-offset bound — both
-    stay admissible because each ingredient is a lower bound on the
-    distance to the nearest target.
+    Shared by the dict-based loop below and the CSR kernel dispatch:
+    both paths must price vertices with bit-identical floats, so the
+    closure is constructed once here from the graph's coordinates.
+    ``extra_visited`` is the VNN of the ALT network-radius probe (0
+    otherwise), charged to the batch search that requested it.
     """
-    if mode not in HEURISTIC_MODES:
-        raise ConfigurationError(f"unknown heuristic mode {mode!r}; use one of {HEURISTIC_MODES}")
-    if landmarks is not None and landmarks.stale:
-        raise ConfigurationError(
-            "landmark index is stale (graph changed after construction)"
-        )
-    target_list = list(dict.fromkeys(targets))
-    if not target_list:
-        return {}, 0
-
     xs, ys = graph.xs, graph.ys
     scale = graph.heuristic_scale
     extra_visited = 0
@@ -120,6 +98,46 @@ def generalized_a_star(
 
             def heuristic(u: int, _targets=tuple(target_list), _lm=lm) -> float:
                 return min(_lm.lower_bound(u, t) for t in _targets)
+    return heuristic, extra_visited
+
+
+def generalized_a_star(
+    graph,
+    source: int,
+    targets: Iterable[int],
+    mode: str = "representative",
+    landmarks=None,
+) -> Tuple[Dict[int, PathResult], int]:
+    """Exact shortest paths from ``source`` to every vertex in ``targets``.
+
+    Returns ``(results, visited)`` where ``results[t]`` is the
+    :class:`PathResult` for target ``t`` and ``visited`` is the VNN of the
+    single shared run.  Unreachable targets get ``distance == inf``.
+
+    ``landmarks`` may carry a
+    :class:`~repro.search.landmarks.LandmarkIndex`; the paper's Section
+    IV-B allows the heuristic distance to come from "Euclidean distance or
+    Landmark estimation".  With landmarks, ``min-target`` mode uses the ALT
+    bound to the nearest target directly, and ``representative`` mode takes
+    the max of the geometric offset bound and the ALT-offset bound — both
+    stay admissible because each ingredient is a lower bound on the
+    distance to the nearest target.
+    """
+    if mode not in HEURISTIC_MODES:
+        raise ConfigurationError(f"unknown heuristic mode {mode!r}; use one of {HEURISTIC_MODES}")
+    if landmarks is not None and landmarks.stale:
+        raise ConfigurationError(
+            "landmark index is stale (graph changed after construction)"
+        )
+    target_list = list(dict.fromkeys(targets))
+    if not target_list:
+        return {}, 0
+
+    heuristic, extra_visited = _build_heuristic(graph, source, target_list, mode, landmarks)
+
+    csr = frozen_csr(graph)
+    if csr is not None:
+        return csr_generalized_a_star(csr, source, target_list, heuristic, extra_visited)
 
     remaining: Set[int] = set(target_list)
     visited_offset = extra_visited

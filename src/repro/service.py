@@ -202,6 +202,14 @@ class BatchQueryService:
     breaker:
         :class:`~repro.resilience.CircuitBreaker` guarding the engine's
         pool path.
+    frozen:
+        When true (default) each window re-freezes the graph after the
+        timeline advances, so searches run the CSR kernels and worker
+        pools share the snapshot zero-copy (fork COW / spawn shared
+        memory).  Answers are bit-identical either way.
+    start_method:
+        Optional ``multiprocessing`` start method for the engine path
+        (e.g. ``"spawn"`` to exercise the shared-memory attach on Linux).
 
     Invalid queries (endpoints outside the network) and queries that
     exhaust the degradation ladder never abort a window: they land in the
@@ -222,6 +230,8 @@ class BatchQueryService:
         fault_plan: Optional[FaultPlan] = None,
         unit_timeout: Optional[float] = None,
         breaker=None,
+        frozen: bool = True,
+        start_method: Optional[str] = None,
     ) -> None:
         if window_seconds <= 0:
             raise ConfigurationError("window_seconds must be positive")
@@ -242,6 +252,7 @@ class BatchQueryService:
             )
         self.decomposer = decomposer
         self.workers = workers
+        self.frozen = frozen
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self.session = DynamicBatchSession(
@@ -262,9 +273,12 @@ class BatchQueryService:
                 retry_policy=self.retry_policy,
                 fault_plan=fault_plan,
                 unit_timeout=unit_timeout,
+                shared_graph=frozen,
             )
             if breaker is not None:
                 engine_options["breaker"] = breaker
+            if start_method is not None:
+                engine_options["start_method"] = start_method
             self._engine = ParallelBatchEngine.from_answerer(
                 answerer, workers=max(1, workers), **engine_options
             )
@@ -300,6 +314,10 @@ class BatchQueryService:
             # start already; the timeline is monotone, so only move forward.
             if target > self.timeline.clock:
                 fired = self.timeline.advance_to(target)
+        if self.frozen:
+            # Re-freeze after any timeline mutation: cached by version, so
+            # quiet windows reuse the previous snapshot for free.
+            self.graph.freeze()
         if len(batch) == 0:
             return WindowReport(index, 0, None, 0.0, self.deadline_seconds, fired)
         schedule = None

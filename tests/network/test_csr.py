@@ -1,0 +1,227 @@
+"""CSR snapshot tests: structural parity, freeze caching, shm lifecycle."""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.csr import (
+    CSRGraph,
+    SharedCSR,
+    share_csr,
+    shared_size,
+)
+from repro.network.generators import beijing_like, grid_city
+from repro.network.graph import RoadNetwork
+
+
+@pytest.fixture()
+def small():
+    """A private mutable copy so freeze/mutate tests don't touch fixtures."""
+    return grid_city(5, 5, spacing=1.0, seed=9)
+
+
+class TestStructuralParity:
+    def test_snapshot_mirrors_network(self, small):
+        csr = small.freeze()
+        assert csr.num_vertices == small.num_vertices
+        assert csr.num_edges == small.num_edges
+        assert csr.version == small.version
+        assert csr.heuristic_scale == small.heuristic_scale
+        assert sorted(csr.edges()) == sorted(small.edges())
+        assert csr.extent() == small.extent()
+        for v in range(small.num_vertices):
+            assert csr.coord(v) == small.coord(v)
+            assert sorted(csr.neighbors(v)) == sorted(
+                (int(t), w) for t, w in small.neighbors(v)
+            )
+            assert sorted(csr.in_neighbors(v)) == sorted(
+                (int(t), w) for t, w in small.in_neighbors(v)
+            )
+            assert csr.out_degree(v) == small.out_degree(v)
+            assert csr.in_degree(v) == small.in_degree(v)
+            assert csr.degree(v) == small.degree(v)
+
+    def test_edge_queries_match(self, small):
+        csr = small.freeze()
+        for u, v, w in small.edges():
+            assert csr.has_edge(u, v)
+            assert csr.weight(u, v) == w
+        assert not csr.has_edge(0, 0)
+        with pytest.raises(GraphError):
+            csr.weight(0, 0)
+
+    def test_heuristic_and_euclidean_match(self, small):
+        csr = small.freeze()
+        pairs = [(0, small.num_vertices - 1), (3, 7), (10, 2)]
+        for u, v in pairs:
+            assert csr.euclidean(u, v) == small.euclidean(u, v)
+            assert csr.heuristic(u, v) == small.heuristic(u, v)
+
+    def test_path_prefix_weights_match(self, small):
+        csr = small.freeze()
+        # Walk along the first grid row.
+        path = [0, 1, 2, 3, 4]
+        assert csr.path_prefix_weights(path) == small.path_prefix_weights(path)
+        with pytest.raises(GraphError):
+            csr.path_prefix_weights([0, 0])
+
+    def test_total_weight_is_exact_sum(self, small):
+        csr = small.freeze()
+        exact = math.fsum(w for _, _, w in small.edges())
+        assert csr.total_weight() == exact
+        assert small.total_weight() == exact
+
+    def test_csr_is_its_own_frozen_form(self, small):
+        csr = small.freeze()
+        assert csr.freeze() is csr
+        assert csr.frozen_or_none() is csr
+
+
+class TestFreezeCaching:
+    def test_freeze_is_cached_per_version(self, small):
+        first = small.freeze()
+        assert small.freeze() is first
+        assert small.frozen_or_none() is first
+
+    def test_mutation_invalidates_snapshot(self, small):
+        first = small.freeze()
+        u, v, w = next(iter(small.edges()))
+        small.set_weight(u, v, w * 2.0)
+        assert small.frozen_or_none() is None
+        second = small.freeze()
+        assert second is not first
+        assert second.version == small.version
+        assert second.weight(u, v) == w * 2.0
+        assert first.weight(u, v) == w  # old snapshot is immutable
+
+    def test_add_edge_invalidates_snapshot(self, small):
+        small.freeze()
+        small.add_edge(0, 12, 9.0)
+        assert small.frozen_or_none() is None
+        assert small.freeze().has_edge(0, 12)
+
+    def test_copy_and_pickle_drop_cached_snapshot(self, small):
+        small.freeze()
+        clone = pickle.loads(pickle.dumps(small))
+        assert clone.frozen_or_none() is None
+        assert sorted(clone.edges()) == sorted(small.edges())
+
+
+class TestWeightSumDrift:
+    def test_freeze_recomputes_weight_sum_exactly(self):
+        """1e5 incremental updates drift; freeze() snaps back to the fsum."""
+        g = RoadNetwork([0.0, 1.0, 2.0], [0.0, 0.0, 0.0])
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 0, 1.0)
+        rng = random.Random(42)
+        edges = [(0, 1), (1, 2), (2, 0)]
+        for _ in range(100_000):
+            u, v = edges[rng.randrange(3)]
+            g.set_weight(u, v, rng.uniform(0.001, 1000.0) / 3.0)
+        exact = math.fsum(w for _, _, w in g.edges())
+        g.freeze()
+        assert g.total_weight() == exact
+
+    def test_incremental_sum_stays_close_even_unfrozen(self):
+        g = RoadNetwork([0.0, 1.0], [0.0, 0.0])
+        g.add_edge(0, 1, 0.1)
+        for i in range(1000):
+            g.set_weight(0, 1, 0.1 + (i % 7) * 0.01)
+        exact = math.fsum(w for _, _, w in g.edges())
+        assert math.isclose(g.total_weight(), exact, rel_tol=1e-9)
+
+
+class TestSharedMemory:
+    def test_share_attach_roundtrip(self, small):
+        csr = small.freeze()
+        shared = share_csr(csr)
+        try:
+            assert isinstance(shared, SharedCSR)
+            assert shared.nbytes == shared_size(csr.num_vertices, csr.num_edges)
+            attached = CSRGraph.attach(shared.handle)
+            try:
+                assert attached.is_attached
+                assert not csr.is_attached
+                assert attached.num_vertices == csr.num_vertices
+                assert attached.num_edges == csr.num_edges
+                assert attached.heuristic_scale == csr.heuristic_scale
+                assert attached.version == csr.version
+                assert attached.forward_rows() == csr.forward_rows()
+                assert attached.reverse_rows() == csr.reverse_rows()
+                assert list(attached.xs) == list(csr.xs)
+                assert list(attached.ys) == list(csr.ys)
+            finally:
+                attached.release()
+        finally:
+            shared.close()
+
+    def test_attached_snapshot_refuses_pickle(self, small):
+        shared = share_csr(small.freeze())
+        try:
+            attached = CSRGraph.attach(shared.handle)
+            try:
+                with pytest.raises(GraphError):
+                    pickle.dumps(attached)
+            finally:
+                attached.release()
+        finally:
+            shared.close()
+
+    def test_release_is_idempotent_and_clears_buffers(self, small):
+        shared = share_csr(small.freeze())
+        attached = CSRGraph.attach(shared.handle)
+        attached.release()
+        assert not attached.is_attached
+        assert len(attached.fweight) == 0  # unmapped memory is unreachable
+        attached.release()  # second call is a no-op
+        shared.close()
+
+    def test_release_is_noop_on_local_snapshot(self, small):
+        csr = small.freeze()
+        csr.release()
+        assert csr.num_edges == len(csr.ftarget)  # buffers intact
+
+    def test_close_unlinks_segment(self, small):
+        """After the owner closes, the name is gone: no leaked segment."""
+        from multiprocessing import shared_memory
+
+        shared = share_csr(small.freeze())
+        name = shared.handle.name
+        shared.close()
+        assert not shared.is_open
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        shared.close()  # idempotent
+
+    def test_local_pickle_roundtrip(self, small):
+        csr = small.freeze()
+        clone = pickle.loads(pickle.dumps(csr))
+        assert clone.num_vertices == csr.num_vertices
+        assert clone.forward_rows() == csr.forward_rows()
+        assert clone.reverse_rows() == csr.reverse_rows()
+        assert clone.heuristic_scale == csr.heuristic_scale
+        assert clone.version == csr.version
+
+    def test_attached_pickles_after_release_of_other(self):
+        """Sharing ring-radial networks works at every preset size."""
+        g = beijing_like("tiny", seed=3)
+        shared = share_csr(g.freeze())
+        attached = CSRGraph.attach(shared.handle)
+        assert attached.total_weight() == g.freeze().total_weight()
+        attached.release()
+        shared.close()
+
+
+class TestSharedSize:
+    def test_shared_size_formula(self):
+        # 4 double blocks (2m + 2n values) + 4 int blocks (2n + 2 + 2m values).
+        n, m = 7, 13
+        assert shared_size(n, m) == 8 * (2 * m + 2 * n) + 4 * (2 * (n + 1) + 2 * m)
+
+    def test_nbytes_matches_segment(self, small):
+        csr = small.freeze()
+        assert csr.nbytes == shared_size(csr.num_vertices, csr.num_edges)

@@ -1,0 +1,125 @@
+"""heuristic_scale invalidation: exact under arbitrary mutation interleavings.
+
+The scale caches ``min(w / euclid)`` over all edges.  ``set_weight`` keeps
+it exact in O(1) where possible (a lowered ratio *is* the new minimum) and
+marks it dirty only when the current argmin edge may have risen — the bug
+class fixed here is a raised weight leaving a stale, too-large scale that
+makes the A* heuristic inadmissible.
+"""
+
+import math
+import random
+
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork
+
+
+def brute_force_scale(g):
+    best = None
+    for u, v, w in g.edges():
+        d = g.euclidean(u, v)
+        if d > 0:
+            r = w / d
+            best = r if best is None else min(best, r)
+    return 0.0 if best is None else max(0.0, min(best, 1e18))
+
+
+def line(k=4):
+    g = RoadNetwork([float(i) for i in range(k)], [0.0] * k)
+    for i in range(k - 1):
+        g.add_edge(i, i + 1, 2.0)
+    return g
+
+
+class TestExactInvalidation:
+    def test_lowering_any_edge_updates_scale(self):
+        g = line()
+        assert g.heuristic_scale == 2.0
+        g.set_weight(1, 2, 0.5)
+        assert g.heuristic_scale == 0.5
+
+    def test_raising_the_argmin_recomputes(self):
+        g = line()
+        g.set_weight(1, 2, 0.5)  # argmin now (1, 2)
+        g.set_weight(1, 2, 3.0)  # argmin raised: stale 0.5 must not survive
+        assert g.heuristic_scale == 2.0
+
+    def test_raising_a_non_argmin_edge_keeps_scale(self):
+        g = line()
+        g.set_weight(1, 2, 0.5)
+        g.set_weight(2, 3, 10.0)  # not the argmin; scale unchanged
+        assert g.heuristic_scale == 0.5
+
+    def test_add_edge_after_set_weight(self):
+        g = line()
+        g.set_weight(0, 1, 5.0)
+        g.add_edge(3, 0, 0.9)  # euclid 3 -> ratio 0.3, new minimum
+        assert g.heuristic_scale == 0.3
+
+    def test_scale_weights_up_then_down(self):
+        g = line()
+        g.scale_weights(4.0)
+        assert g.heuristic_scale == 8.0
+        g.scale_weights(0.25)
+        assert g.heuristic_scale == 2.0
+
+    def test_zero_length_edges_never_contribute(self):
+        g = RoadNetwork([0.0, 0.0, 1.0], [0.0, 0.0, 0.0])
+        g.add_edge(0, 1, 7.0)  # euclid == 0: no finite ratio
+        assert g.heuristic_scale == 0.0
+        g.add_edge(1, 2, 3.0)
+        assert g.heuristic_scale == 3.0
+        g.set_weight(0, 1, 0.001)  # still ignored
+        assert g.heuristic_scale == 3.0
+
+    def test_zero_weight_forces_scale_zero(self):
+        g = line()
+        g.set_weight(1, 2, 0.0)
+        assert g.heuristic_scale == 0.0
+        g.set_weight(1, 2, 2.0)
+        assert g.heuristic_scale == 2.0
+
+    def test_randomised_interleavings_match_brute_force(self):
+        g = grid_city(5, 5, spacing=1.0, seed=21)
+        rng = random.Random(77)
+        edges = [(u, v) for u, v, _ in g.edges()]
+        next_vertex_edge = 0
+        for step in range(400):
+            op = rng.randrange(10)
+            if op < 7:
+                u, v = edges[rng.randrange(len(edges))]
+                g.set_weight(u, v, rng.uniform(0.0, 5.0))
+            elif op < 9:
+                g.scale_weights(
+                    rng.uniform(0.5, 2.0),
+                    edges=rng.sample(edges, 3),
+                )
+            else:
+                u = rng.randrange(g.num_vertices)
+                v = rng.randrange(g.num_vertices)
+                if u != v and not g.has_edge(u, v):
+                    g.add_edge(u, v, rng.uniform(0.1, 5.0))
+                    edges.append((u, v))
+                next_vertex_edge += 1
+            # Interleave reads so the lazy recompute path is also exercised
+            # mid-sequence, not just at the end.
+            if step % 7 == 0:
+                assert math.isclose(
+                    g.heuristic_scale, brute_force_scale(g), rel_tol=1e-12
+                ), step
+        assert math.isclose(g.heuristic_scale, brute_force_scale(g), rel_tol=1e-12)
+
+    def test_admissibility_after_churn(self):
+        """The invariant the scale exists for: h(u, v) <= d(u, v)."""
+        from repro.search.dijkstra import dijkstra
+
+        g = grid_city(4, 4, spacing=1.0, seed=13)
+        rng = random.Random(3)
+        edges = [(u, v) for u, v, _ in g.edges()]
+        for _ in range(60):
+            u, v = edges[rng.randrange(len(edges))]
+            g.set_weight(u, v, rng.uniform(0.05, 3.0))
+        for s in range(g.num_vertices):
+            for t in range(g.num_vertices):
+                d = dijkstra(g, s, t).distance
+                assert g.heuristic(s, t) <= d + 1e-9, (s, t)

@@ -1,0 +1,180 @@
+"""Spawn-context workers: shared-memory bootstrap, identity, leak checks.
+
+These tests force ``start_method="spawn"`` so the worker bootstrap runs the
+real ``init_spawn_shared`` path (attach by segment name) instead of fork's
+copy-on-write inheritance — on Linux CI fork is the default, so without
+forcing, the shm code would only ever run on macOS/Windows.
+"""
+
+import math
+import pickle
+
+import pytest
+
+import repro.parallel.worker as worker
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.network.csr import share_csr
+from repro.obs import MetricsRegistry, use_registry
+from repro.parallel import ParallelBatchEngine
+from repro.queries.workload import WorkloadGenerator
+
+ANSWERER_KWARGS = {"cache_bytes": 64 * 1024, "order": "longest"}
+
+
+def answers_key(batch):
+    return [(q, r.distance, tuple(r.path), r.exact) for q, r in batch.answers]
+
+
+def segment_exists(name: str) -> bool:
+    from multiprocessing import resource_tracker, shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:
+        pass
+    shm.close()
+    return True
+
+
+@pytest.fixture(scope="module")
+def decomposition(ring, ring_batch):
+    return SearchSpaceDecomposer(ring).decompose(ring_batch)
+
+
+@pytest.fixture(scope="module")
+def serial_answer(ring, decomposition):
+    answerer = LocalCacheAnswerer(ring, **ANSWERER_KWARGS)
+    return answerer.answer(decomposition, method="slc-s")
+
+
+class TestSpawnSharedMemory:
+    def test_spawn_shared_matches_serial_and_releases_segment(
+        self, ring, decomposition, serial_answer
+    ):
+        registry = MetricsRegistry()
+        engine = ParallelBatchEngine(
+            ring,
+            workers=2,
+            start_method="spawn",
+            answerer_kwargs=ANSWERER_KWARGS,
+        )
+        with use_registry(registry):
+            with engine:
+                outcome = engine.execute(decomposition, method="slc-s")
+                assert engine._shared is not None
+                name = engine._shared.handle.name
+                assert segment_exists(name)
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+        assert outcome.answer.visited == serial_answer.visited
+        # Shutdown unlinked the engine-owned segment: nothing leaked.
+        assert engine._shared is None
+        assert not segment_exists(name)
+        snap = registry.snapshot()
+        assert snap.counters["csr.shm_segments"] == 1
+        assert snap.counters["csr.shm_attaches"] >= 1
+        # The spawn payload is the handle, not the graph: a few hundred
+        # bytes instead of the multi-KB pickled network.
+        payload = snap.counters["parallel.spawn_payload_bytes"]
+        assert payload < len(pickle.dumps(ring)) / 10
+
+    def test_spawn_pickled_graph_matches_serial(
+        self, ring, decomposition, serial_answer
+    ):
+        """shared_graph=False keeps the legacy pickle bootstrap working."""
+        engine = ParallelBatchEngine(
+            ring,
+            workers=2,
+            start_method="spawn",
+            shared_graph=False,
+            answerer_kwargs=ANSWERER_KWARGS,
+        )
+        with engine:
+            outcome = engine.execute(decomposition, method="slc-s")
+            assert engine._shared is None  # no segment was ever created
+        assert answers_key(outcome.answer) == answers_key(serial_answer)
+
+    def test_version_bump_replaces_segment(self, ring):
+        graph = ring.copy()
+        decomposer = SearchSpaceDecomposer(graph)
+        batch = WorkloadGenerator(graph, seed=401).batch(20)
+        engine = ParallelBatchEngine(
+            graph, workers=2, start_method="spawn", answerer_kwargs=ANSWERER_KWARGS
+        )
+        with engine:
+            engine.execute(decomposer.decompose(batch))
+            first = engine._shared.handle.name
+            u, v, w = next(iter(graph.edges()))
+            graph.set_weight(u, v, w * 2.0)
+            outcome = engine.execute(decomposer.decompose(batch))
+            second = engine._shared.handle.name
+            assert second != first
+            assert not segment_exists(first)  # stale segment unlinked
+        assert not segment_exists(second)
+        from repro.search.dijkstra import dijkstra
+
+        for q, r in outcome.answer.answers:
+            truth = dijkstra(graph, q.source, q.target).distance
+            assert math.isclose(r.distance, truth, rel_tol=1e-12)
+
+    def test_pool_failure_releases_segment(self, ring, decomposition):
+        engine = ParallelBatchEngine(
+            ring, workers=2, start_method="spawn", answerer_kwargs=ANSWERER_KWARGS
+        )
+        with engine:
+            engine.execute(decomposition)
+            name = engine._shared.handle.name
+            engine._note_pool_failure()
+            assert engine._shared is None
+            assert not segment_exists(name)
+            # The engine still answers (rebuilding pool and segment lazily).
+            outcome = engine.execute(decomposition)
+            assert outcome.answer.num_queries == decomposition.num_queries
+
+
+class TestWorkerBootstrapInProcess:
+    """Drive init_spawn_shared / release_attached in this process."""
+
+    def teardown_method(self):
+        worker.release_attached()
+        worker.clear_parent_state()
+
+    def test_init_spawn_shared_attaches_and_answers(self, ring, decomposition):
+        shared = share_csr(ring.freeze())
+        try:
+            payload = pickle.dumps((shared.handle, "local-cache", ANSWERER_KWARGS))
+            worker.init_spawn_shared(payload)
+            assert worker._ATTACHED is not None
+            assert worker._ATTACHED.is_attached
+            assert worker._ATTACH_PENDING
+            cluster = next(c for c in decomposition.clusters if len(c))
+            index, answer, pid, _, _, snapshot = worker.answer_unit(
+                (0, cluster, True, None)
+            )
+            assert index == 0
+            assert answer.num_queries == len(cluster)
+            # The attach event rode home with the first collected unit...
+            assert snapshot.counters["csr.shm_attaches"] == 1
+            _, _, _, _, _, snapshot2 = worker.answer_unit((1, cluster, True, None))
+            # ...and only the first.
+            assert "csr.shm_attaches" not in snapshot2.counters
+            attached = worker._ATTACHED
+            worker.release_attached()
+            assert worker._ATTACHED is None
+            assert not attached.is_attached
+            worker.release_attached()  # idempotent
+        finally:
+            shared.close()
+
+    def test_init_spawn_plain_pickle_still_works(self, ring, decomposition):
+        payload = pickle.dumps((ring, "local-cache", ANSWERER_KWARGS))
+        worker.init_spawn(payload)
+        assert worker._ATTACHED is None
+        cluster = next(c for c in decomposition.clusters if len(c))
+        index, answer, _, _, _, _ = worker.answer_unit((3, cluster, False, None))
+        assert index == 3
+        assert answer.num_queries == len(cluster)

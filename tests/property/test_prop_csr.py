@@ -1,0 +1,88 @@
+"""Property tests for the frozen CSR layer and heuristic-scale invalidation.
+
+Hypothesis drives random mutation programs (set_weight / scale_weights /
+add_edge in any interleaving) against a small grid and then checks the two
+invariants the freeze layer leans on:
+
+* ``heuristic_scale`` equals the brute-force ``min(w / euclid)`` exactly —
+  a stale (too large) scale would make A* inadmissible and silently wrong;
+* A* (dict and frozen-CSR paths alike) returns the Dijkstra distance.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.generators import grid_city
+from repro.search.astar import a_star
+from repro.search.dijkstra import dijkstra
+
+from tests.network.test_heuristic_scale import brute_force_scale
+
+
+def fresh_graph():
+    return grid_city(4, 4, spacing=1.0, seed=11)
+
+
+# One mutation: (op, a, b, value).  Interpretation depends on op.
+mutation = st.tuples(
+    st.sampled_from(["set", "scale", "add"]),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=15),
+    st.floats(min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def apply_program(g, program):
+    edges = [(u, v) for u, v, _ in g.edges()]
+    for op, a, b, value in program:
+        if op == "set":
+            u, v = edges[(a * 16 + b) % len(edges)]
+            g.set_weight(u, v, value)
+        elif op == "scale":
+            chosen = edges[(a * 16 + b) % len(edges)]
+            g.scale_weights(min(max(value, 0.25), 4.0), edges=[chosen])
+        else:  # add
+            u, v = a % g.num_vertices, b % g.num_vertices
+            if u != v and not g.has_edge(u, v):
+                g.add_edge(u, v, max(value, 0.05))
+                edges.append((u, v))
+
+
+@given(st.lists(mutation, min_size=0, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_heuristic_scale_stays_exact(program):
+    g = fresh_graph()
+    apply_program(g, program)
+    assert math.isclose(g.heuristic_scale, brute_force_scale(g), rel_tol=1e-12)
+
+
+@given(
+    st.lists(mutation, min_size=0, max_size=15),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=15),
+)
+@settings(max_examples=50, deadline=None)
+def test_astar_equals_dijkstra_after_mutations(program, s, t):
+    g = fresh_graph()
+    apply_program(g, program)
+    want = dijkstra(g, s, t).distance
+    assert math.isclose(a_star(g, s, t).distance, want, rel_tol=1e-9, abs_tol=1e-12)
+    # Same query through the frozen kernels: bit-identical to the dict path.
+    g.freeze()
+    assert a_star(g, s, t).distance == want or math.isclose(
+        a_star(g, s, t).distance, want, rel_tol=1e-9, abs_tol=1e-12
+    )
+
+
+@given(st.lists(mutation, min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_freeze_snapshot_matches_mutated_graph(program):
+    g = fresh_graph()
+    g.freeze()  # a snapshot exists *before* the mutations
+    apply_program(g, program)
+    csr = g.freeze()
+    assert csr.version == g.version
+    assert sorted(csr.edges()) == sorted(g.edges())
+    assert csr.heuristic_scale == g.heuristic_scale
+    assert csr.total_weight() == math.fsum(w for _, _, w in g.edges())
