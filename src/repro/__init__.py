@@ -88,6 +88,17 @@ from .queries import (
 )
 from .parallel import ExecutionReport, ParallelBatchEngine, ParallelOutcome
 from .service import BatchQueryService, ServiceReport, WindowReport
+from .streaming import (
+    AdmissionController,
+    MicroBatcher,
+    MicroWindow,
+    MonotonicClock,
+    SimulatedClock,
+    StreamReport,
+    StreamingQueryService,
+    assemble_micro_batches,
+    make_clock,
+)
 from .search import (
     LandmarkIndex,
     PathResult,
@@ -141,6 +152,15 @@ __all__ = [
     "RegionToRegionAnswerer",
     "ReproError",
     "RoadNetwork",
+    "AdmissionController",
+    "MicroBatcher",
+    "MicroWindow",
+    "MonotonicClock",
+    "SimulatedClock",
+    "StreamReport",
+    "StreamingQueryService",
+    "assemble_micro_batches",
+    "make_clock",
     "SearchSpaceDecomposer",
     "SearchSpaceOracle",
     "ServiceReport",

@@ -379,6 +379,94 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online streaming service over a generated arrival stream.
+
+    Generates a Poisson query stream at ``--rate`` qps for ``--duration``
+    seconds, then serves it through :class:`~repro.streaming.
+    StreamingQueryService`: micro-batch windows cut at ``--window-ms`` or
+    ``--max-batch``, admission control with the chosen shedding policy,
+    cross-window path caching, and the parallel backend at ``--workers``.
+    Exit status 1 if any query goes unaccounted (answered nor
+    dead-lettered), or — with ``--fail-on-drop`` — if any query was shed
+    without an answer; CI gates its smoke run on that.
+    """
+    from .obs import MetricsRegistry, use_registry, write_metrics_json
+    from .queries.arrivals import PoissonArrivals, stream_statistics
+    from .streaming import StreamingQueryService
+
+    env = exp.build_env(scale=args.scale, seed=args.seed)
+    graph = env.graph.copy() if args.epoch_every else env.graph
+    band = env.cache_band
+    arrivals = PoissonArrivals(
+        env.workload, rate=args.rate, seed=args.seed,
+        min_dist=band[0], max_dist=band[1],
+    ).duration(args.duration)
+
+    timeline = None
+    if args.epoch_every:
+        from .network.timeline import TrafficTimeline, congestion_snapshot
+
+        timeline = TrafficTimeline(graph, seed=args.seed)
+        t = args.epoch_every
+        while t < args.duration:
+            timeline.schedule(t, congestion_snapshot(), label=f"epoch@{t:g}s")
+            t += args.epoch_every
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with StreamingQueryService(
+            graph,
+            window_seconds=args.window_ms / 1000.0,
+            max_batch=args.max_batch if args.max_batch > 0 else None,
+            queue_capacity=args.queue_capacity,
+            shed_policy=args.shed_policy,
+            workers=args.workers,
+            clock=args.clock,
+            timeline=timeline,
+            stream_cache_bytes=args.cache_kb * 1024,
+            service_seconds_per_query=args.service_cost,
+        ) as service:
+            report = service.run(arrivals)
+
+    stats = stream_statistics(arrivals)
+    print(f"stream        : {stats['count']} queries over "
+          f"{stats['duration']:.2f}s (rate {stats['rate']:.1f} qps, "
+          f"cv {stats['cv']:.2f})")
+    print(f"clock         : {args.clock}")
+    triggers = ", ".join(
+        f"{k}={v}" for k, v in sorted(report.windows_by_trigger.items())
+    )
+    print(f"windows       : {len(report.windows)} ({triggers or 'none'}), "
+          f"mean size {report.mean_window_size:.1f}")
+    print(f"answered      : {report.answered_queries}")
+    print(f"shed          : {report.shed_degraded} degraded, "
+          f"{report.shed_dropped} dropped "
+          f"({report.backpressure_stalls} backpressure stalls)")
+    print(f"dead letters  : {len(report.dead_letters)}")
+    print(f"stream cache  : {report.stream_cache_hits} hits / "
+          f"{report.stream_cache_misses} misses / "
+          f"{report.stream_cache_invalidations} invalidations")
+    print(f"latency       : p50 {report.p50_latency * 1000:.1f} ms, "
+          f"p99 {report.p99_latency * 1000:.1f} ms")
+    print(f"throughput    : {report.qps:.1f} answered qps over "
+          f"{report.wall_seconds:.2f}s")
+    if report.metrics is not None and args.metrics_out:
+        write_metrics_json(report.metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+
+    if report.unaccounted_queries:
+        print(f"SERVE FAILED: {report.unaccounted_queries} queries "
+              "unaccounted (neither answered nor dead-lettered)")
+        return 1
+    if args.fail_on_drop and report.dropped_queries:
+        print(f"SERVE FAILED: {report.dropped_queries} queries dropped "
+              "(--fail-on-drop)")
+        return 1
+    print("SERVE OK: every query answered or dead-lettered")
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Cross-validate the stack on this machine: exactness + error bounds."""
     import math
@@ -540,6 +628,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn.add_argument("--cache-kb", type=int, default=512)
     p_dyn.add_argument("--similarity", type=float, default=0.3)
     p_dyn.set_defaults(func=cmd_dynamic)
+
+    p_srv = sub.add_parser(
+        "serve", parents=[common],
+        help="online streaming service over a Poisson arrival stream",
+    )
+    p_srv.add_argument("--duration", type=float, default=5.0,
+                       help="stream length in seconds")
+    p_srv.add_argument("--rate", type=float, default=200.0,
+                       help="Poisson arrival rate (queries/second)")
+    p_srv.add_argument("--window-ms", type=float, default=250.0,
+                       help="duration trigger: max window span (milliseconds)")
+    p_srv.add_argument("--max-batch", type=int, default=64,
+                       help="size trigger: max queries per window "
+                       "(0 = timer only)")
+    p_srv.add_argument("--workers", type=int, default=0,
+                       help="backend worker processes (0 = serial engine, "
+                       "1 = dynamic session)")
+    p_srv.add_argument("--clock", default="simulated",
+                       choices=["simulated", "real"],
+                       help="simulated = deterministic replay, "
+                       "real = wall-clock pacing")
+    p_srv.add_argument("--queue-capacity", type=int, default=1024,
+                       help="admission queue bound before shedding")
+    p_srv.add_argument("--shed-policy", default="degrade",
+                       choices=["degrade", "degrade-then-drop", "drop"],
+                       help="what happens to queries shed at admission")
+    p_srv.add_argument("--cache-kb", type=int, default=2048,
+                       help="cross-window path cache budget (KiB, 0 = off)")
+    p_srv.add_argument("--service-cost", type=float, default=0.0,
+                       help="simulated seconds charged per dispatched query "
+                       "(simulated clock only; creates reproducible overload)")
+    p_srv.add_argument("--epoch-every", type=float, default=0.0,
+                       help="schedule a congestion weight epoch every N "
+                       "stream seconds (0 = static weights)")
+    p_srv.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the run's metrics snapshot as JSON")
+    p_srv.add_argument("--fail-on-drop", action="store_true",
+                       help="exit 1 if any query was shed without an answer")
+    p_srv.set_defaults(func=cmd_serve)
 
     p_ver = sub.add_parser(
         "verify", parents=[common], help="cross-validate exactness and bounds"

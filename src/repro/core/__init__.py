@@ -1,7 +1,7 @@
 """The paper's contribution: query decomposition + batch answering."""
 
 from .batch_runner import METHODS, BatchProcessor
-from .cache import CacheHit, PathCache, path_size_bytes
+from .cache import CacheHit, PathCache, VersionedPathCache, path_size_bytes
 from .clusters import Decomposition, QueryCluster
 from .coclustering import CoClusteringDecomposer
 from .dbscan import DBSCANDecomposer, angular_spread, dbscan
@@ -46,6 +46,7 @@ __all__ = [
     "SearchSpaceDecomposer",
     "SearchSpaceEstimate",
     "SearchSpaceOracle",
+    "VersionedPathCache",
     "ZigzagDecomposer",
     "ad_decompose",
     "angular_spread",

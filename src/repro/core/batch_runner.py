@@ -22,7 +22,7 @@ name         decomposition                      answering
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..exceptions import ConfigurationError
 from ..queries.query import QuerySet
@@ -127,6 +127,29 @@ class BatchProcessor:
             # same snapshot freeze exactly once.
             self.graph.freeze()
         return runner(queries)
+
+    def process_timed(
+        self,
+        arrivals,
+        method: str = "slc-s",
+        window_seconds: float = 1.0,
+    ) -> List[BatchAnswer]:
+        """Offline replay of a stamped arrival stream, window by window.
+
+        Groups the stream into fixed scheduling windows (Definition 1)
+        with :func:`~repro.queries.arrivals.window_batches` and runs each
+        through :meth:`process`.  This is the batch-mode oracle the
+        streaming service is differentially tested against: for exact
+        methods the per-query distances must match the online run no
+        matter how the micro-batcher sliced the stream.
+        """
+        from ..queries.arrivals import window_batches
+
+        return [
+            self.process(batch, method)
+            for batch in window_batches(arrivals, window_seconds)
+            if len(batch)
+        ]
 
     def _runners(self) -> Dict[str, Callable[[QuerySet], BatchAnswer]]:
         # Imported here rather than at module scope: the baselines package

@@ -283,3 +283,85 @@ class PathCache:
     def paths(self) -> List[List[int]]:
         """Snapshot of all cached paths (tests and diagnostics)."""
         return [list(e.path) for e in self._entries.values()]
+
+
+class VersionedPathCache:
+    """A :class:`PathCache` pinned to a graph snapshot version.
+
+    The streaming service reuses one path cache *across* micro-batch
+    windows, which is only sound while the weights that built the cached
+    paths are still in force.  Every operation first compares
+    ``graph.version`` (the counter :meth:`RoadNetwork.set_weight` /
+    :meth:`scale_weights` / :meth:`add_edge` bump, and the key
+    :meth:`RoadNetwork.freeze` caches CSR snapshots under) against the
+    version the entries were built at and self-clears on mismatch — so a
+    stale hit is impossible by construction, not by caller discipline.
+
+    Hit/miss totals survive invalidation (they describe the cache's whole
+    life); ``invalidations`` counts the epoch flushes.
+    """
+
+    def __init__(
+        self,
+        graph,
+        capacity_bytes: Optional[int] = None,
+        super_map: Optional[SuperVertexMap] = None,
+        eviction: str = "lru",
+    ) -> None:
+        self.graph = graph
+        self._cache = PathCache(
+            graph, capacity_bytes, super_map=super_map, eviction=eviction
+        )
+        self._version = graph.version
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Graph version the current entries were built against."""
+        return self._version
+
+    def _sync_version(self) -> None:
+        if self.graph.version != self._version:
+            self._cache.clear()
+            self._version = self.graph.version
+            self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    def lookup(self, source: int, target: int) -> Optional[CacheHit]:
+        self._sync_version()
+        return self._cache.lookup(source, target)
+
+    def insert(self, path: Sequence[int]) -> Optional[int]:
+        self._sync_version()
+        return self._cache.insert(path)
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._version = self.graph.version
+
+    def __len__(self) -> int:
+        self._sync_version()
+        return len(self._cache)
+
+    # -- delegated statistics -------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self._cache.hit_ratio
+
+    @property
+    def size_bytes(self) -> int:
+        self._sync_version()
+        return self._cache.size_bytes
+
+    @property
+    def evictions(self) -> int:
+        return self._cache.evictions

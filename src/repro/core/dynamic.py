@@ -120,15 +120,28 @@ class DynamicBatchSession:
     def _flush_if_new_epoch(self) -> None:
         if self.graph.version != self._epoch_version:
             if self._caches:
-                self.epochs_flushed += 1
                 logger.info(
                     "weight epoch changed (version %d -> %d): flushing %d caches",
                     self._epoch_version,
                     self.graph.version,
                     len(self._caches),
                 )
-            self._caches.clear()
-            self._epoch_version = self.graph.version
+            self.flush()
+
+    def flush(self) -> int:
+        """Destroy every live cache and re-pin the epoch; returns the count.
+
+        Called automatically when the graph version changes; callers that
+        idle a session for a long time (the streaming service between
+        traffic bursts) can also flush explicitly to release cache memory
+        without waiting for the next epoch.
+        """
+        flushed = len(self._caches)
+        if flushed:
+            self.epochs_flushed += 1
+        self._caches.clear()
+        self._epoch_version = self.graph.version
+        return flushed
 
     # ------------------------------------------------------------------
     def process_batch(self, queries: QuerySet, attempt: int = 1) -> BatchAnswer:

@@ -75,7 +75,11 @@ __all__ = [
     "record_shm_attach",
     "record_shm_share",
     "record_spawn_payload",
+    "record_stream_cache",
+    "record_stream_shed",
+    "record_stream_window",
     "set_breaker_state",
+    "set_stream_queue_depth",
     "render_metrics_summary",
     "render_stage_table",
     "set_registry",
@@ -211,3 +215,52 @@ def record_decomposition(decomposition) -> None:
     reg.histogram("decompose.seconds", TIME_BUCKETS).observe(
         max(0.0, decomposition.elapsed_seconds)
     )
+
+
+def record_stream_window(size: int, trigger: str, span_seconds: float) -> None:
+    """Count one assembled micro-batch window and its shape.
+
+    ``trigger`` is why the window was cut (``duration``, ``size`` or
+    ``flush``); ``span_seconds`` is how long it was open.
+    """
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("streaming.windows").add(1)
+        reg.counter(f"streaming.trigger.{trigger}").add(1)
+        reg.histogram("streaming.window_size", SIZE_BUCKETS).observe(size)
+        reg.histogram("streaming.window_span_seconds", TIME_BUCKETS).observe(
+            max(0.0, span_seconds)
+        )
+
+
+def record_stream_shed(degraded: int = 0, dropped: int = 0, stalls: int = 0) -> None:
+    """Count load-shedding outcomes at the streaming admission boundary."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    if degraded:
+        reg.counter("streaming.shed_degraded_total").add(degraded)
+    if dropped:
+        reg.counter("streaming.shed_dropped_total").add(dropped)
+    if stalls:
+        reg.counter("streaming.backpressure_stalls_total").add(stalls)
+
+
+def record_stream_cache(hits: int, misses: int, invalidations: int = 0) -> None:
+    """Count the cross-window path cache's (delta) hit/miss/flush activity."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    reg.counter("streaming.cache_hits").add(hits)
+    reg.counter("streaming.cache_misses").add(misses)
+    if invalidations:
+        reg.counter("streaming.cache_invalidations").add(invalidations)
+
+
+def set_stream_queue_depth(depth: int) -> None:
+    """Publish the admission queue depth (current and high-water)."""
+    reg = get_registry()
+    if reg.enabled:
+        gauge = reg.gauge("streaming.queue_depth")
+        gauge.set(depth)
+        reg.gauge("streaming.queue_depth_max").track_max(depth)

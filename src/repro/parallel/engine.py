@@ -358,6 +358,42 @@ class ParallelBatchEngine:
         """Shut the worker pool down (idempotent)."""
         self._shutdown(wait=True)
 
+    def warm(self) -> bool:
+        """Pre-build the worker pool before the first batch arrives.
+
+        A streaming service calls this while the line is still quiet so
+        the first busy window does not pay pool construction (and, on
+        spawn platforms, the shared-memory segment publication) on its
+        own latency.  Returns ``True`` when a pool is up afterwards;
+        construction failures are absorbed into the circuit breaker
+        exactly like a dispatch-time failure, so a broken pool degrades
+        to in-process execution rather than failing the caller.
+        """
+        if self.workers <= 1:
+            return False
+        if self._pool is not None:
+            return True
+        # Fault accounting during warm goes to a throwaway report: there
+        # is no active batch to charge the fault against yet.
+        self._active_report = ExecutionReport(
+            requested_workers=self.workers,
+            workers=self.workers,
+            start_method=self._resolved_start_method(),
+        )
+        try:
+            self._ensure_pool(self.workers)
+            return True
+        except Exception as exc:
+            self._note_pool_failure()
+            logger.warning(
+                "pool warm-up failed (%s: %s); first batch will retry",
+                type(exc).__name__,
+                exc,
+            )
+            return False
+        finally:
+            self._active_report = None
+
     def _shutdown(self, wait: bool) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=wait, cancel_futures=True)

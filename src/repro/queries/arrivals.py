@@ -93,12 +93,21 @@ def window_batches(
     Window ``k`` holds queries with ``k * w <= arrival < (k + 1) * w``.
     Empty leading/interior windows are preserved as empty QuerySets so a
     scheduler sees the true cadence; trailing emptiness is trimmed.
+
+    Arrival times must be non-negative: a negative arrival has no window
+    under Definition 1, and before this was checked its ``-1`` bucket
+    index silently appended the query to the *last* window via Python's
+    negative indexing — a misbucketing, not an error.
     """
     if window_seconds <= 0:
         raise ConfigurationError("window_seconds must be positive")
     ordered = sorted(arrivals)
     if not ordered:
         return []
+    if ordered[0].arrival < 0:
+        raise ConfigurationError(
+            f"arrival times must be non-negative, got {ordered[0].arrival!r}"
+        )
     last_window = _window_index(ordered[-1].arrival, window_seconds)
     batches: List[QuerySet] = [QuerySet() for _ in range(last_window + 1)]
     for tq in ordered:

@@ -26,7 +26,9 @@ from .deadletter import (
     REASON_INVALID_QUERY,
     REASON_NO_PATH,
     REASON_QUARANTINE_FAILED,
+    REASON_SHED,
     REASON_WINDOW_DEGRADED,
+    STAGE_ADMISSION,
     STAGE_QUARANTINE,
     STAGE_SESSION,
     STAGE_VALIDATION,
@@ -58,9 +60,11 @@ __all__ = [
     "REASON_INVALID_QUERY",
     "REASON_NO_PATH",
     "REASON_QUARANTINE_FAILED",
+    "REASON_SHED",
     "REASON_WINDOW_DEGRADED",
     "RetryPolicy",
     "SITE_KINDS",
+    "STAGE_ADMISSION",
     "STAGE_QUARANTINE",
     "STAGE_SESSION",
     "STAGE_VALIDATION",

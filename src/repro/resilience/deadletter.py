@@ -16,11 +16,13 @@ REASON_INVALID_QUERY = "invalid-query"
 REASON_NO_PATH = "no-path"
 REASON_QUARANTINE_FAILED = "quarantine-failed"
 REASON_WINDOW_DEGRADED = "window-degraded"
+REASON_SHED = "shed"
 
 #: Pipeline stage the query died in.
 STAGE_VALIDATION = "validation"
 STAGE_QUARANTINE = "quarantine"
 STAGE_SESSION = "session"
+STAGE_ADMISSION = "admission"
 
 
 @dataclass(frozen=True)

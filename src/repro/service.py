@@ -289,6 +289,16 @@ class BatchQueryService:
         if self._engine is not None:
             self._engine.close()
 
+    def warm(self) -> bool:
+        """Pre-build the engine's worker pool (no-op on the serial path).
+
+        The streaming front door calls this before opening the first
+        window so pool construction is not billed to the first burst.
+        """
+        if self._engine is not None:
+            return self._engine.warm()
+        return False
+
     def __enter__(self) -> "BatchQueryService":
         return self
 
@@ -475,9 +485,21 @@ class BatchQueryService:
             answer.singleton_queries += 1
         return answer
 
-    def process_window(self, batch: QuerySet, at_seconds: Optional[float] = None) -> WindowReport:
-        """Answer one externally-formed window (e.g. replayed from a log)."""
+    def process_window(
+        self,
+        batch: QuerySet,
+        at_seconds: Optional[float] = None,
+        index: Optional[int] = None,
+    ) -> WindowReport:
+        """Answer one externally-formed window (e.g. replayed from a log).
+
+        ``index`` labels the window explicitly; callers whose windows are
+        not grid-aligned (the micro-batch streaming service cuts windows
+        anchored at their first query) pass their own running index so
+        reports and spans stay in submission order.
+        """
         if at_seconds is not None and self.timeline is not None:
             self.timeline.advance_to(at_seconds)
-        index = int((at_seconds or 0.0) / self.window_seconds)
+        if index is None:
+            index = int((at_seconds or 0.0) / self.window_seconds)
         return self._process_window(index, batch)

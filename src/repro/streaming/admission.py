@@ -1,0 +1,123 @@
+"""Admission control: bounded ingress queue + degrade-before-drop shedding.
+
+The streaming service admits arrivals into a bounded queue between the
+raw stream and the window assembler.  When the backend falls behind and
+the queue fills, the configured :data:`POLICIES` decide what happens to
+the overflow:
+
+* ``"degrade"`` (default) — the query is answered *immediately* with a
+  plain Dijkstra search: it loses the batching/cache benefit (and pays
+  the full search cost) but is still answered exactly, so overload never
+  changes results.  This is the "degrade singletons before dropping"
+  rung.
+* ``"degrade-then-drop"`` — degrade until ``degrade_budget`` shed queries
+  have been absorbed, then start dropping.
+* ``"drop"`` — dead-letter the overflow outright (stress testing).
+
+Dropped queries are never silent: each one becomes a
+:class:`~repro.resilience.DeadLetterRecord` with reason ``"shed"`` at
+stage ``"admission"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..exceptions import ConfigurationError
+from ..queries.arrivals import TimedQuery
+
+#: Admission outcomes.
+ADMITTED = "admitted"
+SHED_DEGRADE = "degrade"
+SHED_DROP = "drop"
+
+#: Supported load-shedding policies.
+POLICIES = ("degrade", "degrade-then-drop", "drop")
+
+
+class AdmissionController:
+    """Bounded FIFO of admitted-but-unassembled queries.
+
+    Parameters
+    ----------
+    queue_capacity:
+        Maximum queries waiting for window assembly; arrivals beyond it
+        are shed per ``policy``.
+    policy:
+        One of :data:`POLICIES`.
+    degrade_budget:
+        With ``policy="degrade-then-drop"``: how many shed queries are
+        degraded before the rest are dropped (``None`` = unlimited, which
+        makes the policy equivalent to ``"degrade"``).
+    """
+
+    def __init__(
+        self,
+        queue_capacity: int = 1024,
+        policy: str = "degrade",
+        degrade_budget: Optional[int] = None,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be at least 1")
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"shed policy must be one of {POLICIES}, got {policy!r}"
+            )
+        if degrade_budget is not None and degrade_budget < 0:
+            raise ConfigurationError("degrade_budget must be non-negative")
+        self.queue_capacity = queue_capacity
+        self.policy = policy
+        self.degrade_budget = degrade_budget
+        self._queue: Deque[TimedQuery] = deque()
+        self.admitted = 0
+        self.shed_degraded = 0
+        self.shed_dropped = 0
+        #: Contiguous episodes of queue-full backpressure (not per query).
+        self.backpressure_stalls = 0
+        self._stalled = False
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Queries currently waiting for assembly."""
+        return len(self._queue)
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_degraded + self.shed_dropped
+
+    def admit(self, tq: TimedQuery) -> str:
+        """Offer one arrival; returns :data:`ADMITTED`, :data:`SHED_DEGRADE`
+        or :data:`SHED_DROP`.
+
+        The caller handles the shed outcomes (degraded queries must still
+        be answered; dropped queries must be dead-lettered).
+        """
+        if len(self._queue) < self.queue_capacity:
+            self._queue.append(tq)
+            self.admitted += 1
+            self._stalled = False
+            return ADMITTED
+        if not self._stalled:
+            # Count the episode once, however many queries it sheds.
+            self.backpressure_stalls += 1
+            self._stalled = True
+        if self.policy == "drop":
+            self.shed_dropped += 1
+            return SHED_DROP
+        if (
+            self.policy == "degrade-then-drop"
+            and self.degrade_budget is not None
+            and self.shed_degraded >= self.degrade_budget
+        ):
+            self.shed_dropped += 1
+            return SHED_DROP
+        self.shed_degraded += 1
+        return SHED_DEGRADE
+
+    def pop(self) -> TimedQuery:
+        """Take the oldest admitted query for window assembly."""
+        tq = self._queue.popleft()
+        self._stalled = False
+        return tq

@@ -1,0 +1,74 @@
+"""Clock abstraction: simulated (deterministic) vs monotonic (real) time.
+
+Every scheduling decision the streaming service makes — window cuts,
+shedding, backpressure stalls — reads time through this interface, so the
+same service code runs in two modes:
+
+* :class:`SimulatedClock` — time advances only when the service advances
+  it (to the next arrival or the next window deadline).  Scheduling is a
+  pure function of the arrival stream and the configuration, so every
+  test run is bit-reproducible.
+* :class:`MonotonicClock` — ``time.monotonic`` based, with real sleeping.
+  Used by ``repro serve --clock real`` and the streaming benchmark, where
+  wall-clock latency is the measurement.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..exceptions import ConfigurationError
+
+
+class SimulatedClock:
+    """Deterministic clock: advances only under program control."""
+
+    #: Real seconds one simulated :meth:`sleep` second costs (none).
+    is_real = False
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ConfigurationError("clock start must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance simulated time; sleeping never blocks."""
+        if seconds > 0:
+            self._now += seconds
+
+    def advance_to(self, instant: float) -> None:
+        """Move the clock forward to ``instant`` (monotone: never back)."""
+        if instant > self._now:
+            self._now = instant
+
+
+class MonotonicClock:
+    """Real time, zeroed at construction so streams can start at t=0."""
+
+    is_real = True
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def advance_to(self, instant: float) -> None:
+        """Block until real time reaches ``instant``."""
+        self.sleep(instant - self.now())
+
+
+def make_clock(kind: str) -> "SimulatedClock | MonotonicClock":
+    """Build a clock from its CLI name (``"simulated"`` or ``"real"``)."""
+    if kind == "simulated":
+        return SimulatedClock()
+    if kind == "real":
+        return MonotonicClock()
+    raise ConfigurationError(f"unknown clock kind {kind!r}; use 'simulated' or 'real'")

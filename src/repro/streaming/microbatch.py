@@ -1,0 +1,190 @@
+"""Micro-batch window assembly under a dual trigger.
+
+The paper's batch algorithms consume pre-formed batches; a live service
+has to *assemble* them from an arrival stream.  A :class:`MicroBatcher`
+keeps at most one window open and cuts it on whichever trigger fires
+first:
+
+* **duration** — the window has been open for ``window_seconds`` (the
+  ``--window-ms`` knob); cut at the deadline so batching delay is
+  bounded even under trickle traffic, or
+* **size** — the window holds ``max_batch`` queries; cut immediately so
+  a burst cannot grow an unboundedly expensive window.
+
+Windows are anchored at their first query (not a fixed grid): a quiet
+stream pays zero idle windows, and the first query of a burst waits at
+most ``window_seconds``.  The boundary is half-open exactly like
+:func:`~repro.queries.arrivals.window_batches`: a query arriving at
+precisely ``opened_at + window_seconds`` opens the *next* window.
+
+:func:`assemble_micro_batches` replays a stamped stream through a
+batcher, which is what the simulated-clock service reduces to when
+nothing sheds — the equivalence is pinned by the property suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..exceptions import ConfigurationError
+from ..queries.arrivals import TimedQuery
+from ..queries.query import QuerySet
+
+#: Why a window was cut.
+TRIGGER_DURATION = "duration"
+TRIGGER_SIZE = "size"
+TRIGGER_FLUSH = "flush"
+
+TRIGGERS = (TRIGGER_DURATION, TRIGGER_SIZE, TRIGGER_FLUSH)
+
+
+@dataclass
+class MicroWindow:
+    """One assembled micro-batch, ready for dispatch."""
+
+    index: int
+    opened_at: float  #: instant the first query entered the window
+    cut_at: float  #: scheduled cut instant (deadline, or the trigger arrival)
+    trigger: str  #: one of :data:`TRIGGERS`
+    arrivals: List[TimedQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def queries(self) -> QuerySet:
+        """The window contents as the batch the decomposers consume."""
+        return QuerySet(tq.query for tq in self.arrivals)
+
+    @property
+    def span_seconds(self) -> float:
+        """How long the window was open before its cut."""
+        return max(0.0, self.cut_at - self.opened_at)
+
+
+class MicroBatcher:
+    """Incremental dual-trigger assembler (at most one window open).
+
+    Parameters
+    ----------
+    window_seconds:
+        Maximum time a window stays open (duration trigger).
+    max_batch:
+        Maximum queries per window (size trigger); ``None`` disables the
+        size trigger so only the timer cuts.
+    """
+
+    def __init__(self, window_seconds: float, max_batch: Optional[int] = None) -> None:
+        if window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+        if max_batch is not None and max_batch < 1:
+            raise ConfigurationError("max_batch must be at least 1")
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self._open: List[TimedQuery] = []
+        self._opened_at: Optional[float] = None
+        self._next_index = 0
+        self.windows_cut = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Queries in the currently open window."""
+        return len(self._open)
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Instant the duration trigger fires, or ``None`` when closed."""
+        if self._opened_at is None:
+            return None
+        return self._opened_at + self.window_seconds
+
+    # ------------------------------------------------------------------
+    def _cut(self, cut_at: float, trigger: str) -> MicroWindow:
+        assert self._opened_at is not None
+        window = MicroWindow(
+            index=self._next_index,
+            opened_at=self._opened_at,
+            cut_at=cut_at,
+            trigger=trigger,
+            arrivals=self._open,
+        )
+        self._next_index += 1
+        self.windows_cut += 1
+        self._open = []
+        self._opened_at = None
+        return window
+
+    def cut_if_due(self, now: float) -> Optional[MicroWindow]:
+        """Cut the open window if its duration deadline has passed.
+
+        The cut is stamped at the *deadline*, not at ``now``: under
+        backlog the timer conceptually fired on schedule even if the
+        service only got around to it later.
+        """
+        deadline = self.deadline
+        if deadline is not None and now >= deadline:
+            return self._cut(deadline, TRIGGER_DURATION)
+        return None
+
+    def offer(self, tq: TimedQuery, now: Optional[float] = None) -> List[MicroWindow]:
+        """Add one query at instant ``now``; return any windows this cut.
+
+        At most two windows can emerge from one offer: a due open window
+        (duration trigger) and — with ``max_batch == 1`` — the query's own
+        fresh window (size trigger).
+        """
+        if tq.arrival < 0:
+            raise ConfigurationError(
+                f"arrival times must be non-negative, got {tq.arrival!r}"
+            )
+        if now is None:
+            now = tq.arrival
+        out: List[MicroWindow] = []
+        due = self.cut_if_due(now)
+        if due is not None:
+            out.append(due)
+        if self._opened_at is None:
+            self._opened_at = now
+        self._open.append(tq)
+        if self.max_batch is not None and len(self._open) >= self.max_batch:
+            out.append(self._cut(now, TRIGGER_SIZE))
+        return out
+
+    def flush(self, now: Optional[float] = None) -> Optional[MicroWindow]:
+        """Cut whatever is open (stream drained / service stopping).
+
+        With ``now`` beyond the deadline this is a regular duration cut;
+        otherwise the window is cut early with the ``flush`` trigger at
+        ``now`` (or at the deadline when no instant is given, which is
+        when the timer would have fired anyway).
+        """
+        if self._opened_at is None:
+            return None
+        deadline = self._opened_at + self.window_seconds
+        if now is None:
+            return self._cut(deadline, TRIGGER_DURATION)
+        if now >= deadline:
+            return self._cut(deadline, TRIGGER_DURATION)
+        return self._cut(now, TRIGGER_FLUSH)
+
+
+def assemble_micro_batches(
+    arrivals: Iterable[TimedQuery],
+    window_seconds: float,
+    max_batch: Optional[int] = None,
+) -> List[MicroWindow]:
+    """Replay a stamped stream through a :class:`MicroBatcher`.
+
+    This is the offline (zero-service-time) reference of the streaming
+    service's window assembly: the simulated-clock service with a large
+    enough admission queue produces exactly these windows.
+    """
+    batcher = MicroBatcher(window_seconds, max_batch)
+    windows: List[MicroWindow] = []
+    for tq in sorted(arrivals):
+        windows.extend(batcher.offer(tq))
+    final = batcher.flush()
+    if final is not None:
+        windows.append(final)
+    return windows

@@ -1,0 +1,609 @@
+"""The streaming front door: online micro-batch query answering.
+
+:class:`StreamingQueryService` closes the gap between the paper's
+pre-formed batches and a live deployment: it ingests a continuous
+arrival stream (any iterable of
+:class:`~repro.queries.arrivals.TimedQuery`), assembles micro-batch
+windows under the dual trigger of :class:`~repro.streaming.microbatch.
+MicroBatcher` (max window duration OR max batch size), applies
+admission control with a bounded queue and a degrade-before-drop
+load-shedding policy, and hands each assembled window to the existing
+:class:`~repro.service.BatchQueryService` — the serial dynamic session
+or the multiprocess :class:`~repro.parallel.ParallelBatchEngine`,
+depending on ``workers``.
+
+Two pieces make it a *streaming* system rather than a loop around the
+batch one:
+
+* **Cross-window path cache.**  A :class:`~repro.core.cache.
+  VersionedPathCache` keyed to the graph's CSR snapshot version sits in
+  front of dispatch: queries covered by a path answered in an *earlier*
+  window are served in O(1) with zero search, and the cache self-clears
+  the moment a :class:`~repro.network.timeline.TrafficTimeline` event
+  (or any ``set_weight``/``scale_weights``) bumps the version — stale
+  hits are structurally impossible.
+* **A clock the scheduler owns.**  Every scheduling decision — window
+  cut, shed, backpressure stall — reads time through a
+  :class:`~repro.streaming.clock.SimulatedClock` or
+  :class:`~repro.streaming.clock.MonotonicClock`, so tests replay the
+  exact same decisions deterministically while benchmarks measure real
+  end-to-end latency with the same code path.
+
+Accounting invariant (pinned by the correctness fleet): every arrival is
+either answered or dead-lettered with a structured reason — the service
+never silently drops a query, even under overload.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.cache import VersionedPathCache
+from ..exceptions import ConfigurationError
+from ..obs import (
+    MetricsSnapshot,
+    TIME_BUCKETS,
+    get_registry,
+    record_dead_letters,
+    record_stream_cache,
+    record_stream_shed,
+    record_stream_window,
+    set_stream_queue_depth,
+)
+from ..queries.arrivals import TimedQuery
+from ..queries.query import Query, QuerySet
+from ..resilience import (
+    CircuitBreaker,
+    DeadLetterRecord,
+    REASON_INVALID_QUERY,
+    REASON_NO_PATH,
+    REASON_SHED,
+    REASON_WINDOW_DEGRADED,
+    STAGE_ADMISSION,
+    STAGE_SESSION,
+    STAGE_VALIDATION,
+)
+from ..search.common import PathResult
+from ..service import BatchQueryService, WindowReport
+from .admission import ADMITTED, AdmissionController, SHED_DROP
+from .clock import MonotonicClock, SimulatedClock, make_clock
+from .microbatch import MicroBatcher, MicroWindow
+
+logger = logging.getLogger(__name__)
+
+AnswerPair = Tuple[Query, PathResult]
+
+
+def latency_percentile(sorted_latencies: List[float], p: float) -> float:
+    """Linear-interpolated percentile over pre-sorted samples (0 if empty)."""
+    if not sorted_latencies:
+        return 0.0
+    if p <= 0:
+        return sorted_latencies[0]
+    if p >= 1:
+        return sorted_latencies[-1]
+    rank = p * (len(sorted_latencies) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(sorted_latencies) - 1)
+    frac = rank - lo
+    return sorted_latencies[lo] * (1 - frac) + sorted_latencies[hi] * frac
+
+
+@dataclass
+class StreamWindowRecord:
+    """One dispatched micro-batch window, as the operator sees it."""
+
+    index: int
+    trigger: str
+    opened_at: float
+    cut_at: float
+    completed_at: float
+    queries: int
+    #: Queries answered straight from the cross-window path cache.
+    cache_hits: int
+    #: Backend outcome for the cache misses (``None`` when the whole
+    #: window was served from cache or by the breaker's degrade path).
+    report: Optional[WindowReport]
+    #: The streaming breaker was open (or dispatch failed) and the window
+    #: was answered by per-query Dijkstra instead of the backend.
+    breaker_degraded: bool = False
+    #: Timeline events fired when the window's cut advanced the clock.
+    timeline_events: int = 0
+
+
+@dataclass
+class StreamReport:
+    """Aggregate outcome of one streaming run."""
+
+    windows: List[StreamWindowRecord] = field(default_factory=list)
+    #: Every answered ``(query, result)`` pair, in completion order
+    #: (includes cache hits and shed-degraded answers).
+    answers: List[AnswerPair] = field(default_factory=list)
+    #: End-to-end seconds (arrival -> answer) per answered arrival.
+    latencies: List[float] = field(default_factory=list)
+    dead_letters: List[DeadLetterRecord] = field(default_factory=list)
+    total_arrivals: int = 0
+    shed_degraded: int = 0
+    shed_dropped: int = 0
+    backpressure_stalls: int = 0
+    stream_cache_hits: int = 0
+    stream_cache_misses: int = 0
+    stream_cache_invalidations: int = 0
+    #: Stream-clock span of the run (simulated or real seconds).
+    wall_seconds: float = 0.0
+    metrics: Optional[MetricsSnapshot] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def answered_queries(self) -> int:
+        return len(self.answers)
+
+    @property
+    def dropped_queries(self) -> int:
+        """Queries shed without an answer (always dead-lettered)."""
+        return sum(1 for d in self.dead_letters if d.reason == REASON_SHED)
+
+    @property
+    def unaccounted_queries(self) -> int:
+        """Arrivals neither answered nor dead-lettered — must be zero."""
+        return self.total_arrivals - self.answered_queries - len(self.dead_letters)
+
+    @property
+    def windows_by_trigger(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for w in self.windows:
+            out[w.trigger] = out.get(w.trigger, 0) + 1
+        return out
+
+    @property
+    def breaker_degraded_windows(self) -> int:
+        return sum(1 for w in self.windows if w.breaker_degraded)
+
+    @property
+    def mean_window_size(self) -> float:
+        if not self.windows:
+            return 0.0
+        return sum(w.queries for w in self.windows) / len(self.windows)
+
+    def latency_seconds(self, p: float) -> float:
+        return latency_percentile(sorted(self.latencies), p)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_seconds(0.50)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_seconds(0.99)
+
+    @property
+    def qps(self) -> float:
+        """Sustained answered-queries-per-second over the stream span."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.answered_queries / self.wall_seconds
+
+    def distances(self) -> List[Tuple[int, int, float]]:
+        """Sorted ``(source, target, distance)`` triples — oracle food."""
+        return sorted(
+            (q.source, q.target, r.distance) for q, r in self.answers
+        )
+
+
+class StreamingQueryService:
+    """Micro-batch streaming service over a live road network.
+
+    Parameters
+    ----------
+    graph:
+        The (mutable) road network.
+    window_seconds:
+        Duration trigger: maximum time a window stays open.
+    max_batch:
+        Size trigger: maximum queries per window (``None`` = timer only).
+    queue_capacity / shed_policy / degrade_budget:
+        Admission control (see :class:`~repro.streaming.admission.
+        AdmissionController`).
+    workers:
+        Backend parallelism, passed straight to
+        :class:`~repro.service.BatchQueryService` (``0`` = serial engine
+        path, ``1`` = dynamic session, ``k > 1`` = worker pool).
+    clock:
+        ``"simulated"`` (deterministic replay), ``"real"``, or a clock
+        instance.
+    timeline:
+        Optional :class:`~repro.network.timeline.TrafficTimeline`;
+        advanced to each window's cut instant, so weight epochs interleave
+        with windows exactly as stamped.
+    stream_cache_bytes:
+        Byte budget of the cross-window path cache (``0`` disables it).
+    service_seconds_per_query:
+        Simulated-clock only: deterministic processing cost charged per
+        dispatched query, so overload (and therefore shedding and
+        backpressure) can be reproduced exactly in tests.
+    breaker:
+        Streaming-level :class:`~repro.resilience.CircuitBreaker`
+        guarding backend dispatch; when open, windows degrade to
+        per-query Dijkstra (exact, cache-free) instead of failing.
+    Remaining keyword arguments (``decomposer``, ``answerer``,
+    ``retry_policy``, ``fault_plan``, ``unit_timeout``, ``frozen``,
+    ``start_method``, ``similarity_threshold``, ``deadline_seconds``)
+    are forwarded to the backend :class:`~repro.service.BatchQueryService`.
+    """
+
+    def __init__(
+        self,
+        graph,
+        window_seconds: float = 0.25,
+        max_batch: Optional[int] = 64,
+        queue_capacity: int = 1024,
+        shed_policy: str = "degrade",
+        degrade_budget: Optional[int] = None,
+        workers: int = 1,
+        clock: Union[str, SimulatedClock, MonotonicClock] = "simulated",
+        timeline=None,
+        stream_cache_bytes: int = 2 * 1024 * 1024,
+        service_seconds_per_query: float = 0.0,
+        breaker: Optional[CircuitBreaker] = None,
+        **backend_options,
+    ) -> None:
+        if service_seconds_per_query < 0:
+            raise ConfigurationError("service_seconds_per_query must be non-negative")
+        if stream_cache_bytes < 0:
+            raise ConfigurationError("stream_cache_bytes must be non-negative")
+        self.graph = graph
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self.workers = workers
+        self.clock = make_clock(clock) if isinstance(clock, str) else clock
+        self.timeline = timeline
+        self.service_seconds_per_query = service_seconds_per_query
+        self.admission = AdmissionController(
+            queue_capacity=queue_capacity,
+            policy=shed_policy,
+            degrade_budget=degrade_budget,
+        )
+        self.batcher = MicroBatcher(window_seconds, max_batch)
+        # Default breaker follows the stream clock, so cooldown expiry is
+        # deterministic under SimulatedClock too.
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(clock=self.clock.now)
+        )
+        self._stream_cache: Optional[VersionedPathCache] = (
+            VersionedPathCache(graph, stream_cache_bytes, eviction="lru")
+            if stream_cache_bytes > 0
+            else None
+        )
+        # The backend owns decomposition, retries, degradation and the
+        # worker pool; the timeline stays here so weight epochs follow the
+        # *stream* clock, not the backend's grid index.
+        self.backend = BatchQueryService(
+            graph,
+            window_seconds=window_seconds,
+            workers=workers,
+            timeline=None,
+            **backend_options,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker pool); idempotent."""
+        self.backend.close()
+
+    def __enter__(self) -> "StreamingQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def warm(self) -> bool:
+        """Pre-build the backend worker pool before traffic starts."""
+        return self.backend.warm()
+
+    @property
+    def stream_cache(self) -> Optional[VersionedPathCache]:
+        return self._stream_cache
+
+    # ------------------------------------------------------------------
+    def run(self, arrivals: Iterable[TimedQuery]) -> StreamReport:
+        """Consume a whole stamped stream and answer it online.
+
+        Simulated clock: the loop jumps between arrival instants and
+        window deadlines, so the run is a deterministic function of the
+        stream and the configuration.  Real clock: the same loop sleeps
+        instead of jumping and dispatch costs genuine wall time.
+        """
+        events = sorted(arrivals)
+        if events and events[0].arrival < 0:
+            raise ConfigurationError(
+                f"arrival times must be non-negative, got {events[0].arrival!r}"
+            )
+        report = StreamReport(total_arrivals=len(events))
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("streaming.arrivals_total").add(len(events))
+        if self.workers > 1:
+            self.warm()
+        started_at = self.clock.now()
+        i = 0
+        while i < len(events) or self.admission.depth or self.batcher.pending:
+            now = self.clock.now()
+            # 1. Admit every arrival that is due, shedding on overflow.
+            while i < len(events) and events[i].arrival <= now:
+                self._admit(events[i], report)
+                i += 1
+            set_stream_queue_depth(self.admission.depth)
+            # 2. Cut a window whose duration deadline has passed.
+            due = self.batcher.cut_if_due(now)
+            if due is not None:
+                self._dispatch(due, report)
+            # 3. Feed admitted queries into the assembler (size trigger
+            #    may cut windows mid-feed; dispatch advances the clock).
+            while self.admission.depth:
+                tq = self.admission.pop()
+                for window in self.batcher.offer(tq, self.clock.now()):
+                    self._dispatch(window, report)
+            # 4. Jump (or sleep) to whatever fires next.
+            deadline = self.batcher.deadline
+            next_arrival = events[i].arrival if i < len(events) else None
+            if deadline is None and next_arrival is None:
+                break
+            if next_arrival is None:
+                target = deadline
+            elif deadline is None:
+                target = next_arrival
+            else:
+                target = min(deadline, next_arrival)
+            assert target is not None
+            self.clock.advance_to(target)
+        report.wall_seconds = self.clock.now() - started_at
+        report.shed_degraded = self.admission.shed_degraded
+        report.shed_dropped = self.admission.shed_dropped
+        report.backpressure_stalls = self.admission.backpressure_stalls
+        if self._stream_cache is not None:
+            report.stream_cache_hits = self._stream_cache.hits
+            report.stream_cache_misses = self._stream_cache.misses
+            report.stream_cache_invalidations = self._stream_cache.invalidations
+        if registry.enabled:
+            report.metrics = registry.snapshot()
+        return report
+
+    # ------------------------------------------------------------------
+    def _admit(self, tq: TimedQuery, report: StreamReport) -> None:
+        outcome = self.admission.admit(tq)
+        if outcome == ADMITTED:
+            return
+        if outcome == SHED_DROP:
+            record_stream_shed(dropped=1)
+            record_dead_letters(1)
+            report.dead_letters.append(
+                DeadLetterRecord(
+                    source=tq.query.source,
+                    target=tq.query.target,
+                    reason=REASON_SHED,
+                    stage=STAGE_ADMISSION,
+                    detail=(
+                        f"admission queue full "
+                        f"(capacity {self.admission.queue_capacity})"
+                    ),
+                )
+            )
+            return
+        # Shed-degrade: answered right now by plain Dijkstra — the query
+        # loses batching/caching benefit but the answer stays exact.
+        record_stream_shed(degraded=1)
+        pairs = self._answer_by_dijkstra(
+            QuerySet([tq.query]), report.dead_letters, reason=REASON_SHED
+        )
+        completion = self.clock.now()
+        for pair in pairs:
+            report.answers.append(pair)
+            self._record_latency(report, completion - tq.arrival)
+
+    def _record_latency(self, report: StreamReport, latency: float) -> None:
+        latency = max(0.0, latency)
+        report.latencies.append(latency)
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram("streaming.latency_seconds", TIME_BUCKETS).observe(
+                latency
+            )
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, window: MicroWindow, report: StreamReport) -> None:
+        fired = 0
+        if self.timeline is not None and window.cut_at > self.timeline.clock:
+            # Weight epochs follow the stream clock; a version bump here
+            # invalidates the cross-window cache (checked at next probe),
+            # flushes the dynamic session and re-forks the worker pool.
+            fired = self.timeline.advance_to(window.cut_at)
+        record_stream_window(len(window), window.trigger, window.span_seconds)
+        registry = get_registry()
+        backend_report: Optional[WindowReport] = None
+        breaker_degraded = False
+        with registry.span(
+            "stream_window",
+            index=window.index,
+            trigger=window.trigger,
+            queries=len(window),
+        ):
+            cache_pairs, missed = self._probe_cache(window)
+            answered: List[AnswerPair] = list(cache_pairs)
+            if missed:
+                batch = QuerySet(tq.query for tq in missed)
+                if not self.breaker.allow():
+                    breaker_degraded = True
+                    answered.extend(
+                        self._answer_by_dijkstra(batch, report.dead_letters)
+                    )
+                else:
+                    try:
+                        backend_report = self.backend.process_window(
+                            batch, index=window.index
+                        )
+                    except Exception as exc:
+                        self.breaker.record_failure()
+                        logger.warning(
+                            "window %d backend dispatch failed (%s: %s); "
+                            "degrading to per-query Dijkstra",
+                            window.index,
+                            type(exc).__name__,
+                            exc,
+                        )
+                        breaker_degraded = True
+                        answered.extend(
+                            self._answer_by_dijkstra(batch, report.dead_letters)
+                        )
+                    else:
+                        self.breaker.record_success()
+                        report.dead_letters.extend(backend_report.dead_letters)
+                        if backend_report.answer is not None:
+                            answered.extend(backend_report.answer.answers)
+                            self._cache_answers(backend_report.answer.answers)
+        if breaker_degraded and registry.enabled:
+            registry.counter("streaming.breaker_degraded_windows").add(1)
+        if self.service_seconds_per_query > 0:
+            # Deterministic processing cost: only meaningful on the
+            # simulated clock (the real clock pays genuine wall time).
+            self.clock.sleep(self.service_seconds_per_query * len(window))
+        completion = self.clock.now()
+        answered_keys = {(q.source, q.target) for q, _ in answered}
+        for tq in window.arrivals:
+            if (tq.query.source, tq.query.target) in answered_keys:
+                self._record_latency(report, completion - tq.arrival)
+        report.answers.extend(answered)
+        report.windows.append(
+            StreamWindowRecord(
+                index=window.index,
+                trigger=window.trigger,
+                opened_at=window.opened_at,
+                cut_at=window.cut_at,
+                completed_at=completion,
+                queries=len(window),
+                cache_hits=len(cache_pairs),
+                report=backend_report,
+                breaker_degraded=breaker_degraded,
+                timeline_events=fired,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _probe_cache(
+        self, window: MicroWindow
+    ) -> Tuple[List[AnswerPair], List[TimedQuery]]:
+        """Split a window into cache-answered pairs and misses to dispatch."""
+        if self._stream_cache is None:
+            return [], list(window.arrivals)
+        cache = self._stream_cache
+        h0, m0, inv0 = cache.hits, cache.misses, cache.invalidations
+        pairs: List[AnswerPair] = []
+        missed: List[TimedQuery] = []
+        for tq in window.arrivals:
+            q = tq.query
+            hit = cache.lookup(q.source, q.target)
+            if hit is not None and hit.exact:
+                pairs.append(
+                    (
+                        q,
+                        PathResult(
+                            q.source,
+                            q.target,
+                            hit.distance,
+                            list(hit.path),
+                            visited=0,
+                            exact=True,
+                        ),
+                    )
+                )
+            else:
+                missed.append(tq)
+        record_stream_cache(
+            cache.hits - h0, cache.misses - m0, cache.invalidations - inv0
+        )
+        return pairs, missed
+
+    def _cache_answers(self, pairs: List[AnswerPair]) -> None:
+        """Feed exact answered paths into the cross-window cache."""
+        if self._stream_cache is None:
+            return
+        for _, result in pairs:
+            path = getattr(result, "path", None)
+            if (
+                result.exact
+                and path
+                and len(path) >= 2
+                and math.isfinite(result.distance)
+            ):
+                try:
+                    self._stream_cache.insert(path)
+                except Exception:  # pragma: no cover - defensive
+                    # A path that does not validate against the current
+                    # graph must never poison the cache; skip it.
+                    continue
+
+    def _answer_by_dijkstra(
+        self,
+        batch: QuerySet,
+        dead_letters: List[DeadLetterRecord],
+        reason: str = REASON_WINDOW_DEGRADED,
+    ) -> List[AnswerPair]:
+        """Exact per-query fallback: plain Dijkstra, no batching benefit.
+
+        Used for shed queries and for windows the breaker keeps away from
+        the backend.  Unanswerable queries dead-letter with ``reason``.
+        """
+        from ..search.dijkstra import dijkstra
+
+        n = self.graph.num_vertices
+        pairs: List[AnswerPair] = []
+        letters = 0
+        for q in batch:
+            if q.source >= n or q.target >= n:
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_INVALID_QUERY,
+                        stage=STAGE_VALIDATION,
+                        detail=f"vertex id out of range (|V| = {n})",
+                    )
+                )
+                letters += 1
+                continue
+            try:
+                result = dijkstra(self.graph, q.source, q.target)
+            except Exception as exc:
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=reason,
+                        stage=STAGE_SESSION,
+                        error=type(exc).__name__,
+                        detail=str(exc),
+                    )
+                )
+                letters += 1
+                continue
+            if not math.isfinite(result.distance):
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_NO_PATH,
+                        stage=STAGE_SESSION,
+                        error="NoPathError",
+                        detail=f"no path from {q.source} to {q.target}",
+                    )
+                )
+                letters += 1
+                continue
+            pairs.append((q, result))
+        if letters:
+            record_dead_letters(letters)
+        return pairs

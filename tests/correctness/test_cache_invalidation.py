@@ -1,0 +1,139 @@
+"""Version-keyed cache invalidation: stale hits must be impossible.
+
+:class:`VersionedPathCache` pins its contents to ``graph.version`` and
+self-clears on mismatch, so a weight update can never leak a pre-update
+distance.  The property tests interleave random weight mutations
+(``set_weight`` / ``scale_weights``) with inserts and lookups and assert
+the zero-stale-hit invariant directly: **every** hit equals the current
+Dijkstra distance, computed against the graph as it stands at lookup
+time.  A second suite drives the full streaming service across weight
+epochs and checks the same end-to-end.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import VersionedPathCache
+from repro.network.generators import grid_city
+from repro.network.timeline import TrafficTimeline, congestion_snapshot
+from repro.queries.arrivals import PoissonArrivals
+from repro.queries.workload import WorkloadGenerator
+from repro.search.dijkstra import dijkstra
+from repro.streaming import StreamingQueryService
+
+from tests.correctness.conftest import CORRECTNESS
+
+CACHE_SETTINGS = settings(CORRECTNESS, max_examples=100)
+
+
+def fresh_graph(seed: int):
+    return grid_city(4, 4, seed=seed)
+
+
+#: One interleaved step: either a mutation or a query.
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), st.integers(0, 10 ** 6),
+                  st.floats(0.1, 5.0, allow_nan=False)),
+        st.tuples(st.just("scale"), st.integers(0, 10 ** 6),
+                  st.floats(1.1, 2.0, allow_nan=False)),
+        st.tuples(st.just("query"), st.integers(0, 10 ** 6),
+                  st.integers(0, 10 ** 6)),
+    ),
+    min_size=5,
+    max_size=40,
+)
+
+
+class TestVersionedPathCacheProperty:
+    @given(st.integers(0, 20), steps)
+    @CACHE_SETTINGS
+    def test_no_stale_hit_survives_any_mutation_interleaving(self, seed, plan):
+        graph = fresh_graph(seed)
+        edges = [(u, v) for u, v, _ in graph.edges()]
+        n = graph.num_vertices
+        cache = VersionedPathCache(graph, 256 * 1024, eviction="lru")
+        for step in plan:
+            kind = step[0]
+            if kind == "set":
+                u, v = edges[step[1] % len(edges)]
+                graph.set_weight(u, v, step[2])
+            elif kind == "scale":
+                u, v = edges[step[1] % len(edges)]
+                graph.scale_weights(step[2], [(u, v)])
+            else:
+                s, t = step[1] % n, step[2] % n
+                truth = dijkstra(graph, s, t)
+                hit = cache.lookup(s, t)
+                if hit is not None:
+                    # The zero-stale-hits invariant: any hit must match
+                    # the graph as it stands right now.
+                    assert math.isclose(
+                        hit.distance, truth.distance, rel_tol=1e-9
+                    ), (
+                        f"stale hit for {s}->{t}: cached {hit.distance}, "
+                        f"current {truth.distance}"
+                    )
+                elif math.isfinite(truth.distance) and len(truth.path) >= 2:
+                    cache.insert(truth.path)
+
+    def test_version_bump_clears_and_counts(self):
+        graph = fresh_graph(0)
+        cache = VersionedPathCache(graph, 64 * 1024)
+        path = dijkstra(graph, 0, graph.num_vertices - 1).path
+        cache.insert(path)
+        assert len(cache) > 0
+        u, v, w = next(iter(graph.edges()))
+        graph.set_weight(u, v, w * 3.0)
+        assert cache.lookup(path[0], path[-1]) is None
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.version == graph.version
+
+
+class TestStreamingServiceAcrossEpochs:
+    @given(st.integers(0, 15), st.sampled_from([1, 2, 3]))
+    @settings(CORRECTNESS, max_examples=25)
+    def test_zero_stale_answers_across_weight_epochs(self, seed, num_epochs):
+        """Drive the service through weight epochs; every window answered
+        after the final epoch must be exact against the final graph, and
+        every epoch must have invalidated the stream cache."""
+        graph = grid_city(4, 4, seed=seed)
+        workload = WorkloadGenerator(graph, seed=seed + 1)
+        arrivals = PoissonArrivals(
+            workload, rate=150.0, seed=seed
+        ).duration(1.2)
+        timeline = TrafficTimeline(graph, seed=seed)
+        epoch_times = [0.3 * (k + 1) for k in range(num_epochs)]
+        for at in epoch_times:
+            timeline.schedule(at, congestion_snapshot(fraction=0.5))
+        with StreamingQueryService(
+            graph,
+            window_seconds=0.1,
+            max_batch=16,
+            workers=0,
+            clock="simulated",
+            timeline=timeline,
+        ) as service:
+            report = service.run(arrivals)
+        assert report.unaccounted_queries == 0
+        assert report.stream_cache_invalidations == num_epochs
+        # Identify answers completed after the last epoch and re-check
+        # them against the final graph state.
+        last_epoch = epoch_times[-1]
+        checked = 0
+        offset = 0
+        for w in report.windows:
+            span = [a for a in report.answers[offset:offset + w.queries]]
+            offset += w.queries
+            if w.cut_at <= last_epoch:
+                continue
+            for q, r in span:
+                truth = dijkstra(graph, q.source, q.target).distance
+                assert math.isclose(r.distance, truth, rel_tol=1e-9), (
+                    f"stale answer after epoch: {q} got {r.distance}, "
+                    f"final graph {truth}"
+                )
+                checked += 1
+        assert checked > 0, "stream should extend past the final epoch"

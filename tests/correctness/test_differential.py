@@ -1,0 +1,90 @@
+"""Differential suite: six shortest-path algorithms against one oracle.
+
+Every point-to-point algorithm in the library — A*, bidirectional
+Dijkstra, bidirectional A*, Contraction Hierarchies, Pruned Landmark
+Labeling — must return *exactly* the Dijkstra distance on randomized
+(graph, source, target) cases drawn from the shared pool, including the
+degenerate ``source == target`` case.  Index structures are built once
+per graph and reused across examples, so 200 cases per algorithm stay
+cheap enough for tier-1.
+"""
+
+import math
+from typing import Dict
+
+from hypothesis import given
+
+from repro.index.ch import ContractionHierarchy
+from repro.index.pll import PrunedLandmarkLabeling
+from repro.search.astar import a_star
+from repro.search.bidirectional import bidirectional_dijkstra
+from repro.search.bidirectional_astar import bidirectional_a_star
+from repro.search.dijkstra import dijkstra
+from tests.conftest import assert_valid_path
+
+from tests.correctness.conftest import CORRECTNESS, GRAPH_POOL, graph_key_and_pair
+
+_CH: Dict[str, ContractionHierarchy] = {}
+_PLL: Dict[str, PrunedLandmarkLabeling] = {}
+
+
+def ch_for(graph_key: str) -> ContractionHierarchy:
+    if graph_key not in _CH:
+        _CH[graph_key] = ContractionHierarchy(GRAPH_POOL[graph_key])
+    return _CH[graph_key]
+
+
+def pll_for(graph_key: str) -> PrunedLandmarkLabeling:
+    if graph_key not in _PLL:
+        _PLL[graph_key] = PrunedLandmarkLabeling(GRAPH_POOL[graph_key])
+    return _PLL[graph_key]
+
+
+class TestSearchAlgorithmsAgree:
+    @given(graph_key_and_pair())
+    @CORRECTNESS
+    def test_path_searches_match_dijkstra(self, drawn):
+        graph_key, source, target = drawn
+        graph = GRAPH_POOL[graph_key]
+        truth = dijkstra(graph, source, target)
+        contenders = {
+            "a_star": a_star(graph, source, target),
+            "bidirectional": bidirectional_dijkstra(graph, source, target),
+            "bidirectional_a_star": bidirectional_a_star(graph, source, target),
+        }
+        for name, result in contenders.items():
+            assert math.isclose(
+                result.distance, truth.distance, rel_tol=1e-9, abs_tol=1e-12
+            ), f"{name} on {graph_key}: {source}->{target} gave "\
+               f"{result.distance}, dijkstra {truth.distance}"
+            if math.isfinite(result.distance) and source != target:
+                assert_valid_path(
+                    graph, result.path, source, target, result.distance
+                )
+
+    @given(graph_key_and_pair())
+    @CORRECTNESS
+    def test_distance_indexes_match_dijkstra(self, drawn):
+        graph_key, source, target = drawn
+        graph = GRAPH_POOL[graph_key]
+        truth = dijkstra(graph, source, target).distance
+        ch = ch_for(graph_key).distance(source, target)
+        pll = pll_for(graph_key).distance(source, target)
+        assert math.isclose(ch, truth, rel_tol=1e-9, abs_tol=1e-12), (
+            f"CH on {graph_key}: {source}->{target} gave {ch}, "
+            f"dijkstra {truth}"
+        )
+        assert math.isclose(pll, truth, rel_tol=1e-9, abs_tol=1e-12), (
+            f"PLL on {graph_key}: {source}->{target} gave {pll}, "
+            f"dijkstra {truth}"
+        )
+
+    def test_self_query_is_zero_everywhere(self):
+        for graph_key, graph in GRAPH_POOL.items():
+            v = graph.num_vertices // 2
+            assert dijkstra(graph, v, v).distance == 0.0
+            assert a_star(graph, v, v).distance == 0.0
+            assert bidirectional_dijkstra(graph, v, v).distance == 0.0
+            assert bidirectional_a_star(graph, v, v).distance == 0.0
+            assert ch_for(graph_key).distance(v, v) == 0.0
+            assert pll_for(graph_key).distance(v, v) == 0.0

@@ -1,0 +1,118 @@
+"""Metamorphic suite: batch-processing invariances the paper relies on.
+
+Two metamorphic relations over every decomposer (Zigzag, Search-Space
+Estimation, Co-Clustering) with the exact Local Cache answerer:
+
+* **Permutation invariance** — reordering the queries of a batch must
+  not change any answered distance.  Clustering *is* order-sensitive
+  (different clusters, different cache schedules), so the relation is on
+  the answer multiset, not on internal structure.
+* **Split/merge invariance** — processing a batch as one call or as two
+  arbitrary sub-batches must produce the same distances per query.
+
+Both hold because each decomposed pipeline is exact; violating either
+would mean a decomposer's clustering leaked into the *results*, which is
+precisely the bug class metamorphic testing catches without needing an
+external oracle.  Each answer is additionally checked against the
+Dijkstra oracle and validated as a real edge walk.
+"""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.core.coclustering import CoClusteringDecomposer
+from repro.core.local_cache import LocalCacheAnswerer
+from repro.core.search_space import SearchSpaceDecomposer
+from repro.core.zigzag import ZigzagDecomposer
+from repro.queries.query import QuerySet
+from repro.search.dijkstra import dijkstra
+from tests.conftest import assert_valid_path
+
+from tests.correctness.conftest import CORRECTNESS, GRAPH_POOL, graph_key_and_batch
+
+DECOMPOSERS = ("zigzag", "sse", "cocluster")
+
+
+def build_decomposer(kind: str, graph):
+    if kind == "zigzag":
+        return ZigzagDecomposer(graph)
+    if kind == "sse":
+        return SearchSpaceDecomposer(graph)
+    return CoClusteringDecomposer(graph)
+
+
+def answer_batch(graph, kind: str, batch: QuerySet):
+    """Run one decomposer + exact local-cache pipeline over a batch."""
+    decomposition = build_decomposer(kind, graph).decompose(batch)
+    answerer = LocalCacheAnswerer(graph, cache_bytes=256 * 1024)
+    return build_answer_key(answerer.answer(decomposition, method=kind))
+
+
+def build_answer_key(answer):
+    """The observable result: a sorted multiset of distance triples."""
+    return sorted(
+        (q.source, q.target, round(r.distance, 9)) for q, r in answer.answers
+    )
+
+
+class TestPermutationInvariance:
+    @given(graph_key_and_batch(), st.randoms(use_true_random=False))
+    @CORRECTNESS
+    def test_query_order_never_changes_distances(self, drawn, rng):
+        graph_key, batch = drawn
+        graph = GRAPH_POOL[graph_key]
+        shuffled = list(batch)
+        rng.shuffle(shuffled)
+        permuted = QuerySet(shuffled)
+        for kind in DECOMPOSERS:
+            original = answer_batch(graph, kind, batch)
+            reordered = answer_batch(graph, kind, permuted)
+            assert original == reordered, (
+                f"{kind}: answers depend on query order"
+            )
+
+
+class TestSplitMergeInvariance:
+    @given(graph_key_and_batch(min_size=6), st.data())
+    @CORRECTNESS
+    def test_splitting_a_batch_never_changes_distances(self, drawn, data):
+        graph_key, batch = drawn
+        graph = GRAPH_POOL[graph_key]
+        queries = list(batch)
+        cut = data.draw(
+            st.integers(min_value=1, max_value=len(queries) - 1), label="cut"
+        )
+        left, right = QuerySet(queries[:cut]), QuerySet(queries[cut:])
+        for kind in DECOMPOSERS:
+            merged = answer_batch(graph, kind, batch)
+            split = sorted(
+                answer_batch(graph, kind, left) + answer_batch(graph, kind, right)
+            )
+            assert merged == split, (
+                f"{kind}: splitting the batch changed the answers"
+            )
+
+
+class TestOracleAndPathValidity:
+    @given(graph_key_and_batch())
+    @CORRECTNESS
+    def test_every_answer_is_an_exact_valid_path(self, drawn):
+        graph_key, batch = drawn
+        graph = GRAPH_POOL[graph_key]
+        oracle = {
+            (q.source, q.target): dijkstra(graph, q.source, q.target).distance
+            for q in batch.deduplicated()
+        }
+        for kind in DECOMPOSERS:
+            decomposition = build_decomposer(kind, graph).decompose(batch)
+            answerer = LocalCacheAnswerer(graph, cache_bytes=256 * 1024)
+            answer = answerer.answer(decomposition, method=kind)
+            assert len(answer.answers) == len(batch)
+            for q, r in answer.answers:
+                truth = oracle[(q.source, q.target)]
+                assert math.isclose(r.distance, truth, rel_tol=1e-9), (
+                    f"{kind}: {q} got {r.distance}, oracle {truth}"
+                )
+                if math.isfinite(r.distance) and q.source != q.target:
+                    assert_valid_path(graph, r.path, q.source, q.target, r.distance)

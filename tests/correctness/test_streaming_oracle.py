@@ -1,0 +1,103 @@
+"""Streaming-vs-offline oracle: the online service must equal batch mode.
+
+The streaming service adds windows, admission control, caching, and a
+clock — none of which may change *answers*.  For any arrival stream, the
+simulated-clock :class:`StreamingQueryService` must produce exactly the
+per-query distances of the offline :meth:`BatchProcessor.process_timed`
+replay (grid windows, exact ``slc-s`` pipeline), with zero dropped
+queries.  This holds regardless of how differently the micro-batcher
+sliced the stream — windowing is a scheduling concern, not a semantic
+one.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch_runner import BatchProcessor
+from repro.queries.arrivals import PoissonArrivals
+from repro.streaming import StreamingQueryService
+
+from tests.correctness.conftest import (
+    CORRECTNESS,
+    GRAPH_POOL,
+    workload_for,
+)
+
+#: Fewer examples than the pure suites: each case runs a full streaming
+#: service plus an offline replay.  Still >= 200 streams per run across
+#: the three stream-shape tests below.
+STREAMING_ORACLE = settings(CORRECTNESS, max_examples=70)
+
+
+@st.composite
+def stream_case(draw):
+    graph_key = draw(st.sampled_from(sorted(GRAPH_POOL)))
+    seed = draw(st.integers(min_value=0, max_value=30))
+    rate = draw(st.sampled_from([40.0, 120.0, 300.0]))
+    duration = draw(st.sampled_from([0.5, 1.0, 2.0]))
+    arrivals = PoissonArrivals(
+        workload_for(graph_key, seed), rate=rate, seed=seed
+    ).duration(duration)
+    return graph_key, arrivals
+
+
+def offline_distances(graph, arrivals):
+    answers = BatchProcessor(graph).process_timed(
+        arrivals, method="slc-s", window_seconds=1.0
+    )
+    return sorted(
+        (q.source, q.target, round(r.distance, 9))
+        for batch in answers
+        for q, r in batch.answers
+    )
+
+
+def online_distances(graph, arrivals, **kwargs):
+    kwargs.setdefault("window_seconds", 0.25)
+    kwargs.setdefault("max_batch", 32)
+    kwargs.setdefault("workers", 0)
+    with StreamingQueryService(graph, clock="simulated", **kwargs) as service:
+        report = service.run(arrivals)
+    assert report.unaccounted_queries == 0
+    assert report.dropped_queries == 0
+    return sorted(
+        (s, t, round(d, 9)) for s, t, d in report.distances()
+    )
+
+
+class TestStreamingEqualsOffline:
+    @given(stream_case())
+    @STREAMING_ORACLE
+    def test_default_configuration(self, drawn):
+        graph_key, arrivals = drawn
+        graph = GRAPH_POOL[graph_key]
+        assert online_distances(graph, arrivals) == offline_distances(
+            graph, arrivals
+        )
+
+    @given(stream_case(), st.sampled_from([0.05, 0.4, 1.5]),
+           st.sampled_from([1, 8, None]))
+    @STREAMING_ORACLE
+    def test_any_window_slicing(self, drawn, window_seconds, max_batch):
+        """The dual trigger may slice the stream arbitrarily; answers are
+        invariant to the slicing."""
+        graph_key, arrivals = drawn
+        graph = GRAPH_POOL[graph_key]
+        online = online_distances(
+            graph, arrivals,
+            window_seconds=window_seconds, max_batch=max_batch,
+        )
+        assert online == offline_distances(graph, arrivals)
+
+    @given(stream_case())
+    @STREAMING_ORACLE
+    def test_overload_with_degrade_shedding(self, drawn):
+        """Even when admission sheds most of the stream to the degrade
+        path, answered distances equal the offline batch run."""
+        graph_key, arrivals = drawn
+        graph = GRAPH_POOL[graph_key]
+        online = online_distances(
+            graph, arrivals,
+            window_seconds=0.1, max_batch=8,
+            queue_capacity=2, service_seconds_per_query=0.02,
+        )
+        assert online == offline_distances(graph, arrivals)

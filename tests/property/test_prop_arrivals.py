@@ -41,6 +41,39 @@ def test_no_trailing_empty_windows(arrivals):
     assert len(batches[-1]) > 0
 
 
+@given(
+    st.floats(min_value=-100.0, max_value=-1e-9, allow_nan=False),
+    st.lists(timed, max_size=10),
+    st.floats(min_value=0.1, max_value=5.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_any_negative_arrival_is_rejected(neg, rest, window):
+    """Regression: negative arrivals used to be silently misbucketed into
+    the last window (Python negative indexing on the batch list)."""
+    from pytest import raises
+
+    from repro.exceptions import ConfigurationError
+
+    stream = rest + [TimedQuery(neg, Query(0, 21))]
+    with raises(ConfigurationError):
+        window_batches(stream, window)
+
+
+@given(st.lists(timed, min_size=1, max_size=60),
+       st.floats(min_value=0.1, max_value=5.0),
+       st.one_of(st.none(), st.integers(min_value=1, max_value=8)))
+@settings(max_examples=80, deadline=None)
+def test_micro_batches_conserve_the_stream(arrivals, window, max_batch):
+    """The streaming assembler partitions the stream exactly like the
+    grid windower does: same total, nothing lost, nothing duplicated."""
+    from repro.streaming import assemble_micro_batches
+
+    windows = assemble_micro_batches(arrivals, window, max_batch)
+    grid = window_batches(arrivals, window)
+    assert sum(len(w) for w in windows) == sum(len(b) for b in grid)
+    assert sum(len(w) for w in windows) == len(arrivals)
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
                 min_size=1, max_size=12))
 @settings(max_examples=40, deadline=None)

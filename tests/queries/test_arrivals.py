@@ -101,6 +101,41 @@ class TestWindowBatches:
         assert len(batches[0]) == 1
         assert batches[0][0] == Query(0, 1)
 
+    def test_negative_arrival_rejected(self):
+        """Regression: a negative arrival used to land in the *last* window.
+
+        ``_window_index`` returned ``-1`` and Python's negative list
+        indexing silently appended the query to ``batches[-1]`` — a
+        misbucketing, not an error.  Negative times are now rejected.
+        """
+        arrivals = [
+            TimedQuery(-0.5, Query(0, 1)),
+            TimedQuery(2.5, Query(1, 2)),
+        ]
+        with pytest.raises(ConfigurationError):
+            window_batches(arrivals, 1.0)
+
+    def test_boundary_arrival_opens_next_window(self):
+        """Regression pin: the window predicate is half-open exactly."""
+        arrivals = [
+            TimedQuery(0.0, Query(0, 1)),
+            TimedQuery(1.0, Query(1, 2)),  # exactly on the boundary
+        ]
+        batches = window_batches(arrivals, 1.0)
+        assert len(batches) == 2
+        assert len(batches[0]) == 1
+        assert len(batches[1]) == 1
+
+    def test_float_quotient_boundary_pin(self):
+        """Regression pin for the rounded-quotient bucketing defect:
+        ``floor(a / w)`` alone lands 42.99999999999999 / (1/3) one window
+        off the documented ``k * w <= a < (k + 1) * w`` bounds."""
+        w = 1.0 / 3.0
+        a = 42.99999999999999
+        batches = window_batches([TimedQuery(a, Query(0, 1))], w)
+        k = len(batches) - 1
+        assert k * w <= a < (k + 1) * w
+
 
 class TestStreamStatistics:
     def test_empty(self):

@@ -1,0 +1,98 @@
+"""Admission control: bounded queue, shedding policies, stall episodes."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.queries.arrivals import TimedQuery
+from repro.queries.query import Query
+from repro.streaming import (
+    ADMITTED,
+    AdmissionController,
+    POLICIES,
+    SHED_DEGRADE,
+    SHED_DROP,
+)
+
+
+def tq(at: float = 0.0) -> TimedQuery:
+    return TimedQuery(at, Query(0, 1))
+
+
+class TestConfig:
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(queue_capacity=0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(policy="explode")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(policy="degrade-then-drop", degrade_budget=-1)
+
+    def test_policies_constant(self):
+        assert POLICIES == ("degrade", "degrade-then-drop", "drop")
+
+
+class TestAdmission:
+    def test_admits_until_capacity(self):
+        ctrl = AdmissionController(queue_capacity=3)
+        for _ in range(3):
+            assert ctrl.admit(tq()) == ADMITTED
+        assert ctrl.depth == 3
+        assert ctrl.admitted == 3
+
+    def test_fifo_order(self):
+        ctrl = AdmissionController(queue_capacity=10)
+        for at in [0.1, 0.2, 0.3]:
+            ctrl.admit(tq(at))
+        assert [ctrl.pop().arrival for _ in range(3)] == [0.1, 0.2, 0.3]
+
+    def test_degrade_policy_never_drops(self):
+        ctrl = AdmissionController(queue_capacity=1, policy="degrade")
+        ctrl.admit(tq())
+        for _ in range(5):
+            assert ctrl.admit(tq()) == SHED_DEGRADE
+        assert ctrl.shed_degraded == 5
+        assert ctrl.shed_dropped == 0
+
+    def test_drop_policy_drops_overflow(self):
+        ctrl = AdmissionController(queue_capacity=1, policy="drop")
+        ctrl.admit(tq())
+        assert ctrl.admit(tq()) == SHED_DROP
+        assert ctrl.shed_dropped == 1
+
+    def test_degrade_then_drop_respects_budget(self):
+        ctrl = AdmissionController(
+            queue_capacity=1, policy="degrade-then-drop", degrade_budget=2
+        )
+        ctrl.admit(tq())
+        outcomes = [ctrl.admit(tq()) for _ in range(4)]
+        assert outcomes == [SHED_DEGRADE, SHED_DEGRADE, SHED_DROP, SHED_DROP]
+        assert ctrl.shed_total == 4
+
+    def test_unlimited_budget_equals_degrade(self):
+        ctrl = AdmissionController(
+            queue_capacity=1, policy="degrade-then-drop", degrade_budget=None
+        )
+        ctrl.admit(tq())
+        assert all(ctrl.admit(tq()) == SHED_DEGRADE for _ in range(10))
+
+
+class TestStallEpisodes:
+    def test_contiguous_overflow_counts_one_episode(self):
+        ctrl = AdmissionController(queue_capacity=1)
+        ctrl.admit(tq())
+        for _ in range(4):
+            ctrl.admit(tq())
+        assert ctrl.backpressure_stalls == 1
+
+    def test_pop_ends_the_episode(self):
+        ctrl = AdmissionController(queue_capacity=1)
+        ctrl.admit(tq())
+        ctrl.admit(tq())  # episode 1
+        ctrl.pop()
+        ctrl.admit(tq())  # queue has room again
+        ctrl.admit(tq())  # episode 2
+        assert ctrl.backpressure_stalls == 2

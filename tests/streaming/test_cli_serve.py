@@ -1,0 +1,76 @@
+"""`repro serve` CLI: smoke runs, exit codes, metrics artefacts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_serve_simulated_smoke(capsys):
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1", "--rate", "100",
+        "--window-ms", "100", "--max-batch", "16", "--fail-on-drop",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SERVE OK" in out
+    assert "0 dropped" in out
+
+
+def test_serve_writes_streaming_metrics(tmp_path, capsys):
+    metrics = tmp_path / "metrics.json"
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1", "--rate", "80",
+        "--metrics-out", str(metrics),
+    ])
+    assert code == 0
+    data = json.loads(metrics.read_text(encoding="utf-8"))
+    counters = data["counters"]
+    assert counters["streaming.arrivals_total"] > 0
+    assert counters["streaming.windows"] > 0
+    assert "streaming.queue_depth" in data["gauges"]
+
+
+def test_serve_drop_policy_fails_on_drop_flag(capsys):
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1", "--rate", "300",
+        "--window-ms", "100", "--max-batch", "8",
+        "--queue-capacity", "2", "--shed-policy", "drop",
+        "--service-cost", "0.02", "--fail-on-drop",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SERVE FAILED" in out
+
+
+def test_serve_degrade_policy_absorbs_the_same_overload(capsys):
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1", "--rate", "300",
+        "--window-ms", "100", "--max-batch", "8",
+        "--queue-capacity", "2", "--shed-policy", "degrade",
+        "--service-cost", "0.02", "--fail-on-drop",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SERVE OK" in out
+
+
+def test_serve_with_epochs(capsys):
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1.5", "--rate", "100",
+        "--epoch-every", "0.5", "--fail-on-drop",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "invalidations" in out
+
+
+@pytest.mark.slow
+def test_serve_real_clock_with_workers(capsys):
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1", "--rate", "150",
+        "--clock", "real", "--workers", "2", "--fail-on-drop",
+    ])
+    assert code == 0
+    assert "SERVE OK" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Clock abstraction: deterministic simulated time vs real monotonic time."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streaming import MonotonicClock, SimulatedClock, make_clock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock(-1.0)
+
+    def test_sleep_advances_without_blocking(self):
+        clock = SimulatedClock()
+        clock.sleep(2.5)
+        assert clock.now() == 2.5
+
+    def test_sleep_non_positive_is_noop(self):
+        clock = SimulatedClock(1.0)
+        clock.sleep(0.0)
+        clock.sleep(-3.0)
+        assert clock.now() == 1.0
+
+    def test_advance_to_is_monotone(self):
+        clock = SimulatedClock()
+        clock.advance_to(4.0)
+        assert clock.now() == 4.0
+        clock.advance_to(2.0)  # never goes backwards
+        assert clock.now() == 4.0
+
+    def test_not_real(self):
+        assert SimulatedClock.is_real is False
+
+
+class TestMonotonicClock:
+    def test_zeroed_at_construction(self):
+        clock = MonotonicClock()
+        assert 0.0 <= clock.now() < 0.5
+
+    def test_sleep_costs_real_time(self):
+        clock = MonotonicClock()
+        before = clock.now()
+        clock.sleep(0.02)
+        assert clock.now() - before >= 0.015
+
+    def test_advance_to_past_instant_returns_immediately(self):
+        clock = MonotonicClock()
+        clock.advance_to(-10.0)  # already past; must not block
+        assert clock.now() < 0.5
+
+    def test_is_real(self):
+        assert MonotonicClock.is_real is True
+
+
+class TestMakeClock:
+    def test_simulated(self):
+        assert isinstance(make_clock("simulated"), SimulatedClock)
+
+    def test_real(self):
+        assert isinstance(make_clock("real"), MonotonicClock)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_clock("quartz")

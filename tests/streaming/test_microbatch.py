@@ -1,0 +1,190 @@
+"""Micro-batch window assembly: dual trigger, boundaries, replay equivalence."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.queries.arrivals import TimedQuery, window_batches
+from repro.queries.query import Query
+from repro.streaming import (
+    MicroBatcher,
+    TRIGGER_DURATION,
+    TRIGGER_FLUSH,
+    TRIGGER_SIZE,
+    assemble_micro_batches,
+)
+
+
+def tq(arrival: float, source: int = 0, target: int = 1) -> TimedQuery:
+    return TimedQuery(arrival, Query(source, target))
+
+
+class TestMicroBatcherConfig:
+    def test_non_positive_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(0.0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(-1.0)
+
+    def test_max_batch_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(1.0, max_batch=0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(1.0).offer(tq(-0.1))
+
+
+class TestDualTrigger:
+    def test_duration_trigger_cuts_at_deadline(self):
+        b = MicroBatcher(1.0)
+        assert b.offer(tq(0.2)) == []
+        assert b.deadline == pytest.approx(1.2)
+        # Next arrival past the deadline first cuts the open window...
+        windows = b.offer(tq(1.5))
+        assert len(windows) == 1
+        w = windows[0]
+        assert w.trigger == TRIGGER_DURATION
+        assert w.cut_at == pytest.approx(1.2)  # stamped at the deadline
+        assert len(w) == 1
+        # ...and the late arrival opened a fresh window.
+        assert b.pending == 1
+        assert b.deadline == pytest.approx(2.5)
+
+    def test_size_trigger_cuts_immediately(self):
+        b = MicroBatcher(10.0, max_batch=3)
+        assert b.offer(tq(0.0)) == []
+        assert b.offer(tq(0.1)) == []
+        windows = b.offer(tq(0.2))
+        assert len(windows) == 1
+        assert windows[0].trigger == TRIGGER_SIZE
+        assert windows[0].cut_at == pytest.approx(0.2)
+        assert len(windows[0]) == 3
+        assert b.pending == 0
+
+    def test_boundary_is_half_open(self):
+        """An arrival at exactly opened_at + window starts the next window."""
+        b = MicroBatcher(1.0)
+        b.offer(tq(0.0))
+        windows = b.offer(tq(1.0))
+        assert len(windows) == 1
+        assert len(windows[0]) == 1
+        assert b.pending == 1  # the boundary arrival went to the new window
+
+    def test_max_batch_one_every_query_its_own_window(self):
+        b = MicroBatcher(1.0, max_batch=1)
+        for i, at in enumerate([0.0, 0.3, 0.6]):
+            windows = b.offer(tq(at))
+            assert len(windows) == 1
+            assert windows[0].trigger == TRIGGER_SIZE
+            assert windows[0].index == i
+
+    def test_cut_if_due_before_deadline_returns_none(self):
+        b = MicroBatcher(1.0)
+        b.offer(tq(0.0))
+        assert b.cut_if_due(0.5) is None
+        assert b.pending == 1
+
+    def test_indices_are_sequential(self):
+        b = MicroBatcher(0.5, max_batch=2)
+        cut = []
+        for at in [0.0, 0.1, 0.2, 1.5, 1.6, 1.7]:
+            cut.extend(b.offer(tq(at)))
+        final = b.flush()
+        if final is not None:
+            cut.append(final)
+        assert [w.index for w in cut] == list(range(len(cut)))
+
+
+class TestFlush:
+    def test_flush_empty_returns_none(self):
+        assert MicroBatcher(1.0).flush() is None
+
+    def test_flush_before_deadline_uses_flush_trigger(self):
+        b = MicroBatcher(1.0)
+        b.offer(tq(0.0))
+        w = b.flush(0.4)
+        assert w is not None
+        assert w.trigger == TRIGGER_FLUSH
+        assert w.cut_at == pytest.approx(0.4)
+
+    def test_flush_past_deadline_is_a_duration_cut(self):
+        b = MicroBatcher(1.0)
+        b.offer(tq(0.0))
+        w = b.flush(5.0)
+        assert w.trigger == TRIGGER_DURATION
+        assert w.cut_at == pytest.approx(1.0)
+
+    def test_flush_without_instant_stamps_the_deadline(self):
+        b = MicroBatcher(1.0)
+        b.offer(tq(0.2))
+        w = b.flush()
+        assert w.trigger == TRIGGER_DURATION
+        assert w.cut_at == pytest.approx(1.2)
+
+
+arrival_streams = st.lists(
+    st.floats(min_value=0.0, max_value=50.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestAssembleProperties:
+    @given(arrival_streams, st.floats(min_value=0.01, max_value=5.0),
+           st.one_of(st.none(), st.integers(min_value=1, max_value=8)))
+    @settings(max_examples=200, deadline=None, database=None, derandomize=True)
+    def test_assembly_invariants(self, times, window_seconds, max_batch):
+        arrivals = [tq(at, i % 5, (i + 1) % 5) for i, at in enumerate(times)]
+        windows = assemble_micro_batches(arrivals, window_seconds, max_batch)
+        # Conservation: every arrival lands in exactly one window.
+        assert sum(len(w) for w in windows) == len(arrivals)
+        flat = [a for w in windows for a in w.arrivals]
+        assert sorted(a.arrival for a in flat) == sorted(times)
+        for w in windows:
+            # Size trigger respected.
+            if max_batch is not None:
+                assert len(w) <= max_batch
+            # Window span never exceeds the duration trigger.
+            assert w.span_seconds <= window_seconds + 1e-9
+            # Contents lie inside [opened_at, cut_at].
+            for a in w.arrivals:
+                assert w.opened_at - 1e-9 <= a.arrival <= w.cut_at + 1e-9
+        # Windows are ordered and disjoint in time.
+        for earlier, later in zip(windows, windows[1:]):
+            assert earlier.index + 1 == later.index
+            assert earlier.cut_at <= later.cut_at + 1e-9
+
+    @given(arrival_streams, st.floats(min_value=0.01, max_value=5.0))
+    @settings(max_examples=200, deadline=None, database=None, derandomize=True)
+    def test_timer_only_windows_never_outlast_grid_windows(
+        self, times, window_seconds
+    ):
+        """First-query anchoring can only merge trickle traffic, never
+        produce a window wider than the duration trigger allows — so each
+        micro-window spans at most two adjacent grid windows of
+        :func:`window_batches`."""
+        arrivals = [tq(at) for i, at in enumerate(times)]
+        micro = assemble_micro_batches(arrivals, window_seconds, None)
+        grid = window_batches(arrivals, window_seconds)
+        assert sum(len(w) for w in micro) == sum(len(b) for b in grid)
+        for w in micro:
+            lo = math.floor(w.opened_at / window_seconds)
+            hi = math.floor(w.cut_at / window_seconds)
+            assert hi - lo <= 2
+
+    @given(arrival_streams, st.floats(min_value=0.01, max_value=5.0),
+           st.one_of(st.none(), st.integers(min_value=1, max_value=8)))
+    @settings(max_examples=200, deadline=None, database=None, derandomize=True)
+    def test_replay_is_deterministic(self, times, window_seconds, max_batch):
+        arrivals = [tq(at, i % 5, (i + 1) % 5) for i, at in enumerate(times)]
+        first = assemble_micro_batches(arrivals, window_seconds, max_batch)
+        second = assemble_micro_batches(arrivals, window_seconds, max_batch)
+        assert [
+            (w.index, w.opened_at, w.cut_at, w.trigger, len(w)) for w in first
+        ] == [
+            (w.index, w.opened_at, w.cut_at, w.trigger, len(w)) for w in second
+        ]
