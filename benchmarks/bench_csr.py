@@ -13,6 +13,10 @@ when they do not hold:
    instead of the pickled graph (MBs at scale).  Asserted < 1 KB and
    < 1/100 of the pickle.
 
+The measurement body lives in :mod:`repro.bench.csr` (shared with the
+``csr`` harness suite — ``repro bench run --suite csr`` records the same
+numbers as schema'd JSON); this script is the gating entry point.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_csr.py
@@ -24,105 +28,26 @@ Environment knobs: ``REPRO_CSR_SCALE`` (default ``xlarge``),
 
 from __future__ import annotations
 
-import os
-import pickle
-import random
-import statistics
 import sys
-import time
 
-from repro.network.csr import share_csr
-from repro.network.generators import beijing_like
-from repro.search.dijkstra import dijkstra
-
-SCALE = os.environ.get("REPRO_CSR_SCALE", "xlarge")
-MIN_SPEEDUP = float(os.environ.get("REPRO_CSR_MIN_SPEEDUP", "2.0"))
-PAIRS = int(os.environ.get("REPRO_CSR_PAIRS", "40"))
-ROUNDS = int(os.environ.get("REPRO_CSR_ROUNDS", "5"))
-
-
-def time_queries(graph, pairs, rounds):
-    """Median over ``rounds`` of the total wall time for ``pairs``."""
-    totals = []
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        for s, t in pairs:
-            dijkstra(graph, s, t)
-        totals.append(time.perf_counter() - t0)
-    return statistics.median(totals)
+from repro.bench.csr import run_csr
+from repro.bench.knobs import BenchConfigError, env_float, env_int, env_str
 
 
 def main() -> int:
-    print(f"network        : beijing_like({SCALE!r})")
-    graph = beijing_like(SCALE, seed=0)
-    print(f"size           : {graph.num_vertices} vertices, "
-          f"{graph.num_edges} edges")
-
-    rng = random.Random(99)
-    n = graph.num_vertices
-    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(PAIRS)]
-
-    # Dict path: a copy that is never frozen, so dispatch cannot switch.
-    dict_graph = graph.copy()
-    t0 = time.perf_counter()
-    csr = graph.freeze()
-    freeze_seconds = time.perf_counter() - t0
-    csr.forward_rows()  # decode outside the timed region, like a real run
-    csr.reverse_rows()
-    print(f"freeze         : {freeze_seconds * 1e3:.1f} ms "
-          f"({csr.nbytes / 1e6:.1f} MB of flat buffers)")
-
-    # Warm both paths once, then interleave measurements.
-    time_queries(dict_graph, pairs[:5], 1)
-    time_queries(graph, pairs[:5], 1)
-    dict_seconds = time_queries(dict_graph, pairs, ROUNDS)
-    csr_seconds = time_queries(graph, pairs, ROUNDS)
-
-    # Sanity: identical answers on a sample (the full differential suite
-    # lives in tests/search/test_csr_kernels.py).
-    for s, t in pairs[:5]:
-        assert dijkstra(graph, s, t).distance == dijkstra(dict_graph, s, t).distance
-
-    speedup = dict_seconds / csr_seconds if csr_seconds > 0 else float("inf")
-    print(f"dict kernel    : {dict_seconds * 1e3:.1f} ms / {PAIRS} queries")
-    print(f"csr kernel     : {csr_seconds * 1e3:.1f} ms / {PAIRS} queries")
-    print(f"speedup        : {speedup:.2f}x (required >= {MIN_SPEEDUP:.2f}x)")
-
-    # Spawn-payload budget: handle vs pickled graph.
-    graph_payload = len(pickle.dumps((graph, "local-cache", {})))
-    shared = share_csr(csr)
     try:
-        handle_payload = len(pickle.dumps((shared.handle, "local-cache", {})))
-        t0 = time.perf_counter()
-        from repro.network.csr import CSRGraph
-
-        attached = CSRGraph.attach(shared.handle)
-        attach_seconds = time.perf_counter() - t0
-        attached.release()
-    finally:
-        shared.close()
-    t0 = time.perf_counter()
-    pickle.loads(pickle.dumps(graph))
-    unpickle_seconds = time.perf_counter() - t0
-    print(f"spawn payload  : {handle_payload} B (handle) vs "
-          f"{graph_payload} B (pickled graph)")
-    print(f"worker startup : attach {attach_seconds * 1e3:.2f} ms vs "
-          f"pickle round-trip {unpickle_seconds * 1e3:.1f} ms")
-
-    failures = []
-    if speedup < MIN_SPEEDUP:
-        failures.append(
-            f"CSR speedup {speedup:.2f}x below the {MIN_SPEEDUP:.2f}x budget"
+        outcome = run_csr(
+            scale=env_str("REPRO_CSR_SCALE", "xlarge"),
+            pairs=env_int("REPRO_CSR_PAIRS", 40),
+            rounds=env_int("REPRO_CSR_ROUNDS", 5),
+            min_speedup=env_float("REPRO_CSR_MIN_SPEEDUP", 2.0),
         )
-    if handle_payload >= 1024:
-        failures.append(f"handle payload {handle_payload} B >= 1 KB")
-    if handle_payload * 100 > graph_payload:
-        failures.append(
-            f"handle payload {handle_payload} B not < 1/100 of the "
-            f"{graph_payload} B pickled graph"
-        )
-    if failures:
-        for failure in failures:
+    except BenchConfigError as err:
+        print(f"BENCH CONFIG ERROR: {err}")
+        return 2
+    print(outcome.rendered)
+    if outcome.failures:
+        for failure in outcome.failures:
             print(f"BENCH FAILED: {failure}")
         return 1
     print("BENCH OK")

@@ -9,110 +9,53 @@ against a verbatim copy of the pre-instrumentation implementation — on a
 200x200 grid city, and fails (exit 1) if the median overhead exceeds the
 budget (3 % by default).
 
+The measurement body lives in :mod:`repro.bench.obs_overhead` (shared
+with the ``obs_overhead`` harness suite); this script is the gating
+entry point.
+
 Run it from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 
 Environment knobs: ``REPRO_OBS_BUDGET_PCT`` (default ``3``),
-``REPRO_OBS_ROUNDS`` (default ``9``), ``REPRO_OBS_PAIRS`` (default ``40``).
+``REPRO_OBS_ROUNDS`` (default ``15``), ``REPRO_OBS_PAIRS`` (default
+``15``), ``REPRO_OBS_GRID`` (default ``200``).
 """
 
 from __future__ import annotations
 
-import math
-import os
-import random
 import sys
-import time
-from heapq import heappop, heappush
-from typing import Dict, List, Set, Tuple
 
-from repro.network.generators import grid_city
-from repro.search.common import PathResult, reconstruct_path
-from repro.search.dijkstra import dijkstra as instrumented_dijkstra
-
-Infinity = math.inf
-
-
-def baseline_dijkstra(graph, source: int, target: int) -> PathResult:
-    """The seed's un-instrumented point-to-point Dijkstra, verbatim."""
-    adj = graph._adj  # noqa: SLF001 - hot path
-    dist: Dict[int, float] = {source: 0.0}
-    parents: Dict[int, int] = {}
-    done: Set[int] = set()
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    visited = 0
-    while heap:
-        d, u = heappop(heap)
-        if u in done:
-            continue
-        done.add(u)
-        visited += 1
-        if u == target:
-            return PathResult(
-                source, target, d, reconstruct_path(parents, source, target), visited
-            )
-        for v, w in adj[u]:
-            v = int(v)
-            nd = d + w
-            if nd < dist.get(v, Infinity):
-                dist[v] = nd
-                parents[v] = u
-                heappush(heap, (nd, v))
-    return PathResult(source, target, Infinity, [], visited)
-
-
-def time_round(fn, graph, pairs) -> float:
-    t0 = time.perf_counter()
-    for s, t in pairs:
-        fn_result = fn(graph, s, t)
-    elapsed = time.perf_counter() - t0
-    assert fn_result.found
-    return elapsed
+from repro.bench.knobs import BenchConfigError, env_float, env_int
+from repro.bench.obs_overhead import run_obs_overhead
 
 
 def main() -> int:
-    budget_pct = float(os.environ.get("REPRO_OBS_BUDGET_PCT", "3"))
-    rounds = int(os.environ.get("REPRO_OBS_ROUNDS", "15"))
-    num_pairs = int(os.environ.get("REPRO_OBS_PAIRS", "15"))
-
-    print("building 200x200 grid city...", flush=True)
-    graph = grid_city(200, 200, spacing=0.5, seed=7)
-    rng = random.Random(11)
-    n = graph.num_vertices
-    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(num_pairs)]
-
-    for s, t in pairs[:3]:  # sanity: identical answers
-        a, b = baseline_dijkstra(graph, s, t), instrumented_dijkstra(graph, s, t)
-        assert a.distance == b.distance and a.path == b.path
-
-    # Paired rounds, alternating order within a round, so machine drift
-    # (thermal, allocator, scheduler) hits both sides equally; the median
-    # ratio is the robust overhead estimate.
-    ratios: List[float] = []
-    for i in range(rounds):
-        if i % 2 == 0:
-            t_base = time_round(baseline_dijkstra, graph, pairs)
-            t_inst = time_round(instrumented_dijkstra, graph, pairs)
-        else:
-            t_inst = time_round(instrumented_dijkstra, graph, pairs)
-            t_base = time_round(baseline_dijkstra, graph, pairs)
-        ratios.append(t_inst / t_base)
-        print(
-            f"round {i + 1}/{rounds}: baseline {t_base:.3f}s, "
-            f"instrumented {t_inst:.3f}s, ratio {ratios[-1]:.4f}",
-            flush=True,
-        )
-
-    ratios.sort()
-    median = ratios[len(ratios) // 2]
-    overhead_pct = (median - 1.0) * 100.0
-    print(
-        f"\nmedian of {rounds} paired ratios over {num_pairs} queries: "
-        f"{median:.4f} (spread {ratios[0]:.4f}..{ratios[-1]:.4f})"
+    try:
+        budget_pct = env_float("REPRO_OBS_BUDGET_PCT", 3.0)
+        rounds = env_int("REPRO_OBS_ROUNDS", 15)
+        pairs = env_int("REPRO_OBS_PAIRS", 15)
+        grid_side = env_int("REPRO_OBS_GRID", 200)
+    except BenchConfigError as err:
+        print(f"BENCH CONFIG ERROR: {err}")
+        return 2
+    print(f"building {grid_side}x{grid_side} grid city...", flush=True)
+    outcome = run_obs_overhead(
+        budget_pct=budget_pct,
+        rounds=rounds,
+        pairs=pairs,
+        grid_side=grid_side,
+        progress=True,
     )
-    print(f"null-registry overhead: {overhead_pct:+.2f}% (budget {budget_pct:.1f}%)")
-    if overhead_pct > budget_pct:
+    print(
+        f"\nmedian of {rounds} paired ratios over {pairs} queries: "
+        f"{outcome.median_ratio:.4f}"
+    )
+    print(
+        f"null-registry overhead: {outcome.overhead_pct:+.2f}% "
+        f"(budget {budget_pct:.1f}%)"
+    )
+    if not outcome.within_budget:
         print("FAIL: instrumentation overhead exceeds the budget")
         return 1
     print("OK: instrumented Dijkstra within budget of the un-instrumented seed")

@@ -9,11 +9,15 @@ then 2 and 4 worker processes) and reports, per configuration:
 * p50 / p99 end-to-end latency (arrival -> answer),
 * window count by trigger, cross-window cache hit counts, shed totals.
 
-Results append to ``benchmarks/results/streaming.jsonl`` (one JSON object
-per configuration, machine-readable) and print as a table.  The benchmark
-asserts only accounting (no query unaccounted, zero drops under the
-default degrade policy) — absolute numbers are machine-dependent and
-recorded, not gated.
+Results append to ``benchmarks/results/streaming.jsonl`` — one JSON
+object per configuration, each stamped with full run provenance (UTC
+ISO-8601 timestamp, git sha, label) so rows from different machines and
+checkouts stay distinguishable.  The schema'd per-label artefact is
+written by ``repro bench run --suite streaming --label <label>``, which
+shares this script's measurement body (:mod:`repro.bench.streaming_bench`).
+The benchmark asserts only accounting (no query unaccounted, zero drops
+under the default degrade policy) — absolute numbers are
+machine-dependent and recorded, not gated.
 
 Run from the repo root::
 
@@ -23,97 +27,40 @@ Environment knobs: ``REPRO_STREAM_SCALE`` (default ``small``),
 ``REPRO_STREAM_RATE`` (default ``400``), ``REPRO_STREAM_DURATION``
 (default ``5``), ``REPRO_STREAM_WORKERS`` (default ``0,2,4``),
 ``REPRO_STREAM_WINDOW_MS`` (default ``250``), ``REPRO_STREAM_MAX_BATCH``
-(default ``64``).
+(default ``64``), ``REPRO_BENCH_LABEL`` (default ``adhoc``; tags the
+JSONL rows).
 """
 
 from __future__ import annotations
 
 import json
-import os
 import sys
-import time
 from pathlib import Path
 
-from repro.network.generators import beijing_like
-from repro.queries.arrivals import PoissonArrivals
-from repro.queries.workload import WorkloadGenerator
-from repro.streaming import StreamingQueryService
-
-SCALE = os.environ.get("REPRO_STREAM_SCALE", "small")
-RATE = float(os.environ.get("REPRO_STREAM_RATE", "400"))
-DURATION = float(os.environ.get("REPRO_STREAM_DURATION", "5"))
-WORKERS = [
-    int(w)
-    for w in os.environ.get("REPRO_STREAM_WORKERS", "0,2,4").split(",")
-    if w.strip()
-]
-WINDOW_MS = float(os.environ.get("REPRO_STREAM_WINDOW_MS", "250"))
-MAX_BATCH = int(os.environ.get("REPRO_STREAM_MAX_BATCH", "64"))
+from repro.bench.knobs import BenchConfigError, env_str
+from repro.bench.schema import git_sha, utc_now_iso
+from repro.bench.streaming_bench import run_streaming, streaming_knobs
 
 RESULTS = Path(__file__).parent / "results" / "streaming.jsonl"
 
 
-def bench_one(graph, arrivals, workers: int) -> dict:
-    with StreamingQueryService(
-        graph,
-        window_seconds=WINDOW_MS / 1000.0,
-        max_batch=MAX_BATCH,
-        workers=workers,
-        clock="real",
-    ) as service:
-        report = service.run(arrivals)
-    assert report.unaccounted_queries == 0, (
-        f"workers={workers}: {report.unaccounted_queries} queries unaccounted"
-    )
-    assert report.dropped_queries == 0, (
-        f"workers={workers}: {report.dropped_queries} queries dropped"
-    )
-    return {
-        "workers": workers,
-        "scale": SCALE,
-        "rate": RATE,
-        "duration": DURATION,
-        "window_ms": WINDOW_MS,
-        "max_batch": MAX_BATCH,
-        "arrivals": report.total_arrivals,
-        "answered": report.answered_queries,
-        "qps": round(report.qps, 2),
-        "p50_latency_ms": round(report.p50_latency * 1000, 2),
-        "p99_latency_ms": round(report.p99_latency * 1000, 2),
-        "windows": len(report.windows),
-        "windows_by_trigger": report.windows_by_trigger,
-        "cache_hits": report.stream_cache_hits,
-        "shed_degraded": report.shed_degraded,
-        "wall_seconds": round(report.wall_seconds, 3),
-    }
-
-
 def main() -> int:
-    print(f"network   : beijing_like({SCALE!r})")
-    graph = beijing_like(SCALE, seed=0)
-    print(f"size      : {graph.num_vertices} vertices, {graph.num_edges} edges")
-    workload = WorkloadGenerator(graph, seed=7)
-    arrivals = PoissonArrivals(workload, rate=RATE, seed=7).duration(DURATION)
-    print(f"stream    : {len(arrivals)} queries, {RATE:g} qps nominal, "
-          f"{DURATION:g}s, window {WINDOW_MS:g}ms / max {MAX_BATCH}")
-    print()
-    header = (f"{'workers':>7} | {'qps':>8} | {'p50(ms)':>8} | "
-              f"{'p99(ms)':>8} | {'windows':>7} | {'hits':>6} | {'shed':>5}")
-    print(header)
-    print("-" * len(header))
-    rows = []
-    for workers in WORKERS:
-        row = bench_one(graph, arrivals, workers)
-        rows.append(row)
-        print(f"{row['workers']:>7} | {row['qps']:>8.1f} | "
-              f"{row['p50_latency_ms']:>8.1f} | {row['p99_latency_ms']:>8.1f} | "
-              f"{row['windows']:>7} | {row['cache_hits']:>6} | "
-              f"{row['shed_degraded']:>5}")
+    try:
+        knobs = streaming_knobs()
+        label = env_str("REPRO_BENCH_LABEL", "adhoc")
+    except BenchConfigError as err:
+        print(f"BENCH CONFIG ERROR: {err}")
+        return 2
+    outcome = run_streaming(progress=True, **knobs)
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
-    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    provenance = {
+        "at_utc": utc_now_iso(),
+        "git_sha": git_sha(Path(__file__).parent),
+        "label": label,
+    }
     with RESULTS.open("a", encoding="utf-8") as fh:
-        for row in rows:
-            fh.write(json.dumps({"at": stamp, **row}, sort_keys=True) + "\n")
+        for row in outcome.rows:
+            fh.write(json.dumps({**provenance, **row}, sort_keys=True) + "\n")
     print(f"\nresults appended to {RESULTS}")
     return 0
 

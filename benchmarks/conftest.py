@@ -7,21 +7,32 @@ across the benchmark files through session-scoped fixtures, and each file
 additionally times its core operation through the ``benchmark`` fixture so
 ``pytest benchmarks/ --benchmark-only`` produces a timing table.
 
-Environment knobs:
+:func:`publish` writes each artefact twice: the legacy paper-style text
+render at ``results/<experiment>.txt`` (secondary artefact, kept for
+diffing against older checkouts) and the harness's schema'd JSON at
+``results/<label>/<experiment>.json`` so a pytest benchmark run is
+directly comparable with ``repro bench compare``.
+
+Environment knobs (validated by :mod:`repro.bench.knobs` — a malformed
+value fails with an error naming the knob):
 
 * ``REPRO_BENCH_SCALE``  — network preset (default ``medium``)
 * ``REPRO_BENCH_SIZES``  — comma-separated batch sizes (default
   ``100,300,900,1800``)
+* ``REPRO_BENCH_LABEL``  — label the schema'd JSON records under
+  (default ``pytest``)
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import experiments as exp
+from repro.bench.figures import experiment_metrics
+from repro.bench.knobs import consumed_knobs, env_int_list, env_str
+from repro.bench.schema import SuiteResult, run_metadata, save_result
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -32,12 +43,17 @@ SWEEP_FRACTIONS = (0.1, 0.2, 0.4, 0.7, 1.0)
 
 
 def bench_sizes():
-    raw = os.environ.get("REPRO_BENCH_SIZES", "100,300,900,1800")
-    return tuple(int(p) for p in raw.split(",") if p.strip())
+    return env_int_list("REPRO_BENCH_SIZES", (100, 300, 900, 1800))
 
 
 def bench_scale() -> str:
-    return os.environ.get("REPRO_BENCH_SCALE", "medium")
+    from repro.bench.registry import SCALE_CHOICES
+
+    return env_str("REPRO_BENCH_SCALE", "medium", choices=SCALE_CHOICES)
+
+
+def bench_label() -> str:
+    return env_str("REPRO_BENCH_LABEL", "pytest")
 
 
 @pytest.fixture(scope="session")
@@ -61,10 +77,21 @@ def r2r_suites(env, sizes):
 
 
 def publish(result) -> None:
-    """Print the paper-style artefact and persist it under results/."""
+    """Print the paper-style artefact and persist both render formats."""
     print()
     print(result.rendered)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{result.experiment}.txt").write_text(
         result.rendered + "\n", encoding="utf-8"
+    )
+    label = bench_label()
+    save_result(
+        SuiteResult(
+            suite=result.experiment,
+            label=label,
+            meta=run_metadata(label, seed=7, knobs=consumed_knobs()),
+            metrics=experiment_metrics(result),
+            rendered=result.rendered,
+        ),
+        RESULTS_DIR,
     )

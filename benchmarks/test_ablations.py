@@ -9,58 +9,38 @@ implicitly, so a downstream user knows what each one buys:
 * the petal angle threshold delta,
 * super-vertex snapping for the Local Cache,
 * Theorem 1's region radius extension (r* vs 2r*).
-"""
 
-import time
+The measurement bodies live in :mod:`repro.bench.ablations` — the same
+code the ``ablations`` harness suite records as schema'd JSON — so these
+tests assert the paper-shape claims on exactly what the harness measures.
+"""
 
 from conftest import RESULTS_DIR
 
-from repro.analysis.tables import render_table
-from repro.baselines.one_by_one import OneByOneAnswerer
-from repro.core.coclustering import CoClusteringDecomposer
-from repro.core.local_cache import LocalCacheAnswerer
-from repro.core.r2r import RegionToRegionAnswerer
-from repro.core.search_space import SearchSpaceDecomposer
-from repro.core.wspd import guaranteed_radius
-from repro.core.zigzag import ZigzagDecomposer
-from repro.queries.query import QuerySet
-from repro.search.dijkstra import bounded_ball, dijkstra
-from repro.search.generalized_astar import generalized_a_star
+from repro.bench import ablations as ab
 
 
-def save(name: str, rendered: str) -> None:
+def save(outcome) -> None:
     print()
-    print(rendered)
+    print(outcome.rendered)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+    (RESULTS_DIR / f"{outcome.name}.txt").write_text(
+        outcome.rendered + "\n", encoding="utf-8"
+    )
 
 
 def test_ablation_generalized_astar_heuristic(benchmark, env):
     """Offset-representative vs min-target: VNN and wall time per petal."""
-    workload = env.fresh_workload(901)
-    rows = []
-    batches = [workload.batch(40) for _ in range(4)]
-    for mode in ("representative", "min-target", "zero"):
-        visited = 0
-        t0 = time.perf_counter()
-        for batch in batches:
-            for source, group in batch.by_source().items():
-                _, v = generalized_a_star(
-                    env.graph, source, [q.target for q in group], mode=mode
-                )
-                visited += v
-        rows.append([mode, visited, time.perf_counter() - t0])
-    save(
-        "ablation_gen_astar",
-        render_table(["heuristic mode", "VNN", "seconds"], rows,
-                     title="Ablation: generalized-A* heuristic mode"),
-    )
+    from repro.search.generalized_astar import generalized_a_star
+
+    outcome = ab.run_gen_astar(env)
+    save(outcome)
     # Both informed modes must beat the uninformed one on VNN.
-    vnn = {r[0]: r[1] for r in rows}
+    vnn = {row[0]: row[1] for row in outcome.rows}
     assert vnn["representative"] < vnn["zero"]
     assert vnn["min-target"] <= vnn["representative"]
 
-    queries = batches[0]
+    queries = env.fresh_workload(901).batch(40)
     source, group = max(queries.by_source().items(), key=lambda kv: len(kv[1]))
     benchmark.pedantic(
         lambda: generalized_a_star(env.graph, source, [q.target for q in group]),
@@ -71,118 +51,62 @@ def test_ablation_generalized_astar_heuristic(benchmark, env):
 
 def test_ablation_sse_merge_threshold(benchmark, env):
     """Lower overlap thresholds merge more: fewer, larger clusters."""
-    workload = env.fresh_workload(902)
-    queries = workload.batch(800, *env.cache_band)
-    rows = []
-    counts = {}
-    for threshold in (0.2, 0.4, 0.6, 0.8, 1.0):
-        d = SearchSpaceDecomposer(env.graph, merge_threshold=threshold).decompose(
-            queries
-        )
-        counts[threshold] = len(d)
-        rows.append([threshold, len(d), max(d.cluster_sizes), d.elapsed_seconds])
-    save(
-        "ablation_sse_merge",
-        render_table(
-            ["overlap threshold", "clusters", "largest", "seconds"],
-            rows,
-            title="Ablation: SSE merge threshold",
-        ),
-    )
+    from repro.core.search_space import SearchSpaceDecomposer
+
+    outcome = ab.run_sse_merge(env)
+    save(outcome)
+    counts = {row[0]: row[1] for row in outcome.rows}
     assert counts[0.2] <= counts[1.0]
 
+    queries = env.fresh_workload(902).batch(800, *env.cache_band)
     decomposer = SearchSpaceDecomposer(env.graph, merge_threshold=0.5)
     benchmark.pedantic(lambda: decomposer.decompose(queries), rounds=3, iterations=1)
 
 
 def test_ablation_cocluster_detour_ratio(benchmark, env):
     """The paper's 1.2x Euclidean calibration: clusters vs error safety."""
-    workload = env.fresh_workload(903)
-    queries = workload.batch(600, *env.r2r_band)
-    exact = {
-        q: dijkstra(env.graph, q.source, q.target).distance
-        for q in queries.deduplicated()
-    }
-    rows = []
-    for ratio in (1.0, 1.2, 1.5, 2.0):
-        d = CoClusteringDecomposer(env.graph, eta=0.05, detour_ratio=ratio).decompose(
-            queries
-        )
-        answer = RegionToRegionAnswerer(env.graph, eta=0.05).answer(d)
-        max_err = 0.0
-        for q, r in answer.answers:
-            truth = exact[q]
-            if truth > 0:
-                max_err = max(max_err, (r.distance - truth) / truth)
-        rows.append([ratio, len(d), f"{100 * max_err:.3f}"])
-    save(
-        "ablation_detour_ratio",
-        render_table(
-            ["detour ratio", "clusters", "max error %"],
-            rows,
-            title="Ablation: co-clustering detour constant",
-        ),
-    )
+    from repro.core.coclustering import CoClusteringDecomposer
+
+    outcome = ab.run_detour_ratio(env)
+    save(outcome)
     # Wider radii merge more clusters; the answering-side check keeps the
     # bound regardless of the decomposition-side calibration.
-    clusters = [r[1] for r in rows]
+    clusters = [row[1] for row in outcome.rows]
     assert clusters == sorted(clusters, reverse=True)
-    for row in rows:
+    for row in outcome.rows:
         assert float(row[2]) <= 5.0 + 1e-6
 
+    queries = env.fresh_workload(903).batch(600, *env.r2r_band)
     decomposer = CoClusteringDecomposer(env.graph, eta=0.05)
     benchmark.pedantic(lambda: decomposer.decompose(queries), rounds=3, iterations=1)
 
 
 def test_ablation_delta_angle(benchmark, env):
     """Petal angle delta: wider petals, fewer clusters, weaker coherence."""
-    workload = env.fresh_workload(904)
-    queries = workload.batch(800, *env.cache_band)
-    rows = []
-    counts = []
-    for delta in (10.0, 30.0, 60.0, 120.0):
-        d = ZigzagDecomposer(env.graph, delta=delta).decompose(queries)
-        counts.append(len(d))
-        rows.append([delta, len(d), max(d.cluster_sizes)])
-    save(
-        "ablation_delta",
-        render_table(
-            ["delta (deg)", "clusters", "largest"],
-            rows,
-            title="Ablation: Zigzag petal angle threshold",
-        ),
-    )
+    from repro.core.zigzag import ZigzagDecomposer
+
+    outcome = ab.run_delta_angle(env)
+    save(outcome)
+    counts = [row[1] for row in outcome.rows]
     assert counts[0] >= counts[-1]  # wider angle -> fewer clusters
 
+    queries = env.fresh_workload(904).batch(800, *env.cache_band)
     decomposer = ZigzagDecomposer(env.graph)
     benchmark.pedantic(lambda: decomposer.decompose(queries), rounds=3, iterations=1)
 
 
 def test_ablation_super_vertices(benchmark, env):
     """Super-vertex snapping trades exactness for hit ratio (Section V-A2)."""
-    workload = env.fresh_workload(905)
-    queries = workload.batch(800, *env.cache_band)
-    decomposition = SearchSpaceDecomposer(env.graph).decompose(queries)
-    rows = []
-    ratios = []
-    for radius in (0.0, 0.5, 1.0, 2.0):
-        answerer = LocalCacheAnswerer(
-            env.graph, 10**6, order="longest", super_snap_radius=radius
-        )
-        answer = answerer.answer(decomposition)
-        ratios.append(answer.hit_ratio)
-        inexact = sum(1 for _, r in answer.answers if not r.exact)
-        rows.append([radius, f"{answer.hit_ratio:.3f}", inexact])
-    save(
-        "ablation_super_vertex",
-        render_table(
-            ["snap radius (km)", "hit ratio", "inexact answers"],
-            rows,
-            title="Ablation: super-vertex snapping",
-        ),
-    )
+    from repro.core.local_cache import LocalCacheAnswerer
+    from repro.core.search_space import SearchSpaceDecomposer
+
+    outcome = ab.run_super_vertices(env)
+    save(outcome)
+    ratios = [float(row[1]) for row in outcome.rows]
     assert ratios == sorted(ratios)  # snapping only helps the hit ratio
 
+    queries = env.fresh_workload(905).batch(800, *env.cache_band)
+    decomposition = SearchSpaceDecomposer(env.graph).decompose(queries)
     benchmark.pedantic(
         lambda: LocalCacheAnswerer(env.graph, 10**6).answer(decomposition),
         rounds=3,
@@ -199,43 +123,18 @@ def test_ablation_search_space_fidelity(benchmark, env):
     band — the model is derived for unobstructed searches, so short
     detour-heavy queries are where it leaks.
     """
-    from repro.analysis.validation import summarize_coverage, validate_search_space
-
-    workload = env.fresh_workload(908)
-    rows = []
-    recalls = {}
-    for band_name, (lo, hi) in (
-        ("short", (0.0, env.cache_band[1] / 2)),
-        ("cache", env.cache_band),
-        ("long", env.r2r_band),
-    ):
-        queries = workload.batch(60, min_dist=lo, max_dist=hi)
-        reports = validate_search_space(env.graph, list(queries))
-        summary = summarize_coverage(reports)
-        recalls[band_name] = summary["recall"]
-        rows.append(
-            [
-                band_name,
-                f"{summary['recall']:.3f}",
-                f"{summary['precision']:.3f}",
-                f"{summary['inflation']:.2f}",
-            ]
-        )
-    save(
-        "ablation_oracle_fidelity",
-        render_table(
-            ["band", "recall", "precision", "predicted/actual"],
-            rows,
-            title="Validation: search-space oracle vs real A* (Figure 2 model)",
-        ),
-    )
+    outcome = ab.run_oracle_fidelity(env)
+    save(outcome)
     # The model must capture a substantial share of every band's search.
-    assert min(recalls.values()) > 0.3
+    recalls = [
+        m.value for key, m in outcome.metrics.items() if key.startswith("recall[")
+    ]
+    assert min(recalls) > 0.3
 
     from repro.core.search_space import SearchSpaceOracle
 
     oracle = SearchSpaceOracle(env.graph)
-    queries = workload.batch(30)
+    queries = env.fresh_workload(908).batch(30)
     benchmark.pedantic(
         lambda: [oracle.estimate(q) for q in queries], rounds=3, iterations=1
     )
@@ -250,48 +149,20 @@ def test_ablation_dbscan_vs_ad_petals(benchmark, env):
     petals, and answering its clusters with 1-N batch search costs more
     VNN.
     """
-    from repro.core.dbscan import DBSCANDecomposer, angular_spread
-    from repro.core.zigzag import ZigzagDecomposer
-    from repro.search.generalized_astar import generalized_a_star
+    from repro.core.dbscan import DBSCANDecomposer
 
-    workload = env.fresh_workload(907)
-    queries = workload.batch(600, *env.cache_band)
-
-    min_x, min_y, max_x, max_y = env.graph.extent()
-    eps = max(max_x - min_x, max_y - min_y) * 0.05
-    db = DBSCANDecomposer(env.graph, eps=eps, min_points=3).decompose(queries)
-    ad = ZigzagDecomposer(env.graph, absorb_singletons=False).decompose(queries)
-
-    def mean_multi_spread(decomposition):
-        spreads = [angular_spread(env.graph, c) for c in decomposition if len(c) > 1]
-        return sum(spreads) / len(spreads) if spreads else 0.0
-
-    def batch_vnn(decomposition):
-        total = 0
-        for cluster in decomposition:
-            for source, group in cluster.as_query_set().by_source().items():
-                _, v = generalized_a_star(
-                    env.graph, source, [q.target for q in group]
-                )
-                total += v
-        return total
-
-    rows = [
-        ["dbscan", len(db), f"{mean_multi_spread(db):.1f}", batch_vnn(db)],
-        ["ad-petals", len(ad), f"{mean_multi_spread(ad):.1f}", batch_vnn(ad)],
-    ]
-    save(
-        "ablation_dbscan",
-        render_table(
-            ["decomposition", "clusters", "mean spread (deg)", "batch VNN"],
-            rows,
-            title="Ablation: DBSCAN strawman vs AD petals (Section IV-A1)",
-        ),
-    )
+    outcome = ab.run_dbscan_strawman(env)
+    save(outcome)
     # The paper's argument, measured: density clusters are directionally
     # much wider than the delta-bounded petals.
-    assert mean_multi_spread(db) > mean_multi_spread(ad)
+    assert (
+        outcome.metrics["spread_deg[dbscan]"].value
+        > outcome.metrics["spread_deg[ad-petals]"].value
+    )
 
+    queries = env.fresh_workload(907).batch(600, *env.cache_band)
+    min_x, min_y, max_x, max_y = env.graph.extent()
+    eps = max(max_x - min_x, max_y - min_y) * 0.05
     decomposer = DBSCANDecomposer(env.graph, eps=eps)
     benchmark.pedantic(lambda: decomposer.decompose(queries), rounds=3, iterations=1)
 
@@ -303,30 +174,16 @@ def test_ablation_region_radius(benchmark, env):
     least as many candidate vertices as the conservative r* ball, while the
     answering-side error stays bounded (checked by the R2R tests).
     """
-    workload = env.fresh_workload(906)
-    queries = workload.batch(60, *env.r2r_band)
-    rows = []
-    total_small = total_big = 0
-    for q in list(queries)[:20]:
-        d = dijkstra(env.graph, q.source, q.target).distance
-        r_star = guaranteed_radius(0.05, d)
-        small, _ = bounded_ball(env.graph, q.source, r_star)
-        big, _ = bounded_ball(env.graph, q.source, 2 * r_star)
-        total_small += len(small)
-        total_big += len(big)
-    rows.append(["r*", total_small])
-    rows.append(["2r* (Theorem 1)", total_big])
-    save(
-        "ablation_region_radius",
-        render_table(
-            ["region radius", "candidate vertices (20 reps)"],
-            rows,
-            title="Ablation: R2R region radius",
-        ),
-    )
-    assert total_big >= total_small
+    from repro.search.dijkstra import bounded_ball
 
-    q = queries[0]
+    outcome = ab.run_region_radius(env)
+    save(outcome)
+    assert (
+        outcome.metrics["candidates[2r*]"].value
+        >= outcome.metrics["candidates[r*]"].value
+    )
+
+    q = env.fresh_workload(906).batch(60, *env.r2r_band)[0]
     benchmark.pedantic(
         lambda: bounded_ball(env.graph, q.source, 2.0), rounds=5, iterations=1
     )

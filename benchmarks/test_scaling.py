@@ -8,14 +8,15 @@ relative VNN saving — shrinks.  That density effect is exactly why the
 paper pairs its 312k-vertex network with batches up to 1M queries: the
 batch advantage is a function of queries *per unit of network*, which the
 measured table makes visible.
+
+The measurement body lives in :mod:`repro.bench.scaling` — the same code
+the ``scaling`` harness suite records as schema'd JSON.
 """
 
 from conftest import RESULTS_DIR
 
 from repro.analysis import experiments as exp
-from repro.analysis.tables import render_table
-from repro.baselines.global_cache import GlobalCacheAnswerer, split_log_and_stream
-from repro.baselines.one_by_one import OneByOneAnswerer
+from repro.bench.scaling import run_scaling
 from repro.core.local_cache import LocalCacheAnswerer
 from repro.core.search_space import SearchSpaceDecomposer
 
@@ -24,47 +25,14 @@ BATCH = 400
 
 
 def test_scaling_across_network_sizes(benchmark):
-    rows = []
-    rel_vnn = {}
-    for scale in SCALES:
-        env = exp.build_env(scale=scale, seed=7)
-        queries = env.fresh_workload(501).batch(BATCH, *env.cache_band)
-        log, stream = split_log_and_stream(queries, 0.2)
-
-        astar = OneByOneAnswerer(env.graph).answer(stream)
-
-        gc = GlobalCacheAnswerer(env.graph)
-        gc.build(log)
-        decomposition = SearchSpaceDecomposer(env.graph).decompose(stream)
-        slc = LocalCacheAnswerer(env.graph, max(gc.cache_bytes, 1)).answer(
-            decomposition
-        )
-
-        rel = slc.visited / astar.visited if astar.visited else 1.0
-        rel_vnn[scale] = rel
-        rows.append(
-            [
-                scale,
-                env.graph.num_vertices,
-                astar.visited,
-                slc.visited,
-                f"{rel:.3f}",
-                f"{slc.hit_ratio:.3f}",
-            ]
-        )
-
-    rendered = render_table(
-        ["scale", "|V|", "A* VNN", "SLC-S VNN", "SLC/A*", "hit ratio"],
-        rows,
-        title=f"Scaling study: |Q|={BATCH} across network sizes",
-    )
+    outcome = run_scaling(scales=SCALES, batch=BATCH, seed=7)
     print()
-    print(rendered)
+    print(outcome.rendered)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "scaling.txt").write_text(rendered + "\n", encoding="utf-8")
+    (RESULTS_DIR / "scaling.txt").write_text(outcome.rendered + "\n", encoding="utf-8")
 
     # The cache always reduces search work, at every network size.
-    assert all(r < 1.0 for r in rel_vnn.values())
+    assert all(r < 1.0 for r in outcome.rel_vnn.values())
 
     # Benchmark the medium-scale SLC-S pass.
     env = exp.build_env(scale="medium", seed=7)

@@ -81,6 +81,34 @@ def series_to_csv(result, path: PathLike) -> int:
     return count
 
 
+def series_points(result) -> List[tuple]:
+    """Flatten an :class:`ExperimentResult` to ``(key, value)`` pairs.
+
+    The key is ``"<series>[<x>]"`` — stable across runs because both the
+    series names and the x axis are part of the experiment definition —
+    which is the metric naming the benchmark harness (:mod:`repro.bench`)
+    uses when persisting a figure/table as schema'd JSON.
+    """
+    points: List[tuple] = []
+    for name, values in result.series.items():
+        for x, value in zip(result.xs, values):
+            points.append((f"{name}[{x}]", float(value)))
+    return points
+
+
+def experiment_to_json(result, path: Optional[PathLike] = None) -> dict:
+    """Serialise an :class:`ExperimentResult`'s data (not the render) to JSON."""
+    payload = {
+        "experiment": result.experiment,
+        "xs": list(result.xs),
+        "series": {name: [float(v) for v in values]
+                   for name, values in result.series.items()},
+    }
+    if path is not None:
+        Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return payload
+
+
 def load_answers_csv(path: PathLike) -> List[dict]:
     """Read back a CSV written by :func:`answers_to_csv` as dict rows."""
     rows: List[dict] = []

@@ -112,17 +112,43 @@ def mean(values) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
-def percentile(values, q: float) -> float:
-    """Linear-interpolation percentile of a non-empty value list (q in [0, 100])."""
-    ordered = sorted(values)
+#: Sentinel for :func:`percentile`'s ``default`` — "raise on empty data".
+_RAISE = object()
+
+
+def percentile(values, q: float, *, default=_RAISE, assume_sorted: bool = False):
+    """Linear-interpolation percentile with an explicit empty-data policy.
+
+    This is the repo's one percentile implementation — the streaming
+    service's :func:`~repro.streaming.service.latency_percentile` and the
+    analysis tables both delegate here, so the two can never drift apart
+    again (a differential test pins the interpolation against
+    :func:`statistics.quantiles`).
+
+    ``q`` is clamped to ``[0, 100]``.  The empty-data policy is chosen at
+    the call site: by default an empty ``values`` raises ``ValueError``
+    (an analysis table asking for a percentile of nothing is a bug);
+    pass ``default=0.0`` to get a neutral value instead (a latency report
+    before any query has finished is not a bug).  ``assume_sorted=True``
+    skips the sort for callers that maintain sorted samples.
+
+    Interpolated values are clamped to the bracketing samples so
+    percentiles stay monotone in ``q`` even when the floating-point
+    interpolation rounds 1 ULP outside ``[ordered[lo], ordered[hi]]``.
+    """
+    ordered = list(values) if assume_sorted else sorted(values)
     if not ordered:
-        raise ValueError("percentile of empty data")
+        if default is _RAISE:
+            raise ValueError("percentile of empty data")
+        return default
     if len(ordered) == 1:
         return ordered[0]
+    q = min(max(q, 0.0), 100.0)
     rank = (q / 100.0) * (len(ordered) - 1)
     lo = int(math.floor(rank))
     hi = int(math.ceil(rank))
     if lo == hi:
         return ordered[lo]
     frac = rank - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+    value = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    return min(max(value, ordered[lo]), ordered[hi])

@@ -1,0 +1,86 @@
+"""Unified benchmark harness: registered suites, schema'd results, compare.
+
+Every performance claim in this repo reports through this package:
+
+* ``repro bench run --suite <name> --label <label>`` executes registered
+  suites (:mod:`repro.bench.suites`) and writes versioned JSON — metrics
+  plus run metadata (UTC timestamp, git sha, machine, seed, knobs) —
+  under ``benchmarks/results/<label>/``;
+* ``repro bench compare <base> <candidate>`` matches metrics across two
+  labels, applies a relative noise threshold, and emits a markdown table
+  plus a machine-readable verdict.
+
+See ``docs/benchmarks.md`` for the workflow.
+"""
+
+from .compare import (
+    CompareReport,
+    DEFAULT_NOISE_THRESHOLD_PCT,
+    MetricDelta,
+    compare_labels,
+    compare_results,
+    render_markdown,
+    verdict_payload,
+)
+from .knobs import (
+    BenchConfigError,
+    consumed_knobs,
+    env_float,
+    env_int,
+    env_int_list,
+    env_str,
+)
+from .registry import Suite, SuiteContext, SuiteRun, all_suites, get_suite, suite
+from .runner import DEFAULT_RESULTS_DIR, run_suites
+from .schema import (
+    Metric,
+    RunMeta,
+    SCHEMA_VERSION,
+    SchemaError,
+    SuiteResult,
+    from_dict,
+    git_sha,
+    load_label,
+    load_result,
+    run_metadata,
+    save_result,
+    to_dict,
+    utc_now_iso,
+)
+
+__all__ = [
+    "BenchConfigError",
+    "CompareReport",
+    "DEFAULT_NOISE_THRESHOLD_PCT",
+    "DEFAULT_RESULTS_DIR",
+    "Metric",
+    "MetricDelta",
+    "RunMeta",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Suite",
+    "SuiteContext",
+    "SuiteResult",
+    "SuiteRun",
+    "all_suites",
+    "compare_labels",
+    "compare_results",
+    "consumed_knobs",
+    "env_float",
+    "env_int",
+    "env_int_list",
+    "env_str",
+    "from_dict",
+    "get_suite",
+    "git_sha",
+    "load_label",
+    "load_result",
+    "render_markdown",
+    "run_metadata",
+    "run_suites",
+    "save_result",
+    "suite",
+    "to_dict",
+    "utc_now_iso",
+    "verdict_payload",
+]

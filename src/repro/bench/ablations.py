@@ -1,0 +1,316 @@
+"""Ablation measurement bodies (shared by pytest and the harness).
+
+Each function is one ablation from ``benchmarks/test_ablations.py``,
+returning an :class:`AblationOutcome` — the table rows, the legacy
+text render, and typed metrics — so the pytest file keeps asserting the
+paper-shape claims on the *same* measurement the ``ablations`` suite
+records for ``repro bench compare``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .registry import SuiteContext, SuiteRun, suite
+from .schema import Metric
+
+TIME_TOL = 40.0
+
+
+@dataclass
+class AblationOutcome:
+    name: str
+    rendered: str
+    rows: List[list]
+    metrics: Dict[str, Metric]
+
+
+def _count(value: float, direction: str = "lower") -> Metric:
+    return Metric(float(value), kind="count", direction=direction,
+                  tolerance_pct=0.0)
+
+
+def _seconds(value: float) -> Metric:
+    return Metric(float(value), unit="s", kind="time", tolerance_pct=TIME_TOL)
+
+
+def run_gen_astar(env) -> AblationOutcome:
+    """Offset-representative vs min-target: VNN and wall time per petal."""
+    from ..analysis.tables import render_table
+    from ..search.generalized_astar import generalized_a_star
+
+    workload = env.fresh_workload(901)
+    rows = []
+    metrics: Dict[str, Metric] = {}
+    batches = [workload.batch(40) for _ in range(4)]
+    for mode in ("representative", "min-target", "zero"):
+        visited = 0
+        t0 = time.perf_counter()
+        for batch in batches:
+            for source, group in batch.by_source().items():
+                _, v = generalized_a_star(
+                    env.graph, source, [q.target for q in group], mode=mode
+                )
+                visited += v
+        elapsed = time.perf_counter() - t0
+        rows.append([mode, visited, elapsed])
+        metrics[f"vnn[{mode}]"] = _count(visited)
+        metrics[f"seconds[{mode}]"] = _seconds(elapsed)
+    rendered = render_table(["heuristic mode", "VNN", "seconds"], rows,
+                            title="Ablation: generalized-A* heuristic mode")
+    return AblationOutcome("ablation_gen_astar", rendered, rows, metrics)
+
+
+def run_sse_merge(env) -> AblationOutcome:
+    """Lower overlap thresholds merge more: fewer, larger clusters."""
+    from ..analysis.tables import render_table
+    from ..core.search_space import SearchSpaceDecomposer
+
+    workload = env.fresh_workload(902)
+    queries = workload.batch(800, *env.cache_band)
+    rows = []
+    metrics: Dict[str, Metric] = {}
+    for threshold in (0.2, 0.4, 0.6, 0.8, 1.0):
+        d = SearchSpaceDecomposer(env.graph, merge_threshold=threshold).decompose(
+            queries
+        )
+        rows.append([threshold, len(d), max(d.cluster_sizes), d.elapsed_seconds])
+        metrics[f"clusters[{threshold}]"] = _count(len(d))
+        metrics[f"largest[{threshold}]"] = _count(max(d.cluster_sizes))
+    rendered = render_table(
+        ["overlap threshold", "clusters", "largest", "seconds"], rows,
+        title="Ablation: SSE merge threshold",
+    )
+    return AblationOutcome("ablation_sse_merge", rendered, rows, metrics)
+
+
+def run_detour_ratio(env) -> AblationOutcome:
+    """The paper's 1.2x Euclidean calibration: clusters vs error safety."""
+    from ..analysis.tables import render_table
+    from ..core.coclustering import CoClusteringDecomposer
+    from ..core.r2r import RegionToRegionAnswerer
+    from ..search.dijkstra import dijkstra
+
+    workload = env.fresh_workload(903)
+    queries = workload.batch(600, *env.r2r_band)
+    exact = {
+        q: dijkstra(env.graph, q.source, q.target).distance
+        for q in queries.deduplicated()
+    }
+    rows = []
+    metrics: Dict[str, Metric] = {}
+    for ratio in (1.0, 1.2, 1.5, 2.0):
+        d = CoClusteringDecomposer(env.graph, eta=0.05, detour_ratio=ratio).decompose(
+            queries
+        )
+        answer = RegionToRegionAnswerer(env.graph, eta=0.05).answer(d)
+        max_err = 0.0
+        for q, r in answer.answers:
+            truth = exact[q]
+            if truth > 0:
+                max_err = max(max_err, (r.distance - truth) / truth)
+        rows.append([ratio, len(d), f"{100 * max_err:.3f}"])
+        metrics[f"clusters[{ratio}]"] = _count(len(d))
+        metrics[f"max_error_pct[{ratio}]"] = Metric(
+            100 * max_err, unit="%", kind="ratio", tolerance_pct=0.0
+        )
+    rendered = render_table(
+        ["detour ratio", "clusters", "max error %"], rows,
+        title="Ablation: co-clustering detour constant",
+    )
+    return AblationOutcome("ablation_detour_ratio", rendered, rows, metrics)
+
+
+def run_delta_angle(env) -> AblationOutcome:
+    """Petal angle delta: wider petals, fewer clusters, weaker coherence."""
+    from ..analysis.tables import render_table
+    from ..core.zigzag import ZigzagDecomposer
+
+    workload = env.fresh_workload(904)
+    queries = workload.batch(800, *env.cache_band)
+    rows = []
+    metrics: Dict[str, Metric] = {}
+    for delta in (10.0, 30.0, 60.0, 120.0):
+        d = ZigzagDecomposer(env.graph, delta=delta).decompose(queries)
+        rows.append([delta, len(d), max(d.cluster_sizes)])
+        metrics[f"clusters[{delta:g}]"] = _count(len(d))
+    rendered = render_table(
+        ["delta (deg)", "clusters", "largest"], rows,
+        title="Ablation: Zigzag petal angle threshold",
+    )
+    return AblationOutcome("ablation_delta", rendered, rows, metrics)
+
+
+def run_super_vertices(env) -> AblationOutcome:
+    """Super-vertex snapping trades exactness for hit ratio (Section V-A2)."""
+    from ..analysis.tables import render_table
+    from ..core.local_cache import LocalCacheAnswerer
+    from ..core.search_space import SearchSpaceDecomposer
+
+    workload = env.fresh_workload(905)
+    queries = workload.batch(800, *env.cache_band)
+    decomposition = SearchSpaceDecomposer(env.graph).decompose(queries)
+    rows = []
+    metrics: Dict[str, Metric] = {}
+    for radius in (0.0, 0.5, 1.0, 2.0):
+        answerer = LocalCacheAnswerer(
+            env.graph, 10**6, order="longest", super_snap_radius=radius
+        )
+        answer = answerer.answer(decomposition)
+        inexact = sum(1 for _, r in answer.answers if not r.exact)
+        rows.append([radius, f"{answer.hit_ratio:.3f}", inexact])
+        metrics[f"hit_ratio[{radius:g}]"] = Metric(
+            answer.hit_ratio, kind="ratio", direction="higher", tolerance_pct=0.0
+        )
+        metrics[f"inexact[{radius:g}]"] = _count(inexact)
+    rendered = render_table(
+        ["snap radius (km)", "hit ratio", "inexact answers"], rows,
+        title="Ablation: super-vertex snapping",
+    )
+    return AblationOutcome("ablation_super_vertex", rendered, rows, metrics)
+
+
+def run_oracle_fidelity(env) -> AblationOutcome:
+    """Figure 2 ellipse-model fidelity: recall/precision per length band."""
+    from ..analysis.tables import render_table
+    from ..analysis.validation import summarize_coverage, validate_search_space
+
+    workload = env.fresh_workload(908)
+    rows = []
+    metrics: Dict[str, Metric] = {}
+    for band_name, (lo, hi) in (
+        ("short", (0.0, env.cache_band[1] / 2)),
+        ("cache", env.cache_band),
+        ("long", env.r2r_band),
+    ):
+        queries = workload.batch(60, min_dist=lo, max_dist=hi)
+        reports = validate_search_space(env.graph, list(queries))
+        summary = summarize_coverage(reports)
+        rows.append(
+            [
+                band_name,
+                f"{summary['recall']:.3f}",
+                f"{summary['precision']:.3f}",
+                f"{summary['inflation']:.2f}",
+            ]
+        )
+        metrics[f"recall[{band_name}]"] = Metric(
+            summary["recall"], kind="ratio", direction="higher", tolerance_pct=0.0
+        )
+        metrics[f"precision[{band_name}]"] = Metric(
+            summary["precision"], kind="ratio", direction="higher",
+            tolerance_pct=0.0,
+        )
+    rendered = render_table(
+        ["band", "recall", "precision", "predicted/actual"], rows,
+        title="Validation: search-space oracle vs real A* (Figure 2 model)",
+    )
+    return AblationOutcome("ablation_oracle_fidelity", rendered, rows, metrics)
+
+
+def run_dbscan_strawman(env) -> AblationOutcome:
+    """Section IV-A1's rejected strawman, measured."""
+    from ..analysis.tables import render_table
+    from ..core.dbscan import DBSCANDecomposer, angular_spread
+    from ..core.zigzag import ZigzagDecomposer
+    from ..search.generalized_astar import generalized_a_star
+
+    workload = env.fresh_workload(907)
+    queries = workload.batch(600, *env.cache_band)
+
+    min_x, min_y, max_x, max_y = env.graph.extent()
+    eps = max(max_x - min_x, max_y - min_y) * 0.05
+    db = DBSCANDecomposer(env.graph, eps=eps, min_points=3).decompose(queries)
+    ad = ZigzagDecomposer(env.graph, absorb_singletons=False).decompose(queries)
+
+    def mean_multi_spread(decomposition):
+        spreads = [angular_spread(env.graph, c) for c in decomposition if len(c) > 1]
+        return sum(spreads) / len(spreads) if spreads else 0.0
+
+    def batch_vnn(decomposition):
+        total = 0
+        for cluster in decomposition:
+            for source, group in cluster.as_query_set().by_source().items():
+                _, v = generalized_a_star(
+                    env.graph, source, [q.target for q in group]
+                )
+                total += v
+        return total
+
+    rows = [
+        ["dbscan", len(db), f"{mean_multi_spread(db):.1f}", batch_vnn(db)],
+        ["ad-petals", len(ad), f"{mean_multi_spread(ad):.1f}", batch_vnn(ad)],
+    ]
+    metrics = {
+        "spread_deg[dbscan]": Metric(mean_multi_spread(db), unit="deg",
+                                     kind="ratio", tolerance_pct=0.0),
+        "spread_deg[ad-petals]": Metric(mean_multi_spread(ad), unit="deg",
+                                        kind="ratio", tolerance_pct=0.0),
+        "vnn[dbscan]": _count(batch_vnn(db)),
+        "vnn[ad-petals]": _count(batch_vnn(ad)),
+    }
+    rendered = render_table(
+        ["decomposition", "clusters", "mean spread (deg)", "batch VNN"], rows,
+        title="Ablation: DBSCAN strawman vs AD petals (Section IV-A1)",
+    )
+    return AblationOutcome("ablation_dbscan", rendered, rows, metrics)
+
+
+def run_region_radius(env) -> AblationOutcome:
+    """Theorem 1: pushing the region from r* to 2r* doubles the reach."""
+    from ..analysis.tables import render_table
+    from ..core.wspd import guaranteed_radius
+    from ..search.dijkstra import bounded_ball, dijkstra
+
+    workload = env.fresh_workload(906)
+    queries = workload.batch(60, *env.r2r_band)
+    total_small = total_big = 0
+    for q in list(queries)[:20]:
+        d = dijkstra(env.graph, q.source, q.target).distance
+        r_star = guaranteed_radius(0.05, d)
+        small, _ = bounded_ball(env.graph, q.source, r_star)
+        big, _ = bounded_ball(env.graph, q.source, 2 * r_star)
+        total_small += len(small)
+        total_big += len(big)
+    rows = [["r*", total_small], ["2r* (Theorem 1)", total_big]]
+    metrics = {
+        "candidates[r*]": _count(total_small, direction="higher"),
+        "candidates[2r*]": _count(total_big, direction="higher"),
+    }
+    rendered = render_table(
+        ["region radius", "candidate vertices (20 reps)"], rows,
+        title="Ablation: R2R region radius",
+    )
+    return AblationOutcome("ablation_region_radius", rendered, rows, metrics)
+
+
+#: name -> body, in stable order (namespaces the suite's metric keys).
+ABLATIONS: Dict[str, Callable] = {
+    "gen_astar": run_gen_astar,
+    "sse_merge": run_sse_merge,
+    "detour_ratio": run_detour_ratio,
+    "delta_angle": run_delta_angle,
+    "super_vertex": run_super_vertices,
+    "oracle_fidelity": run_oracle_fidelity,
+    "dbscan": run_dbscan_strawman,
+    "region_radius": run_region_radius,
+}
+
+
+@suite("ablations", "design-knob ablations (DESIGN.md's callouts)")
+def ablations_suite(ctx: SuiteContext) -> SuiteRun:
+    scale = ctx.scale_for(ablations_suite.__suite__)
+    env = ctx.env(scale)
+    metrics: Dict[str, Metric] = {}
+    renders: Dict[str, str] = {}
+    sections: List[str] = []
+    for name, body in ABLATIONS.items():
+        outcome = body(env)
+        for key, metric in outcome.metrics.items():
+            metrics[f"{name}.{key}"] = metric
+        renders[outcome.name] = outcome.rendered
+        sections.append(outcome.rendered)
+    return SuiteRun(metrics=metrics, rendered="\n\n".join(sections),
+                    extra_renders=renders)

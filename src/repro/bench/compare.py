@@ -1,0 +1,301 @@
+"""Base-vs-candidate comparison with a relative noise threshold.
+
+``compare_labels`` loads every suite recorded under two labels, matches
+metrics by ``(suite, key)``, and classifies each pair:
+
+* ``within-noise`` — |relative delta| at or under the effective
+  threshold, which is ``max(--noise-threshold, metric tolerance)`` so
+  inherently noisy wall-time metrics carry their own floor;
+* ``improved`` / ``regressed`` — beyond the threshold, signed by the
+  metric's declared direction (``lower`` or ``higher`` is better);
+* ``missing-in-base`` / ``missing-in-candidate`` — present on one side
+  only (new metric, or one that disappeared);
+* ``incomparable`` — NaN/inf on one side, so no relative delta exists.
+
+A zero baseline has no relative delta either: an exactly-equal candidate
+is within noise, anything else is classified by direction with the delta
+reported as undefined.  ``info``-kind metrics are never compared.
+
+The output is a markdown report (for humans and CI job summaries) plus a
+machine-readable verdict payload; exit code 1 when anything regressed or
+a result file failed schema validation, 0 otherwise — ``missing`` and
+``incomparable`` are reported but do not fail the advisory gate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .schema import Metric, PathLike, SuiteResult, load_result
+
+DEFAULT_NOISE_THRESHOLD_PCT = 5.0
+
+IMPROVED = "improved"
+REGRESSED = "regressed"
+WITHIN_NOISE = "within-noise"
+MISSING_IN_BASE = "missing-in-base"
+MISSING_IN_CANDIDATE = "missing-in-candidate"
+INCOMPARABLE = "incomparable"
+
+VERDICTS = (
+    REGRESSED,
+    IMPROVED,
+    WITHIN_NOISE,
+    MISSING_IN_BASE,
+    MISSING_IN_CANDIDATE,
+    INCOMPARABLE,
+)
+
+
+@dataclass
+class MetricDelta:
+    """One (suite, metric) pair's classification."""
+
+    suite: str
+    key: str
+    base: Optional[float]
+    candidate: Optional[float]
+    #: Relative delta in percent; ``None`` when undefined (zero or
+    #: non-finite baseline, missing side).
+    delta_pct: Optional[float]
+    threshold_pct: float
+    verdict: str
+    unit: str = ""
+    direction: str = "lower"
+
+
+@dataclass
+class CompareReport:
+    base_label: str
+    candidate_label: str
+    noise_threshold_pct: float
+    rows: List[MetricDelta] = field(default_factory=list)
+    #: Suite-level problems: schema mismatches, unreadable files.
+    issues: List[str] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        counter = Counter(row.verdict for row in self.rows)
+        return {verdict: counter.get(verdict, 0) for verdict in VERDICTS}
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [row for row in self.rows if row.verdict == REGRESSED]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.regressions or self.issues) else 0
+
+
+def classify_metric(
+    suite: str, key: str, base: Metric, candidate: Metric, noise_threshold_pct: float
+) -> MetricDelta:
+    threshold = max(
+        noise_threshold_pct,
+        base.tolerance_pct or 0.0,
+        candidate.tolerance_pct or 0.0,
+    )
+    direction = base.direction
+    b, c = float(base.value), float(candidate.value)
+
+    def out(verdict: str, delta_pct: Optional[float]) -> MetricDelta:
+        return MetricDelta(
+            suite=suite, key=key, base=b, candidate=c, delta_pct=delta_pct,
+            threshold_pct=threshold, verdict=verdict, unit=base.unit,
+            direction=direction,
+        )
+
+    if b == c:  # covers inf == inf and exact zero-to-zero
+        return out(WITHIN_NOISE, 0.0)
+    if not (math.isfinite(b) and math.isfinite(c)):
+        return out(INCOMPARABLE, None)
+    if b == 0.0:
+        # No relative delta exists; any change off an exact zero is real.
+        better = (c < b) if direction == "lower" else (c > b)
+        return out(IMPROVED if better else REGRESSED, None)
+    delta_pct = 100.0 * (c - b) / abs(b)
+    if abs(delta_pct) <= threshold:
+        return out(WITHIN_NOISE, delta_pct)
+    better = (c < b) if direction == "lower" else (c > b)
+    return out(IMPROVED if better else REGRESSED, delta_pct)
+
+
+def compare_results(
+    base: Dict[str, SuiteResult],
+    candidate: Dict[str, SuiteResult],
+    *,
+    base_label: str,
+    candidate_label: str,
+    noise_threshold_pct: float = DEFAULT_NOISE_THRESHOLD_PCT,
+) -> CompareReport:
+    report = CompareReport(
+        base_label=base_label,
+        candidate_label=candidate_label,
+        noise_threshold_pct=noise_threshold_pct,
+    )
+    for suite in sorted(set(base) | set(candidate)):
+        base_metrics = base[suite].metrics if suite in base else {}
+        cand_metrics = candidate[suite].metrics if suite in candidate else {}
+        for key in sorted(set(base_metrics) | set(cand_metrics)):
+            bm = base_metrics.get(key)
+            cm = cand_metrics.get(key)
+            if (bm is not None and bm.kind == "info") or (
+                cm is not None and cm.kind == "info"
+            ):
+                continue
+            if bm is None:
+                report.rows.append(MetricDelta(
+                    suite=suite, key=key, base=None, candidate=cm.value,
+                    delta_pct=None, threshold_pct=noise_threshold_pct,
+                    verdict=MISSING_IN_BASE, unit=cm.unit,
+                    direction=cm.direction,
+                ))
+            elif cm is None:
+                report.rows.append(MetricDelta(
+                    suite=suite, key=key, base=bm.value, candidate=None,
+                    delta_pct=None, threshold_pct=noise_threshold_pct,
+                    verdict=MISSING_IN_CANDIDATE, unit=bm.unit,
+                    direction=bm.direction,
+                ))
+            else:
+                report.rows.append(
+                    classify_metric(suite, key, bm, cm, noise_threshold_pct)
+                )
+    return report
+
+
+def load_label_lenient(
+    results_dir: PathLike, label: str
+) -> Tuple[Dict[str, SuiteResult], List[str]]:
+    """Load a label, turning per-file schema failures into issue strings.
+
+    A missing/empty label directory is still a hard error (there is
+    nothing to compare against) — :class:`~repro.bench.schema.SchemaError`.
+    """
+    from .schema import SchemaError
+
+    label_dir = Path(results_dir) / label
+    if not label_dir.is_dir():
+        raise SchemaError(f"label {label!r} has no results under {Path(results_dir)}")
+    results: Dict[str, SuiteResult] = {}
+    issues: List[str] = []
+    paths = sorted(label_dir.glob("*.json"))
+    if not paths:
+        raise SchemaError(f"label {label!r} has no *.json results in {label_dir}")
+    for path in paths:
+        try:
+            result = load_result(path)
+        except SchemaError as err:
+            issues.append(f"label {label!r}: {err}")
+            continue
+        results[result.suite] = result
+    return results, issues
+
+
+def compare_labels(
+    results_dir: PathLike,
+    base_label: str,
+    candidate_label: str,
+    noise_threshold_pct: float = DEFAULT_NOISE_THRESHOLD_PCT,
+) -> CompareReport:
+    base, base_issues = load_label_lenient(results_dir, base_label)
+    candidate, cand_issues = load_label_lenient(results_dir, candidate_label)
+    report = compare_results(
+        base,
+        candidate,
+        base_label=base_label,
+        candidate_label=candidate_label,
+        noise_threshold_pct=noise_threshold_pct,
+    )
+    report.issues = base_issues + cand_issues + report.issues
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt(value: Optional[float], unit: str = "") -> str:
+    if value is None:
+        return "—"
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    text = f"{value:.6g}"
+    return f"{text} {unit}".rstrip()
+
+
+def _fmt_delta(delta_pct: Optional[float]) -> str:
+    if delta_pct is None:
+        return "n/a"
+    return f"{delta_pct:+.2f}%"
+
+
+def render_markdown(report: CompareReport, include_within_noise: bool = False) -> str:
+    """Markdown comparison: verdict summary plus the notable-metric table."""
+    counts = report.counts()
+    lines = [
+        f"### bench compare: `{report.base_label}` → `{report.candidate_label}`",
+        "",
+        f"Noise threshold {report.noise_threshold_pct:g}% "
+        "(per-metric tolerances may widen it).",
+        "",
+        "| verdict | metrics |",
+        "| --- | ---: |",
+    ]
+    for verdict in VERDICTS:
+        lines.append(f"| {verdict} | {counts[verdict]} |")
+    lines.append(f"| **total compared** | {len(report.rows)} |")
+    lines.append("")
+    notable = [row for row in report.rows if row.verdict != WITHIN_NOISE]
+    detail = report.rows if include_within_noise else notable
+    if report.issues:
+        lines.append("**Issues:**")
+        lines.extend(f"- {issue}" for issue in report.issues)
+        lines.append("")
+    if detail:
+        lines.append("| suite | metric | base | candidate | Δ | threshold | verdict |")
+        lines.append("| --- | --- | ---: | ---: | ---: | ---: | --- |")
+        for row in detail:
+            lines.append(
+                f"| {row.suite} | `{row.key}` | {_fmt(row.base, row.unit)} | "
+                f"{_fmt(row.candidate, row.unit)} | {_fmt_delta(row.delta_pct)} | "
+                f"{row.threshold_pct:g}% | {row.verdict} |"
+            )
+    elif not report.rows:
+        lines.append("_No comparable metrics found._")
+    else:
+        lines.append(
+            f"All {len(report.rows)} compared metrics within the noise threshold."
+        )
+    return "\n".join(lines)
+
+
+def verdict_payload(report: CompareReport) -> dict:
+    """Machine-readable verdict (stable keys; for CI and tooling)."""
+    return {
+        "base": report.base_label,
+        "candidate": report.candidate_label,
+        "noise_threshold_pct": report.noise_threshold_pct,
+        "counts": report.counts(),
+        "exit_code": report.exit_code,
+        "issues": list(report.issues),
+        "metrics": [
+            {
+                "suite": row.suite,
+                "key": row.key,
+                "base": row.base if row.base is None or math.isfinite(row.base)
+                else str(row.base),
+                "candidate": row.candidate
+                if row.candidate is None or math.isfinite(row.candidate)
+                else str(row.candidate),
+                "delta_pct": row.delta_pct,
+                "threshold_pct": row.threshold_pct,
+                "verdict": row.verdict,
+            }
+            for row in report.rows
+        ],
+    }

@@ -1,0 +1,164 @@
+"""Frozen-CSR kernel speedup and spawn-payload measurement body.
+
+The measurement previously lived inline in ``benchmarks/bench_csr.py``;
+it now lives here so the standalone script (which still gates CI with an
+exit code) and the ``csr`` harness suite (which records schema'd JSON for
+``repro bench compare``) share one body.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .knobs import env_float, env_int, env_str
+from .registry import SuiteContext, SuiteRun, suite
+from .schema import Metric
+
+
+@dataclass
+class CsrOutcome:
+    metrics: Dict[str, Metric]
+    rendered: str
+    #: Budget violations (empty = the speedup/payload claims hold).
+    failures: List[str] = field(default_factory=list)
+
+
+def time_queries(graph, pairs, rounds):
+    """Median over ``rounds`` of the total wall time for ``pairs``."""
+    from ..search.dijkstra import dijkstra
+
+    totals = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            dijkstra(graph, s, t)
+        totals.append(time.perf_counter() - t0)
+    return statistics.median(totals)
+
+
+def run_csr(
+    scale: str = "xlarge",
+    pairs: int = 40,
+    rounds: int = 5,
+    min_speedup: float = 2.0,
+) -> CsrOutcome:
+    """Measure kernel speedup + spawn payload; never exits, only reports."""
+    from ..network.csr import CSRGraph, share_csr
+    from ..network.generators import beijing_like
+    from ..search.dijkstra import dijkstra
+
+    lines = [f"network        : beijing_like({scale!r})"]
+    graph = beijing_like(scale, seed=0)
+    lines.append(
+        f"size           : {graph.num_vertices} vertices, {graph.num_edges} edges"
+    )
+
+    rng = random.Random(99)
+    n = graph.num_vertices
+    query_pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(pairs)]
+
+    # Dict path: a copy that is never frozen, so dispatch cannot switch.
+    dict_graph = graph.copy()
+    t0 = time.perf_counter()
+    csr = graph.freeze()
+    freeze_seconds = time.perf_counter() - t0
+    csr.forward_rows()  # decode outside the timed region, like a real run
+    csr.reverse_rows()
+    lines.append(
+        f"freeze         : {freeze_seconds * 1e3:.1f} ms "
+        f"({csr.nbytes / 1e6:.1f} MB of flat buffers)"
+    )
+
+    # Warm both paths once, then interleave measurements.
+    time_queries(dict_graph, query_pairs[:5], 1)
+    time_queries(graph, query_pairs[:5], 1)
+    dict_seconds = time_queries(dict_graph, query_pairs, rounds)
+    csr_seconds = time_queries(graph, query_pairs, rounds)
+
+    # Sanity: identical answers on a sample (the full differential suite
+    # lives in tests/search/test_csr_kernels.py).
+    for s, t in query_pairs[:5]:
+        assert dijkstra(graph, s, t).distance == dijkstra(dict_graph, s, t).distance
+
+    speedup = dict_seconds / csr_seconds if csr_seconds > 0 else float("inf")
+    lines.append(f"dict kernel    : {dict_seconds * 1e3:.1f} ms / {pairs} queries")
+    lines.append(f"csr kernel     : {csr_seconds * 1e3:.1f} ms / {pairs} queries")
+    lines.append(
+        f"speedup        : {speedup:.2f}x (required >= {min_speedup:.2f}x)"
+    )
+
+    # Spawn-payload budget: handle vs pickled graph.
+    graph_payload = len(pickle.dumps((graph, "local-cache", {})))
+    shared = share_csr(csr)
+    try:
+        handle_payload = len(pickle.dumps((shared.handle, "local-cache", {})))
+        t0 = time.perf_counter()
+        attached = CSRGraph.attach(shared.handle)
+        attach_seconds = time.perf_counter() - t0
+        attached.release()
+    finally:
+        shared.close()
+    t0 = time.perf_counter()
+    pickle.loads(pickle.dumps(graph))
+    unpickle_seconds = time.perf_counter() - t0
+    lines.append(
+        f"spawn payload  : {handle_payload} B (handle) vs "
+        f"{graph_payload} B (pickled graph)"
+    )
+    lines.append(
+        f"worker startup : attach {attach_seconds * 1e3:.2f} ms vs "
+        f"pickle round-trip {unpickle_seconds * 1e3:.1f} ms"
+    )
+
+    failures = []
+    if speedup < min_speedup:
+        failures.append(
+            f"CSR speedup {speedup:.2f}x below the {min_speedup:.2f}x budget"
+        )
+    if handle_payload >= 1024:
+        failures.append(f"handle payload {handle_payload} B >= 1 KB")
+    if handle_payload * 100 > graph_payload:
+        failures.append(
+            f"handle payload {handle_payload} B not < 1/100 of the "
+            f"{graph_payload} B pickled graph"
+        )
+
+    metrics = {
+        "freeze_ms": Metric(freeze_seconds * 1e3, unit="ms", kind="time",
+                            tolerance_pct=40.0),
+        "dict_ms": Metric(dict_seconds * 1e3, unit="ms", kind="time",
+                          tolerance_pct=40.0),
+        "csr_ms": Metric(csr_seconds * 1e3, unit="ms", kind="time",
+                         tolerance_pct=40.0),
+        "speedup": Metric(speedup, kind="ratio", direction="higher",
+                          tolerance_pct=40.0),
+        "csr_nbytes": Metric(float(csr.nbytes), unit="B", kind="bytes",
+                             tolerance_pct=0.0),
+        "handle_payload_bytes": Metric(float(handle_payload), unit="B",
+                                       kind="bytes", tolerance_pct=0.0),
+        "graph_payload_bytes": Metric(float(graph_payload), unit="B",
+                                      kind="bytes", tolerance_pct=0.0),
+        "attach_ms": Metric(attach_seconds * 1e3, unit="ms", kind="time",
+                            tolerance_pct=60.0),
+        "budget_failures": Metric(float(len(failures)), kind="info"),
+    }
+    return CsrOutcome(metrics=metrics, rendered="\n".join(lines),
+                      failures=failures)
+
+
+@suite("csr", "frozen-CSR kernel speedup and spawn-payload budget",
+       default_scale="xlarge")
+def csr_suite(ctx: SuiteContext) -> SuiteRun:
+    scale = ctx.scale if ctx.scale is not None else env_str("REPRO_CSR_SCALE", "xlarge")
+    outcome = run_csr(
+        scale=scale,
+        pairs=env_int("REPRO_CSR_PAIRS", 40),
+        rounds=env_int("REPRO_CSR_ROUNDS", 5),
+        min_speedup=env_float("REPRO_CSR_MIN_SPEEDUP", 2.0),
+    )
+    return SuiteRun(metrics=outcome.metrics, rendered=outcome.rendered)

@@ -1,0 +1,83 @@
+"""Central, validated parsing of ``REPRO_*`` environment knobs.
+
+Every benchmark script historically parsed its own environment —
+``int(os.environ.get("REPRO_CSR_PAIRS", "40"))`` and friends — which
+crashes at import time with a bare ``ValueError: invalid literal`` that
+names neither the knob nor the offending value.  These helpers make a
+malformed knob a :class:`BenchConfigError` that says exactly which
+variable is broken and what it contained, and they record every knob
+they read so a benchmark run's metadata can capture the configuration
+it actually ran under (see :func:`consumed_knobs`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+
+class BenchConfigError(ConfigurationError):
+    """A ``REPRO_*`` environment knob holds a value that cannot be parsed."""
+
+    def __init__(self, name: str, raw: str, expected: str) -> None:
+        super().__init__(
+            f"environment knob {name}={raw!r} is not a valid {expected}"
+        )
+        self.name = name
+        self.raw = raw
+        self.expected = expected
+
+
+#: Knobs read since interpreter start (name -> raw value actually used),
+#: so run metadata can embed the effective configuration.
+_CONSUMED: Dict[str, str] = {}
+
+
+def consumed_knobs() -> Dict[str, str]:
+    """Knobs read so far, as ``{name: raw_value}`` (defaults included)."""
+    return dict(_CONSUMED)
+
+
+def _raw(name: str, default: object) -> str:
+    raw = os.environ.get(name)
+    if raw is None:
+        raw = str(default)
+    _CONSUMED[name] = raw
+    return raw
+
+
+def env_str(name: str, default: str, choices: Optional[Sequence[str]] = None) -> str:
+    raw = _raw(name, default)
+    if choices is not None and raw not in choices:
+        raise BenchConfigError(name, raw, f"choice from {tuple(choices)}")
+    return raw
+
+
+def env_int(name: str, default: int) -> int:
+    raw = _raw(name, default)
+    try:
+        return int(raw)
+    except ValueError:
+        raise BenchConfigError(name, raw, "integer") from None
+
+
+def env_float(name: str, default: float) -> float:
+    raw = _raw(name, default)
+    try:
+        return float(raw)
+    except ValueError:
+        raise BenchConfigError(name, raw, "number") from None
+
+
+def env_int_list(name: str, default: Sequence[int]) -> Tuple[int, ...]:
+    """Comma-separated integer list; blanks between commas are skipped."""
+    raw = _raw(name, ",".join(str(v) for v in default))
+    try:
+        values = tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise BenchConfigError(name, raw, "comma-separated integer list") from None
+    if not values:
+        raise BenchConfigError(name, raw, "non-empty comma-separated integer list")
+    return values

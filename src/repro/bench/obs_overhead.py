@@ -1,0 +1,158 @@
+"""Null-registry overhead measurement body (see ``bench_obs_overhead.py``).
+
+Measures the instrumented :func:`repro.search.dijkstra.dijkstra` under
+the default null registry against a verbatim copy of the
+pre-instrumentation implementation, in paired rounds with alternating
+order so machine drift hits both sides equally.  The standalone script
+gates on the budget; the ``obs_overhead`` suite records the median ratio
+for branch comparison.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, List, Set, Tuple
+
+from .knobs import env_float, env_int
+from .registry import SuiteContext, SuiteRun, suite
+from .schema import Metric
+
+Infinity = math.inf
+
+
+def baseline_dijkstra(graph, source: int, target: int):
+    """The seed's un-instrumented point-to-point Dijkstra, verbatim."""
+    from ..search.common import PathResult, reconstruct_path
+
+    adj = graph._adj  # noqa: SLF001 - hot path
+    dist: Dict[int, float] = {source: 0.0}
+    parents: Dict[int, int] = {}
+    done: Set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    visited = 0
+    while heap:
+        d, u = heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        visited += 1
+        if u == target:
+            return PathResult(
+                source, target, d, reconstruct_path(parents, source, target), visited
+            )
+        for v, w in adj[u]:
+            v = int(v)
+            nd = d + w
+            if nd < dist.get(v, Infinity):
+                dist[v] = nd
+                parents[v] = u
+                heappush(heap, (nd, v))
+    return PathResult(source, target, Infinity, [], visited)
+
+
+def time_round(fn, graph, pairs) -> float:
+    t0 = time.perf_counter()
+    for s, t in pairs:
+        fn_result = fn(graph, s, t)
+    elapsed = time.perf_counter() - t0
+    assert fn_result.found
+    return elapsed
+
+
+@dataclass
+class ObsOutcome:
+    metrics: Dict[str, Metric]
+    rendered: str
+    median_ratio: float
+    overhead_pct: float
+    budget_pct: float
+    ratios: List[float] = field(default_factory=list)
+
+    @property
+    def within_budget(self) -> bool:
+        return self.overhead_pct <= self.budget_pct
+
+
+def run_obs_overhead(
+    budget_pct: float = 3.0,
+    rounds: int = 15,
+    pairs: int = 15,
+    grid_side: int = 200,
+    progress: bool = False,
+) -> ObsOutcome:
+    from ..network.generators import grid_city
+    from ..search.dijkstra import dijkstra as instrumented_dijkstra
+
+    lines = [f"building {grid_side}x{grid_side} grid city..."]
+    graph = grid_city(grid_side, grid_side, spacing=0.5, seed=7)
+    rng = random.Random(11)
+    n = graph.num_vertices
+    query_pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(pairs)]
+
+    for s, t in query_pairs[:3]:  # sanity: identical answers
+        a, b = baseline_dijkstra(graph, s, t), instrumented_dijkstra(graph, s, t)
+        assert a.distance == b.distance and a.path == b.path
+
+    # Paired rounds, alternating order within a round, so machine drift
+    # (thermal, allocator, scheduler) hits both sides equally; the median
+    # ratio is the robust overhead estimate.
+    ratios: List[float] = []
+    for i in range(rounds):
+        if i % 2 == 0:
+            t_base = time_round(baseline_dijkstra, graph, query_pairs)
+            t_inst = time_round(instrumented_dijkstra, graph, query_pairs)
+        else:
+            t_inst = time_round(instrumented_dijkstra, graph, query_pairs)
+            t_base = time_round(baseline_dijkstra, graph, query_pairs)
+        ratios.append(t_inst / t_base)
+        line = (
+            f"round {i + 1}/{rounds}: baseline {t_base:.3f}s, "
+            f"instrumented {t_inst:.3f}s, ratio {ratios[-1]:.4f}"
+        )
+        lines.append(line)
+        if progress:
+            print(line, flush=True)
+
+    ordered = sorted(ratios)
+    median = ordered[len(ordered) // 2]
+    overhead_pct = (median - 1.0) * 100.0
+    lines.append(
+        f"\nmedian of {rounds} paired ratios over {pairs} queries: "
+        f"{median:.4f} (spread {ordered[0]:.4f}..{ordered[-1]:.4f})"
+    )
+    lines.append(
+        f"null-registry overhead: {overhead_pct:+.2f}% (budget {budget_pct:.1f}%)"
+    )
+
+    metrics = {
+        # The ratio sits near 1.0, so relative comparison is meaningful;
+        # the raw overhead percent crosses zero and is info-only.
+        "median_ratio": Metric(median, kind="ratio", tolerance_pct=6.0),
+        "overhead_pct": Metric(overhead_pct, unit="%", kind="info"),
+        "spread_low": Metric(ordered[0], kind="info"),
+        "spread_high": Metric(ordered[-1], kind="info"),
+    }
+    return ObsOutcome(
+        metrics=metrics,
+        rendered="\n".join(lines),
+        median_ratio=median,
+        overhead_pct=overhead_pct,
+        budget_pct=budget_pct,
+        ratios=ratios,
+    )
+
+
+@suite("obs_overhead", "null-registry instrumentation overhead vs the seed",
+       default_scale="medium")
+def obs_overhead_suite(ctx: SuiteContext) -> SuiteRun:
+    outcome = run_obs_overhead(
+        budget_pct=env_float("REPRO_OBS_BUDGET_PCT", 3.0),
+        rounds=env_int("REPRO_OBS_ROUNDS", 15),
+        pairs=env_int("REPRO_OBS_PAIRS", 15),
+        grid_side=env_int("REPRO_OBS_GRID", 200),
+    )
+    return SuiteRun(metrics=outcome.metrics, rendered=outcome.rendered)

@@ -1,0 +1,170 @@
+"""Suite registry: named, discoverable benchmark suites.
+
+A *suite* is a callable ``fn(ctx) -> SuiteRun`` taking a shared
+:class:`SuiteContext` (so suites that reuse the same heavy fixtures —
+the cache suite, the R2R suite — compute them once per invocation) and
+returning the measured metrics plus the legacy text render.  Suites are
+registered at import of :mod:`repro.bench.suites` via the
+:func:`suite` decorator and resolved by ``repro bench run --suite``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .schema import Metric
+
+
+@dataclass
+class SuiteRun:
+    """What one suite execution measured."""
+
+    metrics: Dict[str, Metric]
+    #: Paper-style text artefact (written next to the JSON as ``.txt``).
+    rendered: Optional[str] = None
+    #: Extra legacy renders keyed by artefact name (e.g. the seven
+    #: ablation tables), written as ``<name>.txt`` like the old scripts.
+    extra_renders: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Suite:
+    name: str
+    fn: Callable[["SuiteContext"], SuiteRun]  # noqa: F821 - forward ref
+    description: str
+    #: Scale preset used when neither --scale nor REPRO_BENCH_SCALE is set.
+    default_scale: str = "medium"
+
+
+#: Network presets ``beijing_like`` accepts; validated at the knob site
+#: so a typo'd ``REPRO_BENCH_SCALE`` names the knob, not the generator.
+SCALE_CHOICES = ("tiny", "small", "medium", "large", "xlarge")
+
+_REGISTRY: Dict[str, Suite] = {}
+
+
+def register(suite: Suite) -> Suite:
+    if suite.name in _REGISTRY:
+        raise ConfigurationError(f"benchmark suite {suite.name!r} registered twice")
+    _REGISTRY[suite.name] = suite
+    return suite
+
+
+def suite(
+    name: str, description: str, default_scale: str = "medium"
+) -> Callable[[Callable], Callable]:
+    """Decorator: register ``fn`` as the body of suite ``name``."""
+
+    def wrap(fn: Callable) -> Callable:
+        entry = Suite(name=name, fn=fn, description=description,
+                      default_scale=default_scale)
+        register(entry)
+        fn.__suite__ = entry  # type: ignore[attr-defined]
+        return fn
+
+    return wrap
+
+
+def get_suite(name: str) -> Suite:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown benchmark suite {name!r}; registered suites: {known}"
+        ) from None
+
+
+def all_suites() -> List[Suite]:
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def resolve_suites(names: Sequence[str]) -> List[Suite]:
+    """Expand ``all`` and validate every requested suite name."""
+    if any(name == "all" for name in names):
+        return all_suites()
+    seen: List[Suite] = []
+    for name in names:
+        s = get_suite(name)
+        if s not in seen:
+            seen.append(s)
+    return seen
+
+
+def _ensure_loaded() -> None:
+    # Suite bodies live in repro.bench.suites; importing it populates the
+    # registry.  Deferred so `import repro.bench.registry` stays light.
+    from . import suites  # noqa: F401
+
+
+class SuiteContext:
+    """Shared fixtures for one ``bench run`` invocation.
+
+    Lazily builds (and memoizes) the experiment environment, the cache
+    suite and the R2R suite per (scale, sizes), exactly like
+    ``benchmarks/conftest.py``'s session-scoped fixtures — so
+    ``repro bench run --suite fig7b --suite fig7d`` pays for the cache
+    sweep once.
+    """
+
+    def __init__(
+        self,
+        scale: Optional[str] = None,
+        sizes: Optional[Sequence[int]] = None,
+        seed: int = 7,
+    ) -> None:
+        #: Explicit override; ``None`` defers to knobs/suite defaults.
+        self.scale = scale
+        self._sizes = tuple(sizes) if sizes is not None else None
+        self.seed = seed
+        self._envs: Dict[Tuple[str, int], object] = {}
+        self._cache_suites: Dict[Tuple[str, Tuple[int, ...]], object] = {}
+        self._r2r_suites: Dict[Tuple[str, Tuple[int, ...]], object] = {}
+
+    # -- knob resolution ------------------------------------------------
+    def scale_for(self, suite: Suite) -> str:
+        if self.scale is not None:
+            return self.scale
+        from .knobs import env_str
+
+        return env_str(
+            "REPRO_BENCH_SCALE", suite.default_scale, choices=SCALE_CHOICES
+        )
+
+    def sizes(self) -> Tuple[int, ...]:
+        if self._sizes is not None:
+            return self._sizes
+        from .knobs import env_int_list
+
+        return env_int_list("REPRO_BENCH_SIZES", (100, 300, 900, 1800))
+
+    # -- heavy fixtures -------------------------------------------------
+    def env(self, scale: str):
+        key = (scale, self.seed)
+        if key not in self._envs:
+            from ..analysis import experiments as exp
+
+            self._envs[key] = exp.build_env(scale=scale, seed=self.seed)
+        return self._envs[key]
+
+    def cache_suites(self, scale: str):
+        key = (scale, self.sizes())
+        if key not in self._cache_suites:
+            from ..analysis import experiments as exp
+
+            self._cache_suites[key] = exp.run_cache_suite(
+                self.env(scale), self.sizes()
+            )
+        return self._cache_suites[key]
+
+    def r2r_suites(self, scale: str):
+        key = (scale, self.sizes())
+        if key not in self._r2r_suites:
+            from ..analysis import experiments as exp
+
+            self._r2r_suites[key] = exp.run_r2r_suite(self.env(scale), self.sizes())
+        return self._r2r_suites[key]

@@ -1,0 +1,68 @@
+"""Execute registered suites and persist schema'd results per label.
+
+``run_suites`` is the body behind ``repro bench run``: resolve suites,
+build one shared :class:`~repro.bench.registry.SuiteContext` (so e.g.
+fig7b–fig7e pay for the cache sweep once), run each suite, and write
+
+* ``<results_dir>/<label>/<suite>.json`` — the schema'd result,
+* ``<results_dir>/<label>/<suite>.txt`` — the legacy text render
+  (secondary artefact; the paper-style top-level ``results/*.txt``
+  files keep being written by the pytest benchmarks as before).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .knobs import consumed_knobs
+from .registry import SuiteContext, resolve_suites
+from .schema import PathLike, SuiteResult, run_metadata, save_result
+
+#: Default results root, relative to the working directory.
+DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
+
+
+def run_suites(
+    names: Sequence[str],
+    label: str,
+    results_dir: PathLike = DEFAULT_RESULTS_DIR,
+    *,
+    scale: Optional[str] = None,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 7,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> List[Tuple[SuiteResult, Path]]:
+    """Run every named suite (``all`` expands) and persist one file each."""
+    suites = resolve_suites(names)
+    ctx = SuiteContext(scale=scale, sizes=sizes, seed=seed)
+    results_dir = Path(results_dir)
+    out: List[Tuple[SuiteResult, Path]] = []
+    for entry in suites:
+        if on_progress is not None:
+            on_progress(f"running suite {entry.name!r}...")
+        run = entry.fn(ctx)
+        meta = run_metadata(label, seed=seed, knobs=consumed_knobs())
+        result = SuiteResult(
+            suite=entry.name,
+            label=label,
+            meta=meta,
+            metrics=run.metrics,
+            rendered=run.rendered,
+        )
+        path = save_result(result, results_dir)
+        label_dir = path.parent
+        if run.rendered is not None:
+            (label_dir / f"{entry.name}.txt").write_text(
+                run.rendered + "\n", encoding="utf-8"
+            )
+        for name, rendered in run.extra_renders.items():
+            (label_dir / f"{name}.txt").write_text(
+                rendered + "\n", encoding="utf-8"
+            )
+        if on_progress is not None:
+            on_progress(
+                f"suite {entry.name!r}: {len(run.metrics)} metrics -> {path}"
+            )
+        out.append((result, path))
+    return out

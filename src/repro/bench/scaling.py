@@ -1,0 +1,96 @@
+"""Cross-scale scaling study body (shared by pytest and the harness).
+
+Varies the *network* size at a fixed batch size (the paper evaluates one
+network); see ``benchmarks/test_scaling.py`` for the paper-shape
+assertions layered on this measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .registry import SuiteContext, SuiteRun, suite
+from .schema import Metric
+
+DEFAULT_SCALES = ("tiny", "small", "medium")
+DEFAULT_BATCH = 400
+
+
+@dataclass
+class ScalingOutcome:
+    rendered: str
+    rows: List[list]
+    #: ``scale -> SLC-S VNN / A* VNN`` (the batch advantage).
+    rel_vnn: Dict[str, float]
+    #: ``scale -> SLC-S hit ratio``.
+    hit_ratio: Dict[str, float]
+    metrics: Dict[str, Metric]
+
+
+def run_scaling(
+    scales: Sequence[str] = DEFAULT_SCALES,
+    batch: int = DEFAULT_BATCH,
+    seed: int = 7,
+) -> ScalingOutcome:
+    from ..analysis import experiments as exp
+    from ..analysis.tables import render_table
+    from ..baselines.global_cache import GlobalCacheAnswerer, split_log_and_stream
+    from ..baselines.one_by_one import OneByOneAnswerer
+    from ..core.local_cache import LocalCacheAnswerer
+    from ..core.search_space import SearchSpaceDecomposer
+
+    rows = []
+    rel_vnn: Dict[str, float] = {}
+    hit_ratio: Dict[str, float] = {}
+    metrics: Dict[str, Metric] = {}
+    for scale in scales:
+        env = exp.build_env(scale=scale, seed=seed)
+        queries = env.fresh_workload(501).batch(batch, *env.cache_band)
+        log, stream = split_log_and_stream(queries, 0.2)
+
+        astar = OneByOneAnswerer(env.graph).answer(stream)
+
+        gc = GlobalCacheAnswerer(env.graph)
+        gc.build(log)
+        decomposition = SearchSpaceDecomposer(env.graph).decompose(stream)
+        slc = LocalCacheAnswerer(env.graph, max(gc.cache_bytes, 1)).answer(
+            decomposition
+        )
+
+        rel = slc.visited / astar.visited if astar.visited else 1.0
+        rel_vnn[scale] = rel
+        hit_ratio[scale] = slc.hit_ratio
+        rows.append(
+            [
+                scale,
+                env.graph.num_vertices,
+                astar.visited,
+                slc.visited,
+                f"{rel:.3f}",
+                f"{slc.hit_ratio:.3f}",
+            ]
+        )
+        metrics[f"astar_vnn[{scale}]"] = Metric(float(astar.visited),
+                                                kind="count", tolerance_pct=0.0)
+        metrics[f"slc_vnn[{scale}]"] = Metric(float(slc.visited),
+                                              kind="count", tolerance_pct=0.0)
+        metrics[f"rel_vnn[{scale}]"] = Metric(rel, kind="ratio",
+                                              tolerance_pct=0.0)
+        metrics[f"hit_ratio[{scale}]"] = Metric(slc.hit_ratio, kind="ratio",
+                                                direction="higher",
+                                                tolerance_pct=0.0)
+
+    rendered = render_table(
+        ["scale", "|V|", "A* VNN", "SLC-S VNN", "SLC/A*", "hit ratio"],
+        rows,
+        title=f"Scaling study: |Q|={batch} across network sizes",
+    )
+    return ScalingOutcome(rendered=rendered, rows=rows, rel_vnn=rel_vnn,
+                          hit_ratio=hit_ratio, metrics=metrics)
+
+
+@suite("scaling", "batch advantage across network sizes at fixed |Q|")
+def scaling_suite(ctx: SuiteContext) -> SuiteRun:
+    outcome = run_scaling(seed=ctx.seed)
+    return SuiteRun(metrics=outcome.metrics, rendered=outcome.rendered)

@@ -1,0 +1,290 @@
+"""Versioned result schema for harnessed benchmark runs.
+
+One benchmark *suite* run produces one :class:`SuiteResult`: a flat
+``{key: Metric}`` mapping plus :class:`RunMeta` capture (UTC timestamp,
+git sha, machine fingerprint, seed, effective knobs) under an explicit
+``schema_version``, persisted as ``benchmarks/results/<label>/<suite>.json``.
+The schema is the contract between ``repro bench run`` and
+``repro bench compare``: two labels are comparable exactly when their
+files validate against the same schema version.
+
+Non-finite metric values are stored as the strings ``"nan"`` / ``"inf"``
+/ ``"-inf"`` so the files stay strict JSON (``json.dumps(allow_nan=False)``
+round-trips them).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..exceptions import ReproError
+
+SCHEMA_VERSION = 1
+
+#: Metric kinds.  ``info`` metrics are recorded for humans and skipped by
+#: the comparator (machine fingerprints, counts that are timing-dependent).
+KINDS = ("time", "count", "ratio", "bytes", "info")
+DIRECTIONS = ("lower", "higher")
+
+PathLike = Union[str, Path]
+
+
+class SchemaError(ReproError):
+    """A result file does not validate against the known schema."""
+
+
+@dataclass
+class Metric:
+    """One measured value with enough typing for automated comparison."""
+
+    value: float
+    unit: str = ""
+    #: ``time`` | ``count`` | ``ratio`` | ``bytes`` | ``info``.
+    kind: str = "time"
+    #: Which way is better: ``lower`` (latencies) or ``higher`` (qps).
+    direction: str = "lower"
+    #: Per-metric noise floor (percent).  The comparator uses
+    #: ``max(tolerance_pct, --noise-threshold)`` so inherently noisy
+    #: wall-time metrics do not produce false regressions.
+    tolerance_pct: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise SchemaError(f"unknown metric kind {self.kind!r} (one of {KINDS})")
+        if self.direction not in DIRECTIONS:
+            raise SchemaError(
+                f"unknown metric direction {self.direction!r} (one of {DIRECTIONS})"
+            )
+
+
+@dataclass
+class RunMeta:
+    """Provenance of one suite run: when, what code, what machine, what knobs."""
+
+    created_utc: str
+    git_sha: str
+    label: str
+    seed: int = 0
+    knobs: Dict[str, str] = field(default_factory=dict)
+    machine: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class SuiteResult:
+    """One suite's schema'd output for one label."""
+
+    suite: str
+    label: str
+    meta: RunMeta
+    metrics: Dict[str, Metric]
+    #: Legacy paper-style text artefact, kept verbatim as a secondary render.
+    rendered: Optional[str] = None
+    schema_version: int = SCHEMA_VERSION
+
+
+def utc_now_iso() -> str:
+    """UTC ISO-8601 with explicit offset — never a naive local time."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def git_sha(cwd: Optional[PathLike] = None) -> str:
+    """Current commit sha (``REPRO_GIT_SHA`` override, ``unknown`` fallback)."""
+    override = os.environ.get("REPRO_GIT_SHA")
+    if override:
+        return override
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=str(cwd) if cwd is not None else None,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def machine_fingerprint() -> Dict[str, str]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": str(os.cpu_count() or 0),
+    }
+
+
+def run_metadata(label: str, seed: int = 0, knobs: Optional[Dict[str, str]] = None) -> RunMeta:
+    """Capture full provenance for a run starting now."""
+    return RunMeta(
+        created_utc=utc_now_iso(),
+        git_sha=git_sha(),
+        label=label,
+        seed=seed,
+        knobs=dict(knobs or {}),
+        machine=machine_fingerprint(),
+    )
+
+
+def _encode_value(value: float) -> Union[float, str]:
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_value(raw: object, where: str) -> float:
+    if isinstance(raw, bool) or not isinstance(raw, (int, float, str)):
+        raise SchemaError(f"{where}: metric value {raw!r} is not a number")
+    try:
+        return float(raw)
+    except ValueError:
+        raise SchemaError(f"{where}: metric value {raw!r} is not a number") from None
+
+
+def to_dict(result: SuiteResult) -> dict:
+    return {
+        "schema_version": result.schema_version,
+        "suite": result.suite,
+        "label": result.label,
+        "meta": {
+            "created_utc": result.meta.created_utc,
+            "git_sha": result.meta.git_sha,
+            "label": result.meta.label,
+            "seed": result.meta.seed,
+            "knobs": dict(result.meta.knobs),
+            "machine": dict(result.meta.machine),
+        },
+        "metrics": {
+            key: {
+                "value": _encode_value(m.value),
+                "unit": m.unit,
+                "kind": m.kind,
+                "direction": m.direction,
+                **(
+                    {"tolerance_pct": m.tolerance_pct}
+                    if m.tolerance_pct is not None
+                    else {}
+                ),
+            }
+            for key, m in sorted(result.metrics.items())
+        },
+        **({"rendered": result.rendered} if result.rendered is not None else {}),
+    }
+
+
+def from_dict(data: object, where: str = "<memory>") -> SuiteResult:
+    """Validate and decode one suite-result payload.
+
+    Raises :class:`SchemaError` on a missing/unsupported ``schema_version``
+    or any structural mismatch, naming ``where`` (usually the file path).
+    """
+    if not isinstance(data, dict):
+        raise SchemaError(f"{where}: expected a JSON object, got {type(data).__name__}")
+    version = data.get("schema_version")
+    if version is None:
+        raise SchemaError(f"{where}: missing schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{where}: schema_version {version!r} is not supported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    for key in ("suite", "label", "meta", "metrics"):
+        if key not in data:
+            raise SchemaError(f"{where}: missing required field {key!r}")
+    meta_raw = data["meta"]
+    if not isinstance(meta_raw, dict):
+        raise SchemaError(f"{where}: meta must be an object")
+    for key in ("created_utc", "git_sha", "label"):
+        if not isinstance(meta_raw.get(key), str):
+            raise SchemaError(f"{where}: meta.{key} must be a string")
+    meta = RunMeta(
+        created_utc=meta_raw["created_utc"],
+        git_sha=meta_raw["git_sha"],
+        label=meta_raw["label"],
+        seed=int(meta_raw.get("seed", 0)),
+        knobs={str(k): str(v) for k, v in dict(meta_raw.get("knobs", {})).items()},
+        machine={str(k): str(v) for k, v in dict(meta_raw.get("machine", {})).items()},
+    )
+    metrics_raw = data["metrics"]
+    if not isinstance(metrics_raw, dict):
+        raise SchemaError(f"{where}: metrics must be an object")
+    metrics: Dict[str, Metric] = {}
+    for key, payload in metrics_raw.items():
+        if not isinstance(payload, dict) or "value" not in payload:
+            raise SchemaError(f"{where}: metric {key!r} must be an object with a value")
+        tolerance = payload.get("tolerance_pct")
+        try:
+            metrics[str(key)] = Metric(
+                value=_decode_value(payload["value"], f"{where}:{key}"),
+                unit=str(payload.get("unit", "")),
+                kind=str(payload.get("kind", "time")),
+                direction=str(payload.get("direction", "lower")),
+                tolerance_pct=float(tolerance) if tolerance is not None else None,
+            )
+        except SchemaError as err:
+            raise SchemaError(f"{where}: metric {key!r}: {err}") from None
+    rendered = data.get("rendered")
+    if rendered is not None and not isinstance(rendered, str):
+        raise SchemaError(f"{where}: rendered must be a string when present")
+    return SuiteResult(
+        suite=str(data["suite"]),
+        label=str(data["label"]),
+        meta=meta,
+        metrics=metrics,
+        rendered=rendered,
+        schema_version=int(version),
+    )
+
+
+def save_result(result: SuiteResult, results_dir: PathLike) -> Path:
+    """Write ``<results_dir>/<label>/<suite>.json``; returns the path."""
+    label_dir = Path(results_dir) / result.label
+    label_dir.mkdir(parents=True, exist_ok=True)
+    path = label_dir / f"{result.suite}.json"
+    path.write_text(
+        json.dumps(to_dict(result), indent=1, sort_keys=False, allow_nan=False)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_result(path: PathLike) -> SuiteResult:
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as err:
+        raise SchemaError(f"{path}: not valid JSON ({err})") from None
+    return from_dict(data, where=str(path))
+
+
+def load_label(results_dir: PathLike, label: str) -> Dict[str, SuiteResult]:
+    """All suite results recorded under one label, keyed by suite name.
+
+    Raises :class:`SchemaError` when the label directory does not exist;
+    individual unreadable files also raise, naming the file.
+    """
+    label_dir = Path(results_dir) / label
+    if not label_dir.is_dir():
+        raise SchemaError(
+            f"label {label!r} has no results under {Path(results_dir)}"
+        )
+    out: Dict[str, SuiteResult] = {}
+    for path in sorted(label_dir.glob("*.json")):
+        result = load_result(path)
+        out[result.suite] = result
+    if not out:
+        raise SchemaError(f"label {label!r} has no *.json results in {label_dir}")
+    return out

@@ -1,0 +1,155 @@
+"""Streaming-service throughput/latency measurement body.
+
+Runs the same real-clock Poisson stream through
+:class:`~repro.streaming.StreamingQueryService` once per worker count and
+reports sustained qps, p50/p99 end-to-end latency and window/shed
+accounting.  Used by both ``benchmarks/bench_streaming.py`` (which
+appends provenance-stamped JSONL rows) and the ``streaming`` harness
+suite (which records schema'd JSON per label).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .knobs import env_float, env_int, env_int_list, env_str
+from .registry import SuiteContext, SuiteRun, suite
+from .schema import Metric
+
+
+@dataclass
+class StreamingOutcome:
+    rows: List[dict]
+    metrics: Dict[str, Metric]
+    rendered: str
+
+
+def bench_one(graph, arrivals, workers: int, *, scale: str, rate: float,
+              duration: float, window_ms: float, max_batch: int) -> dict:
+    from ..streaming import StreamingQueryService
+
+    with StreamingQueryService(
+        graph,
+        window_seconds=window_ms / 1000.0,
+        max_batch=max_batch,
+        workers=workers,
+        clock="real",
+    ) as service:
+        report = service.run(arrivals)
+    assert report.unaccounted_queries == 0, (
+        f"workers={workers}: {report.unaccounted_queries} queries unaccounted"
+    )
+    assert report.dropped_queries == 0, (
+        f"workers={workers}: {report.dropped_queries} queries dropped"
+    )
+    return {
+        "workers": workers,
+        "scale": scale,
+        "rate": rate,
+        "duration": duration,
+        "window_ms": window_ms,
+        "max_batch": max_batch,
+        "arrivals": report.total_arrivals,
+        "answered": report.answered_queries,
+        "qps": round(report.qps, 2),
+        "p50_latency_ms": round(report.p50_latency * 1000, 2),
+        "p99_latency_ms": round(report.p99_latency * 1000, 2),
+        "windows": len(report.windows),
+        "windows_by_trigger": report.windows_by_trigger,
+        "cache_hits": report.stream_cache_hits,
+        "shed_degraded": report.shed_degraded,
+        "wall_seconds": round(report.wall_seconds, 3),
+    }
+
+
+def run_streaming(
+    scale: str = "small",
+    rate: float = 400.0,
+    duration: float = 5.0,
+    workers: Sequence[int] = (0, 2, 4),
+    window_ms: float = 250.0,
+    max_batch: int = 64,
+    progress: bool = False,
+) -> StreamingOutcome:
+    from ..network.generators import beijing_like
+    from ..queries.arrivals import PoissonArrivals
+    from ..queries.workload import WorkloadGenerator
+
+    lines = [f"network   : beijing_like({scale!r})"]
+    graph = beijing_like(scale, seed=0)
+    lines.append(
+        f"size      : {graph.num_vertices} vertices, {graph.num_edges} edges"
+    )
+    workload = WorkloadGenerator(graph, seed=7)
+    arrivals = PoissonArrivals(workload, rate=rate, seed=7).duration(duration)
+    lines.append(
+        f"stream    : {len(arrivals)} queries, {rate:g} qps nominal, "
+        f"{duration:g}s, window {window_ms:g}ms / max {max_batch}"
+    )
+    lines.append("")
+    header = (f"{'workers':>7} | {'qps':>8} | {'p50(ms)':>8} | "
+              f"{'p99(ms)':>8} | {'windows':>7} | {'hits':>6} | {'shed':>5}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    if progress:
+        for line in lines:
+            print(line, flush=True)
+
+    rows = []
+    metrics: Dict[str, Metric] = {
+        "arrivals": Metric(float(len(arrivals)), kind="count",
+                           direction="higher", tolerance_pct=0.0),
+    }
+    for w in workers:
+        row = bench_one(graph, arrivals, w, scale=scale, rate=rate,
+                        duration=duration, window_ms=window_ms,
+                        max_batch=max_batch)
+        rows.append(row)
+        line = (f"{row['workers']:>7} | {row['qps']:>8.1f} | "
+                f"{row['p50_latency_ms']:>8.1f} | {row['p99_latency_ms']:>8.1f} | "
+                f"{row['windows']:>7} | {row['cache_hits']:>6} | "
+                f"{row['shed_degraded']:>5}")
+        lines.append(line)
+        if progress:
+            print(line, flush=True)
+        # Real-clock measurements: generous tolerances on latency/qps,
+        # info-only on the timing-dependent window/cache counters.
+        metrics[f"qps[w={w}]"] = Metric(row["qps"], unit="qps", kind="ratio",
+                                        direction="higher", tolerance_pct=35.0)
+        metrics[f"p50_ms[w={w}]"] = Metric(row["p50_latency_ms"], unit="ms",
+                                           kind="time", tolerance_pct=45.0)
+        metrics[f"p99_ms[w={w}]"] = Metric(row["p99_latency_ms"], unit="ms",
+                                           kind="time", tolerance_pct=45.0)
+        metrics[f"answered[w={w}]"] = Metric(float(row["answered"]),
+                                             kind="count", direction="higher",
+                                             tolerance_pct=0.0)
+        metrics[f"windows[w={w}]"] = Metric(float(row["windows"]), kind="info")
+        metrics[f"cache_hits[w={w}]"] = Metric(float(row["cache_hits"]),
+                                               kind="info")
+        metrics[f"shed_degraded[w={w}]"] = Metric(float(row["shed_degraded"]),
+                                                  kind="info")
+    return StreamingOutcome(rows=rows, metrics=metrics,
+                            rendered="\n".join(lines))
+
+
+def streaming_knobs() -> dict:
+    """The streaming benchmark's effective knob set (validated)."""
+    return {
+        "scale": env_str("REPRO_STREAM_SCALE", "small"),
+        "rate": env_float("REPRO_STREAM_RATE", 400.0),
+        "duration": env_float("REPRO_STREAM_DURATION", 5.0),
+        "workers": env_int_list("REPRO_STREAM_WORKERS", (0, 2, 4)),
+        "window_ms": env_float("REPRO_STREAM_WINDOW_MS", 250.0),
+        "max_batch": env_int("REPRO_STREAM_MAX_BATCH", 64),
+    }
+
+
+@suite("streaming", "streaming service qps + latency at several worker counts",
+       default_scale="small")
+def streaming_suite(ctx: SuiteContext) -> SuiteRun:
+    knobs = streaming_knobs()
+    if ctx.scale is not None:
+        knobs["scale"] = ctx.scale
+    outcome = run_streaming(**knobs)
+    return SuiteRun(metrics=outcome.metrics, rendered=outcome.rendered)

@@ -1,0 +1,20 @@
+"""Imports every suite module so the registry is fully populated.
+
+``repro.bench.registry`` imports this module lazily the first time a
+suite is resolved; each suite module registers its suites at import via
+the :func:`~repro.bench.registry.suite` decorator.
+
+Registered suites: ``csr``, ``obs_overhead``, ``streaming``,
+``fig7a``–``fig7f``, ``fig8``, ``table1``, ``table2``, ``ablations``,
+``scaling``, ``microbench``, ``smoke``.
+"""
+
+from __future__ import annotations
+
+from . import ablations as _ablations  # noqa: F401
+from . import csr as _csr  # noqa: F401
+from . import figures as _figures  # noqa: F401
+from . import micro as _micro  # noqa: F401
+from . import obs_overhead as _obs_overhead  # noqa: F401
+from . import scaling as _scaling  # noqa: F401
+from . import streaming_bench as _streaming_bench  # noqa: F401

@@ -518,6 +518,73 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Run registered benchmark suites, writing schema'd JSON per label."""
+    from .bench import BenchConfigError, run_suites
+    from .exceptions import ConfigurationError
+
+    sizes = None
+    if args.sizes:
+        sizes = _parse_sizes(args.sizes)
+    try:
+        results = run_suites(
+            args.suite,
+            args.label,
+            args.results_dir,
+            scale=args.scale,
+            sizes=sizes,
+            seed=args.seed,
+            on_progress=lambda line: print(line, flush=True),
+        )
+    except BenchConfigError as err:
+        raise SystemExit(f"bench run failed: {err}")
+    except ConfigurationError as err:
+        raise SystemExit(str(err))
+    total = sum(len(result.metrics) for result, _ in results)
+    print(f"{len(results)} suite(s), {total} metrics recorded under "
+          f"label {args.label!r}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Compare two labels; exit 1 on regressions or schema issues."""
+    import json
+
+    from .bench import SchemaError, compare_labels, render_markdown, verdict_payload
+
+    try:
+        report = compare_labels(
+            args.results_dir,
+            args.base,
+            args.candidate,
+            noise_threshold_pct=args.noise_threshold,
+        )
+    except SchemaError as err:
+        raise SystemExit(f"bench compare failed: {err}")
+    markdown = render_markdown(report, include_within_noise=args.all)
+    print(markdown)
+    if args.markdown_out:
+        Path(args.markdown_out).write_text(markdown + "\n", encoding="utf-8")
+        print(f"\nmarkdown written to {args.markdown_out}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(verdict_payload(report), indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"verdict written to {args.json_out}")
+    return report.exit_code
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    """List registered benchmark suites."""
+    from .bench import all_suites
+
+    for entry in all_suites():
+        print(f"{entry.name:<14} scale={entry.default_scale:<8} "
+              f"{entry.description}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     env = exp.build_env(scale=args.scale, seed=args.seed)
     graph = env.graph
@@ -682,6 +749,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs_sum.add_argument("file", help="metrics .json or spans .jsonl path")
     p_obs_sum.set_defaults(func=cmd_obs)
+
+    p_bench = sub.add_parser("bench", help="unified benchmark harness")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    p_bench_run = bench_sub.add_parser(
+        "run", help="run registered suites, recording schema'd JSON per label"
+    )
+    p_bench_run.add_argument(
+        "--suite", action="append", required=True, metavar="NAME",
+        help="suite to run (repeatable; 'all' runs every registered suite; "
+        "see `repro bench list`)",
+    )
+    p_bench_run.add_argument(
+        "--label", required=True,
+        help="label this run records under (results/<label>/<suite>.json)",
+    )
+    p_bench_run.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR",
+        help="results root (default benchmarks/results)",
+    )
+    p_bench_run.add_argument(
+        "--scale", default=None,
+        help="network scale override (default: REPRO_BENCH_SCALE or the "
+        "suite's own default)",
+    )
+    p_bench_run.add_argument(
+        "--sizes", default=None,
+        help="comma-separated batch sizes for the figure suites",
+    )
+    p_bench_run.add_argument("--seed", type=int, default=7)
+    p_bench_run.set_defaults(func=cmd_bench_run)
+
+    p_bench_cmp = bench_sub.add_parser(
+        "compare",
+        help="compare two labels: markdown table + machine verdict, "
+        "exit 1 on regressions",
+    )
+    p_bench_cmp.add_argument("base", help="baseline label")
+    p_bench_cmp.add_argument("candidate", help="candidate label")
+    p_bench_cmp.add_argument(
+        "--noise-threshold", type=float, default=5.0, metavar="PCT",
+        help="relative noise threshold in percent (default 5; per-metric "
+        "tolerances widen it)",
+    )
+    p_bench_cmp.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR",
+        help="results root (default benchmarks/results)",
+    )
+    p_bench_cmp.add_argument(
+        "--all", action="store_true",
+        help="include within-noise rows in the detail table",
+    )
+    p_bench_cmp.add_argument(
+        "--markdown-out", default=None, metavar="FILE",
+        help="also write the markdown report to this path",
+    )
+    p_bench_cmp.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="write the machine-readable verdict JSON to this path",
+    )
+    p_bench_cmp.set_defaults(func=cmd_bench_compare)
+
+    p_bench_list = bench_sub.add_parser("list", help="list registered suites")
+    p_bench_list.set_defaults(func=cmd_bench_list)
 
     p_info = sub.add_parser("info", parents=[common], help="describe the environment")
     p_info.set_defaults(func=cmd_info)

@@ -41,6 +41,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..analysis.metrics import percentile
 from ..core.cache import VersionedPathCache
 from ..exceptions import ConfigurationError
 from ..obs import (
@@ -78,18 +79,15 @@ AnswerPair = Tuple[Query, PathResult]
 
 
 def latency_percentile(sorted_latencies: List[float], p: float) -> float:
-    """Linear-interpolated percentile over pre-sorted samples (0 if empty)."""
-    if not sorted_latencies:
-        return 0.0
-    if p <= 0:
-        return sorted_latencies[0]
-    if p >= 1:
-        return sorted_latencies[-1]
-    rank = p * (len(sorted_latencies) - 1)
-    lo = int(math.floor(rank))
-    hi = min(lo + 1, len(sorted_latencies) - 1)
-    frac = rank - lo
-    return sorted_latencies[lo] * (1 - frac) + sorted_latencies[hi] * frac
+    """Linear-interpolated percentile over pre-sorted samples (0.0 if empty).
+
+    Delegates to :func:`repro.analysis.metrics.percentile` — the repo's
+    single percentile implementation — with the streaming empty-data
+    policy made explicit: a latency report before any query has finished
+    reads 0.0 rather than raising.  ``p`` is a fraction in ``[0, 1]``
+    (clamped), unlike the analysis-side ``q`` in ``[0, 100]``.
+    """
+    return percentile(sorted_latencies, p * 100.0, default=0.0, assume_sorted=True)
 
 
 @dataclass

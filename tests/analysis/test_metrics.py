@@ -1,6 +1,8 @@
 """Unit tests for the evaluation metrics."""
 
 import math
+import random
+import statistics
 
 import pytest
 
@@ -15,6 +17,7 @@ from repro.analysis.metrics import (
 from repro.core.results import BatchAnswer
 from repro.queries.query import Query
 from repro.search.common import PathResult
+from repro.streaming.service import latency_percentile
 
 
 def make_batch(entries):
@@ -86,5 +89,71 @@ class TestHelpers:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_percentile_empty_default(self):
+        assert percentile([], 50, default=0.0) == 0.0
+        assert percentile([], 99, default=-1.0) == -1.0
+
+    def test_percentile_clamps_q(self):
+        data = [1, 2, 3]
+        assert percentile(data, -10) == 1
+        assert percentile(data, 250) == 3
+
+    def test_percentile_assume_sorted(self):
+        assert percentile([1, 2, 3, 4], 50, assume_sorted=True) == 2.5
+
     def test_percentile_single(self):
         assert percentile([42], 99) == 42
+
+
+class TestPercentileDifferential:
+    """Pin the one shared implementation against ``statistics.quantiles``.
+
+    The repo used to carry two percentile implementations (the analysis
+    one raising on empty, the streaming one returning 0.0) that could
+    drift apart; both now delegate to
+    :func:`repro.analysis.metrics.percentile`.  These tests pin the
+    interpolation of *both* public entry points to the stdlib's
+    inclusive-quantiles method — the same (n-1)-rank linear
+    interpolation — so any future drift fails loudly.
+    """
+
+    def _datasets(self):
+        rng = random.Random(20260808)
+        yield [rng.uniform(0.0, 1000.0) for _ in range(101)]
+        yield [rng.gauss(50.0, 10.0) for _ in range(257)]
+        yield [float(rng.randint(0, 5)) for _ in range(64)]  # heavy ties
+        yield [3.25] * 17  # all-equal: every percentile is the sample
+
+    def test_analysis_percentile_matches_statistics_quantiles(self):
+        for data in self._datasets():
+            cuts = statistics.quantiles(data, n=100, method="inclusive")
+            for q in range(1, 100):
+                assert percentile(data, q) == pytest.approx(
+                    cuts[q - 1], rel=1e-12, abs=1e-9
+                )
+
+    def test_streaming_percentile_matches_statistics_quantiles(self):
+        for data in self._datasets():
+            ordered = sorted(data)
+            cuts = statistics.quantiles(data, n=100, method="inclusive")
+            for q in range(1, 100):
+                assert latency_percentile(ordered, q / 100.0) == pytest.approx(
+                    cuts[q - 1], rel=1e-12, abs=1e-9
+                )
+
+    def test_both_entry_points_agree_exactly(self):
+        for data in self._datasets():
+            ordered = sorted(data)
+            for q in (0.0, 1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0):
+                assert latency_percentile(ordered, q / 100.0) == percentile(data, q)
+
+    def test_percentile_monotone_in_q(self):
+        for data in self._datasets():
+            values = [percentile(data, q) for q in range(0, 101)]
+            assert values == sorted(values)
+
+    def test_empty_policy_split(self):
+        """The one behavioural difference left, now explicit per call site."""
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        assert latency_percentile([], 0.99) == 0.0

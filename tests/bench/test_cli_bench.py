@@ -1,0 +1,104 @@
+"""End-to-end CLI tests for ``repro bench run/compare/list``.
+
+The round-trip acceptance check: run the real ``smoke`` suite twice on
+the tiny network, compare the two labels, and require every metric
+within the noise threshold with exit code 0.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def pinned_sha(monkeypatch):
+    monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+
+
+class TestBenchList:
+    def test_lists_registered_suites(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "microbench", "csr", "fig7a", "ablations"):
+            assert name in out
+
+
+class TestBenchRoundTrip:
+    def test_run_twice_then_compare_is_quiet(self, capsys, tmp_path, pinned_sha):
+        results_dir = str(tmp_path / "results")
+        for label in ("a", "b"):
+            code = main(
+                ["bench", "run", "--suite", "smoke", "--label", label,
+                 "--results-dir", results_dir]
+            )
+            assert code == 0
+        out = capsys.readouterr().out
+        assert "15 metrics recorded" in out
+
+        md_path = tmp_path / "report.md"
+        json_path = tmp_path / "verdict.json"
+        code = main(
+            ["bench", "compare", "a", "b", "--results-dir", results_dir,
+             "--markdown-out", str(md_path), "--json-out", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench compare" in out
+        assert "regressed | 0" in out
+
+        verdict = json.loads(json_path.read_text())
+        assert verdict["exit_code"] == 0
+        assert verdict["counts"]["regressed"] == 0
+        assert verdict["counts"]["within-noise"] > 0
+        assert md_path.read_text().startswith("### bench compare")
+
+    def test_result_file_carries_provenance(self, tmp_path, pinned_sha, capsys):
+        results_dir = tmp_path / "results"
+        main(["bench", "run", "--suite", "smoke", "--label", "prov",
+              "--results-dir", str(results_dir)])
+        capsys.readouterr()
+        data = json.loads((results_dir / "prov" / "smoke.json").read_text())
+        assert data["schema_version"] == 1
+        assert data["meta"]["git_sha"] == "deadbeef"
+        assert data["meta"]["created_utc"].endswith("+00:00")
+        assert data["meta"]["machine"]["python"]
+        assert (results_dir / "prov" / "smoke.txt").exists()
+
+    def test_fabricated_regression_fails_compare(self, capsys, tmp_path, pinned_sha):
+        results_dir = str(tmp_path / "results")
+        main(["bench", "run", "--suite", "smoke", "--label", "a",
+              "--results-dir", results_dir])
+        path = tmp_path / "results" / "a" / "smoke.json"
+        worse = json.loads(path.read_text())
+        worse["label"] = "worse"
+        worse["meta"]["label"] = "worse"
+        for metric in worse["metrics"].values():
+            if metric["kind"] == "count" and metric["direction"] == "lower":
+                metric["value"] = float(metric["value"]) * 10 + 100
+        worse_dir = tmp_path / "results" / "worse"
+        worse_dir.mkdir()
+        (worse_dir / "smoke.json").write_text(json.dumps(worse))
+        code = main(["bench", "compare", "a", "worse", "--results-dir", results_dir])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "regressed" in out
+
+
+class TestBenchErrors:
+    def test_unknown_suite_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown benchmark suite"):
+            main(["bench", "run", "--suite", "warp", "--label", "x",
+                  "--results-dir", str(tmp_path)])
+
+    def test_bad_knob_names_the_variable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(SystemExit, match="REPRO_BENCH_SCALE"):
+            main(["bench", "run", "--suite", "smoke", "--label", "x",
+                  "--results-dir", str(tmp_path)])
+
+    def test_compare_missing_label_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit, match="bench compare failed"):
+            main(["bench", "compare", "ghost-a", "ghost-b",
+                  "--results-dir", str(tmp_path)])

@@ -1,0 +1,206 @@
+"""Edge-case tests for ``repro bench compare`` classification and reporting."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    IMPROVED,
+    INCOMPARABLE,
+    MISSING_IN_BASE,
+    MISSING_IN_CANDIDATE,
+    REGRESSED,
+    WITHIN_NOISE,
+    classify_metric,
+    compare_labels,
+    compare_results,
+    render_markdown,
+    verdict_payload,
+)
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    Metric,
+    RunMeta,
+    SchemaError,
+    SuiteResult,
+    save_result,
+)
+
+
+def m(value, *, kind="time", direction="lower", tolerance_pct=None):
+    return Metric(value, kind=kind, direction=direction, tolerance_pct=tolerance_pct)
+
+
+def result(label, metrics, suite="s"):
+    return SuiteResult(
+        suite=suite,
+        label=label,
+        meta=RunMeta("2026-08-08T00:00:00+00:00", "deadbeef", label),
+        metrics=metrics,
+    )
+
+
+class TestClassify:
+    def test_within_noise_inside_threshold(self):
+        row = classify_metric("s", "k", m(100.0), m(104.0), 5.0)
+        assert row.verdict == WITHIN_NOISE
+        assert row.delta_pct == pytest.approx(4.0)
+
+    def test_regression_beyond_threshold(self):
+        row = classify_metric("s", "k", m(100.0), m(120.0), 5.0)
+        assert row.verdict == REGRESSED
+        assert row.delta_pct == pytest.approx(20.0)
+
+    def test_improvement_beyond_threshold(self):
+        row = classify_metric("s", "k", m(100.0), m(50.0), 5.0)
+        assert row.verdict == IMPROVED
+
+    def test_direction_higher_flips_the_sign(self):
+        qps_base = m(100.0, kind="ratio", direction="higher")
+        row = classify_metric("s", "qps", qps_base, m(50.0, kind="ratio",
+                                                      direction="higher"), 5.0)
+        assert row.verdict == REGRESSED
+        row = classify_metric("s", "qps", qps_base, m(200.0, kind="ratio",
+                                                      direction="higher"), 5.0)
+        assert row.verdict == IMPROVED
+
+    def test_metric_tolerance_widens_threshold(self):
+        base = m(100.0, tolerance_pct=40.0)
+        row = classify_metric("s", "k", base, m(130.0, tolerance_pct=40.0), 5.0)
+        assert row.verdict == WITHIN_NOISE
+        assert row.threshold_pct == 40.0
+
+    def test_cli_threshold_wins_when_larger(self):
+        base = m(100.0, tolerance_pct=1.0)
+        row = classify_metric("s", "k", base, m(108.0, tolerance_pct=1.0), 10.0)
+        assert row.verdict == WITHIN_NOISE
+        assert row.threshold_pct == 10.0
+
+    def test_zero_baseline_equal_is_within_noise(self):
+        row = classify_metric("s", "k", m(0.0), m(0.0), 5.0)
+        assert row.verdict == WITHIN_NOISE
+
+    def test_zero_baseline_any_rise_is_real(self):
+        # No relative delta exists off an exact zero: classified by
+        # direction with the delta reported as undefined.
+        row = classify_metric("s", "k", m(0.0), m(0.001), 5.0)
+        assert row.verdict == REGRESSED
+        assert row.delta_pct is None
+
+    def test_zero_baseline_rise_improves_when_higher_is_better(self):
+        row = classify_metric(
+            "s", "k",
+            m(0.0, kind="ratio", direction="higher"),
+            m(0.5, kind="ratio", direction="higher"),
+            5.0,
+        )
+        assert row.verdict == IMPROVED
+
+    def test_near_zero_baseline_uses_relative_delta(self):
+        # 1e-9 -> 2e-9 is +100%: relative comparison still applies off a
+        # tiny-but-nonzero base, so noisy near-zero timers need tolerance.
+        row = classify_metric("s", "k", m(1e-9), m(2e-9), 5.0)
+        assert row.verdict == REGRESSED
+        assert row.delta_pct == pytest.approx(100.0)
+
+    def test_nan_is_incomparable(self):
+        row = classify_metric("s", "k", m(float("nan")), m(1.0), 5.0)
+        assert row.verdict == INCOMPARABLE
+        assert row.delta_pct is None
+
+    def test_inf_vs_finite_is_incomparable(self):
+        row = classify_metric("s", "k", m(float("inf")), m(1.0), 5.0)
+        assert row.verdict == INCOMPARABLE
+
+    def test_equal_inf_is_within_noise(self):
+        row = classify_metric("s", "k", m(float("inf")), m(float("inf")), 5.0)
+        assert row.verdict == WITHIN_NOISE
+
+
+class TestCompareResults:
+    def test_missing_sides_reported(self):
+        base = {"s": result("a", {"old": m(1.0), "both": m(1.0)})}
+        cand = {"s": result("b", {"new": m(1.0), "both": m(1.0)})}
+        report = compare_results(base, cand, base_label="a", candidate_label="b")
+        verdicts = {row.key: row.verdict for row in report.rows}
+        assert verdicts["old"] == MISSING_IN_CANDIDATE
+        assert verdicts["new"] == MISSING_IN_BASE
+        assert verdicts["both"] == WITHIN_NOISE
+        # Missing metrics are advisory, not failures.
+        assert report.exit_code == 0
+
+    def test_info_metrics_skipped(self):
+        base = {"s": result("a", {"note": m(1.0, kind="info")})}
+        cand = {"s": result("b", {"note": m(99.0, kind="info")})}
+        report = compare_results(base, cand, base_label="a", candidate_label="b")
+        assert report.rows == []
+
+    def test_regression_sets_exit_code(self):
+        base = {"s": result("a", {"t": m(100.0)})}
+        cand = {"s": result("b", {"t": m(200.0)})}
+        report = compare_results(base, cand, base_label="a", candidate_label="b")
+        assert report.exit_code == 1
+        assert [row.key for row in report.regressions] == ["t"]
+
+
+class TestCompareLabels:
+    def test_round_trip_self_compare(self, tmp_path):
+        for label in ("a", "b"):
+            save_result(result(label, {"t": m(3.0), "n": m(5.0, kind="count")}),
+                        tmp_path)
+        report = compare_labels(tmp_path, "a", "b")
+        assert report.exit_code == 0
+        assert all(row.verdict == WITHIN_NOISE for row in report.rows)
+
+    def test_missing_label_is_hard_error(self, tmp_path):
+        save_result(result("a", {"t": m(3.0)}), tmp_path)
+        with pytest.raises(SchemaError):
+            compare_labels(tmp_path, "a", "ghost")
+
+    def test_schema_mismatch_becomes_issue_and_fails(self, tmp_path):
+        save_result(result("a", {"t": m(3.0)}), tmp_path)
+        save_result(result("b", {"t": m(3.0)}), tmp_path)
+        stale = tmp_path / "b" / "stale.json"
+        payload = json.loads((tmp_path / "b" / "s.json").read_text())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        payload["suite"] = "stale"
+        stale.write_text(json.dumps(payload))
+        report = compare_labels(tmp_path, "a", "b")
+        # The readable file still compares; the stale one is an issue and
+        # flips the exit code.
+        assert any("stale" in issue for issue in report.issues)
+        assert report.exit_code == 1
+
+
+class TestRendering:
+    def _report(self):
+        base = {"s": result("a", {"good": m(100.0), "bad": m(100.0)})}
+        cand = {"s": result("b", {"good": m(101.0), "bad": m(250.0)})}
+        return compare_results(base, cand, base_label="a", candidate_label="b")
+
+    def test_markdown_has_summary_and_detail(self):
+        text = render_markdown(self._report())
+        assert "`a` → `b`" in text
+        assert "| regressed | 1 |" in text
+        assert "`bad`" in text
+        assert "`good`" not in text  # within noise stays out of the detail
+
+    def test_markdown_all_includes_within_noise(self):
+        text = render_markdown(self._report(), include_within_noise=True)
+        assert "`good`" in text
+
+    def test_all_quiet_renders_flat_note(self):
+        base = {"s": result("a", {"k": m(1.0)})}
+        report = compare_results(base, base, base_label="a", candidate_label="a")
+        assert "within the noise threshold" in render_markdown(report)
+
+    def test_verdict_payload_is_json_serializable(self):
+        base = {"s": result("a", {"k": m(float("inf"))})}
+        cand = {"s": result("b", {"k": m(1.0)})}
+        report = compare_results(base, cand, base_label="a", candidate_label="b")
+        payload = verdict_payload(report)
+        text = json.dumps(payload, allow_nan=False)  # must not need NaN tokens
+        decoded = json.loads(text)
+        assert decoded["metrics"][0]["base"] == "inf"
+        assert decoded["counts"][INCOMPARABLE] == 1
+        assert decoded["exit_code"] == 0

@@ -1,0 +1,87 @@
+"""Tests for centralized environment-knob validation."""
+
+import pytest
+
+from repro.bench.knobs import (
+    BenchConfigError,
+    consumed_knobs,
+    env_float,
+    env_int,
+    env_int_list,
+    env_str,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestParsing:
+    def test_int_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_N", raising=False)
+        assert env_int("REPRO_TEST_N", 40) == 40
+        monkeypatch.setenv("REPRO_TEST_N", "7")
+        assert env_int("REPRO_TEST_N", 40) == 7
+
+    def test_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_F", "2.5")
+        assert env_float("REPRO_TEST_F", 1.0) == 2.5
+
+    def test_str_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_S", "tiny")
+        assert env_str("REPRO_TEST_S", "medium", choices=("tiny", "medium")) == "tiny"
+
+    def test_int_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_L", "100, 300,900")
+        assert env_int_list("REPRO_TEST_L", (1,)) == (100, 300, 900)
+
+
+class TestErrors:
+    def test_bad_int_names_knob_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_N", "fast")
+        with pytest.raises(BenchConfigError) as exc:
+            env_int("REPRO_TEST_N", 40)
+        assert "REPRO_TEST_N" in str(exc.value)
+        assert "fast" in str(exc.value)
+        assert exc.value.name == "REPRO_TEST_N"
+        assert exc.value.raw == "fast"
+
+    def test_bad_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_F", "3%")
+        with pytest.raises(BenchConfigError):
+            env_float("REPRO_TEST_F", 1.0)
+
+    def test_bad_choice(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_S", "galactic")
+        with pytest.raises(BenchConfigError, match="galactic"):
+            env_str("REPRO_TEST_S", "medium", choices=("tiny", "medium"))
+
+    def test_bad_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_L", "100,three")
+        with pytest.raises(BenchConfigError):
+            env_int_list("REPRO_TEST_L", (1,))
+
+    def test_empty_list_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_L", " , ,")
+        with pytest.raises(BenchConfigError):
+            env_int_list("REPRO_TEST_L", (1,))
+
+    def test_is_a_configuration_error(self, monkeypatch):
+        # Callers that already handle the repo's ConfigurationError keep
+        # working unchanged.
+        monkeypatch.setenv("REPRO_TEST_N", "x")
+        with pytest.raises(ConfigurationError):
+            env_int("REPRO_TEST_N", 40)
+
+
+class TestConsumedRecording:
+    def test_reads_are_recorded_with_effective_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_RECORDED", "9")
+        monkeypatch.delenv("REPRO_TEST_DEFAULTED", raising=False)
+        env_int("REPRO_TEST_RECORDED", 1)
+        env_int("REPRO_TEST_DEFAULTED", 42)
+        seen = consumed_knobs()
+        assert seen["REPRO_TEST_RECORDED"] == "9"
+        assert seen["REPRO_TEST_DEFAULTED"] == "42"
+
+    def test_snapshot_is_a_copy(self):
+        snap = consumed_knobs()
+        snap["INJECTED"] = "nope"
+        assert "INJECTED" not in consumed_knobs()

@@ -1,0 +1,134 @@
+"""Runner and registry tests, using a synthetic registered suite.
+
+The heavy end-to-end path (a real suite on the tiny network, twice, then
+``repro bench compare``) lives in ``tests/bench/test_cli_bench.py``;
+these tests pin the plumbing — registration, resolution, persistence,
+provenance — with a fast fake suite.
+"""
+
+import pytest
+
+from repro.bench.registry import (
+    Suite,
+    SuiteContext,
+    SuiteRun,
+    all_suites,
+    register,
+    resolve_suites,
+    suite,
+)
+from repro.bench.runner import run_suites
+from repro.bench.schema import Metric, load_label
+from repro.exceptions import ConfigurationError
+
+EXPECTED_SUITES = {
+    "ablations",
+    "csr",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig7d",
+    "fig7e",
+    "fig7f",
+    "fig8",
+    "microbench",
+    "obs_overhead",
+    "scaling",
+    "smoke",
+    "streaming",
+    "table1",
+    "table2",
+}
+
+
+@pytest.fixture()
+def fake_suite():
+    """Register a throwaway suite; unregister on teardown."""
+    from repro.bench import registry
+
+    name = "zz-test-suite"
+
+    @suite(name, "synthetic suite for runner tests", default_scale="tiny")
+    def body(ctx: SuiteContext) -> SuiteRun:
+        return SuiteRun(
+            metrics={
+                "elapsed_ms": Metric(1.25, unit="ms", kind="time",
+                                     tolerance_pct=40.0),
+                "visited": Metric(64.0, kind="count", tolerance_pct=0.0),
+            },
+            rendered="fake table",
+            extra_renders={"companion": "extra table"},
+        )
+
+    yield name
+    registry._REGISTRY.pop(name, None)
+
+
+class TestRegistry:
+    def test_all_paper_suites_registered(self):
+        names = {entry.name for entry in all_suites()}
+        assert EXPECTED_SUITES <= names
+
+    def test_unknown_suite_names_the_known_ones(self):
+        with pytest.raises(ConfigurationError, match="microbench"):
+            resolve_suites(["warp-drive"])
+
+    def test_all_expands(self):
+        resolved = {entry.name for entry in resolve_suites(["all"])}
+        assert EXPECTED_SUITES <= resolved
+
+    def test_duplicate_names_deduplicated(self):
+        assert len(resolve_suites(["smoke", "smoke"])) == 1
+
+    def test_double_registration_rejected(self):
+        entry = all_suites()[0]
+        with pytest.raises(ConfigurationError, match="twice"):
+            register(Suite(entry.name, entry.fn, "dup"))
+
+
+class TestSuiteContext:
+    def test_explicit_scale_wins(self, monkeypatch, fake_suite):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        from repro.bench.registry import get_suite
+
+        entry = get_suite(fake_suite)
+        assert SuiteContext(scale="tiny").scale_for(entry) == "tiny"
+        assert SuiteContext().scale_for(entry) == "medium"
+
+    def test_suite_default_scale_is_fallback(self, monkeypatch, fake_suite):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        from repro.bench.registry import get_suite
+
+        assert SuiteContext().scale_for(get_suite(fake_suite)) == "tiny"
+
+    def test_sizes_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SIZES", "10,20")
+        assert SuiteContext().sizes() == (10, 20)
+        assert SuiteContext(sizes=(5,)).sizes() == (5,)
+
+
+class TestRunSuites:
+    def test_persists_schema_and_renders(self, tmp_path, monkeypatch, fake_suite):
+        monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+        lines = []
+        results = run_suites(
+            [fake_suite], "trial", tmp_path, seed=11, on_progress=lines.append
+        )
+        assert len(results) == 1
+        result, path = results[0]
+        assert path == tmp_path / "trial" / f"{fake_suite}.json"
+        assert (tmp_path / "trial" / f"{fake_suite}.txt").read_text() == "fake table\n"
+        assert (tmp_path / "trial" / "companion.txt").read_text() == "extra table\n"
+        assert any("running suite" in line for line in lines)
+
+        loaded = load_label(tmp_path, "trial")[fake_suite]
+        assert loaded.metrics["visited"].value == 64.0
+        assert loaded.meta.git_sha == "deadbeef"
+        assert loaded.meta.seed == 11
+        assert loaded.meta.label == "trial"
+        assert loaded.meta.created_utc.endswith("+00:00")
+        assert loaded.rendered == "fake table"
+
+    def test_unknown_suite_fails_before_running(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            run_suites(["no-such-suite"], "trial", tmp_path)

@@ -1,0 +1,172 @@
+"""Unit tests for the versioned benchmark result schema."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    Metric,
+    RunMeta,
+    SchemaError,
+    SuiteResult,
+    from_dict,
+    git_sha,
+    load_label,
+    load_result,
+    machine_fingerprint,
+    run_metadata,
+    save_result,
+    to_dict,
+    utc_now_iso,
+)
+
+
+def make_result(label="lbl", suite="demo", metrics=None, rendered="table"):
+    return SuiteResult(
+        suite=suite,
+        label=label,
+        meta=RunMeta(
+            created_utc="2026-08-08T00:00:00+00:00",
+            git_sha="deadbeef",
+            label=label,
+            seed=7,
+            knobs={"REPRO_BENCH_SCALE": "tiny"},
+            machine={"python": "3.11"},
+        ),
+        metrics=metrics
+        or {
+            "elapsed_ms": Metric(12.5, unit="ms", kind="time", tolerance_pct=40.0),
+            "visited": Metric(100.0, kind="count", tolerance_pct=0.0),
+            "qps": Metric(5.0, kind="ratio", direction="higher"),
+        },
+        rendered=rendered,
+    )
+
+
+class TestMetricValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            Metric(1.0, kind="speed")
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(SchemaError):
+            Metric(1.0, direction="sideways")
+
+
+class TestProvenance:
+    def test_utc_timestamp_has_offset(self):
+        stamp = utc_now_iso()
+        assert stamp.endswith("+00:00")
+
+    def test_git_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafe1234")
+        assert git_sha() == "cafe1234"
+
+    def test_git_sha_unknown_outside_repo(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        assert git_sha(cwd=tmp_path) == "unknown"
+
+    def test_machine_fingerprint_keys(self):
+        fp = machine_fingerprint()
+        assert set(fp) == {"platform", "python", "machine", "cpus"}
+
+    def test_run_metadata_captures_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafe1234")
+        meta = run_metadata("mylabel", seed=3, knobs={"K": "v"})
+        assert meta.label == "mylabel"
+        assert meta.seed == 3
+        assert meta.git_sha == "cafe1234"
+        assert meta.knobs == {"K": "v"}
+        assert meta.created_utc.endswith("+00:00")
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        result = make_result()
+        clone = from_dict(to_dict(result))
+        assert clone == result
+
+    def test_file_round_trip(self, tmp_path):
+        result = make_result()
+        path = save_result(result, tmp_path)
+        assert path == tmp_path / "lbl" / "demo.json"
+        assert load_result(path) == result
+
+    def test_files_are_strict_json(self, tmp_path):
+        metrics = {
+            "bad": Metric(float("nan"), kind="ratio"),
+            "hot": Metric(float("inf"), kind="ratio"),
+            "cold": Metric(float("-inf"), kind="ratio"),
+        }
+        path = save_result(make_result(metrics=metrics), tmp_path)
+        # Strict parsing (no NaN tokens) must succeed...
+        data = json.loads(path.read_text(), parse_constant=lambda s: pytest.fail(s))
+        assert data["metrics"]["bad"]["value"] == "nan"
+        assert data["metrics"]["hot"]["value"] == "inf"
+        assert data["metrics"]["cold"]["value"] == "-inf"
+        # ...and the loader decodes the strings back to floats.
+        loaded = load_result(path)
+        assert loaded.metrics["bad"].value != loaded.metrics["bad"].value  # NaN
+        assert loaded.metrics["hot"].value == float("inf")
+        assert loaded.metrics["cold"].value == float("-inf")
+
+
+class TestValidation:
+    def test_missing_schema_version(self):
+        payload = to_dict(make_result())
+        del payload["schema_version"]
+        with pytest.raises(SchemaError, match="missing schema_version"):
+            from_dict(payload, where="x.json")
+
+    def test_unsupported_schema_version(self):
+        payload = to_dict(make_result())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="not supported"):
+            from_dict(payload, where="x.json")
+
+    @pytest.mark.parametrize("field", ["suite", "label", "meta", "metrics"])
+    def test_missing_required_field(self, field):
+        payload = to_dict(make_result())
+        del payload[field]
+        with pytest.raises(SchemaError, match=field):
+            from_dict(payload)
+
+    def test_non_object_payload(self):
+        with pytest.raises(SchemaError, match="expected a JSON object"):
+            from_dict([1, 2, 3])
+
+    def test_bad_metric_value(self):
+        payload = to_dict(make_result())
+        payload["metrics"]["visited"]["value"] = "fast"
+        with pytest.raises(SchemaError, match="visited"):
+            from_dict(payload)
+
+    def test_bad_metric_kind(self):
+        payload = to_dict(make_result())
+        payload["metrics"]["visited"]["kind"] = "velocity"
+        with pytest.raises(SchemaError, match="visited"):
+            from_dict(payload)
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SchemaError, match="broken.json"):
+            load_result(path)
+
+
+class TestLoadLabel:
+    def test_load_label_collects_suites(self, tmp_path):
+        save_result(make_result(suite="one"), tmp_path)
+        save_result(make_result(suite="two"), tmp_path)
+        loaded = load_label(tmp_path, "lbl")
+        assert set(loaded) == {"one", "two"}
+
+    def test_missing_label_raises(self, tmp_path):
+        with pytest.raises(SchemaError, match="no results"):
+            load_label(tmp_path, "ghost")
+
+    def test_empty_label_raises(self, tmp_path):
+        (tmp_path / "hollow").mkdir()
+        with pytest.raises(SchemaError, match="hollow"):
+            load_label(tmp_path, "hollow")
