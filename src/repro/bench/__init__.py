@@ -17,8 +17,11 @@ from .compare import (
     CompareReport,
     DEFAULT_NOISE_THRESHOLD_PCT,
     MetricDelta,
+    aggregate_runs,
     compare_labels,
     compare_results,
+    load_label_lenient,
+    median_value,
     render_markdown,
     verdict_payload,
 )
@@ -62,6 +65,7 @@ __all__ = [
     "SuiteContext",
     "SuiteResult",
     "SuiteRun",
+    "aggregate_runs",
     "all_suites",
     "compare_labels",
     "compare_results",
@@ -74,7 +78,9 @@ __all__ = [
     "get_suite",
     "git_sha",
     "load_label",
+    "load_label_lenient",
     "load_result",
+    "median_value",
     "render_markdown",
     "run_metadata",
     "run_suites",

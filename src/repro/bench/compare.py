@@ -167,10 +167,82 @@ def compare_results(
     return report
 
 
+def median_value(values: List[float]) -> float:
+    """Median with explicit non-finite policy: any NaN poisons to NaN.
+
+    Infinities sort normally, so a run that times out to ``inf`` only
+    shifts the median if half the runs did.
+    """
+    if not values:
+        return math.nan
+    if any(math.isnan(v) for v in values):
+        return math.nan
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    lo, hi = ordered[mid - 1], ordered[mid]
+    if math.isinf(lo) or math.isinf(hi):
+        # inf + (-inf) is NaN; equal infinities keep their sign.
+        return lo if lo == hi else math.nan
+    return (lo + hi) / 2.0
+
+
+def aggregate_runs(runs: List[SuiteResult]) -> SuiteResult:
+    """Collapse repeated runs of one suite into a median-of-N result.
+
+    Metric typing (unit/kind/direction/tolerance) comes from the first
+    run that declares the key; the value is the median over the runs
+    that recorded it.  ``info`` metrics keep the first run's value —
+    medians of fingerprints are meaningless and the comparator skips
+    them anyway.
+    """
+    if not runs:
+        raise ValueError("aggregate_runs needs at least one run")
+    if len(runs) == 1:
+        return runs[0]
+    first = runs[0]
+    merged: Dict[str, Metric] = {}
+    for run in runs:
+        for key, metric in run.metrics.items():
+            if key not in merged:
+                merged[key] = metric
+    metrics: Dict[str, Metric] = {}
+    for key, proto in merged.items():
+        if proto.kind == "info":
+            metrics[key] = proto
+            continue
+        samples = [
+            float(run.metrics[key].value) for run in runs if key in run.metrics
+        ]
+        metrics[key] = Metric(
+            value=median_value(samples),
+            unit=proto.unit,
+            kind=proto.kind,
+            direction=proto.direction,
+            tolerance_pct=proto.tolerance_pct,
+        )
+    return SuiteResult(
+        suite=first.suite,
+        label=first.label,
+        meta=first.meta,
+        metrics=metrics,
+        rendered=first.rendered,
+        schema_version=first.schema_version,
+    )
+
+
 def load_label_lenient(
     results_dir: PathLike, label: str
 ) -> Tuple[Dict[str, SuiteResult], List[str]]:
     """Load a label, turning per-file schema failures into issue strings.
+
+    A label directory may hold several result files per suite (``repro
+    bench run --repeat N`` writes ``<suite>.json`` plus
+    ``<suite>.run<k>.json`` siblings); multi-run suites collapse to their
+    per-metric median via :func:`aggregate_runs`, so a comparison against
+    a repeated baseline compares medians, not whichever file sorted last.
 
     A missing/empty label directory is still a hard error (there is
     nothing to compare against) — :class:`~repro.bench.schema.SchemaError`.
@@ -180,7 +252,7 @@ def load_label_lenient(
     label_dir = Path(results_dir) / label
     if not label_dir.is_dir():
         raise SchemaError(f"label {label!r} has no results under {Path(results_dir)}")
-    results: Dict[str, SuiteResult] = {}
+    grouped: Dict[str, List[SuiteResult]] = {}
     issues: List[str] = []
     paths = sorted(label_dir.glob("*.json"))
     if not paths:
@@ -191,7 +263,10 @@ def load_label_lenient(
         except SchemaError as err:
             issues.append(f"label {label!r}: {err}")
             continue
-        results[result.suite] = result
+        grouped.setdefault(result.suite, []).append(result)
+    results = {
+        suite: aggregate_runs(runs) for suite, runs in grouped.items()
+    }
     return results, issues
 
 

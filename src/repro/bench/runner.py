@@ -31,38 +31,52 @@ def run_suites(
     scale: Optional[str] = None,
     sizes: Optional[Sequence[int]] = None,
     seed: int = 7,
+    repeat: int = 1,
     on_progress: Optional[Callable[[str], None]] = None,
 ) -> List[Tuple[SuiteResult, Path]]:
-    """Run every named suite (``all`` expands) and persist one file each."""
+    """Run every named suite (``all`` expands) and persist one file each.
+
+    ``repeat`` > 1 runs every suite that many times, writing
+    ``<suite>.json`` plus ``<suite>.run<k>.json`` siblings; the comparator
+    aggregates multi-run labels by per-metric median, which is how noisy
+    wall-time metrics earn a stable baseline.
+    """
+    from ..exceptions import ConfigurationError
+
+    if repeat < 1:
+        raise ConfigurationError("repeat must be at least 1")
     suites = resolve_suites(names)
     ctx = SuiteContext(scale=scale, sizes=sizes, seed=seed)
     results_dir = Path(results_dir)
     out: List[Tuple[SuiteResult, Path]] = []
     for entry in suites:
-        if on_progress is not None:
-            on_progress(f"running suite {entry.name!r}...")
-        run = entry.fn(ctx)
-        meta = run_metadata(label, seed=seed, knobs=consumed_knobs())
-        result = SuiteResult(
-            suite=entry.name,
-            label=label,
-            meta=meta,
-            metrics=run.metrics,
-            rendered=run.rendered,
-        )
-        path = save_result(result, results_dir)
-        label_dir = path.parent
-        if run.rendered is not None:
-            (label_dir / f"{entry.name}.txt").write_text(
-                run.rendered + "\n", encoding="utf-8"
+        for run_index in range(1, repeat + 1):
+            if on_progress is not None:
+                tag = f" (run {run_index}/{repeat})" if repeat > 1 else ""
+                on_progress(f"running suite {entry.name!r}{tag}...")
+            run = entry.fn(ctx)
+            meta = run_metadata(label, seed=seed, knobs=consumed_knobs())
+            result = SuiteResult(
+                suite=entry.name,
+                label=label,
+                meta=meta,
+                metrics=run.metrics,
+                rendered=run.rendered,
             )
-        for name, rendered in run.extra_renders.items():
-            (label_dir / f"{name}.txt").write_text(
-                rendered + "\n", encoding="utf-8"
-            )
-        if on_progress is not None:
-            on_progress(
-                f"suite {entry.name!r}: {len(run.metrics)} metrics -> {path}"
-            )
-        out.append((result, path))
+            path = save_result(result, results_dir, run_index=run_index)
+            label_dir = path.parent
+            if run_index == 1:
+                if run.rendered is not None:
+                    (label_dir / f"{entry.name}.txt").write_text(
+                        run.rendered + "\n", encoding="utf-8"
+                    )
+                for name, rendered in run.extra_renders.items():
+                    (label_dir / f"{name}.txt").write_text(
+                        rendered + "\n", encoding="utf-8"
+                    )
+            if on_progress is not None:
+                on_progress(
+                    f"suite {entry.name!r}: {len(run.metrics)} metrics -> {path}"
+                )
+            out.append((result, path))
     return out

@@ -248,11 +248,21 @@ def from_dict(data: object, where: str = "<memory>") -> SuiteResult:
     )
 
 
-def save_result(result: SuiteResult, results_dir: PathLike) -> Path:
-    """Write ``<results_dir>/<label>/<suite>.json``; returns the path."""
+def save_result(
+    result: SuiteResult, results_dir: PathLike, run_index: Optional[int] = None
+) -> Path:
+    """Write ``<results_dir>/<label>/<suite>.json``; returns the path.
+
+    ``run_index`` > 1 (repeated runs for median-of-N comparison) writes a
+    sibling ``<suite>.run<k>.json`` instead, so the first run's filename
+    stays stable for single-run consumers.
+    """
     label_dir = Path(results_dir) / result.label
     label_dir.mkdir(parents=True, exist_ok=True)
-    path = label_dir / f"{result.suite}.json"
+    if run_index is not None and run_index > 1:
+        path = label_dir / f"{result.suite}.run{run_index}.json"
+    else:
+        path = label_dir / f"{result.suite}.json"
     path.write_text(
         json.dumps(to_dict(result), indent=1, sort_keys=False, allow_nan=False)
         + "\n",

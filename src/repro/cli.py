@@ -390,18 +390,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
     Exit status 1 if any query goes unaccounted (answered nor
     dead-lettered), or — with ``--fail-on-drop`` — if any query was shed
     without an answer; CI gates its smoke run on that.
+
+    Robustness knobs: ``--deadline-ms`` arms a per-query end-to-end
+    budget; ``--journal`` write-aheads every arrival so ``--recover``
+    can replay what a killed run still owed; SIGTERM/SIGINT (or
+    ``--drain-after``) drain gracefully — stop admitting, flush the open
+    window, answer everything in flight; ``--watchdog-timeout`` arms the
+    hung-worker watchdog on the pool backend.
     """
+    import signal
+
     from .obs import MetricsRegistry, use_registry, write_metrics_json
     from .queries.arrivals import PoissonArrivals, stream_statistics
-    from .streaming import StreamingQueryService
+    from .streaming import ArrivalJournal, StreamingQueryService
+
+    if args.recover and not args.journal:
+        raise SystemExit("--recover requires --journal")
 
     env = exp.build_env(scale=args.scale, seed=args.seed)
     graph = env.graph.copy() if args.epoch_every else env.graph
-    band = env.cache_band
-    arrivals = PoissonArrivals(
-        env.workload, rate=args.rate, seed=args.seed,
-        min_dist=band[0], max_dist=band[1],
-    ).duration(args.duration)
+
+    journal = None
+    recovered_pending = 0
+    if args.journal:
+        journal = ArrivalJournal(args.journal)
+        recovered_pending = len(journal.pending_arrivals())
+
+    if args.recover:
+        arrivals = journal.pending_arrivals()
+        if not arrivals:
+            print(f"RECOVER OK: journal {args.journal} has no pending "
+                  "arrivals")
+            journal.close()
+            return 0
+    else:
+        band = env.cache_band
+        arrivals = PoissonArrivals(
+            env.workload, rate=args.rate, seed=args.seed,
+            min_dist=band[0], max_dist=band[1],
+        ).duration(args.duration)
 
     timeline = None
     if args.epoch_every:
@@ -413,21 +440,62 @@ def cmd_serve(args: argparse.Namespace) -> int:
             timeline.schedule(t, congestion_snapshot(), label=f"epoch@{t:g}s")
             t += args.epoch_every
 
+    backend_options = {}
+    if args.fault_plan:
+        from .resilience import FaultPlan
+
+        backend_options["fault_plan"] = FaultPlan.from_file(args.fault_plan)
+    if args.watchdog_timeout > 0:
+        from .resilience import WorkerWatchdog
+
+        backend_options["watchdog"] = WorkerWatchdog(
+            hang_timeout=args.watchdog_timeout
+        )
+
     registry = MetricsRegistry()
-    with use_registry(registry):
-        with StreamingQueryService(
-            graph,
-            window_seconds=args.window_ms / 1000.0,
-            max_batch=args.max_batch if args.max_batch > 0 else None,
-            queue_capacity=args.queue_capacity,
-            shed_policy=args.shed_policy,
-            workers=args.workers,
-            clock=args.clock,
-            timeline=timeline,
-            stream_cache_bytes=args.cache_kb * 1024,
-            service_seconds_per_query=args.service_cost,
-        ) as service:
-            report = service.run(arrivals)
+    try:
+        with use_registry(registry):
+            with StreamingQueryService(
+                graph,
+                window_seconds=args.window_ms / 1000.0,
+                max_batch=args.max_batch if args.max_batch > 0 else None,
+                queue_capacity=args.queue_capacity,
+                shed_policy=args.shed_policy,
+                workers=args.workers,
+                clock=args.clock,
+                timeline=timeline,
+                stream_cache_bytes=args.cache_kb * 1024,
+                service_seconds_per_query=args.service_cost,
+                query_deadline_seconds=(
+                    args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
+                ),
+                journal=journal,
+                drain_after_seconds=(
+                    args.drain_after if args.drain_after > 0 else None
+                ),
+                **backend_options,
+            ) as service:
+                # Graceful drain on SIGTERM/SIGINT: flip the flag, let the
+                # run loop flush the open window and answer what it owes.
+                def _drain_signal(signum, frame):
+                    print(f"signal {signum}: draining (stop admitting, "
+                          "flush open window)...", flush=True)
+                    service.request_drain()
+
+                previous = {}
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        previous[sig] = signal.signal(sig, _drain_signal)
+                    except ValueError:  # pragma: no cover - non-main thread
+                        pass
+                try:
+                    report = service.run(arrivals)
+                finally:
+                    for sig, handler in previous.items():
+                        signal.signal(sig, handler)
+    finally:
+        if journal is not None:
+            journal.close()
 
     stats = stream_statistics(arrivals)
     print(f"stream        : {stats['count']} queries over "
@@ -444,6 +512,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{report.shed_dropped} dropped "
           f"({report.backpressure_stalls} backpressure stalls)")
     print(f"dead letters  : {len(report.dead_letters)}")
+    if args.deadline_ms > 0:
+        print(f"deadline      : {args.deadline_ms:g} ms budget, "
+              f"{report.deadline_expired} expired, "
+              f"{report.deadline_degraded} degraded to Dijkstra")
+    if report.drained:
+        suffix = " (still pending in the journal)" if args.journal else ""
+        print(f"drained       : {report.unadmitted_arrivals} undue arrivals "
+              f"abandoned{suffix}")
+    if args.journal:
+        mode = "recover" if args.recover else "journal"
+        print(f"{mode:<14}: {args.journal} "
+              f"({report.replayed_arrivals} replayed, "
+              f"{recovered_pending} pending at open)")
     print(f"stream cache  : {report.stream_cache_hits} hits / "
           f"{report.stream_cache_misses} misses / "
           f"{report.stream_cache_invalidations} invalidations")
@@ -534,6 +615,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             scale=args.scale,
             sizes=sizes,
             seed=args.seed,
+            repeat=args.repeat,
             on_progress=lambda line: print(line, flush=True),
         )
     except BenchConfigError as err:
@@ -732,7 +814,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the run's metrics snapshot as JSON")
     p_srv.add_argument("--fail-on-drop", action="store_true",
-                       help="exit 1 if any query was shed without an answer")
+                       help="exit 1 if any query was shed without an answer "
+                       "(unaccounted queries always exit 1)")
+    p_srv.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="per-query end-to-end budget in milliseconds "
+                       "(0 = no deadline); expired queries dead-letter "
+                       "with reason deadline-exceeded")
+    p_srv.add_argument("--journal", default=None, metavar="FILE",
+                       help="append-only arrivals journal (crash-safe WAL); "
+                       "reopening an existing file resumes its sequence")
+    p_srv.add_argument("--recover", action="store_true",
+                       help="replay the journal's unanswered arrivals "
+                       "instead of generating a stream (requires --journal)")
+    p_srv.add_argument("--drain-after", type=float, default=0.0,
+                       help="request a graceful drain at this stream instant "
+                       "(seconds; 0 = run to completion) — the deterministic "
+                       "equivalent of SIGTERM")
+    p_srv.add_argument("--watchdog-timeout", type=float, default=0.0,
+                       help="hung-worker watchdog threshold in seconds "
+                       "(0 = off; pool backend only)")
+    p_srv.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="JSON fault plan (supports the 'stream' site: "
+                       "hard-kill after a window, for recovery drills)")
     p_srv.set_defaults(func=cmd_serve)
 
     p_ver = sub.add_parser(
@@ -779,6 +882,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated batch sizes for the figure suites",
     )
     p_bench_run.add_argument("--seed", type=int, default=7)
+    p_bench_run.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run each suite N times (median-of-N comparison; extra runs "
+        "write <suite>.run<k>.json siblings)",
+    )
     p_bench_run.set_defaults(func=cmd_bench_run)
 
     p_bench_cmp = bench_sub.add_parser(

@@ -75,6 +75,26 @@ class UnitTimeoutError(WorkerError):
         return (UnitTimeoutError, (self.unit, self.attempt, self.timeout_seconds))
 
 
+class DeadlineExceededError(ReproError):
+    """A search or work unit ran past its cooperative deadline.
+
+    Raised from the pop-count deadline checks inside the search kernels
+    (and from the engine/service when a budget is already spent before
+    dispatch), so an expired query is cut off mid-search instead of
+    burning the rest of its window.
+    """
+
+    def __init__(self, where: str = "search", overrun_seconds: float = 0.0) -> None:
+        detail = f" ({overrun_seconds:.3f}s over)" if overrun_seconds > 0 else ""
+        super().__init__(f"deadline exceeded in {where}{detail}")
+        self.where = where
+        self.overrun_seconds = overrun_seconds
+
+    def __reduce__(self):
+        # Like NoPathError: must survive the worker result pipe.
+        return (DeadlineExceededError, (self.where, self.overrun_seconds))
+
+
 class QuarantinedUnitError(ReproError):
     """A work unit exhausted its retry budget and was quarantined."""
 

@@ -66,9 +66,11 @@ __all__ = [
     "read_jsonl",
     "record_cache",
     "record_dead_letters",
+    "record_deadline",
     "record_decomposition",
     "record_fault",
     "record_freeze",
+    "record_journal",
     "record_quarantine",
     "record_retry",
     "record_search",
@@ -78,6 +80,7 @@ __all__ = [
     "record_stream_cache",
     "record_stream_shed",
     "record_stream_window",
+    "record_watchdog",
     "set_breaker_state",
     "set_stream_queue_depth",
     "render_metrics_summary",
@@ -183,6 +186,49 @@ def record_quarantine(count: int = 1) -> None:
     reg = get_registry()
     if reg.enabled:
         reg.counter("resilience.quarantined_units_total").add(count)
+
+
+def record_deadline(expired: int = 0, degraded: int = 0, preempted: int = 0) -> None:
+    """Count deadline-budget outcomes.
+
+    ``expired`` — queries dead-lettered because their budget was spent;
+    ``degraded`` — queries re-answered by plain Dijkstra with what budget
+    remained after the batch path was cut off; ``preempted`` — searches
+    cancelled mid-run by the cooperative kernel check.
+    """
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    if expired:
+        reg.counter("resilience.deadline_expired_total").add(expired)
+    if degraded:
+        reg.counter("resilience.deadline_degraded_total").add(degraded)
+    if preempted:
+        reg.counter("resilience.deadline_preempted_total").add(preempted)
+
+
+def record_watchdog(dead: int = 0, hung: int = 0, restarts: int = 0) -> None:
+    """Count watchdog detections and the pool restarts they triggered."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    if dead:
+        reg.counter("resilience.watchdog_dead_workers_total").add(dead)
+    if hung:
+        reg.counter("resilience.watchdog_hung_workers_total").add(hung)
+    if restarts:
+        reg.counter("resilience.watchdog_restarts_total").add(restarts)
+
+
+def record_journal(appended: int = 0, replayed: int = 0) -> None:
+    """Count arrivals-journal writes and recovery replays."""
+    reg = get_registry()
+    if not reg.enabled:
+        return
+    if appended:
+        reg.counter("streaming.journal_appends_total").add(appended)
+    if replayed:
+        reg.counter("streaming.journal_replayed_total").add(replayed)
 
 
 def record_dead_letters(count: int) -> None:

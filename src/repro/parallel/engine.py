@@ -57,6 +57,7 @@ from ..core.clusters import Decomposition, QueryCluster
 from ..core.results import BatchAnswer
 from ..exceptions import (
     ConfigurationError,
+    DeadlineExceededError,
     FaultInjectionError,
     UnitTimeoutError,
 )
@@ -66,21 +67,29 @@ from ..obs import (
     MetricsSnapshot,
     TIME_BUCKETS,
     get_registry,
+    record_deadline,
     record_spawn_payload,
+    record_watchdog,
     use_registry,
 )
 from ..queries.query import QuerySet
 from ..resilience import (
     CircuitBreaker,
     DeadLetterRecord,
+    Deadline,
     FaultPlan,
     OPEN,
+    REASON_DEADLINE_EXCEEDED,
     REASON_INVALID_QUERY,
     REASON_NO_PATH,
     REASON_QUARANTINE_FAILED,
     RetryPolicy,
+    STAGE_DISPATCH,
     STAGE_QUARANTINE,
     STAGE_VALIDATION,
+    WorkerHungError,
+    WorkerWatchdog,
+    use_deadline,
 )
 from . import worker
 
@@ -274,6 +283,13 @@ class ParallelBatchEngine:
         :class:`~repro.resilience.CircuitBreaker` guarding the pool path;
         a default breaker (3 failures, 30 s cooldown) is created when not
         given.
+    watchdog:
+        Optional :class:`~repro.resilience.WorkerWatchdog`.  When set, the
+        engine slices its future waits into ``watchdog.poll_interval``
+        steps, drains worker heartbeats between slices, and treats a dead
+        or hung worker like a broken pool (teardown + requeue through the
+        retry ladder) — with the watchdog bounding the rebuilds and
+        tripping ``breaker`` on a restart storm.
     """
 
     def __init__(
@@ -289,6 +305,7 @@ class ParallelBatchEngine:
         fault_plan: Optional[FaultPlan] = None,
         breaker: Optional[CircuitBreaker] = None,
         shared_graph: bool = True,
+        watchdog: Optional[WorkerWatchdog] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
@@ -309,6 +326,8 @@ class ParallelBatchEngine:
         self.fault_plan = fault_plan
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.shared_graph = shared_graph
+        self.watchdog = watchdog
+        self._hb_queue = None
         self._shared: Optional[SharedCSR] = None
         self._shared_version: Optional[int] = None
         # Validates the kind eagerly and doubles as the in-process fallback
@@ -400,6 +419,15 @@ class ParallelBatchEngine:
             self._pool = None
             self._pool_workers = 0
             self._pool_version = None
+        if self._hb_queue is not None:
+            try:
+                self._hb_queue.close()
+                self._hb_queue.cancel_join_thread()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            self._hb_queue = None
+        if self.watchdog is not None:
+            self.watchdog.forget()
         self._release_shared()
 
     def _release_shared(self) -> None:
@@ -440,6 +468,7 @@ class ParallelBatchEngine:
         self,
         work: Union[Decomposition, QuerySet],
         method: Optional[str] = None,
+        deadline: Optional[Deadline] = None,
     ) -> ParallelOutcome:
         """Answer ``work`` across the pool and merge deterministically.
 
@@ -449,6 +478,14 @@ class ParallelBatchEngine:
         Queries with out-of-range endpoints are dead-lettered up front;
         everything else is answered or dead-lettered with a reason —
         never silently dropped.
+
+        ``deadline`` caps the whole batch: units are shipped with the
+        remaining budget (workers re-arm it locally and the search
+        kernels cut themselves off cooperatively), an already-expired
+        budget dead-letters a unit without dispatching it, and a
+        :class:`~repro.exceptions.DeadlineExceededError` is never
+        retried — the unit's queries are dead-lettered with reason
+        ``deadline-exceeded``.
         """
         decomposition = self._as_decomposition(work)
         dead_letters: List[DeadLetterRecord] = []
@@ -493,9 +530,9 @@ class ParallelBatchEngine:
             "dispatch", units=len(units), workers=effective, mode=report.start_method
         ):
             if effective <= 1:
-                results = self._run_in_process(order, estimates, report)
+                results = self._run_in_process(order, estimates, report, deadline)
             else:
-                results = self._run_pool(order, estimates, report, effective)
+                results = self._run_pool(order, estimates, report, effective, deadline)
         report.wall_seconds = time.perf_counter() - wall0
         with registry.span("merge", units=len(results)):
             for index in sorted(results):
@@ -630,6 +667,11 @@ class ParallelBatchEngine:
                 )
             method = self._resolved_start_method()
             context = mp.get_context(method)
+            if self.watchdog is not None and self._hb_queue is None:
+                # One queue per pool lifetime; workers inherit it at fork
+                # or receive it through the spawn initialiser (mp queues
+                # pickle over the Process-args channel).
+                self._hb_queue = context.Queue()
             if method == "fork":
                 if self.shared_graph:
                     freeze = getattr(self.graph, "freeze", None)
@@ -641,6 +683,7 @@ class ParallelBatchEngine:
                 # here (and re-asserted before each submit round) is what
                 # they inherit.
                 worker.set_parent_state(self.graph, self._answerer)
+                worker.set_heartbeat(self._hb_queue)
                 self._pool = ProcessPoolExecutor(
                     max_workers=workers, mp_context=context
                 )
@@ -663,7 +706,7 @@ class ParallelBatchEngine:
                     max_workers=workers,
                     mp_context=context,
                     initializer=initializer,
-                    initargs=(payload,),
+                    initargs=(payload, self._hb_queue),
                 )
             self._pool_workers = workers
             self._pool_version = version
@@ -674,13 +717,18 @@ class ParallelBatchEngine:
         order: List[Tuple[int, QueryCluster]],
         estimates: Dict[int, float],
         report: ExecutionReport,
+        deadline: Optional[Deadline] = None,
     ) -> Dict[int, BatchAnswer]:
         results: Dict[int, BatchAnswer] = {}
-        for index, cluster in order:
-            results[index] = self._guarded_local(
-                index, cluster, estimates[index], report,
-                fallback=False, attempts=1, quarantined=False,
-            )
+        with use_deadline(deadline):
+            for index, cluster in order:
+                if deadline is not None and deadline.expired():
+                    self._dead_letter_deadline(report, cluster, index, attempts=1)
+                    continue
+                results[index] = self._guarded_local(
+                    index, cluster, estimates[index], report,
+                    fallback=False, attempts=1, quarantined=False,
+                )
         return results
 
     def _answer_locally(
@@ -740,6 +788,11 @@ class ParallelBatchEngine:
                 index, cluster, estimate, report,
                 fallback=fallback, attempts=attempts, quarantined=quarantined,
             )
+        except DeadlineExceededError:
+            # Out of budget mid-unit: dead-letter, never degrade (the
+            # ladder's rungs would just re-raise at their first check).
+            self._dead_letter_deadline(report, cluster, index, attempts)
+            return BatchAnswer(method=f"deadline[{self.answerer_kind}]")
         except Exception as exc:
             logger.warning(
                 "unit %d failed in-process (%s: %s); degrading to singleton "
@@ -800,6 +853,15 @@ class ParallelBatchEngine:
                 answer.visited += unit_answer.visited
                 answer.singleton_queries += 1
                 continue
+            except DeadlineExceededError:
+                self._dead_letter_query(
+                    report, q, index, attempts,
+                    reason=REASON_DEADLINE_EXCEEDED,
+                    error="DeadlineExceededError",
+                    detail="budget spent walking the degradation ladder",
+                )
+                record_deadline(expired=1, preempted=1)
+                continue
             except Exception:
                 pass  # fall through to the most conservative answerer
             try:
@@ -815,6 +877,14 @@ class ParallelBatchEngine:
                 answer.answers.append((q, result))
                 answer.visited += result.visited
                 answer.singleton_queries += 1
+            except DeadlineExceededError:
+                self._dead_letter_query(
+                    report, q, index, attempts,
+                    reason=REASON_DEADLINE_EXCEEDED,
+                    error="DeadlineExceededError",
+                    detail="budget spent walking the degradation ladder",
+                )
+                record_deadline(expired=1, preempted=1)
             except Exception as exc:
                 self._dead_letter_query(
                     report, q, index, attempts,
@@ -861,6 +931,30 @@ class ParallelBatchEngine:
             )
         )
 
+    def _dead_letter_deadline(
+        self,
+        report: ExecutionReport,
+        cluster: QueryCluster,
+        unit: int,
+        attempts: int,
+        detail: str = "batch deadline expired",
+    ) -> None:
+        """Dead-letter every query of a unit whose time budget is spent."""
+        for q in cluster.queries:
+            report.dead_letters.append(
+                DeadLetterRecord(
+                    source=q.source,
+                    target=q.target,
+                    reason=REASON_DEADLINE_EXCEEDED,
+                    stage=STAGE_DISPATCH,
+                    error="DeadlineExceededError",
+                    detail=detail,
+                    unit=unit,
+                    attempts=attempts,
+                )
+            )
+        record_deadline(expired=len(cluster.queries))
+
     # -- pool path -------------------------------------------------------
     def _note_fault(self, kind: str) -> None:
         self._active_report.faults_by_kind[kind] = (
@@ -876,7 +970,7 @@ class ParallelBatchEngine:
 
     def _submit_unit(
         self, workers: int, index: int, cluster: QueryCluster, attempt: int,
-        collect: bool,
+        collect: bool, budget: Optional[float] = None,
     ) -> _Pending:
         directive = None
         if self.fault_plan is not None:
@@ -888,8 +982,11 @@ class ParallelBatchEngine:
             # Re-assert in case another engine replaced the globals since
             # this pool was created (workers fork on first submit).
             worker.set_parent_state(self.graph, self._answerer)
+            worker.set_heartbeat(self._hb_queue)
         submitted = time.time()
-        future = pool.submit(worker.answer_unit, (index, cluster, collect, directive))
+        future = pool.submit(
+            worker.answer_unit, (index, cluster, collect, directive, budget)
+        )
         return _Pending(index, cluster, attempt, submitted, future)
 
     def _try_submit(
@@ -902,24 +999,35 @@ class ParallelBatchEngine:
         estimates: Dict[int, float],
         report: ExecutionReport,
         results: Dict[int, BatchAnswer],
+        deadline: Optional[Deadline] = None,
     ) -> Optional[_Pending]:
         """Submit a unit, retrying pool construction; local answer as last resort.
 
         Returns the pending submission, or ``None`` when the unit was
         answered in-process (breaker denied the pool, or construction kept
-        failing past the retry budget).
+        failing past the retry budget) or dead-lettered (budget already
+        spent before dispatch).
         """
         while True:
+            budget: Optional[float] = None
+            if deadline is not None:
+                budget = deadline.remaining()
+                if budget <= 0:
+                    self._dead_letter_deadline(report, cluster, index, attempt)
+                    return None
             if not self.breaker.allow():
                 # Open breaker (or half-open with the probe slot taken):
-                # stay off the pool for this unit.
+                # stay off the pool for this unit.  The caller's
+                # use_deadline scope covers this local work.
                 results[index] = self._guarded_local(
                     index, cluster, estimates[index], report,
                     fallback=True, attempts=attempt, quarantined=False,
                 )
                 return None
             try:
-                return self._submit_unit(workers, index, cluster, attempt, collect)
+                return self._submit_unit(
+                    workers, index, cluster, attempt, collect, budget
+                )
             except Exception as exc:
                 self._note_pool_failure()
                 logger.warning(
@@ -943,12 +1051,62 @@ class ParallelBatchEngine:
         if delay > 0:
             time.sleep(delay)
 
+    def _await_result(self, item: _Pending):
+        """Wait for one unit result, interleaving watchdog scans.
+
+        Without a watchdog this is a plain ``future.result(unit_timeout)``.
+        With one, the wait is sliced into ``poll_interval`` steps; between
+        slices the heartbeat queue is drained and the pool's processes are
+        scanned, so a worker that died or wedged on a *different* unit is
+        caught while this one is still waiting.  An unhealthy scan raises
+        :class:`~repro.resilience.WorkerHungError` (treated by the caller
+        like a broken pool).
+        """
+        wd = self.watchdog
+        if wd is None:
+            return item.future.result(timeout=self.unit_timeout)
+        waited = 0.0
+        while True:
+            step = wd.poll_interval
+            if self.unit_timeout is not None:
+                step = min(step, self.unit_timeout - waited)
+                if step <= 0:
+                    raise FuturesTimeoutError()
+            try:
+                return item.future.result(timeout=step)
+            except FuturesTimeoutError:
+                waited += step
+                wd.drain(self._hb_queue)
+                processes = getattr(self._pool, "_processes", None) or {}
+                wd_report = wd.scan(processes)
+                if not wd_report.healthy:
+                    record_watchdog(
+                        dead=len(wd_report.dead), hung=len(wd_report.hung)
+                    )
+                    raise WorkerHungError(wd_report.describe()) from None
+
+    def _note_watchdog_restart(self) -> None:
+        """Pool teardown was watchdog-triggered: spend one restart.
+
+        Within budget the normal rebuild-on-next-submit path applies; past
+        it the watchdog declared a storm and the breaker is tripped
+        outright so every remaining unit goes serial in-process.
+        """
+        record_watchdog(restarts=1)
+        if self.watchdog is not None and not self.watchdog.note_restart():
+            logger.warning(
+                "watchdog restart storm (%d restarts); tripping breaker",
+                self.watchdog.restarts,
+            )
+            self.breaker.trip()
+
     def _run_pool(
         self,
         order: List[Tuple[int, QueryCluster]],
         estimates: Dict[int, float],
         report: ExecutionReport,
         workers: int,
+        deadline: Optional[Deadline] = None,
     ) -> Dict[int, BatchAnswer]:
         self._active_report = report
         registry = get_registry()
@@ -956,68 +1114,83 @@ class ParallelBatchEngine:
         results: Dict[int, BatchAnswer] = {}
         pending: deque = deque()
         pool_ok = True
-        for index, cluster in order:
-            item = self._try_submit(
-                workers, index, cluster, 1, collect, estimates, report, results
-            )
-            if item is not None:
-                pending.append(item)
-        while pending:
-            item = pending.popleft()
-            try:
-                with registry.span(
-                    "unit_attempt", unit=item.index, attempt=item.attempt
-                ):
-                    r_index, answer, pid, started, busy, snapshot = item.future.result(
-                        timeout=self.unit_timeout
-                    )
-            except (Exception, FuturesCancelledError) as exc:
-                if isinstance(exc, FuturesTimeoutError):
-                    exc = UnitTimeoutError(
-                        item.index, item.attempt, self.unit_timeout or 0.0
-                    )
-                    report.unit_timeouts += 1
-                if not item.future.cancelled() and not item.future.done():
-                    item.future.cancel()
-                if _is_pool_fatal(exc):
-                    pool_ok = False
-                    self._note_pool_failure()
-                logger.warning(
-                    "unit %d (%d queries) attempt %d failed in worker (%s: %s)",
-                    item.index,
-                    len(item.cluster),
-                    item.attempt,
-                    type(exc).__name__,
-                    exc,
+        with use_deadline(deadline):
+            for index, cluster in order:
+                item = self._try_submit(
+                    workers, index, cluster, 1, collect, estimates, report,
+                    results, deadline,
                 )
-                if self.retry_policy.allows_retry(item.attempt):
-                    self._sleep_backoff(item.attempt, item.index)
-                    retry = self._try_submit(
-                        workers, item.index, item.cluster, item.attempt + 1,
-                        collect, estimates, report, results,
+                if item is not None:
+                    pending.append(item)
+            while pending:
+                item = pending.popleft()
+                try:
+                    with registry.span(
+                        "unit_attempt", unit=item.index, attempt=item.attempt
+                    ):
+                        r_index, answer, pid, started, busy, snapshot = (
+                            self._await_result(item)
+                        )
+                except (Exception, FuturesCancelledError) as exc:
+                    if isinstance(exc, FuturesTimeoutError):
+                        exc = UnitTimeoutError(
+                            item.index, item.attempt, self.unit_timeout or 0.0
+                        )
+                        report.unit_timeouts += 1
+                    if not item.future.cancelled() and not item.future.done():
+                        item.future.cancel()
+                    if isinstance(exc, DeadlineExceededError):
+                        # The worker cut itself off: the unit's budget is
+                        # gone, so a retry could only expire again.
+                        record_deadline(preempted=1)
+                        self._dead_letter_deadline(
+                            report, item.cluster, item.index, item.attempt,
+                            detail=str(exc),
+                        )
+                        continue
+                    if isinstance(exc, WorkerHungError):
+                        pool_ok = False
+                        self._note_pool_failure()
+                        self._note_watchdog_restart()
+                    elif _is_pool_fatal(exc):
+                        pool_ok = False
+                        self._note_pool_failure()
+                    logger.warning(
+                        "unit %d (%d queries) attempt %d failed in worker (%s: %s)",
+                        item.index,
+                        len(item.cluster),
+                        item.attempt,
+                        type(exc).__name__,
+                        exc,
                     )
-                    if retry is not None:
-                        pending.append(retry)
-                else:
-                    results[item.index] = self._quarantine_unit(
-                        item.index, item.cluster, estimates[item.index],
-                        report, item.attempt, exc,
+                    if self.retry_policy.allows_retry(item.attempt):
+                        self._sleep_backoff(item.attempt, item.index)
+                        retry = self._try_submit(
+                            workers, item.index, item.cluster, item.attempt + 1,
+                            collect, estimates, report, results, deadline,
+                        )
+                        if retry is not None:
+                            pending.append(retry)
+                    else:
+                        results[item.index] = self._quarantine_unit(
+                            item.index, item.cluster, estimates[item.index],
+                            report, item.attempt, exc,
+                        )
+                    continue
+                results[r_index] = answer
+                if snapshot is not None and report.metrics is not None:
+                    report.metrics.merge(snapshot)
+                report.units.append(
+                    UnitTrace(
+                        index=r_index,
+                        queries=len(item.cluster),
+                        estimate=estimates[r_index],
+                        worker=pid,
+                        queue_wait_seconds=max(0.0, started - item.submitted),
+                        busy_seconds=busy,
+                        attempts=item.attempt,
                     )
-                continue
-            results[r_index] = answer
-            if snapshot is not None and report.metrics is not None:
-                report.metrics.merge(snapshot)
-            report.units.append(
-                UnitTrace(
-                    index=r_index,
-                    queries=len(item.cluster),
-                    estimate=estimates[r_index],
-                    worker=pid,
-                    queue_wait_seconds=max(0.0, started - item.submitted),
-                    busy_seconds=busy,
-                    attempts=item.attempt,
                 )
-            )
         if pool_ok and self._pool is not None:
             self.breaker.record_success()
         self._active_report = None

@@ -32,7 +32,9 @@ from ..core.clusters import Decomposition, QueryCluster
 from ..core.results import BatchAnswer
 from ..exceptions import ConfigurationError, FaultInjectionError
 from ..obs import MetricsRegistry, use_registry
+from ..resilience.deadline import Deadline, use_deadline
 from ..resilience.faults import FAULT_EXIT_CODE, FaultDirective
+from ..resilience.watchdog import HEARTBEAT_DONE, HEARTBEAT_START
 
 #: Answerer kinds a worker knows how to build.
 ANSWERER_KINDS = ("local-cache", "r2r", "one-by-one")
@@ -46,6 +48,10 @@ _ATTACHED = None
 # One-shot flag: the first metrics-collecting unit after an attach folds the
 # attach event into its snapshot so the parent's registry sees it.
 _ATTACH_PENDING = False
+# Heartbeat queue for the parent's watchdog: set in the parent before a
+# fork pool starts (inherited), or via the spawn initialisers' second
+# initarg (mp queues pickle through the Process-args channel).
+_HEARTBEAT = None
 
 
 def build_answerer(graph, kind: str, kwargs: dict):
@@ -79,13 +85,29 @@ def clear_parent_state() -> None:
     set_parent_state(None, None)
 
 
-def init_spawn(payload: bytes) -> None:
+def set_heartbeat(queue) -> None:
+    """Install the watchdog heartbeat queue for this process."""
+    global _HEARTBEAT
+    _HEARTBEAT = queue
+
+
+def _beat(event: str, unit: int) -> None:
+    """Best-effort heartbeat: a lost beat only delays watchdog detection."""
+    if _HEARTBEAT is not None:
+        try:
+            _HEARTBEAT.put((os.getpid(), unit, event))
+        except Exception:  # pragma: no cover - queue torn down mid-unit
+            pass
+
+
+def init_spawn(payload: bytes, heartbeat=None) -> None:
     """Pool initialiser for spawn platforms: rebuild state from a pickle."""
     graph, kind, kwargs = pickle.loads(payload)
+    set_heartbeat(heartbeat)
     set_parent_state(graph, build_answerer(graph, kind, kwargs))
 
 
-def init_spawn_shared(payload: bytes) -> None:
+def init_spawn_shared(payload: bytes, heartbeat=None) -> None:
     """Pool initialiser for spawn platforms with a shared-memory CSR graph.
 
     ``payload`` pickles ``(CSRHandle, answerer_kind, answerer_kwargs)`` —
@@ -95,6 +117,7 @@ def init_spawn_shared(payload: bytes) -> None:
     """
     global _ATTACHED, _ATTACH_PENDING
     handle, kind, kwargs = pickle.loads(payload)
+    set_heartbeat(heartbeat)
     from ..network.csr import CSRGraph
 
     graph = CSRGraph.attach(handle)
@@ -142,8 +165,9 @@ def execute_directive(directive: FaultDirective, unit: int) -> None:
         raise ConfigurationError(f"unknown fault directive {directive.kind!r}")
 
 
-def answer_unit(payload: Tuple[int, QueryCluster, bool, object]):
-    """Pool task: answer one ``(index, cluster, collect_metrics, fault)`` unit.
+def answer_unit(payload: Tuple[int, QueryCluster, bool, object, object]):
+    """Pool task: answer one ``(index, cluster, collect_metrics, fault,
+    deadline_budget)`` unit.
 
     Returns ``(index, BatchAnswer, pid, started_wall, busy_seconds,
     metrics_snapshot_or_None)``; ``started_wall`` is ``time.time()`` so the
@@ -155,31 +179,46 @@ def answer_unit(payload: Tuple[int, QueryCluster, bool, object]):
     totals.  ``fault`` is ``None`` or the :class:`FaultDirective` the
     parent's :class:`~repro.resilience.FaultPlan` scheduled for this
     attempt; the plan itself never crosses the process boundary.
+    ``deadline_budget`` is ``None`` or remaining seconds, re-armed against
+    this process's own monotonic clock (a :class:`Deadline` holds an
+    absolute instant, which does not transfer between processes); the
+    resulting :class:`~repro.exceptions.DeadlineExceededError` pickles
+    home through the result pipe.
+
+    Heartbeats bracket the unit (start/done) so the parent's watchdog can
+    tell a busy worker from a hung one.
     """
-    index, cluster, collect, fault = payload
+    index, cluster, collect, fault, *rest = payload
+    budget = rest[0] if rest else None  # legacy 4-tuple: no deadline
     if _ANSWERER is None:  # pragma: no cover - engine always initialises
         raise ConfigurationError("worker used before initialisation")
-    if fault is not None:
-        execute_directive(fault, index)
-    started = time.time()
-    t0 = time.perf_counter()
-    if not collect:
-        answer = answer_one(_ANSWERER, cluster)
+    _beat(HEARTBEAT_START, index)
+    try:
+        if fault is not None:
+            execute_directive(fault, index)
+        deadline = Deadline(budget) if budget is not None else None
+        started = time.time()
+        t0 = time.perf_counter()
+        if not collect:
+            with use_deadline(deadline):
+                answer = answer_one(_ANSWERER, cluster)
+            busy = time.perf_counter() - t0
+            return index, answer, os.getpid(), started, busy, None
+        global _ATTACH_PENDING
+        registry = MetricsRegistry()
+        if _ATTACH_PENDING and _ATTACHED is not None:
+            # Report this worker's zero-copy attach exactly once, riding home
+            # with the first collected unit's snapshot.
+            registry.counter("csr.shm_attaches").add(1)
+            registry.counter("csr.shm_attached_bytes").add(_ATTACHED.nbytes)
+            _ATTACH_PENDING = False
+        with use_registry(registry), use_deadline(deadline):
+            answer = answer_one(_ANSWERER, cluster)
         busy = time.perf_counter() - t0
-        return index, answer, os.getpid(), started, busy, None
-    global _ATTACH_PENDING
-    registry = MetricsRegistry()
-    if _ATTACH_PENDING and _ATTACHED is not None:
-        # Report this worker's zero-copy attach exactly once, riding home
-        # with the first collected unit's snapshot.
-        registry.counter("csr.shm_attaches").add(1)
-        registry.counter("csr.shm_attached_bytes").add(_ATTACHED.nbytes)
-        _ATTACH_PENDING = False
-    with use_registry(registry):
-        answer = answer_one(_ANSWERER, cluster)
-    busy = time.perf_counter() - t0
-    pid = os.getpid()
-    snapshot = registry.snapshot()
-    for span in snapshot.spans:
-        span["attrs"].update({"pid": pid, "unit": index})
-    return index, answer, pid, started, busy, snapshot
+        pid = os.getpid()
+        snapshot = registry.snapshot()
+        for span in snapshot.spans:
+            span["attrs"].update({"pid": pid, "unit": index})
+        return index, answer, pid, started, busy, snapshot
+    finally:
+        _beat(HEARTBEAT_DONE, index)

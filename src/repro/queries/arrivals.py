@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
@@ -25,10 +25,17 @@ from .query import Query, QuerySet
 
 @dataclass(frozen=True, order=True)
 class TimedQuery:
-    """A query stamped with its arrival time (seconds from stream start)."""
+    """A query stamped with its arrival time (seconds from stream start).
+
+    ``seq`` is the arrivals-journal sequence number, stamped by the
+    streaming service when a journal is attached (``None`` otherwise).
+    It is excluded from ordering and equality so journaled and plain
+    streams sort and compare identically.
+    """
 
     arrival: float
     query: Query
+    seq: Optional[int] = field(default=None, compare=False)
 
 
 class PoissonArrivals:

@@ -23,17 +23,26 @@ See ``docs/robustness.md`` for the operator-facing walkthrough.
 from .breaker import BREAKER_STATE_VALUES, CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .deadletter import (
     DeadLetterRecord,
+    REASON_DEADLINE_EXCEEDED,
     REASON_INVALID_QUERY,
     REASON_NO_PATH,
     REASON_QUARANTINE_FAILED,
     REASON_SHED,
     REASON_WINDOW_DEGRADED,
     STAGE_ADMISSION,
+    STAGE_DISPATCH,
     STAGE_QUARANTINE,
     STAGE_SESSION,
     STAGE_VALIDATION,
     render_dead_letters,
     summarize_dead_letters,
+)
+from .deadline import (
+    CHECK_INTERVAL,
+    Deadline,
+    active_deadline,
+    set_deadline,
+    use_deadline,
 )
 from .faults import (
     FAULT_EXIT_CODE,
@@ -44,12 +53,15 @@ from .faults import (
     default_chaos_plan,
 )
 from .retry import NO_RETRY, RetryPolicy
+from .watchdog import WatchdogReport, WorkerHungError, WorkerWatchdog
 
 __all__ = [
     "BREAKER_STATE_VALUES",
+    "CHECK_INTERVAL",
     "CLOSED",
     "CircuitBreaker",
     "DeadLetterRecord",
+    "Deadline",
     "FAULT_EXIT_CODE",
     "FaultDirective",
     "FaultPlan",
@@ -57,6 +69,7 @@ __all__ = [
     "HALF_OPEN",
     "NO_RETRY",
     "OPEN",
+    "REASON_DEADLINE_EXCEEDED",
     "REASON_INVALID_QUERY",
     "REASON_NO_PATH",
     "REASON_QUARANTINE_FAILED",
@@ -65,10 +78,17 @@ __all__ = [
     "RetryPolicy",
     "SITE_KINDS",
     "STAGE_ADMISSION",
+    "STAGE_DISPATCH",
     "STAGE_QUARANTINE",
     "STAGE_SESSION",
     "STAGE_VALIDATION",
+    "WatchdogReport",
+    "WorkerHungError",
+    "WorkerWatchdog",
+    "active_deadline",
     "default_chaos_plan",
     "render_dead_letters",
+    "set_deadline",
     "summarize_dead_letters",
+    "use_deadline",
 ]

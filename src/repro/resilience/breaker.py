@@ -123,6 +123,16 @@ class CircuitBreaker:
         self._failures = 0
         self._probe_inflight = False
 
+    def trip(self) -> None:
+        """Open immediately, bypassing the failure count.
+
+        Used by the worker watchdog on a restart storm: once the rebuild
+        budget is spent, re-forking pools is the damage, so the caller
+        goes straight to serial in-process execution.
+        """
+        self._failures = max(self._failures, self.failure_threshold)
+        self._open()
+
     def _open(self) -> None:
         self._opened_at = self._clock()
         self._transition(OPEN)

@@ -17,12 +17,14 @@ REASON_NO_PATH = "no-path"
 REASON_QUARANTINE_FAILED = "quarantine-failed"
 REASON_WINDOW_DEGRADED = "window-degraded"
 REASON_SHED = "shed"
+REASON_DEADLINE_EXCEEDED = "deadline-exceeded"
 
 #: Pipeline stage the query died in.
 STAGE_VALIDATION = "validation"
 STAGE_QUARANTINE = "quarantine"
 STAGE_SESSION = "session"
 STAGE_ADMISSION = "admission"
+STAGE_DISPATCH = "dispatch"
 
 
 @dataclass(frozen=True)

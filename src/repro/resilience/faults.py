@@ -57,6 +57,10 @@ SITE_KINDS: Dict[str, Tuple[str, ...]] = {
     "unit": ("crash", "hang", "exit"),
     "pool": ("break",),
     "session": ("transient",),
+    # ``stream``/``kill`` hard-kills the serving process (``os._exit``)
+    # after the indexed window is dispatched — the crash-recovery drill
+    # for the arrivals journal (``repro serve --journal`` + ``--recover``).
+    "stream": ("kill",),
 }
 
 #: Exit status used by the ``exit`` fault so a dead worker is recognisable.
@@ -204,6 +208,10 @@ class FaultPlan:
     def session_fault(self, batch_index: int, attempt: int) -> bool:
         """Whether the dynamic session should fail this batch attempt."""
         return self._first_match("session", batch_index, attempt) is not None
+
+    def stream_fault(self, window_index: int) -> bool:
+        """Whether the serving process should hard-die after this window."""
+        return self._first_match("stream", window_index, 1) is not None
 
     # -- (de)serialisation ----------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,195 @@
+"""Heartbeat-based liveness watchdog for the multiprocess worker pool.
+
+``unit_timeout`` bounds how long the engine waits on *one* future; it says
+nothing about the other workers.  While the parent blocks on unit A, a
+worker chewing unit B can die (OOM kill, segfault) or wedge (native-code
+loop, lost lock) and nothing notices until A's result arrives.  The
+watchdog closes that gap:
+
+* workers send a ``(pid, unit, event)`` heartbeat at unit start and unit
+  end through a queue the parent drains between waits;
+* the parent's :meth:`WorkerWatchdog.scan` pass flags **dead** workers
+  (process exited while the pool still lists it) and **hung** workers
+  (busy on one unit longer than ``hang_timeout`` with no completion
+  beat);
+* the engine treats an unhealthy scan like a broken pool: tear down,
+  requeue the in-flight units through the existing retry ladder, and
+  rebuild — but the watchdog *bounds* the rebuilds.  Once
+  ``max_restarts`` pool restarts have been spent in one watchdog's
+  lifetime, the next unhealthy scan reports a restart **storm** and the
+  engine trips the circuit breaker outright, falling back to serial
+  in-process execution instead of thrashing fork/exec.
+
+Every clock is injectable, so the state machine is fully deterministic
+under test: feed beats with :meth:`observe_start` / :meth:`observe_done`,
+advance a fake clock, and scan fake process handles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import ConfigurationError, WorkerError
+
+__all__ = ["HEARTBEAT_START", "HEARTBEAT_DONE", "WatchdogReport", "WorkerWatchdog"]
+
+HEARTBEAT_START = "start"
+HEARTBEAT_DONE = "done"
+
+
+class WorkerHungError(WorkerError):
+    """The watchdog declared a pool worker dead or hung."""
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"watchdog: {detail}")
+        self.detail = detail
+
+    def __reduce__(self):
+        return (WorkerHungError, (self.detail,))
+
+
+@dataclass
+class WatchdogReport:
+    """Outcome of one liveness scan over the pool's workers."""
+
+    #: ``(pid, exitcode)`` for workers that exited while still pooled.
+    dead: List[Tuple[int, Optional[int]]] = field(default_factory=list)
+    #: ``(pid, unit, stalled_seconds)`` for workers busy past ``hang_timeout``.
+    hung: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: ``max_restarts`` is exhausted: stop rebuilding, trip the breaker.
+    storm: bool = False
+
+    @property
+    def healthy(self) -> bool:
+        return not self.dead and not self.hung
+
+    def describe(self) -> str:
+        parts = []
+        if self.dead:
+            parts.append(
+                "dead worker(s) "
+                + ", ".join(f"pid={p} exit={c}" for p, c in self.dead)
+            )
+        if self.hung:
+            parts.append(
+                "hung worker(s) "
+                + ", ".join(
+                    f"pid={p} unit={u} stalled={s:.1f}s" for p, u, s in self.hung
+                )
+            )
+        return "; ".join(parts) if parts else "healthy"
+
+
+class WorkerWatchdog:
+    """Track worker heartbeats and flag dead/hung pool processes.
+
+    Parameters
+    ----------
+    hang_timeout:
+        Seconds a worker may stay busy on one unit without a completion
+        beat before it is declared hung.
+    max_restarts:
+        Pool rebuilds this watchdog tolerates before declaring a restart
+        storm (the engine then trips its breaker instead of rebuilding).
+    poll_interval:
+        How often the engine slices its future waits to run a scan.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        hang_timeout: float = 30.0,
+        max_restarts: int = 3,
+        poll_interval: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if hang_timeout <= 0:
+            raise ConfigurationError("hang_timeout must be positive")
+        if max_restarts < 0:
+            raise ConfigurationError("max_restarts must be non-negative")
+        if poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
+        self.hang_timeout = hang_timeout
+        self.max_restarts = max_restarts
+        self.poll_interval = poll_interval
+        self.clock = clock
+        self.restarts = 0
+        self.scans = 0
+        #: pid -> (unit index, busy-since stamp on ``clock``).
+        self._busy: Dict[int, Tuple[int, float]] = {}
+
+    # -- heartbeat intake ----------------------------------------------
+    def observe_start(self, pid: int, unit: int) -> None:
+        """A worker began a unit (stamped with the parent's clock)."""
+        self._busy[pid] = (unit, self.clock())
+
+    def observe_done(self, pid: int) -> None:
+        """A worker finished its unit."""
+        self._busy.pop(pid, None)
+
+    def drain(self, queue) -> int:
+        """Non-blocking drain of a heartbeat queue; returns beats consumed.
+
+        Accepts ``(pid, unit, event)`` tuples as sent by
+        :func:`repro.parallel.worker.answer_unit`.  Queue hiccups during
+        pool teardown are swallowed — a lost beat only delays detection.
+        """
+        drained = 0
+        if queue is None:
+            return drained
+        try:
+            while not queue.empty():
+                pid, unit, event = queue.get_nowait()
+                if event == HEARTBEAT_DONE:
+                    self.observe_done(pid)
+                else:
+                    self.observe_start(pid, unit)
+                drained += 1
+        except Exception:  # pragma: no cover - teardown race
+            pass
+        return drained
+
+    # -- liveness scan --------------------------------------------------
+    def scan(self, processes: Mapping[int, object]) -> WatchdogReport:
+        """One liveness pass over ``processes`` (pid -> process handle).
+
+        A handle only needs an ``exitcode`` attribute (``None`` while
+        alive), which both :class:`multiprocessing.Process` and test fakes
+        provide.
+        """
+        self.scans += 1
+        now = self.clock()
+        report = WatchdogReport(storm=self.restarts >= self.max_restarts)
+        for pid, proc in list(processes.items()):
+            exitcode = getattr(proc, "exitcode", None)
+            if exitcode is not None:
+                report.dead.append((pid, exitcode))
+                self._busy.pop(pid, None)
+                continue
+            busy = self._busy.get(pid)
+            if busy is not None:
+                unit, since = busy
+                stalled = now - since
+                if stalled >= self.hang_timeout:
+                    report.hung.append((pid, unit, stalled))
+        return report
+
+    def note_restart(self) -> bool:
+        """Record one watchdog-triggered pool restart.
+
+        Returns ``True`` while the restart budget allows rebuilding;
+        ``False`` once this restart exhausted it (restart storm — the
+        caller should trip its breaker and stop using pools).
+        """
+        self.restarts += 1
+        return self.restarts <= self.max_restarts
+
+    def forget(self, pid: Optional[int] = None) -> None:
+        """Drop busy-state for ``pid`` (or everything) after a pool teardown."""
+        if pid is None:
+            self._busy.clear()
+        else:
+            self._busy.pop(pid, None)

@@ -13,6 +13,7 @@ from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..obs import record_search
+from ..resilience.deadline import CHECK_MASK, active_deadline
 from .common import PathResult, reconstruct_path
 from .csr_kernels import csr_a_star, frozen_csr
 
@@ -33,6 +34,9 @@ def a_star(
     csr = frozen_csr(graph)
     if csr is not None:
         return csr_a_star(csr, source, target, heuristic)
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("a-star")
     if heuristic is None:
         tx, ty = graph.coord(target)
         scale = graph.heuristic_scale
@@ -54,6 +58,8 @@ def a_star(
             continue
         done.add(u)
         visited += 1
+        if deadline is not None and visited & CHECK_MASK == 0:
+            deadline.check("a-star")
         if u == target:
             record_search(visited, pushes, pushes + 1 - len(heap))
             return PathResult(

@@ -49,6 +49,7 @@ from typing import (
 )
 
 from ..obs import record_search
+from ..resilience.deadline import CHECK_MASK, active_deadline
 from .common import PathResult
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -123,6 +124,9 @@ def csr_dijkstra(csr: CSRGraph, source: int, target: int, backward: bool = False
     parent = _scratch(csr).par_f
     push = heappush
     pop = heappop
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("dijkstra")
     dist = [Infinity] * csr.num_vertices
     dist[source] = 0.0
     heap: List[Tuple[float, int]] = [(0.0, source)]
@@ -132,6 +136,8 @@ def csr_dijkstra(csr: CSRGraph, source: int, target: int, backward: bool = False
         while True:
             d, u = pop(heap)
             pops += 1
+            if deadline is not None and pops & CHECK_MASK == 0:
+                deadline.check("dijkstra")
             if d > dist[u]:
                 stale += 1
                 continue
@@ -161,6 +167,9 @@ def csr_bounded_ball(
     dist = ws.dist_f
     push = heappush
     pop = heappop
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("bounded-ball")
     dist[source] = 0.0
     touched = [source]
     append = touched.append
@@ -177,6 +186,8 @@ def csr_bounded_ball(
                 break
             done[u] = d
             visited += 1
+            if deadline is not None and visited & CHECK_MASK == 0:
+                deadline.check("bounded-ball")
             for v, w in rows[u]:
                 nd = d + w
                 if nd <= radius and nd < dist[v]:
@@ -201,6 +212,9 @@ def csr_bounded_ball_tree(
     parent = ws.par_f
     push = heappush
     pop = heappop
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("bounded-ball")
     dist[source] = 0.0
     touched = [source]
     append = touched.append
@@ -217,6 +231,8 @@ def csr_bounded_ball_tree(
                 break
             done[u] = d
             visited += 1
+            if deadline is not None and visited & CHECK_MASK == 0:
+                deadline.check("bounded-ball")
             for v, w in rows[u]:
                 nd = d + w
                 if nd <= radius and nd < dist[v]:
@@ -244,6 +260,9 @@ def csr_one_to_many(
     parent = ws.par_f
     push = heappush
     pop = heappop
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("one-to-many")
     dist[source] = 0.0
     touched = [source]
     append = touched.append
@@ -257,6 +276,8 @@ def csr_one_to_many(
             if d > dist[u]:
                 continue
             visited += 1
+            if deadline is not None and visited & CHECK_MASK == 0:
+                deadline.check("one-to-many")
             if u in remaining:
                 remaining.discard(u)
                 found[u] = d
@@ -370,6 +391,9 @@ def csr_a_star(
     append = touched.append
     h0 = custom(source) if custom is not None else hypot(xs[source] - tx, ys[source] - ty) * scale
     heap: List[Tuple[float, int]] = [(h0, source)]
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("a-star")
     visited = 0
     pushes = 0
     try:
@@ -379,6 +403,8 @@ def csr_a_star(
                 continue
             done[u] = gen
             visited += 1
+            if deadline is not None and visited & CHECK_MASK == 0:
+                deadline.check("a-star")
             if u == target:
                 record_search(visited, pushes, pushes + 1 - len(heap))
                 return PathResult(

@@ -19,6 +19,7 @@ from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..obs import record_search
+from ..resilience.deadline import CHECK_MASK, active_deadline
 from .common import PathResult, reconstruct_path
 from .csr_kernels import (
     csr_bounded_ball,
@@ -48,6 +49,9 @@ def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathRes
     csr = frozen_csr(graph)
     if csr is not None:
         return csr_dijkstra(csr, source, target, backward)
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("dijkstra")
     adj = _rows(graph, backward)
     dist: Dict[int, float] = {source: 0.0}
     parents: Dict[int, int] = {}
@@ -61,6 +65,8 @@ def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathRes
             continue
         done.add(u)
         visited += 1
+        if deadline is not None and visited & CHECK_MASK == 0:
+            deadline.check("dijkstra")
         if u == target:
             record_search(visited, pushes, pushes + 1 - len(heap))
             return PathResult(source, target, d, reconstruct_path(parents, source, target), visited)
@@ -91,6 +97,9 @@ def bounded_ball(
     csr = frozen_csr(graph)
     if csr is not None:
         return csr_bounded_ball(csr, source, radius, backward)
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("bounded-ball")
     adj = _rows(graph, backward)
     dist: Dict[int, float] = {source: 0.0}
     done: Dict[int, float] = {}
@@ -105,6 +114,8 @@ def bounded_ball(
             break
         done[u] = d
         visited += 1
+        if deadline is not None and visited & CHECK_MASK == 0:
+            deadline.check("bounded-ball")
         for v, w in adj[u]:
             v = int(v)
             nd = d + w
@@ -130,6 +141,9 @@ def bounded_ball_tree(
     csr = frozen_csr(graph)
     if csr is not None:
         return csr_bounded_ball_tree(csr, source, radius, backward)
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("bounded-ball")
     adj = _rows(graph, backward)
     dist: Dict[int, float] = {source: 0.0}
     parents: Dict[int, int] = {}
@@ -145,6 +159,8 @@ def bounded_ball_tree(
             break
         done[u] = d
         visited += 1
+        if deadline is not None and visited & CHECK_MASK == 0:
+            deadline.check("bounded-ball")
         for v, w in adj[u]:
             v = int(v)
             nd = d + w
@@ -171,6 +187,9 @@ def one_to_many(
     csr = frozen_csr(graph)
     if csr is not None:
         return csr_one_to_many(csr, source, targets, backward)
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check("one-to-many")
     remaining = set(targets)
     adj = _rows(graph, backward)
     dist: Dict[int, float] = {source: 0.0}
@@ -186,6 +205,8 @@ def one_to_many(
             continue
         done.add(u)
         visited += 1
+        if deadline is not None and visited & CHECK_MASK == 0:
+            deadline.check("one-to-many")
         if u in remaining:
             remaining.discard(u)
             found[u] = d

@@ -37,12 +37,17 @@ from .core.dynamic import DynamicBatchSession
 from .core.local_cache import LocalCacheAnswerer
 from .core.results import BatchAnswer
 from .core.search_space import SearchSpaceDecomposer
-from .exceptions import ConfigurationError, FaultInjectionError
+from .exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    FaultInjectionError,
+)
 from .obs import (
     MetricsSnapshot,
     TIME_BUCKETS,
     get_registry,
     record_dead_letters,
+    record_deadline,
     record_fault,
     record_retry,
 )
@@ -50,13 +55,16 @@ from .queries.arrivals import TimedQuery, window_batches
 from .queries.query import QuerySet
 from .resilience import (
     DeadLetterRecord,
+    Deadline,
     FaultPlan,
+    REASON_DEADLINE_EXCEEDED,
     REASON_INVALID_QUERY,
     REASON_NO_PATH,
     REASON_WINDOW_DEGRADED,
     RetryPolicy,
     STAGE_SESSION,
     STAGE_VALIDATION,
+    use_deadline,
 )
 
 logger = logging.getLogger(__name__)
@@ -232,6 +240,7 @@ class BatchQueryService:
         breaker=None,
         frozen: bool = True,
         start_method: Optional[str] = None,
+        watchdog=None,
     ) -> None:
         if window_seconds <= 0:
             raise ConfigurationError("window_seconds must be positive")
@@ -279,6 +288,8 @@ class BatchQueryService:
                 engine_options["breaker"] = breaker
             if start_method is not None:
                 engine_options["start_method"] = start_method
+            if watchdog is not None:
+                engine_options["watchdog"] = watchdog
             self._engine = ParallelBatchEngine.from_answerer(
                 answerer, workers=max(1, workers), **engine_options
             )
@@ -316,7 +327,12 @@ class BatchQueryService:
             report.metrics = registry.snapshot()
         return report
 
-    def _process_window(self, index: int, batch: QuerySet) -> WindowReport:
+    def _process_window(
+        self,
+        index: int,
+        batch: QuerySet,
+        deadline: Optional[Deadline] = None,
+    ) -> WindowReport:
         fired = 0
         if self.timeline is not None:
             target = index * self.window_seconds
@@ -354,14 +370,16 @@ class BatchQueryService:
                 answer = None
             elif self._engine is not None:
                 decomposition = self.decomposer.decompose(valid)
-                outcome = self._engine.execute(decomposition, method="window-parallel")
+                outcome = self._engine.execute(
+                    decomposition, method="window-parallel", deadline=deadline
+                )
                 answer = outcome.answer
                 schedule = outcome.report.schedule_result()
                 dead_letters.extend(outcome.report.dead_letters)
                 retries = outcome.report.retries
             else:
                 answer, retries, degraded = self._answer_with_session(
-                    index, valid, dead_letters
+                    index, valid, dead_letters, deadline
                 )
         wall = time.perf_counter() - start
         record_dead_letters(len(dead_letters))
@@ -399,18 +417,41 @@ class BatchQueryService:
         index: int,
         batch: QuerySet,
         dead_letters: List[DeadLetterRecord],
+        deadline: Optional[Deadline] = None,
     ):
         """Serial window path: dynamic session under the retry policy.
 
         Transient session failures are retried with backoff; once the
         budget is exhausted the window degrades to per-query Dijkstra so
         the queries are still answered (at cache-free cost) rather than
-        lost.
+        lost.  A :class:`~repro.exceptions.DeadlineExceededError` is never
+        retried: the budget is gone, so the whole batch dead-letters with
+        reason ``deadline-exceeded``.
         """
         attempt = 1
         while True:
             try:
-                return self.session.process_batch(batch, attempt=attempt), attempt - 1, False
+                with use_deadline(deadline):
+                    return (
+                        self.session.process_batch(batch, attempt=attempt),
+                        attempt - 1,
+                        False,
+                    )
+            except DeadlineExceededError as exc:
+                record_deadline(expired=len(batch), preempted=1)
+                for q in batch:
+                    dead_letters.append(
+                        DeadLetterRecord(
+                            source=q.source,
+                            target=q.target,
+                            reason=REASON_DEADLINE_EXCEEDED,
+                            stage=STAGE_SESSION,
+                            error="DeadlineExceededError",
+                            detail=str(exc),
+                            attempts=attempt,
+                        )
+                    )
+                return BatchAnswer(method="deadline[session]"), attempt - 1, False
             except Exception as exc:
                 if isinstance(exc, FaultInjectionError):
                     record_fault("transient")
@@ -454,6 +495,20 @@ class BatchQueryService:
         for q in batch:
             try:
                 result = dijkstra(self.graph, q.source, q.target)
+            except DeadlineExceededError as exc:
+                record_deadline(expired=1, preempted=1)
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_DEADLINE_EXCEEDED,
+                        stage=STAGE_SESSION,
+                        error="DeadlineExceededError",
+                        detail=str(exc),
+                        attempts=self.retry_policy.max_attempts,
+                    )
+                )
+                continue
             except Exception as exc:
                 dead_letters.append(
                     DeadLetterRecord(
@@ -490,16 +545,21 @@ class BatchQueryService:
         batch: QuerySet,
         at_seconds: Optional[float] = None,
         index: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> WindowReport:
         """Answer one externally-formed window (e.g. replayed from a log).
 
         ``index`` labels the window explicitly; callers whose windows are
         not grid-aligned (the micro-batch streaming service cuts windows
         anchored at their first query) pass their own running index so
-        reports and spans stay in submission order.
+        reports and spans stay in submission order.  ``deadline`` is an
+        optional wall-clock budget for the window's batch work,
+        propagated into the engine/session and down to the search
+        kernels; queries cut off by it dead-letter with reason
+        ``deadline-exceeded``.
         """
         if at_seconds is not None and self.timeline is not None:
             self.timeline.advance_to(at_seconds)
         if index is None:
             index = int((at_seconds or 0.0) / self.window_seconds)
-        return self._process_window(index, batch)
+        return self._process_window(index, batch, deadline)

@@ -19,6 +19,13 @@ from .admission import (
     AdmissionController,
 )
 from .clock import MonotonicClock, SimulatedClock, make_clock
+from .journal import (
+    ArrivalJournal,
+    JournalScan,
+    OUTCOME_ANSWERED,
+    OUTCOME_DEAD_LETTER,
+    scan_journal,
+)
 from .microbatch import (
     TRIGGER_DURATION,
     TRIGGER_FLUSH,
@@ -41,6 +48,11 @@ __all__ = [
     "SHED_DEGRADE",
     "SHED_DROP",
     "AdmissionController",
+    "ArrivalJournal",
+    "JournalScan",
+    "OUTCOME_ANSWERED",
+    "OUTCOME_DEAD_LETTER",
+    "scan_journal",
     "MonotonicClock",
     "SimulatedClock",
     "make_clock",

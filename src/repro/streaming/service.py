@@ -38,17 +38,20 @@ from __future__ import annotations
 
 import logging
 import math
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..analysis.metrics import percentile
 from ..core.cache import VersionedPathCache
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, DeadlineExceededError
 from ..obs import (
     MetricsSnapshot,
     TIME_BUCKETS,
     get_registry,
     record_dead_letters,
+    record_deadline,
+    record_journal,
     record_stream_cache,
     record_stream_shed,
     record_stream_window,
@@ -58,19 +61,25 @@ from ..queries.arrivals import TimedQuery
 from ..queries.query import Query, QuerySet
 from ..resilience import (
     CircuitBreaker,
+    Deadline,
     DeadLetterRecord,
+    REASON_DEADLINE_EXCEEDED,
     REASON_INVALID_QUERY,
     REASON_NO_PATH,
     REASON_SHED,
     REASON_WINDOW_DEGRADED,
     STAGE_ADMISSION,
+    STAGE_DISPATCH,
     STAGE_SESSION,
     STAGE_VALIDATION,
+    use_deadline,
 )
+from ..resilience.faults import FAULT_EXIT_CODE
 from ..search.common import PathResult
 from ..service import BatchQueryService, WindowReport
 from .admission import ADMITTED, AdmissionController, SHED_DROP
 from .clock import MonotonicClock, SimulatedClock, make_clock
+from .journal import ArrivalJournal, OUTCOME_ANSWERED, OUTCOME_DEAD_LETTER
 from .microbatch import MicroBatcher, MicroWindow
 
 logger = logging.getLogger(__name__)
@@ -127,6 +136,19 @@ class StreamReport:
     shed_degraded: int = 0
     shed_dropped: int = 0
     backpressure_stalls: int = 0
+    #: Queries dead-lettered because their per-query deadline expired.
+    deadline_expired: int = 0
+    #: Queries cut off from the batch path but re-answered by plain
+    #: Dijkstra inside what remained of their budget.
+    deadline_degraded: int = 0
+    #: The run ended via a drain request rather than stream exhaustion.
+    drained: bool = False
+    #: Arrivals abandoned by a drain before their arrival instant —
+    #: excluded from ``total_arrivals`` (never admitted), but still
+    #: pending in the journal for a later ``--recover`` run.
+    unadmitted_arrivals: int = 0
+    #: Arrivals replayed from a journal rather than freshly stamped.
+    replayed_arrivals: int = 0
     stream_cache_hits: int = 0
     stream_cache_misses: int = 0
     stream_cache_invalidations: int = 0
@@ -226,6 +248,20 @@ class StreamingQueryService:
         Streaming-level :class:`~repro.resilience.CircuitBreaker`
         guarding backend dispatch; when open, windows degrade to
         per-query Dijkstra (exact, cache-free) instead of failing.
+    query_deadline_seconds:
+        Per-query end-to-end budget, measured on the *stream* clock from
+        each query's arrival.  A query whose budget is spent before its
+        window dispatches is dead-lettered (``deadline-exceeded``); a
+        query cut off mid-search by the cooperative kernel check is
+        re-answered by plain Dijkstra if budget remains, else
+        dead-lettered.  ``None`` disables deadlines entirely.
+    journal:
+        Optional :class:`~repro.streaming.journal.ArrivalJournal` — the
+        crash-safe WAL recording every arrival before dispatch and every
+        sealed outcome after, enabling ``--recover`` replay.
+    drain_after_seconds:
+        Request a graceful drain once the stream clock reaches this
+        instant (deterministic equivalent of SIGTERM mid-run).
     Remaining keyword arguments (``decomposer``, ``answerer``,
     ``retry_policy``, ``fault_plan``, ``unit_timeout``, ``frozen``,
     ``start_method``, ``similarity_threshold``, ``deadline_seconds``)
@@ -246,12 +282,19 @@ class StreamingQueryService:
         stream_cache_bytes: int = 2 * 1024 * 1024,
         service_seconds_per_query: float = 0.0,
         breaker: Optional[CircuitBreaker] = None,
+        query_deadline_seconds: Optional[float] = None,
+        journal: Optional[ArrivalJournal] = None,
+        drain_after_seconds: Optional[float] = None,
         **backend_options,
     ) -> None:
         if service_seconds_per_query < 0:
             raise ConfigurationError("service_seconds_per_query must be non-negative")
         if stream_cache_bytes < 0:
             raise ConfigurationError("stream_cache_bytes must be non-negative")
+        if query_deadline_seconds is not None and query_deadline_seconds <= 0:
+            raise ConfigurationError("query_deadline_seconds must be positive")
+        if drain_after_seconds is not None and drain_after_seconds < 0:
+            raise ConfigurationError("drain_after_seconds must be non-negative")
         self.graph = graph
         self.window_seconds = window_seconds
         self.max_batch = max_batch
@@ -259,6 +302,13 @@ class StreamingQueryService:
         self.clock = make_clock(clock) if isinstance(clock, str) else clock
         self.timeline = timeline
         self.service_seconds_per_query = service_seconds_per_query
+        self.query_deadline_seconds = query_deadline_seconds
+        self.journal = journal
+        self.drain_after_seconds = drain_after_seconds
+        self._drain_requested = False
+        # The stream-level fault plan is the backend's plan: the "stream"
+        # site belongs to this layer, every other site to the backend.
+        self._fault_plan = backend_options.get("fault_plan")
         self.admission = AdmissionController(
             queue_capacity=queue_capacity,
             policy=shed_policy,
@@ -308,6 +358,20 @@ class StreamingQueryService:
         return self._stream_cache
 
     # ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Ask the run loop to stop gracefully.
+
+        Safe to call from a signal handler: it only flips a flag.  The
+        loop stops admitting arrivals that are not yet due, flushes the
+        open window, answers everything already admitted, and returns a
+        report whose accounting invariant still holds.
+        """
+        self._drain_requested = True
+
+    @property
+    def draining(self) -> bool:
+        return self._drain_requested
+
     def run(self, arrivals: Iterable[TimedQuery]) -> StreamReport:
         """Consume a whole stamped stream and answer it online.
 
@@ -321,7 +385,10 @@ class StreamingQueryService:
             raise ConfigurationError(
                 f"arrival times must be non-negative, got {events[0].arrival!r}"
             )
+        events, fresh_journaled = self._journal_admit(events)
         report = StreamReport(total_arrivals=len(events))
+        if self.journal is not None:
+            report.replayed_arrivals = len(events) - fresh_journaled
         registry = get_registry()
         if registry.enabled:
             registry.counter("streaming.arrivals_total").add(len(events))
@@ -331,6 +398,25 @@ class StreamingQueryService:
         i = 0
         while i < len(events) or self.admission.depth or self.batcher.pending:
             now = self.clock.now()
+            if (
+                self.drain_after_seconds is not None
+                and now >= self.drain_after_seconds
+            ):
+                self.request_drain()
+            if self._drain_requested and not report.drained:
+                report.drained = True
+                # Abandon arrivals that are not yet due: they were never
+                # admitted, so they leave the totals (and stay pending in
+                # the journal for a later --recover run).
+                while len(events) > i and events[-1].arrival > now:
+                    events.pop()
+                    report.unadmitted_arrivals += 1
+                report.total_arrivals -= report.unadmitted_arrivals
+                logger.info(
+                    "drain requested at t=%.3f: %d undue arrivals abandoned",
+                    now,
+                    report.unadmitted_arrivals,
+                )
             # 1. Admit every arrival that is due, shedding on overflow.
             while i < len(events) and events[i].arrival <= now:
                 self._admit(events[i], report)
@@ -346,6 +432,13 @@ class StreamingQueryService:
                 tq = self.admission.pop()
                 for window in self.batcher.offer(tq, self.clock.now()):
                     self._dispatch(window, report)
+            # 3b. Draining with nothing left to admit: flush the open
+            #     window now instead of waiting out its duration trigger.
+            if report.drained and i >= len(events):
+                final = self.batcher.flush(self.clock.now())
+                if final is not None:
+                    self._dispatch(final, report)
+                continue
             # 4. Jump (or sleep) to whatever fires next.
             deadline = self.batcher.deadline
             next_arrival = events[i].arrival if i < len(events) else None
@@ -358,7 +451,14 @@ class StreamingQueryService:
             else:
                 target = min(deadline, next_arrival)
             assert target is not None
+            if (
+                self.drain_after_seconds is not None
+                and not self._drain_requested
+            ):
+                target = min(target, self.drain_after_seconds)
             self.clock.advance_to(target)
+        if self.journal is not None:
+            self.journal.flush()
         report.wall_seconds = self.clock.now() - started_at
         report.shed_degraded = self.admission.shed_degraded
         report.shed_dropped = self.admission.shed_dropped
@@ -370,6 +470,39 @@ class StreamingQueryService:
         if registry.enabled:
             report.metrics = registry.snapshot()
         return report
+
+    # ------------------------------------------------------------------
+    def _journal_admit(
+        self, events: List[TimedQuery]
+    ) -> Tuple[List[TimedQuery], int]:
+        """Write-ahead every fresh arrival before the run answers anything.
+
+        Arrivals that already carry a ``seq`` stamp were replayed from the
+        journal (their arrival records exist) and are passed through
+        untouched; fresh arrivals are stamped and appended.  The flush
+        before returning is the WAL guarantee: once the run starts, every
+        query it owes is durable.
+        """
+        if self.journal is None:
+            return events, 0
+        stamped: List[TimedQuery] = []
+        fresh = 0
+        replayed = 0
+        for tq in events:
+            if tq.seq is None:
+                tq = replace(tq, seq=self.journal.next_seq())
+                self.journal.append_arrival(tq)
+                fresh += 1
+            else:
+                replayed += 1
+            stamped.append(tq)
+        self.journal.flush()
+        record_journal(appended=fresh, replayed=replayed)
+        return stamped, fresh
+
+    def _journal_done(self, tq: TimedQuery, outcome: str) -> None:
+        if self.journal is not None and tq.seq is not None:
+            self.journal.append_done(tq.seq, outcome)
 
     # ------------------------------------------------------------------
     def _admit(self, tq: TimedQuery, report: StreamReport) -> None:
@@ -391,6 +524,7 @@ class StreamingQueryService:
                     ),
                 )
             )
+            self._journal_done(tq, OUTCOME_DEAD_LETTER)
             return
         # Shed-degrade: answered right now by plain Dijkstra — the query
         # loses batching/caching benefit but the answer stays exact.
@@ -402,6 +536,9 @@ class StreamingQueryService:
         for pair in pairs:
             report.answers.append(pair)
             self._record_latency(report, completion - tq.arrival)
+        self._journal_done(
+            tq, OUTCOME_ANSWERED if pairs else OUTCOME_DEAD_LETTER
+        )
 
     def _record_latency(self, report: StreamReport, latency: float) -> None:
         latency = max(0.0, latency)
@@ -432,6 +569,13 @@ class StreamingQueryService:
         ):
             cache_pairs, missed = self._probe_cache(window)
             answered: List[AnswerPair] = list(cache_pairs)
+            # Queries whose stream-clock budget was spent waiting in the
+            # backlog never reach a search: deterministic dead-letter.
+            missed, already_expired = self._partition_expired(missed)
+            for tq in already_expired:
+                self._dead_letter_deadline(
+                    tq, report, detail="budget spent waiting for dispatch"
+                )
             if missed:
                 batch = QuerySet(tq.query for tq in missed)
                 if not self.breaker.allow():
@@ -442,7 +586,9 @@ class StreamingQueryService:
                 else:
                     try:
                         backend_report = self.backend.process_window(
-                            batch, index=window.index
+                            batch,
+                            index=window.index,
+                            deadline=self._backend_deadline(missed),
                         )
                     except Exception as exc:
                         self.breaker.record_failure()
@@ -459,7 +605,11 @@ class StreamingQueryService:
                         )
                     else:
                         self.breaker.record_success()
-                        report.dead_letters.extend(backend_report.dead_letters)
+                        kept, recovered = self._degrade_deadline_letters(
+                            backend_report.dead_letters, missed, report
+                        )
+                        report.dead_letters.extend(kept)
+                        answered.extend(recovered)
                         if backend_report.answer is not None:
                             answered.extend(backend_report.answer.answers)
                             self._cache_answers(backend_report.answer.answers)
@@ -489,6 +639,132 @@ class StreamingQueryService:
                 timeline_events=fired,
             )
         )
+        if self.journal is not None:
+            for tq in window.arrivals:
+                key = (tq.query.source, tq.query.target)
+                self._journal_done(
+                    tq,
+                    OUTCOME_ANSWERED
+                    if key in answered_keys
+                    else OUTCOME_DEAD_LETTER,
+                )
+            self.journal.flush()
+        if self._fault_plan is not None and self._fault_plan.stream_fault(
+            window.index
+        ):
+            # The chaos drill's kill -9: die without cleanup *after* the
+            # journal flush, so recovery sees this window sealed and every
+            # later arrival still pending.
+            logger.warning(
+                "fault plan: killing serving process after window %d",
+                window.index,
+            )
+            os._exit(FAULT_EXIT_CODE)
+
+    # ------------------------------------------------------------------
+    def _partition_expired(
+        self, missed: List[TimedQuery]
+    ) -> Tuple[List[TimedQuery], List[TimedQuery]]:
+        """Split cache misses into still-live and budget-already-spent."""
+        if self.query_deadline_seconds is None or not missed:
+            return missed, []
+        now = self.clock.now()
+        live: List[TimedQuery] = []
+        expired: List[TimedQuery] = []
+        for tq in missed:
+            if now >= tq.arrival + self.query_deadline_seconds:
+                expired.append(tq)
+            else:
+                live.append(tq)
+        return live, expired
+
+    def _backend_deadline(
+        self, missed: List[TimedQuery]
+    ) -> Optional[Deadline]:
+        """Arm a real-monotonic deadline covering the tightest query budget.
+
+        Stream-clock budgets do not transfer to the backend's wall-clock
+        searches directly; the window gets the smallest remaining budget
+        re-armed against real time, which bounds how long any cooperative
+        kernel may run before the check cuts it off.
+        """
+        if self.query_deadline_seconds is None or not missed:
+            return None
+        now = self.clock.now()
+        budget = min(
+            tq.arrival + self.query_deadline_seconds - now for tq in missed
+        )
+        return Deadline(budget)
+
+    def _dead_letter_deadline(
+        self, tq: TimedQuery, report: StreamReport, detail: str
+    ) -> None:
+        report.dead_letters.append(
+            DeadLetterRecord(
+                source=tq.query.source,
+                target=tq.query.target,
+                reason=REASON_DEADLINE_EXCEEDED,
+                stage=STAGE_DISPATCH,
+                error="DeadlineExceededError",
+                detail=detail,
+            )
+        )
+        report.deadline_expired += 1
+        record_dead_letters(1)
+        record_deadline(expired=1)
+
+    def _degrade_deadline_letters(
+        self,
+        letters: List[DeadLetterRecord],
+        missed: List[TimedQuery],
+        report: StreamReport,
+    ) -> Tuple[List[DeadLetterRecord], List[AnswerPair]]:
+        """Give deadline-cut queries one last chance inside their budget.
+
+        The backend dead-letters whole units when a batch deadline fires;
+        individual queries in the unit may still have stream-clock budget
+        left (the batch shared one deadline).  Those are re-answered by
+        plain Dijkstra under their own remaining budget — the degrade
+        rung of the deadline ladder.  Everything else passes through.
+        """
+        from ..search.dijkstra import dijkstra
+
+        kept: List[DeadLetterRecord] = []
+        recovered: List[AnswerPair] = []
+        by_key: Dict[Tuple[int, int], TimedQuery] = {}
+        for tq in missed:
+            by_key.setdefault((tq.query.source, tq.query.target), tq)
+        for letter in letters:
+            if letter.reason != REASON_DEADLINE_EXCEEDED:
+                kept.append(letter)
+                continue
+            tq = by_key.get((letter.source, letter.target))
+            remaining = (
+                tq.arrival + self.query_deadline_seconds - self.clock.now()
+                if tq is not None and self.query_deadline_seconds is not None
+                else 0.0
+            )
+            if tq is None or remaining <= 0:
+                report.deadline_expired += 1
+                kept.append(letter)
+                continue
+            try:
+                with use_deadline(Deadline(remaining)):
+                    result = dijkstra(
+                        self.graph, letter.source, letter.target
+                    )
+            except Exception:
+                report.deadline_expired += 1
+                kept.append(letter)
+                continue
+            if not math.isfinite(result.distance):
+                report.deadline_expired += 1
+                kept.append(letter)
+                continue
+            recovered.append((tq.query, result))
+            report.deadline_degraded += 1
+            record_deadline(degraded=1)
+        return kept, recovered
 
     # ------------------------------------------------------------------
     def _probe_cache(
@@ -575,6 +851,20 @@ class StreamingQueryService:
                 continue
             try:
                 result = dijkstra(self.graph, q.source, q.target)
+            except DeadlineExceededError as exc:
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_DEADLINE_EXCEEDED,
+                        stage=STAGE_SESSION,
+                        error="DeadlineExceededError",
+                        detail=str(exc),
+                    )
+                )
+                record_deadline(expired=1, preempted=1)
+                letters += 1
+                continue
             except Exception as exc:
                 dead_letters.append(
                     DeadLetterRecord(

@@ -1,0 +1,134 @@
+"""Median-of-N aggregation: ``bench run --repeat`` and lenient label loads."""
+
+import math
+
+import pytest
+
+from repro.bench.compare import aggregate_runs, load_label_lenient, median_value
+from repro.bench.schema import Metric, RunMeta, SuiteResult, save_result
+
+INF = float("inf")
+NAN = float("nan")
+
+
+def m(value, *, kind="time", direction="lower"):
+    return Metric(value, kind=kind, direction=direction)
+
+
+def result(metrics, suite="s", label="L"):
+    return SuiteResult(
+        suite=suite,
+        label=label,
+        meta=RunMeta("2026-08-08T00:00:00+00:00", "deadbeef", label),
+        metrics=metrics,
+    )
+
+
+class TestMedianValue:
+    def test_empty_is_nan(self):
+        assert math.isnan(median_value([]))
+
+    def test_single_value_is_itself(self):
+        assert median_value([3.5]) == 3.5
+
+    def test_odd_count_takes_the_middle(self):
+        assert median_value([9.0, 1.0, 5.0]) == 5.0
+
+    def test_even_count_takes_the_midpoint(self):
+        assert median_value([1.0, 2.0, 3.0, 10.0]) == 2.5
+
+    def test_any_nan_poisons(self):
+        assert math.isnan(median_value([1.0, NAN, 2.0]))
+
+    def test_equal_infinities_keep_their_sign(self):
+        assert median_value([INF, INF]) == INF
+        assert median_value([-INF, -INF]) == -INF
+
+    def test_mixed_infinities_are_nan(self):
+        assert math.isnan(median_value([-INF, INF]))
+
+    def test_infinity_as_odd_middle_survives(self):
+        assert median_value([1.0, INF, INF]) == INF
+
+
+class TestAggregateRuns:
+    def test_single_run_passes_through(self):
+        r = result({"t": m(1.0)})
+        assert aggregate_runs([r]) is r
+
+    def test_median_across_three_runs(self):
+        runs = [result({"t": m(v)}) for v in (3.0, 1.0, 2.0)]
+        agg = aggregate_runs(runs)
+        assert agg.metrics["t"].value == 2.0
+
+    def test_metric_typing_comes_from_first_declaring_run(self):
+        runs = [
+            result({"qps": m(100.0, kind="ratio", direction="higher")}),
+            result({"qps": m(120.0, kind="ratio", direction="higher")}),
+            result({"qps": m(110.0, kind="ratio", direction="higher")}),
+        ]
+        agg = aggregate_runs(runs)
+        assert agg.metrics["qps"].value == 110.0
+        assert agg.metrics["qps"].direction == "higher"
+
+    def test_info_metrics_keep_the_first_runs_value(self):
+        runs = [
+            result({"sha": m(1.0, kind="info"), "t": m(5.0)}),
+            result({"sha": m(2.0, kind="info"), "t": m(7.0)}),
+        ]
+        agg = aggregate_runs(runs)
+        assert agg.metrics["sha"].value == 1.0
+        assert agg.metrics["t"].value == 6.0
+
+    def test_metric_missing_from_some_runs_uses_present_values(self):
+        runs = [
+            result({"t": m(5.0)}),
+            result({"t": m(7.0), "extra": m(1.0)}),
+            result({"t": m(9.0)}),
+        ]
+        agg = aggregate_runs(runs)
+        assert agg.metrics["t"].value == 7.0
+        assert agg.metrics["extra"].value == 1.0
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+
+class TestLoadLabelLenient:
+    def test_groups_run_files_per_suite_and_takes_medians(self, tmp_path):
+        for k, v in enumerate([10.0, 30.0, 20.0], start=1):
+            save_result(result({"t": m(v)}), tmp_path, run_index=k)
+        loaded, issues = load_label_lenient(tmp_path, "L")
+        assert issues == []
+        assert set(loaded) == {"s"}
+        assert loaded["s"].metrics["t"].value == 20.0
+
+    def test_single_file_label_unchanged(self, tmp_path):
+        save_result(result({"t": m(42.0)}), tmp_path)
+        loaded, issues = load_label_lenient(tmp_path, "L")
+        assert issues == []
+        assert loaded["s"].metrics["t"].value == 42.0
+
+    def test_suites_aggregate_independently(self, tmp_path):
+        for k, v in enumerate([1.0, 3.0, 2.0], start=1):
+            save_result(result({"t": m(v)}, suite="a"), tmp_path, run_index=k)
+        save_result(result({"t": m(9.0)}, suite="b"), tmp_path)
+        loaded, issues = load_label_lenient(tmp_path, "L")
+        assert issues == []
+        assert loaded["a"].metrics["t"].value == 2.0
+        assert loaded["b"].metrics["t"].value == 9.0
+
+
+class TestSaveResultRunIndex:
+    def test_first_run_keeps_the_canonical_name(self, tmp_path):
+        path = save_result(result({"t": m(1.0)}), tmp_path, run_index=1)
+        assert path == tmp_path / "L" / "s.json"
+        assert path.exists()
+
+    def test_later_runs_get_sibling_names(self, tmp_path):
+        save_result(result({"t": m(1.0)}), tmp_path, run_index=1)
+        save_result(result({"t": m(2.0)}), tmp_path, run_index=2)
+        save_result(result({"t": m(3.0)}), tmp_path, run_index=3)
+        assert (tmp_path / "L" / "s.run2.json").exists()
+        assert (tmp_path / "L" / "s.run3.json").exists()

@@ -1,0 +1,168 @@
+"""Exact-boundary properties for the streaming admission/batching tier.
+
+Two classes of off-by-one bug live at these edges:
+
+* a window cut *at exactly* the duration deadline — ``now == deadline``
+  must behave as "due", and the cut must be stamped at the deadline,
+  never at ``now``;
+* the degrade-then-drop ladder flipping *at exactly* ``degrade_budget``
+  shed queries — the budget'th degrade is the last one.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.queries.arrivals import TimedQuery
+from repro.queries.query import Query
+from repro.streaming import (
+    ADMITTED,
+    SHED_DEGRADE,
+    SHED_DROP,
+    AdmissionController,
+    MicroBatcher,
+    TRIGGER_DURATION,
+    TRIGGER_FLUSH,
+)
+
+windows = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+arrivals = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def tq(arrival):
+    return TimedQuery(arrival, Query(0, 1))
+
+
+class TestBatcherDeadlineInstant:
+    @given(window_seconds=windows, opened_at=arrivals)
+    def test_cut_if_due_fires_at_exactly_the_deadline(
+        self, window_seconds, opened_at
+    ):
+        batcher = MicroBatcher(window_seconds)
+        batcher.offer(tq(opened_at))
+        deadline = batcher.deadline
+        assert batcher.cut_if_due(deadline) is not None
+
+    @given(window_seconds=windows, opened_at=arrivals)
+    def test_cut_if_due_never_fires_before_the_deadline(
+        self, window_seconds, opened_at
+    ):
+        batcher = MicroBatcher(window_seconds)
+        batcher.offer(tq(opened_at))
+        before = batcher.deadline - window_seconds * 1e-6
+        if before < batcher.deadline:  # guard float collapse at tiny windows
+            assert batcher.cut_if_due(before) is None
+
+    @given(window_seconds=windows, opened_at=arrivals, overrun=windows)
+    def test_late_cut_is_stamped_at_the_deadline_not_now(
+        self, window_seconds, opened_at, overrun
+    ):
+        batcher = MicroBatcher(window_seconds)
+        batcher.offer(tq(opened_at))
+        deadline = batcher.deadline
+        window = batcher.cut_if_due(deadline + overrun)
+        assert window is not None
+        assert window.cut_at == deadline
+        assert window.trigger == TRIGGER_DURATION
+
+    @given(window_seconds=windows, opened_at=arrivals)
+    def test_flush_at_exactly_the_deadline_is_a_duration_cut(
+        self, window_seconds, opened_at
+    ):
+        batcher = MicroBatcher(window_seconds)
+        batcher.offer(tq(opened_at))
+        deadline = batcher.deadline
+        window = batcher.flush(deadline)
+        assert window.trigger == TRIGGER_DURATION
+        assert window.cut_at == deadline
+
+    @given(window_seconds=windows, opened_at=arrivals)
+    def test_early_flush_is_stamped_at_now_with_flush_trigger(
+        self, window_seconds, opened_at
+    ):
+        batcher = MicroBatcher(window_seconds)
+        batcher.offer(tq(opened_at))
+        early = opened_at + window_seconds / 2
+        if early < batcher.deadline:
+            window = batcher.flush(early)
+            assert window.trigger == TRIGGER_FLUSH
+            assert window.cut_at == early
+
+    @given(window_seconds=windows)
+    def test_flush_of_closed_batcher_is_none(self, window_seconds):
+        assert MicroBatcher(window_seconds).flush(0.0) is None
+
+
+class TestDegradeThenDropLadder:
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        budget=st.integers(min_value=0, max_value=16),
+        overflow=st.integers(min_value=0, max_value=40),
+    )
+    def test_ladder_flips_at_exactly_the_budget(
+        self, capacity, budget, overflow
+    ):
+        ctrl = AdmissionController(
+            queue_capacity=capacity,
+            policy="degrade-then-drop",
+            degrade_budget=budget,
+        )
+        outcomes = [
+            ctrl.admit(tq(float(i))) for i in range(capacity + overflow)
+        ]
+        assert outcomes[:capacity] == [ADMITTED] * capacity
+        shed = outcomes[capacity:]
+        expected_degrades = min(budget, overflow)
+        assert shed[:expected_degrades] == [SHED_DEGRADE] * expected_degrades
+        assert shed[expected_degrades:] == [SHED_DROP] * (
+            overflow - expected_degrades
+        )
+        assert ctrl.shed_degraded == expected_degrades
+        assert ctrl.shed_dropped == overflow - expected_degrades
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        overflow=st.integers(min_value=1, max_value=40),
+    )
+    def test_unlimited_budget_never_drops(self, capacity, overflow):
+        ctrl = AdmissionController(
+            queue_capacity=capacity,
+            policy="degrade-then-drop",
+            degrade_budget=None,
+        )
+        outcomes = [
+            ctrl.admit(tq(float(i))) for i in range(capacity + overflow)
+        ]
+        assert SHED_DROP not in outcomes
+        assert ctrl.shed_degraded == overflow
+
+    @given(capacity=st.integers(min_value=1, max_value=8))
+    def test_zero_budget_drops_immediately(self, capacity):
+        ctrl = AdmissionController(
+            queue_capacity=capacity,
+            policy="degrade-then-drop",
+            degrade_budget=0,
+        )
+        for i in range(capacity):
+            assert ctrl.admit(tq(float(i))) == ADMITTED
+        assert ctrl.admit(tq(float(capacity))) == SHED_DROP
+        assert ctrl.shed_degraded == 0
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        budget=st.integers(min_value=1, max_value=8),
+    )
+    def test_pop_reopens_admission_without_resetting_the_budget(
+        self, capacity, budget
+    ):
+        ctrl = AdmissionController(
+            queue_capacity=capacity,
+            policy="degrade-then-drop",
+            degrade_budget=budget,
+        )
+        for i in range(capacity):
+            ctrl.admit(tq(float(i)))
+        for _ in range(budget):  # spend the whole degrade budget
+            assert ctrl.admit(tq(99.0)) == SHED_DEGRADE
+        ctrl.pop()
+        assert ctrl.admit(tq(100.0)) == ADMITTED
+        for i in range(capacity):  # budget stays spent across episodes
+            assert ctrl.admit(tq(101.0 + i)) == SHED_DROP

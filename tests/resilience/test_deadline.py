@@ -1,0 +1,156 @@
+"""Deadline primitive + cooperative cancellation in the search kernels."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DeadlineExceededError
+from repro.network.generators import grid_city
+from repro.resilience import (
+    CHECK_INTERVAL,
+    Deadline,
+    REASON_DEADLINE_EXCEEDED,
+    active_deadline,
+    set_deadline,
+    use_deadline,
+)
+from repro.search.astar import a_star
+from repro.search.dijkstra import bounded_ball, dijkstra, one_to_many
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        d = Deadline(2.0, clock=clock)
+        assert d.remaining() == pytest.approx(2.0)
+        clock.t = 1.5
+        assert d.remaining() == pytest.approx(0.5)
+        assert not d.expired()
+        clock.t = 2.0
+        assert d.expired()
+
+    def test_check_raises_with_overrun(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        d.check("unit-test")  # not yet expired: no raise
+        clock.t = 1.25
+        with pytest.raises(DeadlineExceededError) as err:
+            d.check("unit-test")
+        assert err.value.where == "unit-test"
+        assert err.value.overrun_seconds == pytest.approx(0.25)
+
+    def test_negative_budget_clamps_to_immediate_expiry(self):
+        clock = FakeClock(10.0)
+        d = Deadline(-5.0, clock=clock)
+        assert d.expired()
+        assert d.remaining() == 0.0
+
+    def test_at_classmethod_uses_absolute_instant(self):
+        clock = FakeClock(3.0)
+        d = Deadline.at(4.0, clock=clock)
+        assert d.remaining() == pytest.approx(1.0)
+
+    def test_error_survives_pickling(self):
+        err = DeadlineExceededError("dijkstra", 0.5)
+        back = pickle.loads(pickle.dumps(err))
+        assert isinstance(back, DeadlineExceededError)
+        assert back.where == "dijkstra"
+        assert back.overrun_seconds == 0.5
+
+    def test_check_interval_is_power_of_two(self):
+        assert CHECK_INTERVAL > 0
+        assert CHECK_INTERVAL & (CHECK_INTERVAL - 1) == 0
+
+
+class TestActiveDeadline:
+    def test_default_is_none(self):
+        assert active_deadline() is None
+
+    def test_use_deadline_installs_and_restores(self):
+        d = Deadline(10.0)
+        with use_deadline(d):
+            assert active_deadline() is d
+        assert active_deadline() is None
+
+    def test_use_deadline_nests(self):
+        outer, inner = Deadline(10.0), Deadline(5.0)
+        with use_deadline(outer):
+            with use_deadline(inner):
+                assert active_deadline() is inner
+            assert active_deadline() is outer
+
+    def test_use_none_is_a_no_op_layer(self):
+        d = Deadline(10.0)
+        prev = set_deadline(d)
+        try:
+            with use_deadline(None):
+                assert active_deadline() is None
+            assert active_deadline() is d
+        finally:
+            set_deadline(prev)
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(8, 8, seed=3)
+
+
+class TestKernelCancellation:
+    """An already-expired deadline cuts every instrumented kernel off."""
+
+    def expired(self):
+        clock = FakeClock(100.0)
+        return Deadline.at(1.0, clock=clock)
+
+    def test_dijkstra_dict_path(self, city):
+        with use_deadline(self.expired()):
+            with pytest.raises(DeadlineExceededError):
+                dijkstra(city, 0, 63)
+
+    def test_dijkstra_csr_path(self):
+        frozen_city = grid_city(8, 8, seed=3)
+        frozen_city.freeze()
+        with use_deadline(self.expired()):
+            with pytest.raises(DeadlineExceededError):
+                dijkstra(frozen_city, 0, 63)
+
+    def test_a_star(self, city):
+        with use_deadline(self.expired()):
+            with pytest.raises(DeadlineExceededError):
+                a_star(city, 0, 63)
+
+    def test_bounded_ball(self, city):
+        with use_deadline(self.expired()):
+            with pytest.raises(DeadlineExceededError):
+                bounded_ball(city, 0, 10.0)
+
+    def test_one_to_many(self, city):
+        with use_deadline(self.expired()):
+            with pytest.raises(DeadlineExceededError):
+                one_to_many(city, 0, [5, 9, 63])
+
+    def test_generous_deadline_changes_nothing(self, city):
+        plain = dijkstra(city, 0, 63)
+        with use_deadline(Deadline(3600.0)):
+            guarded = dijkstra(city, 0, 63)
+        assert math.isclose(plain.distance, guarded.distance, rel_tol=1e-12)
+        assert plain.path == guarded.path
+
+    def test_no_deadline_still_searches(self, city):
+        assert active_deadline() is None
+        result = dijkstra(city, 0, 63)
+        assert math.isfinite(result.distance)
+
+
+class TestReasonConstant:
+    def test_house_style(self):
+        assert REASON_DEADLINE_EXCEEDED == "deadline-exceeded"

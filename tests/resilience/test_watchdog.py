@@ -1,0 +1,149 @@
+"""WorkerWatchdog state machine: heartbeats, scans, restart budget."""
+
+import pickle
+import queue
+
+import pytest
+
+from repro.exceptions import ConfigurationError, WorkerError
+from repro.resilience import (
+    CircuitBreaker,
+    WatchdogReport,
+    WorkerHungError,
+    WorkerWatchdog,
+)
+from repro.resilience.watchdog import HEARTBEAT_DONE, HEARTBEAT_START
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class FakeProc:
+    def __init__(self, exitcode=None):
+        self.exitcode = exitcode
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            WorkerWatchdog(hang_timeout=0)
+        with pytest.raises(ConfigurationError):
+            WorkerWatchdog(max_restarts=-1)
+        with pytest.raises(ConfigurationError):
+            WorkerWatchdog(poll_interval=0)
+
+
+class TestScan:
+    def test_healthy_pool(self):
+        clock = FakeClock()
+        wd = WorkerWatchdog(hang_timeout=5.0, clock=clock)
+        wd.observe_start(11, unit=0)
+        clock.t = 1.0
+        report = wd.scan({11: FakeProc(), 12: FakeProc()})
+        assert report.healthy
+        assert report.describe() == "healthy"
+
+    def test_dead_worker_detected_by_exitcode(self):
+        wd = WorkerWatchdog(clock=FakeClock())
+        report = wd.scan({11: FakeProc(exitcode=-9), 12: FakeProc()})
+        assert not report.healthy
+        assert report.dead == [(11, -9)]
+        assert "pid=11" in report.describe()
+
+    def test_hung_worker_detected_past_timeout(self):
+        clock = FakeClock()
+        wd = WorkerWatchdog(hang_timeout=5.0, clock=clock)
+        wd.observe_start(21, unit=3)
+        clock.t = 4.999
+        assert wd.scan({21: FakeProc()}).healthy
+        clock.t = 5.0
+        report = wd.scan({21: FakeProc()})
+        assert report.hung == [(21, 3, pytest.approx(5.0))]
+        assert "unit=3" in report.describe()
+
+    def test_done_beat_clears_busy_state(self):
+        clock = FakeClock()
+        wd = WorkerWatchdog(hang_timeout=5.0, clock=clock)
+        wd.observe_start(21, unit=3)
+        wd.observe_done(21)
+        clock.t = 100.0
+        assert wd.scan({21: FakeProc()}).healthy
+
+    def test_idle_worker_never_hangs(self):
+        clock = FakeClock()
+        wd = WorkerWatchdog(hang_timeout=1.0, clock=clock)
+        clock.t = 1000.0
+        assert wd.scan({33: FakeProc()}).healthy
+
+    def test_dead_worker_forgotten_from_busy(self):
+        wd = WorkerWatchdog(clock=FakeClock())
+        wd.observe_start(11, unit=0)
+        wd.scan({11: FakeProc(exitcode=1)})
+        assert wd.scan({}).healthy
+
+
+class TestDrain:
+    def test_drains_start_and_done_beats(self):
+        clock = FakeClock()
+        wd = WorkerWatchdog(hang_timeout=5.0, clock=clock)
+        q = queue.Queue()
+        q.put((41, 7, HEARTBEAT_START))
+        q.put((42, 8, HEARTBEAT_START))
+        q.put((41, 7, HEARTBEAT_DONE))
+        assert wd.drain(q) == 3
+        clock.t = 10.0
+        report = wd.scan({41: FakeProc(), 42: FakeProc()})
+        assert report.hung == [(42, 8, pytest.approx(10.0))]
+
+    def test_drain_of_none_is_zero(self):
+        assert WorkerWatchdog().drain(None) == 0
+
+
+class TestRestartBudget:
+    def test_restart_budget_bounds_rebuilds(self):
+        wd = WorkerWatchdog(max_restarts=2)
+        assert wd.note_restart() is True
+        assert wd.note_restart() is True
+        assert wd.note_restart() is False
+
+    def test_storm_flag_after_budget_spent(self):
+        wd = WorkerWatchdog(max_restarts=1, clock=FakeClock())
+        assert not wd.scan({}).storm
+        wd.note_restart()
+        assert wd.scan({}).storm
+
+    def test_storm_trips_breaker_to_open(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        assert breaker.allow()
+        breaker.trip()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_forget_clears_busy_state(self):
+        clock = FakeClock()
+        wd = WorkerWatchdog(hang_timeout=1.0, clock=clock)
+        wd.observe_start(5, unit=0)
+        wd.forget()
+        clock.t = 100.0
+        assert wd.scan({5: FakeProc()}).healthy
+
+
+class TestWorkerHungError:
+    def test_is_a_worker_error(self):
+        assert issubclass(WorkerHungError, WorkerError)
+
+    def test_survives_pickling(self):
+        err = WorkerHungError("dead worker(s) pid=9 exit=-9")
+        back = pickle.loads(pickle.dumps(err))
+        assert isinstance(back, WorkerHungError)
+        assert back.detail == err.detail
+
+    def test_report_describe_round_trips_into_error(self):
+        report = WatchdogReport(dead=[(9, -9)])
+        err = WorkerHungError(report.describe())
+        assert "pid=9" in str(err)

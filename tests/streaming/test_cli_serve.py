@@ -74,3 +74,95 @@ def test_serve_real_clock_with_workers(capsys):
     ])
     assert code == 0
     assert "SERVE OK" in capsys.readouterr().out
+
+
+def test_serve_deadline_storm_dead_letters_backlog(capsys):
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1", "--rate", "100",
+        "--window-ms", "100", "--deadline-ms", "150",
+        "--service-cost", "0.05",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0  # dead-lettered, not unaccounted
+    assert "deadline      :" in out
+    assert "expired" in out
+    assert "SERVE OK" in out
+
+
+def test_serve_generous_deadline_changes_nothing(capsys):
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1", "--rate", "100",
+        "--deadline-ms", "60000", "--fail-on-drop",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 expired" in out
+
+
+def test_serve_drain_after_abandons_late_arrivals(capsys):
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "2", "--rate", "100",
+        "--drain-after", "1",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "drained       :" in out
+    assert "SERVE OK" in out
+
+
+def test_serve_journal_then_recover_roundtrip(tmp_path, capsys):
+    wal = str(tmp_path / "wal.jsonl")
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "2", "--rate", "100",
+        "--journal", wal, "--drain-after", "1",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "journal       :" in out
+    assert "still pending in the journal" in out
+
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "2", "--rate", "100",
+        "--journal", wal, "--recover", "--fail-on-drop",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "recover       :" in out
+    assert "SERVE OK" in out
+
+    # Third pass: nothing left to recover — early idempotent exit.
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "2", "--rate", "100",
+        "--journal", wal, "--recover",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "RECOVER OK" in out
+    assert "no pending" in out
+
+
+def test_serve_recover_without_journal_exits(capsys):
+    with pytest.raises(SystemExit):
+        main([
+            "serve", "--scale", "tiny", "--duration", "1", "--rate", "50",
+            "--recover",
+        ])
+
+
+def test_serve_unaccounted_queries_always_fail(monkeypatch, capsys):
+    from repro.streaming import StreamingQueryService
+    from repro.streaming.service import StreamReport
+
+    def fake_run(self, arrivals):
+        report = StreamReport()
+        report.total_arrivals = 5  # nothing answered: all 5 silently lost
+        return report
+
+    monkeypatch.setattr(StreamingQueryService, "run", fake_run)
+    code = main([
+        "serve", "--scale", "tiny", "--duration", "1", "--rate", "50",
+        "--fail-on-drop",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "unaccounted" in out

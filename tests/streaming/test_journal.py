@@ -1,0 +1,199 @@
+"""Arrivals WAL: roundtrip, torn-line tolerance, crash-and-recover drills."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.generators import grid_city
+from repro.queries.arrivals import PoissonArrivals, TimedQuery
+from repro.queries.query import Query
+from repro.queries.workload import WorkloadGenerator
+from repro.resilience.faults import FAULT_EXIT_CODE
+from repro.streaming import (
+    ArrivalJournal,
+    OUTCOME_ANSWERED,
+    StreamingQueryService,
+    scan_journal,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_city(6, 6, seed=1)
+
+
+@pytest.fixture(scope="module")
+def stream(graph):
+    workload = WorkloadGenerator(graph, seed=2)
+    return PoissonArrivals(workload, rate=100.0, seed=3).duration(1.0)
+
+
+def run_service(graph, arrivals, **kwargs):
+    kwargs.setdefault("window_seconds", 0.25)
+    kwargs.setdefault("max_batch", 32)
+    kwargs.setdefault("workers", 0)
+    kwargs.setdefault("clock", "simulated")
+    with StreamingQueryService(graph, **kwargs) as service:
+        return service.run(arrivals)
+
+
+class TestArrivalJournal:
+    def test_roundtrip_run_leaves_nothing_pending(self, graph, stream, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with ArrivalJournal(path, fsync=False) as journal:
+            report = run_service(graph, stream, journal=journal)
+        assert report.answered_queries == len(stream)
+        scan = scan_journal(path)
+        assert scan.arrivals == len(stream)
+        assert scan.done == len(stream)
+        assert scan.pending == []
+        assert scan.torn_lines == 0
+
+    def test_append_and_scan_preserve_seq_order(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with ArrivalJournal(path, fsync=False) as journal:
+            for arrival, (s, t) in enumerate([(0, 5), (1, 6), (2, 7)]):
+                seq = journal.next_seq()
+                journal.append_arrival(
+                    TimedQuery(float(arrival), Query(s, t), seq=seq)
+                )
+            journal.append_done(1, OUTCOME_ANSWERED)
+        scan = scan_journal(path)
+        assert [tq.seq for tq in scan.pending] == [0, 2]
+        assert scan.next_seq == 3
+
+    def test_reopen_resumes_seq_and_pending(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with ArrivalJournal(path, fsync=False) as journal:
+            seq = journal.next_seq()
+            journal.append_arrival(TimedQuery(0.0, Query(0, 5), seq=seq))
+        with ArrivalJournal(path, fsync=False) as journal:
+            assert len(journal.pending_arrivals()) == 1
+            assert journal.next_seq() == 1
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with ArrivalJournal(path, fsync=False) as journal:
+            seq = journal.next_seq()
+            journal.append_arrival(TimedQuery(0.0, Query(0, 5), seq=seq))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type":"arrival","seq":1,"arr')  # crash mid-write
+        scan = scan_journal(path)
+        assert scan.torn_lines == 1
+        assert len(scan.pending) == 1
+        assert scan.next_seq == 1
+
+    def test_unknown_record_type_counts_as_torn(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "mystery", "seq": 0}) + "\n")
+        assert scan_journal(path).torn_lines == 1
+
+    def test_scan_of_missing_file_is_empty(self, tmp_path):
+        scan = scan_journal(str(tmp_path / "absent.jsonl"))
+        assert scan.pending == []
+        assert scan.next_seq == 0
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalJournal("")
+
+    def test_unstamped_arrival_rejected(self, tmp_path):
+        with ArrivalJournal(str(tmp_path / "wal.jsonl"), fsync=False) as journal:
+            with pytest.raises(ConfigurationError):
+                journal.append_arrival(TimedQuery(0.0, Query(0, 1)))
+
+    def test_write_after_close_rejected(self, tmp_path):
+        journal = ArrivalJournal(str(tmp_path / "wal.jsonl"), fsync=False)
+        journal.close()
+        with pytest.raises(ConfigurationError):
+            journal.append_done(0, OUTCOME_ANSWERED)
+
+
+class TestRecovery:
+    def test_drain_then_recover_answers_the_leftovers(
+        self, graph, stream, tmp_path
+    ):
+        path = str(tmp_path / "wal.jsonl")
+        with ArrivalJournal(path, fsync=False) as journal:
+            first = run_service(
+                graph, stream, journal=journal, drain_after_seconds=0.5
+            )
+        assert first.drained
+        assert first.unadmitted_arrivals > 0
+
+        with ArrivalJournal(path, fsync=False) as journal:
+            pending = journal.pending_arrivals()
+            assert len(pending) == first.unadmitted_arrivals
+            second = run_service(graph, pending, journal=journal)
+        assert second.replayed_arrivals == len(pending)
+        assert second.answered_queries == len(pending)
+        assert scan_journal(path).pending == []
+
+    def test_replayed_arrivals_are_not_rejournaled(self, graph, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        arrivals = [TimedQuery(0.1, Query(0, 5)), TimedQuery(0.2, Query(1, 6))]
+        with ArrivalJournal(path, fsync=False) as journal:
+            run_service(graph, arrivals, journal=journal, drain_after_seconds=0.0)
+        with ArrivalJournal(path, fsync=False) as journal:
+            pending = journal.pending_arrivals()
+            run_service(graph, pending, journal=journal)
+        scan = scan_journal(path)
+        assert scan.arrivals == len(arrivals)  # no duplicate arrival records
+        assert scan.done == len(arrivals)
+
+
+DRILL_SCRIPT = """
+import json, sys
+from repro.network.generators import grid_city
+from repro.queries.arrivals import PoissonArrivals
+from repro.queries.workload import WorkloadGenerator
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.streaming import ArrivalJournal, StreamingQueryService
+
+path = sys.argv[1]
+graph = grid_city(6, 6, seed=1)
+stream = PoissonArrivals(WorkloadGenerator(graph, seed=2), rate=100.0, seed=3).duration(1.0)
+plan = FaultPlan(specs=(FaultSpec(site="stream", kind="kill", units=(1,)),))
+with ArrivalJournal(path) as journal:
+    with StreamingQueryService(
+        graph, window_seconds=0.25, max_batch=32, workers=0,
+        clock="simulated", journal=journal, fault_plan=plan,
+    ) as service:
+        service.run(stream)
+print("UNREACHABLE")
+"""
+
+
+class TestKillNineDrill:
+    def test_kill_mid_run_loses_no_queries(self, graph, stream, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", DRILL_SCRIPT, path],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == FAULT_EXIT_CODE, proc.stderr
+        assert "UNREACHABLE" not in proc.stdout
+
+        scan = scan_journal(path)
+        assert scan.arrivals == len(stream)  # every arrival journaled up front
+        assert len(scan.pending) > 0  # the kill left work owed
+
+        with ArrivalJournal(path, fsync=False) as journal:
+            pending = journal.pending_arrivals()
+            report = run_service(graph, pending, journal=journal)
+        assert report.answered_queries + len(report.dead_letters) == len(pending)
+        final = scan_journal(path)
+        assert final.pending == []
+        assert final.done == len(stream)  # zero lost, zero duplicated
