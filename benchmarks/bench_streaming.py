@@ -39,7 +39,12 @@ from pathlib import Path
 
 from repro.bench.knobs import BenchConfigError, env_str
 from repro.bench.schema import git_sha, utc_now_iso
-from repro.bench.streaming_bench import run_streaming, streaming_knobs
+from repro.bench.streaming_bench import (
+    numpy_row_knobs,
+    run_numpy_row,
+    run_streaming,
+    streaming_knobs,
+)
 
 RESULTS = Path(__file__).parent / "results" / "streaming.jsonl"
 
@@ -52,6 +57,7 @@ def main() -> int:
         print(f"BENCH CONFIG ERROR: {err}")
         return 2
     outcome = run_streaming(progress=True, **knobs)
+    np_outcome = run_numpy_row(progress=True, **numpy_row_knobs())
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
     provenance = {
         "at_utc": utc_now_iso(),
@@ -59,7 +65,7 @@ def main() -> int:
         "label": label,
     }
     with RESULTS.open("a", encoding="utf-8") as fh:
-        for row in outcome.rows:
+        for row in outcome.rows + np_outcome.rows:
             fh.write(json.dumps({**provenance, **row}, sort_keys=True) + "\n")
     print(f"\nresults appended to {RESULTS}")
     return 0

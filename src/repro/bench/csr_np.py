@@ -1,0 +1,175 @@
+"""Vectorized numpy kernel speedup over the per-query dict loop.
+
+Companion to the ``csr`` suite: where that one gates the scalar CSR
+kernels, this one gates the batched numpy sweeps from
+``repro.search.np_kernels`` — batch point-to-point at a realistic cluster
+width, the joint 4-ball region collection R2R issues per representative,
+and the one-to-many boundary sweep LC issues per cluster.
+
+Timing uses best-of-``rounds`` (minimum) rather than the median: the
+vectorized sweep's wall time is dominated by a handful of large
+allocations whose variance under container scheduling noise is far
+larger than the kernel's own variance, and the minimum is the standard
+estimator for "how fast can this code go" (cf. ``timeit``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .knobs import env_float, env_int, env_str
+from .registry import SuiteContext, SuiteRun, suite
+from .schema import Metric
+
+
+@dataclass
+class CsrNpOutcome:
+    metrics: Dict[str, Metric]
+    rendered: str
+    #: Budget violations (empty = the speedup claims hold).
+    failures: List[str] = field(default_factory=list)
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_csr_np(
+    scale: str = "xlarge",
+    batch: int = 64,
+    rounds: int = 5,
+    min_speedup: float = 5.0,
+) -> CsrNpOutcome:
+    """Measure numpy-vs-dict batch speedups; never exits, only reports."""
+    from ..network.generators import beijing_like
+    from ..search import np_kernels
+    from ..search.dijkstra import bounded_ball_tree, dijkstra, one_to_many
+
+    if not np_kernels.np_available():
+        return CsrNpOutcome(
+            metrics={"numpy_available": Metric(0.0, kind="info")},
+            rendered="numpy unavailable: csr_np suite skipped",
+        )
+
+    lines = [f"network        : beijing_like({scale!r})"]
+    graph = beijing_like(scale, seed=0)
+    n = graph.num_vertices
+    lines.append(f"size           : {n} vertices, {graph.num_edges} edges")
+    lines.append(f"batch          : {batch} queries, best of {rounds} rounds")
+
+    rng = random.Random(99)
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(batch)]
+
+    # Dict path: a copy that is never frozen, so dispatch cannot switch.
+    dict_graph = graph.copy()
+    csr = graph.freeze()
+    np_kernels.warm_view(csr)  # build the flat-buffer view outside timing
+
+    # --- batch point-to-point ---------------------------------------
+    def dict_p2p():
+        return [dijkstra(dict_graph, s, t) for s, t in pairs]
+
+    def np_p2p():
+        return np_kernels.np_batch_dijkstra(csr, pairs)
+
+    truth, got = dict_p2p(), np_p2p()  # warm both paths + verify answers
+    for want, have in zip(truth, got):
+        assert (want.distance, want.path) == (have.distance, have.path)
+    dict_seconds = _best_of(dict_p2p, rounds)
+    np_seconds = _best_of(np_p2p, rounds)
+    p2p_speedup = dict_seconds / np_seconds if np_seconds > 0 else float("inf")
+    lines.append(f"dict p2p loop  : {dict_seconds * 1e3:.1f} ms / {batch} queries")
+    lines.append(f"np batch p2p   : {np_seconds * 1e3:.1f} ms / {batch} queries")
+    lines.append(
+        f"p2p speedup    : {p2p_speedup:.2f}x (required >= {min_speedup:.2f}x)"
+    )
+
+    # --- joint 4-ball region collection (R2R's per-representative op)
+    # Radius derived from realized distances so the balls cover a
+    # substantial region at every scale (tiny balls time in the tens of
+    # microseconds, where scheduling noise swamps the comparison).
+    finite = sorted(r.distance for r in truth if r.found)
+    radius = 0.5 * finite[-1] if finite else 6.0
+    specs = [(pairs[0][0], False), (pairs[0][0], True),
+             (pairs[1][0], False), (pairs[1][0], True)]
+
+    def dict_balls():
+        return [bounded_ball_tree(dict_graph, s, radius, b) for s, b in specs]
+
+    def np_balls():
+        return np_kernels.np_multi_bounded_ball_tree(csr, specs, radius)
+
+    assert dict_balls() == np_balls()
+    ball_dict_s = _best_of(dict_balls, rounds)
+    ball_np_s = _best_of(np_balls, rounds)
+    ball_speedup = ball_dict_s / ball_np_s if ball_np_s > 0 else float("inf")
+    lines.append(
+        f"4-ball region  : dict {ball_dict_s * 1e3:.1f} ms, "
+        f"np {ball_np_s * 1e3:.1f} ms ({ball_speedup:.2f}x)"
+    )
+
+    # --- one-to-many boundary sweep (LC's per-cluster op) ------------
+    source = pairs[0][0]
+    targets = [t for _, t in pairs]
+
+    def dict_otm():
+        return one_to_many(dict_graph, source, targets)
+
+    def np_otm():
+        return np_kernels.np_one_to_many(csr, source, targets)
+
+    assert dict_otm() == np_otm()
+    otm_dict_s = _best_of(dict_otm, rounds)
+    otm_np_s = _best_of(np_otm, rounds)
+    otm_speedup = otm_dict_s / otm_np_s if otm_np_s > 0 else float("inf")
+    lines.append(
+        f"one-to-many    : dict {otm_dict_s * 1e3:.1f} ms, "
+        f"np {otm_np_s * 1e3:.1f} ms ({otm_speedup:.2f}x)"
+    )
+
+    failures = []
+    if p2p_speedup < min_speedup:
+        failures.append(
+            f"np batch p2p speedup {p2p_speedup:.2f}x below the "
+            f"{min_speedup:.2f}x budget"
+        )
+
+    metrics = {
+        "numpy_available": Metric(1.0, kind="info"),
+        "dict_p2p_ms": Metric(dict_seconds * 1e3, unit="ms", kind="time",
+                              tolerance_pct=40.0),
+        "np_p2p_ms": Metric(np_seconds * 1e3, unit="ms", kind="time",
+                            tolerance_pct=40.0),
+        "p2p_speedup": Metric(p2p_speedup, kind="ratio", direction="higher",
+                              tolerance_pct=40.0),
+        "ball_speedup": Metric(ball_speedup, kind="ratio", direction="higher",
+                               tolerance_pct=60.0),
+        "otm_speedup": Metric(otm_speedup, kind="ratio", direction="higher",
+                              tolerance_pct=60.0),
+        "budget_failures": Metric(float(len(failures)), kind="info"),
+    }
+    return CsrNpOutcome(metrics=metrics, rendered="\n".join(lines),
+                        failures=failures)
+
+
+@suite("csr_np", "vectorized numpy batch-kernel speedup budget",
+       default_scale="xlarge")
+def csr_np_suite(ctx: SuiteContext) -> SuiteRun:
+    scale = ctx.scale if ctx.scale is not None else env_str(
+        "REPRO_CSR_NP_SCALE", "xlarge"
+    )
+    outcome = run_csr_np(
+        scale=scale,
+        batch=env_int("REPRO_CSR_NP_BATCH", 64),
+        rounds=env_int("REPRO_CSR_NP_ROUNDS", 5),
+        min_speedup=env_float("REPRO_CSR_NP_MIN_SPEEDUP", 5.0),
+    )
+    return SuiteRun(metrics=outcome.metrics, rendered=outcome.rendered)

@@ -26,7 +26,8 @@ class StreamingOutcome:
 
 
 def bench_one(graph, arrivals, workers: int, *, scale: str, rate: float,
-              duration: float, window_ms: float, max_batch: int) -> dict:
+              duration: float, window_ms: float, max_batch: int,
+              **backend_options) -> dict:
     from ..streaming import StreamingQueryService
 
     with StreamingQueryService(
@@ -35,6 +36,7 @@ def bench_one(graph, arrivals, workers: int, *, scale: str, rate: float,
         max_batch=max_batch,
         workers=workers,
         clock="real",
+        **backend_options,
     ) as service:
         report = service.run(arrivals)
     assert report.unaccounted_queries == 0, (
@@ -133,6 +135,92 @@ def run_streaming(
                             rendered="\n".join(lines))
 
 
+def run_numpy_row(
+    scale: str = "tiny",
+    rate: float = 200.0,
+    duration: float = 5.0,
+    window_ms: float = 250.0,
+    max_batch: int = 64,
+    progress: bool = False,
+) -> StreamingOutcome:
+    """Paired serial-engine runs: default kernels vs forced numpy batching.
+
+    The ``np`` row pins ``REPRO_KERNEL=np`` with floor thresholds (so the
+    vectorized sweeps dispatch even on the small streaming network) and
+    answers cluster misses through :class:`LocalCacheAnswerer`'s batched
+    one-to-many mode.  Measured honestly: on ``tiny`` the per-query A*
+    frontier is a handful of vertices, so vectorization overhead can
+    offset the batching win — the point of the row is to record the
+    actual p99 delta, not to presume one.
+    """
+    import os
+
+    from ..core.local_cache import LocalCacheAnswerer
+    from ..network.generators import beijing_like
+    from ..queries.arrivals import PoissonArrivals
+    from ..queries.workload import WorkloadGenerator
+    from ..search import np_kernels
+
+    lines = [f"numpy row : beijing_like({scale!r}), {rate:g} qps, serial engine"]
+    graph = beijing_like(scale, seed=0)
+    workload = WorkloadGenerator(graph, seed=7)
+    arrivals = PoissonArrivals(workload, rate=rate, seed=7).duration(duration)
+
+    knob_sets = {
+        "baseline": {},
+        "np": {
+            np_kernels.BACKEND_KNOB: "np",
+            np_kernels.AUTO_MIN_KNOB: "1",
+            np_kernels.BATCH_MIN_KNOB: "2",
+        },
+    }
+    rows: List[dict] = []
+    metrics: Dict[str, Metric] = {}
+    for kernel, env in knob_sets.items():
+        if kernel == "np" and not np_kernels.np_available():
+            lines.append("np        : numpy unavailable, row skipped")
+            continue
+        saved = {k: os.environ.get(k) for k in env}
+        os.environ.update(env)
+        try:
+            answerer = LocalCacheAnswerer(
+                graph,
+                cache_bytes=512 * 1024,
+                order="longest",
+                eviction="lru",
+                batch_one_to_many=(kernel == "np"),
+            )
+            row = bench_one(
+                graph, arrivals, 0, scale=scale, rate=rate,
+                duration=duration, window_ms=window_ms, max_batch=max_batch,
+                answerer=answerer,
+            )
+        finally:
+            for k, v in saved.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
+        row["kernel"] = kernel
+        rows.append(row)
+        line = (f"{kernel:>9} : p50 {row['p50_latency_ms']:.1f} ms, "
+                f"p99 {row['p99_latency_ms']:.1f} ms, {row['qps']:.1f} qps")
+        lines.append(line)
+        if progress:
+            print(line, flush=True)
+        metrics[f"p99_ms[kernel={kernel}]"] = Metric(
+            row["p99_latency_ms"], unit="ms", kind="time", tolerance_pct=45.0)
+        metrics[f"p50_ms[kernel={kernel}]"] = Metric(
+            row["p50_latency_ms"], unit="ms", kind="time", tolerance_pct=45.0)
+    if len(rows) == 2:
+        base, np_row = rows[0]["p99_latency_ms"], rows[1]["p99_latency_ms"]
+        delta_pct = 100.0 * (base - np_row) / base if base > 0 else 0.0
+        lines.append(f"p99 delta : {delta_pct:+.1f}% (positive = np faster)")
+        metrics["np_p99_reduction_pct"] = Metric(delta_pct, kind="info")
+    return StreamingOutcome(rows=rows, metrics=metrics,
+                            rendered="\n".join(lines))
+
+
 def streaming_knobs() -> dict:
     """The streaming benchmark's effective knob set (validated)."""
     return {
@@ -145,6 +233,17 @@ def streaming_knobs() -> dict:
     }
 
 
+def numpy_row_knobs() -> dict:
+    """Knobs for the paired baseline-vs-numpy kernel rows (validated)."""
+    return {
+        "scale": env_str("REPRO_STREAM_NP_SCALE", "tiny"),
+        "rate": env_float("REPRO_STREAM_NP_RATE", 200.0),
+        "duration": env_float("REPRO_STREAM_DURATION", 5.0),
+        "window_ms": env_float("REPRO_STREAM_WINDOW_MS", 250.0),
+        "max_batch": env_int("REPRO_STREAM_MAX_BATCH", 64),
+    }
+
+
 @suite("streaming", "streaming service qps + latency at several worker counts",
        default_scale="small")
 def streaming_suite(ctx: SuiteContext) -> SuiteRun:
@@ -152,4 +251,7 @@ def streaming_suite(ctx: SuiteContext) -> SuiteRun:
     if ctx.scale is not None:
         knobs["scale"] = ctx.scale
     outcome = run_streaming(**knobs)
-    return SuiteRun(metrics=outcome.metrics, rendered=outcome.rendered)
+    np_outcome = run_numpy_row(**numpy_row_knobs())
+    metrics = {**outcome.metrics, **np_outcome.metrics}
+    rendered = outcome.rendered + "\n\n" + np_outcome.rendered
+    return SuiteRun(metrics=metrics, rendered=rendered)

@@ -4,7 +4,7 @@
 suite is resolved; each suite module registers its suites at import via
 the :func:`~repro.bench.registry.suite` decorator.
 
-Registered suites: ``csr``, ``obs_overhead``, ``streaming``,
+Registered suites: ``csr``, ``csr_np``, ``obs_overhead``, ``streaming``,
 ``fig7a``–``fig7f``, ``fig8``, ``table1``, ``table2``, ``ablations``,
 ``scaling``, ``microbench``, ``smoke``.
 """
@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from . import ablations as _ablations  # noqa: F401
 from . import csr as _csr  # noqa: F401
+from . import csr_np as _csr_np  # noqa: F401
 from . import figures as _figures  # noqa: F401
 from . import micro as _micro  # noqa: F401
 from . import obs_overhead as _obs_overhead  # noqa: F401

@@ -24,6 +24,7 @@ from ..network.supervertex import SuperVertexMap
 from ..obs import get_registry, record_cache
 from ..search.astar import a_star
 from ..search.common import PathResult
+from ..search.dijkstra import batch_dijkstra, np_batch_active, one_to_many
 from .cache import PathCache
 from .clusters import Decomposition, QueryCluster
 from .results import BatchAnswer
@@ -51,6 +52,13 @@ class LocalCacheAnswerer:
         Cache eviction policy on overflow: ``"none"`` (the paper's Local
         Cache rejects overflowing inserts), ``"lru"`` or ``"benefit"``
         (the [30] cache-refreshing extension).
+    batch_one_to_many:
+        Opt-in shared-execution mode: cache misses are grouped by source
+        and each group is answered by one ``one_to_many`` sweep (leftover
+        singletons go through ``batch_dijkstra`` when the joint numpy
+        kernel is active).  Trade-off versus the sequential default: a
+        query can no longer hit a path inserted *earlier in the same
+        cluster*, in exchange for answering whole groups per sweep.
     """
 
     def __init__(
@@ -61,6 +69,7 @@ class LocalCacheAnswerer:
         super_snap_radius: float = 0.0,
         seed: int = 0,
         eviction: str = "none",
+        batch_one_to_many: bool = False,
     ) -> None:
         if order not in ORDERS:
             raise ConfigurationError(f"order must be one of {ORDERS}, got {order!r}")
@@ -69,6 +78,7 @@ class LocalCacheAnswerer:
         self.order = order
         self.seed = seed
         self.eviction = eviction
+        self.batch_one_to_many = batch_one_to_many
         self.super_snap_radius = super_snap_radius
         self.super_map = (
             SuperVertexMap(graph, super_snap_radius) if super_snap_radius > 0 else None
@@ -82,6 +92,7 @@ class LocalCacheAnswerer:
             "super_snap_radius": self.super_snap_radius,
             "seed": self.seed,
             "eviction": self.eviction,
+            "batch_one_to_many": self.batch_one_to_many,
         }
 
     # ------------------------------------------------------------------
@@ -103,6 +114,8 @@ class LocalCacheAnswerer:
         """Answer one cluster against an existing cache; returns (q, result) pairs."""
         if rng is None:
             rng = random.Random(self.seed)
+        if self.batch_one_to_many:
+            return self._answer_cluster_batched(cluster, cache, rng)
         out = []
         for q in self._ordered(cluster, rng):
             hit = cache.lookup(q.source, q.target)
@@ -124,6 +137,69 @@ class LocalCacheAnswerer:
             result = a_star(self.graph, q.source, q.target)
             if result.found:
                 cache.insert(result.path)
+            out.append((q, result))
+        return out
+
+    def _answer_cluster_batched(
+        self, cluster: QueryCluster, cache: PathCache, rng: random.Random
+    ) -> List:
+        """Shared-execution cluster answering (``batch_one_to_many=True``).
+
+        Cache misses group by source: groups of two or more targets are
+        answered by one ``one_to_many`` sweep each (the sweep's visited
+        count is attributed to the group's first query), leftover
+        singletons by one joint ``batch_dijkstra`` when the numpy batch
+        kernel is active, else per-query A*.  Every found path is still
+        inserted, so cache metrics stay comparable.
+        """
+        ordered = self._ordered(cluster, rng)
+        results: List[Optional[PathResult]] = [None] * len(ordered)
+        by_source: dict = {}
+        for i, q in enumerate(ordered):
+            hit = cache.lookup(q.source, q.target)
+            if hit is not None:
+                results[i] = PathResult(
+                    q.source, q.target, hit.distance, hit.path,
+                    visited=0, exact=hit.exact,
+                )
+            else:
+                by_source.setdefault(q.source, []).append(i)
+        singles: List[int] = []
+        for source, idxs in by_source.items():
+            if len(idxs) == 1:
+                singles.append(idxs[0])
+                continue
+            targets = [ordered[i].target for i in idxs]
+            found, parents, visited = one_to_many(self.graph, source, targets)
+            for j, i in enumerate(idxs):
+                q = ordered[i]
+                distance = found.get(q.target, float("inf"))
+                path: List[int] = []
+                if distance != float("inf"):
+                    path = [q.target]
+                    v = q.target
+                    while v != source:
+                        v = parents[v]
+                        path.append(v)
+                    path.reverse()
+                    cache.insert(path)
+                results[i] = PathResult(
+                    q.source, q.target, distance, path,
+                    visited=visited if j == 0 else 0,
+                )
+        if singles:
+            pairs = [(ordered[i].source, ordered[i].target) for i in singles]
+            if np_batch_active(self.graph, len(pairs)):
+                answered = batch_dijkstra(self.graph, pairs)
+            else:
+                answered = [a_star(self.graph, s, t) for s, t in pairs]
+            for i, result in zip(singles, answered):
+                if result.found:
+                    cache.insert(result.path)
+                results[i] = result
+        out = []
+        for q, result in zip(ordered, results):
+            assert result is not None
             out.append((q, result))
         return out
 

@@ -117,6 +117,7 @@ class CSRGraph:
         "_rrows",
         "_coords",
         "_scratch",
+        "_npview",
         "_shm",
         "_views",
     )
@@ -154,6 +155,8 @@ class CSRGraph:
         self._coords: Optional[Tuple[List[float], List[float]]] = None
         #: Per-snapshot search workspace, lazily attached by the kernels.
         self._scratch: Optional[object] = None
+        #: Lazily-built numpy views of the flat buffers (np_kernels).
+        self._npview: Optional[object] = None
         self._shm: Optional["SharedMemory"] = None
         self._views: List[memoryview] = []
 
@@ -372,6 +375,9 @@ class CSRGraph:
         """
         shm, self._shm = self._shm, None
         views, self._views = self._views, []
+        # numpy views hold buffer exports over the memoryviews below; they
+        # must be dropped first or ``view.release()`` raises BufferError.
+        self._npview = None
         if shm is not None:
             self._frows = None
             self._rrows = None

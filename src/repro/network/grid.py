@@ -21,8 +21,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+try:  # numpy is an optional extra; the ellipse cover has a scalar fallback
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatched tests
+    np = None  # type: ignore[assignment]
 
 from ..exceptions import ConfigurationError
 from .spatial import Ellipse, segment_cells
@@ -202,16 +206,37 @@ class GridIndex:
         nj = hi[1] - lo[1] + 1
         if ni <= 0 or nj <= 0:
             return covered
+        f1x, f1y = ellipse.f1
+        f2x, f2y = ellipse.f2
+        bound = ellipse.distance_sum + 1e-12
+        if np is None:
+            # Scalar fallback: same corner lattice, one membership test per
+            # point, memoised row-by-row so each corner is evaluated once.
+            def inside_at(i: int, j: int) -> int:
+                x = self.origin[0] + i * self.cell_size
+                y = self.origin[1] + j * self.cell_size
+                return int(
+                    math.hypot(x - f1x, y - f1y) + math.hypot(x - f2x, y - f2y)
+                    <= bound
+                )
+
+            prev = [inside_at(lo[0], j) for j in range(lo[1], hi[1] + 2)]
+            for i in range(lo[0], hi[0] + 1):
+                cur = [inside_at(i + 1, j) for j in range(lo[1], hi[1] + 2)]
+                for dj, j in enumerate(range(lo[1], hi[1] + 1)):
+                    corners = prev[dj] + prev[dj + 1] + cur[dj] + cur[dj + 1]
+                    if corners >= 2:
+                        covered.add((i, j))
+                prev = cur
+            return covered
         # Corner lattice of the (ni x nj) sub-grid: (ni+1) x (nj+1) points.
         xs = self.origin[0] + np.arange(lo[0], hi[0] + 2) * self.cell_size
         ys = self.origin[1] + np.arange(lo[1], hi[1] + 2) * self.cell_size
         gx = xs[:, None]
         gy = ys[None, :]
-        f1x, f1y = ellipse.f1
-        f2x, f2y = ellipse.f2
         inside = (
             np.hypot(gx - f1x, gy - f1y) + np.hypot(gx - f2x, gy - f2y)
-            <= ellipse.distance_sum + 1e-12
+            <= bound
         ).astype(np.int8)
         # Per cell: the number of its four corners inside the ellipse.
         corner_count = (

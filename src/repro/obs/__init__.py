@@ -71,6 +71,7 @@ __all__ = [
     "record_fault",
     "record_freeze",
     "record_journal",
+    "record_np_search",
     "record_quarantine",
     "record_retry",
     "record_search",
@@ -107,6 +108,29 @@ def record_search(settled: int, relaxations: int, heap_pops: int) -> None:
         reg.counter("search.settled").add(settled)
         reg.counter("search.relaxations").add(relaxations)
         reg.counter("search.heap_pops").add(heap_pops)
+
+
+def record_np_search(
+    kind: str, buckets: int, frontier: int, relaxations: int, rows: int = 1
+) -> None:
+    """Flush one vectorized (numpy) sweep's shape into the registry.
+
+    ``kind`` names the kernel (``dijkstra``, ``sssp``, ``ball``,
+    ``one-to-many``); ``rows`` counts how many logical searches the sweep
+    served at once (>1 for the batched multi-ball kernel); ``frontier``
+    sums frontier sizes across inner rounds (the expansion analogue of
+    heap pops) and ``relaxations`` counts strict tentative-distance
+    improvements.  These ride alongside the unified ``search.*`` counters
+    the sweep also flushes via :func:`record_search`.
+    """
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("csr.np_sweeps").add(1)
+        reg.counter(f"csr.np_kind.{kind}").add(1)
+        reg.counter("csr.np_rows").add(rows)
+        reg.counter("csr.np_buckets").add(buckets)
+        reg.counter("csr.np_frontier").add(frontier)
+        reg.counter("csr.np_relaxations").add(relaxations)
 
 
 def record_cache(

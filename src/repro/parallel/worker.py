@@ -124,6 +124,13 @@ def init_spawn_shared(payload: bytes, heartbeat=None) -> None:
     _ATTACHED = graph
     _ATTACH_PENDING = True
     atexit.register(release_attached)
+    # Build the numpy kernel view over the attached buffers eagerly: the
+    # first query unit should not pay view construction, and a buffer
+    # export that cannot be taken over the shm attachment fails at pool
+    # init rather than mid-unit.
+    from ..search import np_kernels
+
+    np_kernels.warm_view(graph)
     set_parent_state(graph, build_answerer(graph, kind, kwargs))
 
 

@@ -76,5 +76,6 @@ def a_star(
                 parents[v] = u
                 pushes += 1
                 heappush(heap, (nd + heuristic(v), v))
-    record_search(visited, pushes, pushes + 1)
+    # Unified heap-size form (heap drained here; see dijkstra module doc).
+    record_search(visited, pushes, pushes + 1 - len(heap))
     return PathResult(source, target, math.inf, [], visited)

@@ -422,7 +422,8 @@ def csr_a_star(
                     pushes += 1
                     hv = custom(v) if custom is not None else hypot(xs[v] - tx, ys[v] - ty) * scale
                     push(heap, (nd + hv, v))
-        record_search(visited, pushes, pushes + 1)
+        # Unified heap-size form (heap drained here; see dijkstra module doc).
+        record_search(visited, pushes, pushes + 1 - len(heap))
         return PathResult(source, target, Infinity, [], visited)
     finally:
         for v in touched:

@@ -10,13 +10,27 @@ Beyond the textbook point-to-point search, the batch algorithms rely on:
 
 All variants use a lazy-deletion binary heap, the standard pure-Python
 approach, and count settled vertices as the VNN cost measure.
+
+Dispatch
+--------
+
+Every entry point checks :func:`~repro.search.csr_kernels.frozen_csr`
+first; on a frozen snapshot it forwards to the scalar CSR kernels, or —
+when numpy is importable and the ``REPRO_KERNEL`` knob allows it — to the
+vectorized sweeps in :mod:`repro.search.np_kernels`.  The dict path below
+stays the differential oracle for both.
+
+Accounting invariant: every kernel (dict, scalar CSR, numpy) flushes one
+``record_search(settled, pushes, pushes + 1 - len(heap))`` — settled
+vertices, strict tentative improvements, and non-stale pops — so
+``workers=k`` fleet totals merge bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import math
 from heapq import heappop, heappush
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..obs import record_search
 from ..resilience.deadline import CHECK_MASK, active_deadline
@@ -30,6 +44,7 @@ from .csr_kernels import (
     csr_sssp_tree,
     frozen_csr,
 )
+from . import np_kernels
 
 Infinity = math.inf
 
@@ -48,6 +63,8 @@ def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathRes
     """
     csr = frozen_csr(graph)
     if csr is not None:
+        if np_kernels.np_active(csr):
+            return np_kernels.np_dijkstra(csr, source, target, backward)
         return csr_dijkstra(csr, source, target, backward)
     deadline = active_deadline()
     if deadline is not None:
@@ -78,7 +95,10 @@ def dijkstra(graph, source: int, target: int, backward: bool = False) -> PathRes
                 parents[v] = u
                 pushes += 1
                 heappush(heap, (nd, v))
-    record_search(visited, pushes, pushes + 1)
+    # Unified heap-size form: the heap is empty here, so the value matches
+    # the historical ``pushes + 1``, but the expression now states the
+    # fleet-merge invariant the other return paths use.
+    record_search(visited, pushes, pushes + 1 - len(heap))
     return PathResult(source, target, Infinity, [], visited)
 
 
@@ -96,6 +116,8 @@ def bounded_ball(
     """
     csr = frozen_csr(graph)
     if csr is not None:
+        if np_kernels.np_active(csr):
+            return np_kernels.np_bounded_ball(csr, source, radius, backward)
         return csr_bounded_ball(csr, source, radius, backward)
     deadline = active_deadline()
     if deadline is not None:
@@ -140,6 +162,8 @@ def bounded_ball_tree(
     """
     csr = frozen_csr(graph)
     if csr is not None:
+        if np_kernels.np_active(csr):
+            return np_kernels.np_bounded_ball_tree(csr, source, radius, backward)
         return csr_bounded_ball_tree(csr, source, radius, backward)
     deadline = active_deadline()
     if deadline is not None:
@@ -186,6 +210,8 @@ def one_to_many(
     """
     csr = frozen_csr(graph)
     if csr is not None:
+        if np_kernels.np_active(csr):
+            return np_kernels.np_one_to_many(csr, source, targets, backward)
         return csr_one_to_many(csr, source, targets, backward)
     deadline = active_deadline()
     if deadline is not None:
@@ -232,6 +258,8 @@ def sssp_distances(graph, source: int, backward: bool = False) -> List[float]:
     """
     csr = frozen_csr(graph)
     if csr is not None:
+        if np_kernels.np_active(csr):
+            return np_kernels.np_sssp_distances(csr, source, backward)
         return csr_sssp_distances(csr, source, backward)
     n = graph.num_vertices
     adj = _rows(graph, backward)
@@ -254,7 +282,7 @@ def sssp_distances(graph, source: int, backward: bool = False) -> List[float]:
                 dist[v] = nd
                 pushes += 1
                 heappush(heap, (nd, v))
-    record_search(settled, pushes, pushes + 1)
+    record_search(settled, pushes, pushes + 1 - len(heap))
     return dist
 
 
@@ -262,6 +290,8 @@ def sssp_tree(graph, source: int, backward: bool = False) -> Tuple[List[float], 
     """Full SSSP distances plus the parent map (for path extraction)."""
     csr = frozen_csr(graph)
     if csr is not None:
+        if np_kernels.np_active(csr):
+            return np_kernels.np_sssp_tree(csr, source, backward)
         return csr_sssp_tree(csr, source, backward)
     n = graph.num_vertices
     adj = _rows(graph, backward)
@@ -286,5 +316,62 @@ def sssp_tree(graph, source: int, backward: bool = False) -> Tuple[List[float], 
                 parents[v] = u
                 pushes += 1
                 heappush(heap, (nd, v))
-    record_search(settled, pushes, pushes + 1)
+    record_search(settled, pushes, pushes + 1 - len(heap))
     return dist, parents
+
+
+def np_batch_active(graph, count: int) -> bool:
+    """True when a ``count``-element batch would take a joint numpy sweep.
+
+    Answerers that have a cheaper scalar fallback than a plain
+    :func:`dijkstra` loop (e.g. Local Cache's per-query A*) use this to
+    decide whether handing the batch to :func:`batch_dijkstra` is a win.
+    """
+    csr = frozen_csr(graph)
+    return csr is not None and count > 1 and np_kernels.np_active(csr, "batch")
+
+
+def region_balls(
+    graph,
+    specs: Sequence[Tuple[int, bool]],
+    radius: float,
+) -> List[Tuple[Dict[int, float], Dict[int, int], int]]:
+    """Collect several bounded balls sharing one radius, batched when possible.
+
+    ``specs`` is a sequence of ``(source, backward)`` requests — R2R's four
+    region balls (forward/backward from ``u*`` and ``v*``).  On a frozen
+    snapshot with the numpy backend active, same-direction balls advance in
+    one joint vectorized frontier (:func:`~repro.search.np_kernels.
+    np_multi_bounded_ball_tree`); otherwise this is exactly a loop of
+    :func:`bounded_ball_tree` calls.  Results align with ``specs`` and are
+    identical between the two paths.
+
+    Gated on the single-row (``"point"``) crossover, not the batch one:
+    a radius-pruned ball touches only its own region, so even the joint
+    sweep cannot amortize the vectorization overhead at bundled scales —
+    the scalar loop wins until snapshots far exceed ``xlarge``.
+    """
+    csr = frozen_csr(graph)
+    if csr is not None and len(specs) > 1 and np_kernels.np_active(csr):
+        return np_kernels.np_multi_bounded_ball_tree(csr, specs, radius)
+    return [bounded_ball_tree(graph, s, radius, b) for s, b in specs]
+
+
+def batch_dijkstra(
+    graph,
+    pairs: Sequence[Tuple[int, int]],
+    backward: bool = False,
+) -> List[PathResult]:
+    """Answer a batch of point-to-point queries, sharing work when possible.
+
+    On a frozen snapshot with the numpy backend active the whole batch
+    runs as one joint multi-row sweep
+    (:func:`~repro.search.np_kernels.np_batch_dijkstra` — the
+    shared-execution model); otherwise it is exactly a loop of
+    :func:`dijkstra` calls.  Results align with ``pairs`` and are
+    identical between the two paths.
+    """
+    if np_batch_active(graph, len(pairs)):
+        csr = frozen_csr(graph)
+        return np_kernels.np_batch_dijkstra(csr, pairs, backward)
+    return [dijkstra(graph, s, t, backward) for s, t in pairs]

@@ -22,7 +22,12 @@ from repro.search.bidirectional_astar import bidirectional_a_star
 from repro.search.dijkstra import dijkstra
 from tests.conftest import assert_valid_path
 
-from tests.correctness.conftest import CORRECTNESS, GRAPH_POOL, graph_key_and_pair
+from tests.correctness.conftest import (
+    CORRECTNESS,
+    GRAPH_POOL,
+    graph_key_and_batch,
+    graph_key_and_pair,
+)
 
 _CH: Dict[str, ContractionHierarchy] = {}
 _PLL: Dict[str, PrunedLandmarkLabeling] = {}
@@ -88,3 +93,132 @@ class TestSearchAlgorithmsAgree:
             assert bidirectional_a_star(graph, v, v).distance == 0.0
             assert ch_for(graph_key).distance(v, v) == 0.0
             assert pll_for(graph_key).distance(v, v) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Vectorized numpy kernels vs the dict oracle
+# ----------------------------------------------------------------------
+_FROZEN: Dict[str, object] = {}
+
+
+def frozen_for(graph_key: str):
+    """A frozen *copy* of a pool graph (pool graphs stay unfrozen so the
+    other suites keep exercising the dict dispatch path)."""
+    if graph_key not in _FROZEN:
+        clone = GRAPH_POOL[graph_key].copy()
+        _FROZEN[graph_key] = clone.freeze()
+    return _FROZEN[graph_key]
+
+
+class TestNumpyKernelsAgree:
+    """Delta-stepping / batched one-to-many / vectorized balls vs Dijkstra.
+
+    The pool graphs carry jittered weights, so finite distances are
+    distinct and the exactness contract covers paths, parents and visited
+    counts bit-for-bit — not just distances.
+    """
+
+    @given(graph_key_and_pair())
+    @CORRECTNESS
+    def test_np_point_kernels_match_dijkstra(self, drawn):
+        from repro.search import np_kernels
+
+        if not np_kernels.np_available():
+            return
+        graph_key, source, target = drawn
+        graph = GRAPH_POOL[graph_key]
+        csr = frozen_for(graph_key)
+        truth = dijkstra(graph, source, target)
+        got = np_kernels.np_dijkstra(csr, source, target)
+        assert (got.distance, got.path, got.visited) == (
+            truth.distance, truth.path, truth.visited,
+        ), f"np_dijkstra diverged on {graph_key}: {source}->{target}"
+        radius = truth.distance if math.isfinite(truth.distance) else 2.0
+        from repro.search.dijkstra import bounded_ball_tree, one_to_many
+
+        assert np_kernels.np_bounded_ball_tree(
+            csr, source, radius
+        ) == bounded_ball_tree(graph, source, radius)
+        targets = [target, source, (source + 1) % graph.num_vertices]
+        assert np_kernels.np_one_to_many(csr, source, targets) == one_to_many(
+            graph, source, targets
+        )
+
+    @given(graph_key_and_batch(min_size=4, max_size=12))
+    @CORRECTNESS
+    def test_np_batch_kernels_match_dijkstra(self, drawn):
+        from repro.search import np_kernels
+
+        if not np_kernels.np_available():
+            return
+        graph_key, batch = drawn
+        graph = GRAPH_POOL[graph_key]
+        csr = frozen_for(graph_key)
+        pairs = [(q.source, q.target) for q in batch]
+        got = np_kernels.np_batch_dijkstra(csr, pairs)
+        for (source, target), result in zip(pairs, got):
+            truth = dijkstra(graph, source, target)
+            assert (result.distance, result.path, result.visited) == (
+                truth.distance, truth.path, truth.visited,
+            ), f"np_batch_dijkstra diverged on {graph_key}: {source}->{target}"
+        specs = [(pairs[0][0], False), (pairs[0][0], True),
+                 (pairs[0][1], False), (pairs[0][1], True)]
+        from repro.search.dijkstra import bounded_ball_tree
+
+        balls = np_kernels.np_multi_bounded_ball_tree(csr, specs, 2.5)
+        for (src, backward), ball in zip(specs, balls):
+            assert ball == bounded_ball_tree(graph, src, 2.5, backward)
+
+    def test_mutation_query_interleaving(self):
+        """np answers track mutations across refreeze boundaries."""
+        from repro.network.generators import grid_city
+        from repro.search import np_kernels
+
+        if not np_kernels.np_available():
+            return
+        import random as _random
+
+        graph = grid_city(5, 5, seed=41)
+        rng = _random.Random(13)
+        edges = list(graph.edges())
+        for round_no in range(6):
+            csr = graph.freeze()
+            for _ in range(8):
+                s, t = rng.randrange(25), rng.randrange(25)
+                truth = dijkstra(graph, s, t)
+                got = np_kernels.np_dijkstra(csr, s, t)
+                assert (got.distance, got.path, got.visited) == (
+                    truth.distance, truth.path, truth.visited,
+                ), f"diverged after {round_no} mutation rounds"
+            for u, v, _w in rng.sample(edges, 4):
+                graph.set_weight(u, v, rng.uniform(0.5, 4.0))
+
+    def test_forced_no_numpy_fallback_identical(self, monkeypatch):
+        """The same queries answer bit-identically with numpy forced on,
+        with the scalar backend forced, and with numpy absent entirely."""
+        from repro.network.generators import grid_city
+        from repro.search import np_kernels
+
+        if not np_kernels.np_available():
+            return
+        import random as _random
+
+        frozen = grid_city(6, 6, seed=7)
+        frozen.freeze()
+        rng = _random.Random(3)
+        cases = [(rng.randrange(36), rng.randrange(36)) for _ in range(20)]
+
+        def run():
+            return [
+                (r.distance, tuple(r.path), r.visited)
+                for r in (dijkstra(frozen, s, t) for s, t in cases)
+            ]
+
+        monkeypatch.setenv(np_kernels.BACKEND_KNOB, "np")
+        with_np = run()
+        monkeypatch.setenv(np_kernels.BACKEND_KNOB, "csr")
+        scalar = run()
+        monkeypatch.delenv(np_kernels.BACKEND_KNOB)
+        monkeypatch.setattr(np_kernels, "_numpy", None)
+        without_numpy = run()
+        assert with_np == scalar == without_numpy
