@@ -1,0 +1,60 @@
+"""CCH customize-vs-rebuild speedup budget, enforced.
+
+The claim the customizable contraction hierarchy makes, measured
+directly and failed (exit 1) when it does not hold: after
+``REPRO_CCH_EPOCHS`` traffic epochs (default 3) perturb edge weights,
+re-customizing the metric-independent order is at least
+``REPRO_CCH_MIN_SPEEDUP``x (default 5) faster than a full legacy
+:class:`ContractionHierarchy` rebuild at ``beijing_like("large")``.
+Customized-index distances are asserted bit-equal to Dijkstra before
+*and* after the epochs — a fast-but-wrong customization also exits 1.
+
+Best-of-``ROUNDS`` timing for the customization pass and minimum-of-two
+legacy builds, so scheduler noise cannot manufacture a pass.
+
+The measurement body lives in :mod:`repro.bench.cch_customize` (shared
+with the ``cch_customize`` harness suite — ``repro bench run --suite
+cch_customize`` records the same numbers as schema'd JSON); this script
+is the gating entry point.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_cch.py
+
+Environment knobs: ``REPRO_CCH_SCALE`` (default ``large``),
+``REPRO_CCH_MIN_SPEEDUP`` (default ``5.0``), ``REPRO_CCH_QUERIES``
+(default ``40``), ``REPRO_CCH_ROUNDS`` (default ``3``),
+``REPRO_CCH_EPOCHS`` (default ``3``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.cch_customize import run_cch_customize
+from repro.bench.knobs import BenchConfigError, env_float, env_int, env_str
+
+
+def main() -> int:
+    try:
+        outcome = run_cch_customize(
+            scale=env_str("REPRO_CCH_SCALE", "large"),
+            queries=env_int("REPRO_CCH_QUERIES", 40),
+            rounds=env_int("REPRO_CCH_ROUNDS", 3),
+            epochs=env_int("REPRO_CCH_EPOCHS", 3),
+            min_speedup=env_float("REPRO_CCH_MIN_SPEEDUP", 5.0),
+        )
+    except BenchConfigError as err:
+        print(f"BENCH CONFIG ERROR: {err}")
+        return 2
+    print(outcome.rendered)
+    if outcome.failures:
+        for failure in outcome.failures:
+            print(f"BENCH FAILED: {failure}")
+        return 1
+    print("BENCH OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

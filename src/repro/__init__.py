@@ -48,10 +48,12 @@ from .exceptions import (
     NoPathError,
     QueryError,
     ReproError,
+    StaleIndexError,
 )
 from .index import (
     ArcFlags,
     ContractionHierarchy,
+    CustomizableContractionHierarchy,
     GeometricContainers,
     PrunedLandmarkLabeling,
 )
@@ -119,6 +121,7 @@ __all__ = [
     "CoClusteringDecomposer",
     "ConfigurationError",
     "ContractionHierarchy",
+    "CustomizableContractionHierarchy",
     "Decomposition",
     "DecompositionError",
     "DynamicBatchSession",
@@ -152,6 +155,7 @@ __all__ = [
     "RegionToRegionAnswerer",
     "ReproError",
     "RoadNetwork",
+    "StaleIndexError",
     "AdmissionController",
     "MicroBatcher",
     "MicroWindow",

@@ -4,14 +4,16 @@
 suite is resolved; each suite module registers its suites at import via
 the :func:`~repro.bench.registry.suite` decorator.
 
-Registered suites: ``csr``, ``csr_np``, ``obs_overhead``, ``streaming``,
-``fig7a``–``fig7f``, ``fig8``, ``table1``, ``table2``, ``ablations``,
-``scaling``, ``microbench``, ``smoke``.
+Registered suites: ``csr``, ``csr_np``, ``cch_customize``,
+``obs_overhead``, ``streaming``, ``fig7a``–``fig7f``, ``fig8``,
+``table1``, ``table2``, ``ablations``, ``scaling``, ``microbench``,
+``smoke``.
 """
 
 from __future__ import annotations
 
 from . import ablations as _ablations  # noqa: F401
+from . import cch_customize as _cch_customize  # noqa: F401
 from . import csr as _csr  # noqa: F401
 from . import csr_np as _csr_np  # noqa: F401
 from . import figures as _figures  # noqa: F401

@@ -464,6 +464,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 clock=args.clock,
                 timeline=timeline,
+                index=args.index,
                 stream_cache_bytes=args.cache_kb * 1024,
                 service_seconds_per_query=args.service_cost,
                 query_deadline_seconds=(
@@ -528,6 +529,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"stream cache  : {report.stream_cache_hits} hits / "
           f"{report.stream_cache_misses} misses / "
           f"{report.stream_cache_invalidations} invalidations")
+    if args.index != "none":
+        print(f"index         : {args.index} "
+              f"({report.index_served_windows} windows served, "
+              f"{report.index_customizations} re-customizations)")
     print(f"latency       : p50 {report.p50_latency * 1000:.1f} ms, "
           f"p99 {report.p99_latency * 1000:.1f} ms")
     print(f"throughput    : {report.qps:.1f} answered qps over "
@@ -811,6 +816,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--epoch-every", type=float, default=0.0,
                        help="schedule a congestion weight epoch every N "
                        "stream seconds (0 = static weights)")
+    p_srv.add_argument("--index", default="none", choices=["none", "cch"],
+                       help="answer cache misses from a customizable "
+                       "contraction hierarchy that re-customizes on every "
+                       "weight epoch (cch) instead of the batch backend")
     p_srv.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the run's metrics snapshot as JSON")
     p_srv.add_argument("--fail-on-drop", action="store_true",

@@ -47,6 +47,37 @@ class IndexConstructionError(ReproError):
     """An auxiliary index (CH, PLL, landmarks) could not be built."""
 
 
+class StaleIndexError(ReproError):
+    """An index was queried after the underlying network mutated.
+
+    Snapshot indexes (:class:`~repro.index.ch.ContractionHierarchy`,
+    :class:`~repro.index.containers.GeometricContainers`) price their
+    structure at build time; serving a query after ``graph.version``
+    moved on would silently return pre-mutation distances.  They raise
+    this instead — call ``rebuild()``, or use the customizable index
+    (:class:`~repro.index.cch.CustomizableContractionHierarchy`), which
+    re-customizes in place.
+    """
+
+    def __init__(self, index: str, built_version: int, current_version: int) -> None:
+        super().__init__(
+            f"{index} was built at graph version {built_version} but the "
+            f"network is now at version {current_version}; rebuild() it or "
+            f"use CustomizableContractionHierarchy, which re-customizes "
+            f"instead of rebuilding"
+        )
+        self.index = index
+        self.built_version = built_version
+        self.current_version = current_version
+
+    def __reduce__(self):
+        # Like NoPathError: must survive the worker result pipe.
+        return (
+            StaleIndexError,
+            (self.index, self.built_version, self.current_version),
+        )
+
+
 class ConfigurationError(ReproError):
     """Invalid parameter combination passed to a public API."""
 

@@ -6,6 +6,12 @@ index-based methods cannot track a dynamic network.  The implementation is
 the textbook one — edge-difference node ordering with lazy priority
 updates, witness searches bounding shortcut insertion, and a bidirectional
 upward query with shortcut unpacking.
+
+Because the shortcut weights are priced at build time, queries against a
+mutated network raise :class:`~repro.exceptions.StaleIndexError` instead
+of silently serving the old metric; see
+:class:`~repro.index.cch.CustomizableContractionHierarchy` for the
+order/metric split that re-customizes instead of rebuilding.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import time
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
-from ..exceptions import IndexConstructionError
+from ..exceptions import IndexConstructionError, StaleIndexError
 from ..search.common import PathResult
 
 
@@ -177,11 +183,23 @@ class ContractionHierarchy:
     # Query
     # ------------------------------------------------------------------
     def distance(self, source: int, target: int) -> float:
-        """Shortest distance via bidirectional upward search."""
+        """Shortest distance via bidirectional upward search.
+
+        Raises :class:`~repro.exceptions.StaleIndexError` if the network
+        mutated after construction: the shortcut weights were priced at
+        build time, and serving them against a newer ``graph.version``
+        would silently answer with the pre-mutation metric.
+        """
+        self._check_current()
         return self._query(source, target)[0]
 
     def query(self, source: int, target: int) -> PathResult:
-        """Full :class:`PathResult` with the unpacked shortest path."""
+        """Full :class:`PathResult` with the unpacked shortest path.
+
+        Raises :class:`~repro.exceptions.StaleIndexError` when stale,
+        like :meth:`distance`.
+        """
+        self._check_current()
         dist, meet, par_f, par_b, visited = self._query_full(source, target)
         if meet < 0:
             return PathResult(source, target, math.inf, [], visited)
@@ -260,6 +278,22 @@ class ContractionHierarchy:
         if mid is None:
             return [v]
         return self._expand_edge(u, mid) + self._expand_edge(mid, v)
+
+    def _check_current(self) -> None:
+        if self.stale:
+            raise StaleIndexError(
+                "ContractionHierarchy", self.graph_version, self.graph.version
+            )
+
+    def rebuild(self) -> "ContractionHierarchy":
+        """Re-run construction against the graph's current weights.
+
+        The full-price path (ordering + witness searches + shortcuts) —
+        :class:`~repro.index.cch.CustomizableContractionHierarchy`
+        re-customizes instead, reusing its metric-independent order.
+        """
+        self.__init__(self.graph, self.witness_settle_limit)
+        return self
 
     @property
     def stale(self) -> bool:

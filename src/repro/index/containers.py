@@ -23,7 +23,7 @@ import time
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..exceptions import IndexConstructionError
+from ..exceptions import IndexConstructionError, StaleIndexError
 from ..search.common import PathResult, reconstruct_path
 
 Box = Tuple[float, float, float, float]  # min_x, min_y, max_x, max_y
@@ -99,7 +99,17 @@ class GeometricContainers:
         return box[0] <= x <= box[2] and box[1] <= y <= box[3]
 
     def query(self, source: int, target: int) -> PathResult:
-        """Exact shortest path via container-pruned Dijkstra."""
+        """Exact shortest path via container-pruned Dijkstra.
+
+        Raises :class:`~repro.exceptions.StaleIndexError` if the network
+        mutated after construction: the per-edge boxes were grown from
+        build-time shortest-path trees, and pruning with them against a
+        newer metric can cut the true path.
+        """
+        if self.stale:
+            raise StaleIndexError(
+                "GeometricContainers", self.graph_version, self.graph.version
+            )
         graph = self.graph
         tx, ty = graph.xs[target], graph.ys[target]
         adj = graph._adj  # noqa: SLF001
@@ -132,6 +142,11 @@ class GeometricContainers:
 
     def distance(self, source: int, target: int) -> float:
         return self.query(source, target).distance
+
+    def rebuild(self) -> "GeometricContainers":
+        """Re-grow every container against the graph's current weights."""
+        self.__init__(self.graph)
+        return self
 
     @property
     def stale(self) -> bool:

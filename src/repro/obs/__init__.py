@@ -65,6 +65,7 @@ __all__ = [
     "load_metrics_json",
     "read_jsonl",
     "record_cache",
+    "record_customize",
     "record_dead_letters",
     "record_deadline",
     "record_decomposition",
@@ -165,6 +166,27 @@ def record_freeze(num_vertices: int, num_edges: int, seconds: float) -> None:
         reg.counter("csr.frozen_vertices").add(num_vertices)
         reg.counter("csr.frozen_edges").add(num_edges)
         reg.histogram("csr.freeze_seconds", TIME_BUCKETS).observe(max(0.0, seconds))
+
+
+def record_customize(
+    edges: int, triangles: int, seconds: float, order_rebuilt: bool = False
+) -> None:
+    """Count one CCH customization pass (and any forced order rebuild).
+
+    ``edges``/``triangles`` are the chordal supergraph's sizes — the work
+    the pass performed; ``order_rebuilt`` marks the rare topology-change
+    path where the metric-independent order had to be recomputed first.
+    """
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("index.customize_runs").add(1)
+        reg.counter("index.customize_edges").add(edges)
+        reg.counter("index.customize_triangles").add(triangles)
+        reg.histogram("index.customize_seconds", TIME_BUCKETS).observe(
+            max(0.0, seconds)
+        )
+        if order_rebuilt:
+            reg.counter("index.order_builds").add(1)
 
 
 def record_shm_share(nbytes: int) -> None:

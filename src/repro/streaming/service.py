@@ -45,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from ..analysis.metrics import percentile
 from ..core.cache import VersionedPathCache
 from ..exceptions import ConfigurationError, DeadlineExceededError
+from ..index.cch import CustomizableContractionHierarchy
 from ..obs import (
     MetricsSnapshot,
     TIME_BUCKETS,
@@ -119,6 +120,9 @@ class StreamWindowRecord:
     breaker_degraded: bool = False
     #: Timeline events fired when the window's cut advanced the clock.
     timeline_events: int = 0
+    #: Cache misses were answered by the customizable index (``--index
+    #: cch``) rather than the batch backend.
+    index_served: bool = False
 
 
 @dataclass
@@ -152,6 +156,9 @@ class StreamReport:
     stream_cache_hits: int = 0
     stream_cache_misses: int = 0
     stream_cache_invalidations: int = 0
+    #: Index re-customizations triggered by weight epochs during the run
+    #: (the initial customization at service construction is not counted).
+    index_customizations: int = 0
     #: Stream-clock span of the run (simulated or real seconds).
     wall_seconds: float = 0.0
     metrics: Optional[MetricsSnapshot] = None
@@ -181,6 +188,10 @@ class StreamReport:
     @property
     def breaker_degraded_windows(self) -> int:
         return sum(1 for w in self.windows if w.breaker_degraded)
+
+    @property
+    def index_served_windows(self) -> int:
+        return sum(1 for w in self.windows if w.index_served)
 
     @property
     def mean_window_size(self) -> float:
@@ -238,6 +249,16 @@ class StreamingQueryService:
         Optional :class:`~repro.network.timeline.TrafficTimeline`;
         advanced to each window's cut instant, so weight epochs interleave
         with windows exactly as stamped.
+    index:
+        ``"none"`` (default) dispatches cache misses to the batch
+        backend; ``"cch"`` answers them from a
+        :class:`~repro.index.cch.CustomizableContractionHierarchy`
+        instead.  The index is keyed to ``graph.version``: a timeline
+        epoch (or any weight mutation) fired at a window cut triggers a
+        re-customization *before* the window is answered, so hierarchy
+        queries always see the current metric — never a stale shortcut.
+        Unexpected index failures degrade the window to per-query
+        Dijkstra, the same ladder the breaker uses.
     stream_cache_bytes:
         Byte budget of the cross-window path cache (``0`` disables it).
     service_seconds_per_query:
@@ -279,6 +300,7 @@ class StreamingQueryService:
         workers: int = 1,
         clock: Union[str, SimulatedClock, MonotonicClock] = "simulated",
         timeline=None,
+        index: str = "none",
         stream_cache_bytes: int = 2 * 1024 * 1024,
         service_seconds_per_query: float = 0.0,
         breaker: Optional[CircuitBreaker] = None,
@@ -295,7 +317,15 @@ class StreamingQueryService:
             raise ConfigurationError("query_deadline_seconds must be positive")
         if drain_after_seconds is not None and drain_after_seconds < 0:
             raise ConfigurationError("drain_after_seconds must be non-negative")
+        if index not in ("none", "cch"):
+            raise ConfigurationError(
+                f"index must be 'none' or 'cch', got {index!r}"
+            )
         self.graph = graph
+        self.index = index
+        self._index: Optional[CustomizableContractionHierarchy] = (
+            CustomizableContractionHierarchy(graph) if index == "cch" else None
+        )
         self.window_seconds = window_seconds
         self.max_batch = max_batch
         self.workers = workers
@@ -561,6 +591,7 @@ class StreamingQueryService:
         registry = get_registry()
         backend_report: Optional[WindowReport] = None
         breaker_degraded = False
+        index_served = False
         with registry.span(
             "stream_window",
             index=window.index,
@@ -578,7 +609,18 @@ class StreamingQueryService:
                 )
             if missed:
                 batch = QuerySet(tq.query for tq in missed)
-                if not self.breaker.allow():
+                if self._index is not None:
+                    # The timeline advance above happens *before* this
+                    # point, so a fired epoch has already bumped
+                    # ``graph.version`` — ensure_current() re-customizes
+                    # and the window is answered at the new metric.
+                    if self._index.ensure_current():
+                        report.index_customizations += 1
+                    index_served = True
+                    pairs = self._answer_by_index(batch, report.dead_letters)
+                    answered.extend(pairs)
+                    self._cache_answers(pairs)
+                elif not self.breaker.allow():
                     breaker_degraded = True
                     answered.extend(
                         self._answer_by_dijkstra(batch, report.dead_letters)
@@ -615,6 +657,8 @@ class StreamingQueryService:
                             self._cache_answers(backend_report.answer.answers)
         if breaker_degraded and registry.enabled:
             registry.counter("streaming.breaker_degraded_windows").add(1)
+        if index_served and registry.enabled:
+            registry.counter("streaming.index_served_windows").add(1)
         if self.service_seconds_per_query > 0:
             # Deterministic processing cost: only meaningful on the
             # simulated clock (the real clock pays genuine wall time).
@@ -637,6 +681,7 @@ class StreamingQueryService:
                 report=backend_report,
                 breaker_degraded=breaker_degraded,
                 timeline_events=fired,
+                index_served=index_served,
             )
         )
         if self.journal is not None:
@@ -819,6 +864,82 @@ class StreamingQueryService:
                     # A path that does not validate against the current
                     # graph must never poison the cache; skip it.
                     continue
+
+    def _answer_by_index(
+        self,
+        batch: QuerySet,
+        dead_letters: List[DeadLetterRecord],
+    ) -> List[AnswerPair]:
+        """Answer cache misses from the customized hierarchy (exact).
+
+        Per-query degradation: an index query that fails unexpectedly
+        falls back to plain Dijkstra for that query alone, so one bad
+        query can never dead-letter its whole window.  Accounting holds
+        regardless: every query returns answered or dead-lettered.
+        """
+        from ..search.dijkstra import dijkstra
+
+        index = self._index
+        assert index is not None
+        n = self.graph.num_vertices
+        pairs: List[AnswerPair] = []
+        letters = 0
+        for q in batch:
+            if q.source >= n or q.target >= n:
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_INVALID_QUERY,
+                        stage=STAGE_VALIDATION,
+                        detail=f"vertex id out of range (|V| = {n})",
+                    )
+                )
+                letters += 1
+                continue
+            try:
+                result = index.query(q.source, q.target)
+            except Exception as exc:
+                logger.warning(
+                    "index query %d->%d failed (%s: %s); "
+                    "degrading this query to Dijkstra",
+                    q.source,
+                    q.target,
+                    type(exc).__name__,
+                    exc,
+                )
+                try:
+                    result = dijkstra(self.graph, q.source, q.target)
+                except Exception as exc2:
+                    dead_letters.append(
+                        DeadLetterRecord(
+                            source=q.source,
+                            target=q.target,
+                            reason=REASON_WINDOW_DEGRADED,
+                            stage=STAGE_SESSION,
+                            error=type(exc2).__name__,
+                            detail=str(exc2),
+                        )
+                    )
+                    letters += 1
+                    continue
+            if not math.isfinite(result.distance):
+                dead_letters.append(
+                    DeadLetterRecord(
+                        source=q.source,
+                        target=q.target,
+                        reason=REASON_NO_PATH,
+                        stage=STAGE_SESSION,
+                        error="NoPathError",
+                        detail=f"no path from {q.source} to {q.target}",
+                    )
+                )
+                letters += 1
+                continue
+            pairs.append((q, result))
+        if letters:
+            record_dead_letters(letters)
+        return pairs
 
     def _answer_by_dijkstra(
         self,

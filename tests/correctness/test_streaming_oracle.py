@@ -10,10 +10,17 @@ sliced the stream — windowing is a scheduling concern, not a semantic
 one.
 """
 
+import math
+
 from hypothesis import given, settings, strategies as st
 
 from repro.core.batch_runner import BatchProcessor
+from repro.network.generators import grid_city
+from repro.network.timeline import TrafficTimeline, congestion_snapshot
+from repro.obs import MetricsRegistry, use_registry
 from repro.queries.arrivals import PoissonArrivals
+from repro.queries.workload import WorkloadGenerator
+from repro.search.dijkstra import dijkstra
 from repro.streaming import StreamingQueryService
 
 from tests.correctness.conftest import (
@@ -101,3 +108,115 @@ class TestStreamingEqualsOffline:
             queue_capacity=2, service_seconds_per_query=0.02,
         )
         assert online == offline_distances(graph, arrivals)
+
+    @given(stream_case())
+    @STREAMING_ORACLE
+    def test_cch_index_backend_equals_offline(self, drawn):
+        """Static graph, hierarchy-served: routing every window through
+        the customized CCH instead of the Dijkstra backend changes
+        nothing about the answers."""
+        graph_key, arrivals = drawn
+        graph = GRAPH_POOL[graph_key]
+        online = online_distances(graph, arrivals, index="cch")
+        assert online == offline_distances(graph, arrivals)
+
+
+# ----------------------------------------------------------------------
+# Cross-epoch oracle: the customized index under a traffic timeline
+# ----------------------------------------------------------------------
+def _epoch_run(seed: int, num_epochs: int, index: str):
+    """One timeline-driven streaming run; returns (report, registry).
+
+    Graph, workload, arrivals and timeline are all derived from ``seed``
+    alone, so two calls with different ``index`` values see bit-identical
+    inputs — the dual-run oracle's premise.
+    """
+    graph = grid_city(4, 4, seed=seed)
+    workload = WorkloadGenerator(graph, seed=seed + 1)
+    arrivals = PoissonArrivals(workload, rate=150.0, seed=seed).duration(1.2)
+    timeline = TrafficTimeline(graph, seed=seed)
+    for k in range(num_epochs):
+        timeline.schedule(0.3 * (k + 1), congestion_snapshot(fraction=0.5))
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        with StreamingQueryService(
+            graph,
+            window_seconds=0.1,
+            max_batch=16,
+            workers=0,
+            clock="simulated",
+            timeline=timeline,
+            index=index,
+        ) as service:
+            report = service.run(arrivals)
+    assert report.unaccounted_queries == 0
+    assert report.dropped_queries == 0
+    return graph, report, reg
+
+
+class TestCustomizedIndexAcrossEpochs:
+    """The streaming tier served from the customized CCH must follow
+    every traffic epoch: answers equal the plain-backend run and the
+    offline per-epoch replay, and the obs counters prove no window was
+    ever served from a stale customization."""
+
+    @given(st.integers(0, 15), st.sampled_from([1, 2, 3]))
+    @settings(CORRECTNESS, max_examples=20)
+    def test_index_run_equals_backend_run(self, seed, num_epochs):
+        _, backend_report, _ = _epoch_run(seed, num_epochs, index="none")
+        _, index_report, reg = _epoch_run(seed, num_epochs, index="cch")
+        # round(9): near-ties may resolve to either of two equal-length
+        # paths whose float sums differ in the last ulp — the same
+        # tolerance the offline/online helpers above apply.
+        assert sorted(
+            (s, t, round(d, 9)) for s, t, d in index_report.distances()
+        ) == sorted(
+            (s, t, round(d, 9)) for s, t, d in backend_report.distances()
+        )
+        # Every missed window went through the hierarchy, and every
+        # epoch triggered exactly one re-customization before the next
+        # window was answered — zero stale windows, zero wasted passes.
+        assert index_report.index_served_windows > 0
+        assert index_report.index_customizations == num_epochs
+        assert index_report.stream_cache_invalidations == num_epochs
+        counters = reg.snapshot().counters
+        assert counters["index.customize_runs"] == 1 + num_epochs
+        assert counters.get("index.order_builds", 0) == 0, (
+            "a weight-only timeline must never force an order rebuild"
+        )
+        assert (
+            counters["streaming.index_served_windows"]
+            == index_report.index_served_windows
+        )
+
+    @given(st.integers(0, 15), st.sampled_from([1, 2, 3]))
+    @settings(CORRECTNESS, max_examples=15)
+    def test_index_windows_match_offline_per_epoch_replay(
+        self, seed, num_epochs
+    ):
+        """Replay the same timeline offline and advance it to each
+        window's cut: every answer the index served must equal Dijkstra
+        on the graph exactly as it stood at that window's epoch."""
+        _, report, _ = _epoch_run(seed, num_epochs, index="cch")
+        offline_graph = grid_city(4, 4, seed=seed)
+        offline_timeline = TrafficTimeline(offline_graph, seed=seed)
+        for k in range(num_epochs):
+            offline_timeline.schedule(
+                0.3 * (k + 1), congestion_snapshot(fraction=0.5)
+            )
+        offset = 0
+        checked = 0
+        for w in report.windows:
+            span = report.answers[offset:offset + w.queries]
+            offset += w.queries
+            offline_timeline.advance_to(w.cut_at)
+            for q, r in span:
+                truth = dijkstra(offline_graph, q.source, q.target).distance
+                assert math.isclose(
+                    r.distance, truth, rel_tol=1e-9, abs_tol=1e-12
+                ), (
+                    f"window cut {w.cut_at}: {q.source}->{q.target} served "
+                    f"{r.distance!r}, offline epoch says {truth!r}"
+                )
+                checked += 1
+        assert checked > 0

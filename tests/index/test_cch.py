@@ -1,0 +1,139 @@
+"""Unit tests for the customizable contraction hierarchy."""
+
+import math
+
+import pytest
+
+from repro.exceptions import IndexConstructionError, StaleIndexError
+from repro.index.cch import CustomizableContractionHierarchy
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork
+from repro.search.dijkstra import dijkstra, sssp_distances
+from tests.conftest import assert_valid_path
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return grid_city(5, 5, seed=8)
+
+
+@pytest.fixture(scope="module")
+def cch(small_grid):
+    return CustomizableContractionHierarchy(small_grid)
+
+
+class TestDistances:
+    def test_all_pairs_match_dijkstra_exactly(self, small_grid, cch):
+        n = small_grid.num_vertices
+        for s in range(0, n, 3):
+            truth = sssp_distances(small_grid, s)
+            for t in range(0, n, 4):
+                assert cch.distance(s, t) == truth[t], (s, t)
+
+    def test_same_vertex(self, cch):
+        assert cch.distance(3, 3) == 0.0
+
+    def test_directed_graph(self, line_graph):
+        cch = CustomizableContractionHierarchy(line_graph)
+        assert cch.distance(0, 4) == 1.0 + 1.1 + 1.2 + 1.3
+        assert math.isinf(cch.distance(4, 0))
+
+    def test_ring_sample(self, ring):
+        cch = CustomizableContractionHierarchy(ring)
+        for s, t in [(0, 70), (12, 140), (99, 3)]:
+            assert cch.distance(s, t) == dijkstra(ring, s, t).distance
+
+
+class TestPaths:
+    def test_unpacked_path_valid(self, small_grid, cch):
+        for s, t in [(0, 24), (3, 20), (10, 14)]:
+            r = cch.query(s, t)
+            assert_valid_path(small_grid, r.path, s, t, r.distance, tol=1e-6)
+
+    def test_path_has_no_shortcuts(self, small_grid, cch):
+        r = cch.query(0, 24)
+        for u, v in zip(r.path, r.path[1:]):
+            assert small_grid.has_edge(u, v)
+
+    def test_unreachable_returns_empty_path(self, line_graph):
+        cch = CustomizableContractionHierarchy(line_graph)
+        r = cch.query(4, 0)
+        assert math.isinf(r.distance)
+        assert r.path == []
+
+
+class TestConstruction:
+    def test_ranks_are_a_permutation(self, small_grid, cch):
+        assert sorted(cch.rank) == list(range(small_grid.num_vertices))
+
+    def test_phase_times_recorded(self, cch):
+        assert cch.order_seconds > 0.0
+        assert cch.customize_seconds > 0.0
+
+    def test_supergraph_covers_every_arc(self, small_grid, cch):
+        assert cch.num_super_edges >= small_grid.num_edges // 2
+        assert cch.num_triangles >= 0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            CustomizableContractionHierarchy(RoadNetwork([], []))
+
+
+class TestEpochKeying:
+    def test_weight_change_marks_stale(self, small_grid):
+        g = small_grid.copy()
+        cch = CustomizableContractionHierarchy(g)
+        assert not cch.stale
+        u, v, w = next(iter(g.edges()))
+        g.set_weight(u, v, w * 2)
+        assert cch.stale
+
+    def test_ensure_current_recustomizes_once(self, small_grid):
+        g = small_grid.copy()
+        cch = CustomizableContractionHierarchy(g)
+        before = cch.customizations
+        assert cch.ensure_current() is False
+        g.scale_weights(1.5)
+        assert cch.ensure_current() is True
+        assert cch.ensure_current() is False
+        assert cch.customizations == before + 1
+        assert not cch.stale
+
+    def test_auto_customize_query_follows_mutation(self, small_grid):
+        g = small_grid.copy()
+        cch = CustomizableContractionHierarchy(g)
+        g.scale_weights(2.0)
+        assert cch.distance(0, 24) == dijkstra(g, 0, 24).distance
+        assert not cch.stale
+
+    def test_manual_mode_raises_stale_index_error(self, small_grid):
+        g = small_grid.copy()
+        cch = CustomizableContractionHierarchy(g, auto_customize=False)
+        u, v, w = next(iter(g.edges()))
+        g.set_weight(u, v, w * 3)
+        with pytest.raises(StaleIndexError) as err:
+            cch.distance(0, 24)
+        assert err.value.current_version == g.version
+        cch.customize()
+        assert cch.distance(0, 24) == dijkstra(g, 0, 24).distance
+
+    def test_weight_epochs_never_rebuild_order(self, small_grid):
+        g = small_grid.copy()
+        cch = CustomizableContractionHierarchy(g)
+        assert cch.order_builds == 1
+        for factor in (1.3, 0.7, 2.1):
+            g.scale_weights(factor)
+            cch.customize()
+        assert cch.order_builds == 1
+
+    def test_add_edge_outside_closure_rebuilds_order(self, small_grid):
+        g = small_grid.copy()
+        cch = CustomizableContractionHierarchy(g)
+        # Opposite grid corners are never chordal neighbors of each other
+        # on a 5x5 grid, so this arc forces a new elimination order.
+        assert not g.has_edge(0, 24)
+        g.add_edge(0, 24, 0.5)
+        cch.customize()
+        assert cch.order_builds == 2
+        assert cch.distance(0, 24) == 0.5
+        assert cch.distance(1, 24) == dijkstra(g, 1, 24).distance

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.exceptions import IndexConstructionError
+from repro.exceptions import IndexConstructionError, StaleIndexError
 from repro.index.ch import ContractionHierarchy
 from repro.network.generators import grid_city
 from repro.network.graph import RoadNetwork
@@ -79,3 +79,32 @@ class TestConstruction:
     def test_empty_graph_rejected(self):
         with pytest.raises(IndexConstructionError):
             ContractionHierarchy(RoadNetwork([], []))
+
+
+class TestStaleness:
+    """Regression: a stale CH must refuse to answer, never serve the old
+    shortcut weights silently (the pre-StaleIndexError behavior)."""
+
+    def test_stale_query_raises(self, small_grid):
+        g = small_grid.copy()
+        ch = ContractionHierarchy(g)
+        u, v, w = next(iter(g.edges()))
+        g.set_weight(u, v, w * 2)
+        with pytest.raises(StaleIndexError) as err:
+            ch.distance(0, 24)
+        assert err.value.index == "ContractionHierarchy"
+        assert err.value.current_version == g.version
+        with pytest.raises(StaleIndexError):
+            ch.query(0, 24)
+
+    def test_rebuild_clears_staleness(self, small_grid):
+        g = small_grid.copy()
+        ch = ContractionHierarchy(g)
+        g.scale_weights(1.5)
+        assert ch.rebuild() is ch
+        assert not ch.stale
+        truth = dijkstra(g, 0, 24).distance
+        assert math.isclose(ch.distance(0, 24), truth, rel_tol=1e-9)
+
+    def test_fresh_index_does_not_raise(self, small_grid, ch):
+        assert math.isfinite(ch.distance(0, 24))

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.exceptions import IndexConstructionError
+from repro.exceptions import IndexConstructionError, StaleIndexError
 from repro.index.containers import GeometricContainers
 from repro.network.generators import grid_city
 from repro.network.graph import RoadNetwork
@@ -93,6 +93,19 @@ class TestLifecycle:
         u, v, w = next(iter(g.edges()))
         g.set_weight(u, v, w * 2)
         assert index.stale
+
+    def test_stale_query_raises_until_rebuilt(self, small_grid):
+        g = small_grid.copy()
+        index = GeometricContainers(g)
+        u, v, w = next(iter(g.edges()))
+        g.set_weight(u, v, w * 2)
+        with pytest.raises(StaleIndexError) as err:
+            index.query(0, 24)
+        assert err.value.index == "GeometricContainers"
+        assert index.rebuild() is index
+        assert math.isclose(
+            index.distance(0, 24), dijkstra(g, 0, 24).distance, rel_tol=1e-9
+        )
 
     def test_empty_graph_rejected(self):
         with pytest.raises(IndexConstructionError):

@@ -211,6 +211,10 @@ class TestBackendKnob:
             np_kernels.kernel_backend()
 
     def test_invalid_threshold_rejected(self, monkeypatch):
+        # Pin the backend to auto: an ambient REPRO_KERNEL=csr (the CI
+        # forced-fallback pass) would otherwise short-circuit np_active
+        # before the threshold knob is ever parsed.
+        monkeypatch.setenv(np_kernels.BACKEND_KNOB, "auto")
         monkeypatch.setenv(np_kernels.AUTO_MIN_KNOB, "many")
         graph = random_network(2)
         csr = graph.freeze()
